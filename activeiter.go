@@ -1,0 +1,322 @@
+// Package activeiter is a from-scratch Go implementation of "Meta
+// Diagram based Active Social Networks Alignment" (Ren, Aggarwal, Zhang —
+// ICDE 2019): inferring the one-to-one anchor links connecting the shared
+// users of two attributed heterogeneous social networks, using
+// inter-network meta diagram features, PU learning with a cardinality
+// constraint, and an active-learning query strategy.
+//
+// # Quick start
+//
+//	pair, _ := activeiter.GenerateDataset(activeiter.SmallDataset())
+//	aligner, _ := activeiter.New(pair, activeiter.Options{Budget: 50})
+//	train, test := pair.Anchors[:40], pair.Anchors[40:]
+//	cands := append(test, negatives...)
+//	res, _ := aligner.Align(train, cands, activeiter.NewTruthOracle(pair))
+//	for _, a := range res.PredictedAnchors() { ... }
+//
+// The packages under internal/ hold the substrates: sparse and dense
+// linear algebra, the heterogeneous network store, the meta diagram
+// algebra and counting engine, cardinality-constrained matching, the SVM
+// baseline, and the experiment harness that regenerates every table and
+// figure of the paper (see cmd/experiments and EXPERIMENTS.md).
+package activeiter
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/activeiter/activeiter/internal/active"
+	"github.com/activeiter/activeiter/internal/core"
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/metadiag"
+	"github.com/activeiter/activeiter/internal/schema"
+)
+
+// Re-exported data model types. Aliases keep the internal packages as the
+// single source of truth while giving users a public name.
+type (
+	// Network is an attributed heterogeneous social network.
+	Network = hetnet.Network
+	// AlignedPair couples two networks with ground-truth anchor links.
+	AlignedPair = hetnet.AlignedPair
+	// Anchor is a (user-in-network-1, user-in-network-2) index pair.
+	Anchor = hetnet.Anchor
+	// NodeType and LinkType name the heterogeneous categories.
+	NodeType = hetnet.NodeType
+	LinkType = hetnet.LinkType
+	// Oracle answers anchor-link label queries during active learning.
+	Oracle = active.Oracle
+)
+
+// Standard schema vocabulary, re-exported from the data model.
+const (
+	User      = hetnet.User
+	Post      = hetnet.Post
+	Word      = hetnet.Word
+	Location  = hetnet.Location
+	Timestamp = hetnet.Timestamp
+
+	Follow   = hetnet.Follow
+	Write    = hetnet.Write
+	At       = hetnet.At
+	Checkin  = hetnet.Checkin
+	Contains = hetnet.Contains
+)
+
+// NewSocialNetwork returns an empty network pre-declared with the
+// Foursquare/Twitter-style schema of the paper's Figure 2.
+func NewSocialNetwork(name string) *Network { return hetnet.NewSocialNetwork(name) }
+
+// NewAlignedPair couples two networks with an empty anchor set.
+func NewAlignedPair(g1, g2 *Network) *AlignedPair { return hetnet.NewAlignedPair(g1, g2) }
+
+// NewTruthOracle builds an oracle answering from the pair's ground-truth
+// anchors — the stand-in for a human labeler in experiments.
+func NewTruthOracle(pair *AlignedPair) Oracle { return active.NewTruthOracle(pair) }
+
+// FeatureSet selects which meta diagram features the aligner extracts.
+type FeatureSet int
+
+const (
+	// FullFeatures uses all 31 meta paths and meta diagrams (the MPMD
+	// feature space of the paper).
+	FullFeatures FeatureSet = iota
+	// PathFeatures uses only the 6 meta paths (the MP feature space).
+	PathFeatures
+	// ExtendedFeatures adds the word attribute (P7 and its diagram
+	// families, 58 features) — the paper's data model carries words but
+	// its evaluation does not use them; enable this when your posts have
+	// textual content.
+	ExtendedFeatures
+)
+
+// StrategyKind selects the active query strategy.
+type StrategyKind string
+
+const (
+	// StrategyConflict is the paper's conflict-aware false-negative
+	// strategy (the default).
+	StrategyConflict StrategyKind = "conflict"
+	// StrategyRandom queries uniformly (the ActiveIter-Rand baseline).
+	StrategyRandom StrategyKind = "random"
+	// StrategyUncertainty queries the scores nearest the threshold.
+	StrategyUncertainty StrategyKind = "uncertainty"
+)
+
+// Options configures an Aligner. The zero value is a usable default:
+// full features, no active learning.
+type Options struct {
+	// Features selects the feature space; default FullFeatures.
+	Features FeatureSet
+	// Budget is the number of oracle label queries allowed (the paper's
+	// b). Zero disables active learning (the Iter-MPMD setting).
+	Budget int
+	// BatchSize is the per-round query batch (the paper's k, default 5).
+	BatchSize int
+	// Strategy picks the query strategy; default StrategyConflict.
+	Strategy StrategyKind
+	// C is the ridge fit weight (default 1).
+	C float64
+	// Threshold is the link-selection cutoff (default 0.5).
+	Threshold float64
+	// ExactSelection swaps the greedy ½-approximation for the Hungarian
+	// optimum — slower, for ablations.
+	ExactSelection bool
+	// Seed drives every random choice; fixed seed ⇒ identical runs.
+	Seed int64
+}
+
+func (o Options) strategy() (active.Strategy, error) {
+	switch o.Strategy {
+	case "", StrategyConflict:
+		return active.Conflict{}, nil
+	case StrategyRandom:
+		return active.Random{}, nil
+	case StrategyUncertainty:
+		return active.Uncertainty{}, nil
+	default:
+		return nil, fmt.Errorf("activeiter: unknown strategy %q", o.Strategy)
+	}
+}
+
+// Aligner runs meta diagram feature extraction and the ActiveIter
+// training loop over one aligned pair. Create it once per pair; Align
+// may be called repeatedly with different training folds.
+type Aligner struct {
+	pair      *AlignedPair
+	counter   *metadiag.Counter
+	extractor *metadiag.Extractor
+	opts      Options
+}
+
+// New builds an aligner over the pair.
+func New(pair *AlignedPair, opts Options) (*Aligner, error) {
+	if pair == nil {
+		return nil, errors.New("activeiter: nil pair")
+	}
+	if _, err := opts.strategy(); err != nil {
+		return nil, err
+	}
+	counter, err := metadiag.NewCounter(pair)
+	if err != nil {
+		return nil, err
+	}
+	return &Aligner{
+		pair:      pair,
+		counter:   counter,
+		extractor: metadiag.NewExtractor(counter, opts.features(), true),
+		opts:      opts,
+	}, nil
+}
+
+// features resolves the configured feature list.
+func (o Options) features() []schema.Named {
+	switch o.Features {
+	case PathFeatures:
+		return schema.StandardLibrary().PathsOnly()
+	case ExtendedFeatures:
+		return schema.ExtendedLibrary().All()
+	default:
+		return schema.StandardLibrary().All()
+	}
+}
+
+// FeatureNames returns the feature vector layout (diagram IDs plus the
+// trailing bias).
+func (a *Aligner) FeatureNames() []string { return a.extractor.Names() }
+
+// FeatureVector returns the proximity feature vector of the candidate
+// link (i, j) under the current training anchors.
+func (a *Aligner) FeatureVector(i, j int) ([]float64, error) {
+	out := make([]float64, a.extractor.Dim())
+	if err := a.extractor.FeatureVector(i, j, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CandidatePairs proposes unlabeled candidate links by meta diagram
+// evidence: every pair connected by at least one diagram instance is
+// scored by total proximity and each user keeps its perUser best
+// counterparts. Use this instead of sampling when aligning real
+// networks without ground-truth negatives — the result feeds directly
+// into Align as the candidate pool. trainPos are the known anchors (the
+// paths may traverse them, and they are excluded from the proposals).
+func (a *Aligner) CandidatePairs(trainPos []Anchor, perUser int) ([]Anchor, error) {
+	a.counter.SetAnchors(trainPos)
+	if err := a.extractor.Recompute(); err != nil {
+		return nil, err
+	}
+	return a.counter.Candidates(a.opts.features(), perUser)
+}
+
+// Result is a completed alignment run.
+type Result struct {
+	inner *core.Result
+	links []Anchor
+}
+
+// PredictedAnchors returns the links inferred (or queried) positive.
+func (r *Result) PredictedAnchors() []Anchor {
+	var out []Anchor
+	for idx, l := range r.links {
+		if r.inner.Y[idx] == 1 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Label returns the final label of candidate (i, j) and whether it was
+// part of the pool.
+func (r *Result) Label(i, j int) (float64, bool) { return r.inner.LabelOf(i, j) }
+
+// WasQueried reports whether (i, j) was labeled by the oracle.
+func (r *Result) WasQueried(i, j int) bool { return r.inner.WasQueried(i, j) }
+
+// QueryCount returns the oracle queries spent.
+func (r *Result) QueryCount() int { return r.inner.QueryCount() }
+
+// ConvergenceTrace returns Δy per internal iteration of the first
+// optimization round (the series in the paper's Figure 3).
+func (r *Result) ConvergenceTrace() []float64 { return r.inner.FirstRoundDeltas() }
+
+// Weights returns the learned feature weights (aligned with
+// Aligner.FeatureNames).
+func (r *Result) Weights() []float64 { return r.inner.W }
+
+// Raw exposes the internal training result for advanced inspection.
+func (r *Result) Raw() *core.Result { return r.inner }
+
+// Predictor is an inductive scorer over feature vectors, detached from
+// the training pool: use it to rank user pairs that did not exist at
+// training time.
+type Predictor = core.Predictor
+
+// Predictor builds an inductive scorer from the trained weights.
+// threshold ≤ 0 uses the paper's ½.
+func (r *Result) Predictor(threshold float64) (*Predictor, error) {
+	return core.NewPredictor(r.inner, threshold)
+}
+
+// Align trains on the labeled positive anchors trainPos and infers
+// labels for every candidate link. Candidates must contain the unlabeled
+// pool (test positives and sampled negatives); trainPos links are added
+// to the pool automatically. The oracle may be nil when Budget is 0.
+func (a *Aligner) Align(trainPos []Anchor, candidates []Anchor, oracle Oracle) (*Result, error) {
+	if len(trainPos) == 0 {
+		return nil, core.ErrNoPositives
+	}
+	// The meta paths may only traverse *known* anchors: restrict the
+	// counter to the training positives and recompute features.
+	a.counter.SetAnchors(trainPos)
+	if err := a.extractor.Recompute(); err != nil {
+		return nil, err
+	}
+	links := make([]Anchor, 0, len(trainPos)+len(candidates))
+	links = append(links, trainPos...)
+	seen := make(map[int64]bool, len(links))
+	for _, l := range trainPos {
+		seen[hetnet.Key(l.I, l.J)] = true
+	}
+	for _, l := range candidates {
+		if !seen[hetnet.Key(l.I, l.J)] {
+			seen[hetnet.Key(l.I, l.J)] = true
+			links = append(links, l)
+		}
+	}
+	x, err := a.extractor.FeatureMatrix(links)
+	if err != nil {
+		return nil, err
+	}
+	labeled := make([]int, len(trainPos))
+	for i := range labeled {
+		labeled[i] = i
+	}
+	strategy, err := a.opts.strategy()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		C:              a.opts.C,
+		Threshold:      a.opts.Threshold,
+		Budget:         a.opts.Budget,
+		BatchSize:      a.opts.BatchSize,
+		Strategy:       strategy,
+		ExactSelection: a.opts.ExactSelection,
+		Seed:           a.opts.Seed,
+	}
+	if a.opts.Budget == 0 {
+		cfg.Strategy = nil
+	}
+	res, err := core.Train(core.Problem{
+		Links:      links,
+		X:          x,
+		LabeledPos: labeled,
+		Oracle:     oracle,
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{inner: res, links: links}, nil
+}

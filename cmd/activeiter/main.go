@@ -1,0 +1,143 @@
+// Command activeiter aligns two social networks: it loads (or generates)
+// an aligned pair, hides a fraction of the ground-truth anchors, trains
+// the ActiveIter model on the rest, and reports the inferred anchor
+// links with evaluation metrics.
+//
+// Usage:
+//
+//	activeiter -preset small -budget 50 -train-frac 0.1 -np-ratio 20
+//	activeiter -data pair.json -budget 100 -strategy conflict
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	activeiter "github.com/activeiter/activeiter"
+)
+
+func main() {
+	dataFile := flag.String("data", "", "aligned pair JSON (from cmd/datagen); empty generates from -preset")
+	preset := flag.String("preset", "small", "dataset preset when -data is empty: tiny, small, paper, full")
+	trainFrac := flag.Float64("train-frac", 0.1, "fraction of ground-truth anchors used as labeled training data")
+	npRatio := flag.Int("np-ratio", 20, "negatives sampled per positive (the paper's θ)")
+	autoCands := flag.Bool("auto-candidates", false, "propose candidates from meta diagram evidence instead of sampling negatives")
+	perUser := flag.Int("per-user", 5, "candidates proposed per user with -auto-candidates")
+	budget := flag.Int("budget", 0, "active-learning query budget (0 = Iter-MPMD)")
+	batch := flag.Int("batch", 5, "query batch size per round (the paper's k)")
+	strategy := flag.String("strategy", "conflict", "query strategy: conflict, random, uncertainty")
+	pathsOnly := flag.Bool("paths-only", false, "use meta path features only (no meta diagrams)")
+	exact := flag.Bool("exact", false, "use exact Hungarian selection instead of greedy")
+	seed := flag.Int64("seed", 1, "random seed")
+	showTop := flag.Int("show", 10, "print this many predicted anchors")
+	flag.Parse()
+
+	pair, err := loadPair(*dataFile, *preset)
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	anchors := append([]activeiter.Anchor{}, pair.Anchors...)
+	rng.Shuffle(len(anchors), func(i, j int) { anchors[i], anchors[j] = anchors[j], anchors[i] })
+	nTrain := int(float64(len(anchors)) * *trainFrac)
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	trainPos, testPos := anchors[:nTrain], anchors[nTrain:]
+	neg, err := activeiter.SampleNegatives(pair, *npRatio*len(anchors), rng)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := activeiter.Options{
+		Budget:         *budget,
+		BatchSize:      *batch,
+		Strategy:       activeiter.StrategyKind(*strategy),
+		ExactSelection: *exact,
+		Seed:           *seed,
+	}
+	if *pathsOnly {
+		opts.Features = activeiter.PathFeatures
+	}
+	aligner, err := activeiter.New(pair, opts)
+	if err != nil {
+		fatal(err)
+	}
+	var cands []activeiter.Anchor
+	if *autoCands {
+		cands, err = aligner.CandidatePairs(trainPos, *perUser)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pool: %d training anchors, %d hidden anchors, %d diagram-proposed candidates\n",
+			len(trainPos), len(testPos), len(cands))
+	} else {
+		cands = append(append([]activeiter.Anchor{}, testPos...), neg...)
+		fmt.Printf("pool: %d training anchors, %d hidden anchors, %d sampled negatives\n",
+			len(trainPos), len(testPos), len(neg))
+	}
+	res, err := aligner.Align(trainPos, cands, activeiter.NewTruthOracle(pair))
+	if err != nil {
+		fatal(err)
+	}
+	m := activeiter.EvaluateAlignment(res, testPos, neg)
+	fmt.Printf("queries spent: %d\n", res.QueryCount())
+	fmt.Printf("F1=%.3f  Precision=%.3f  Recall=%.3f  Accuracy=%.3f  (TP=%d FP=%d FN=%d TN=%d)\n",
+		m.F1, m.Precision, m.Recall, m.Accuracy, m.TP, m.FP, m.FN, m.TN)
+
+	pred := res.PredictedAnchors()
+	fmt.Printf("predicted %d anchor links; first %d:\n", len(pred), min(*showTop, len(pred)))
+	truth := pair.AnchorSet()
+	for i, a := range pred {
+		if i >= *showTop {
+			break
+		}
+		mark := "✗"
+		if truth[key(a)] {
+			mark = "✓"
+		}
+		fmt.Printf("  %s %s ↔ %s\n", mark,
+			pair.G1.NodeID(activeiter.User, a.I), pair.G2.NodeID(activeiter.User, a.J))
+	}
+}
+
+func key(a activeiter.Anchor) int64 { return int64(a.I)<<31 | int64(a.J) }
+
+func loadPair(dataFile, preset string) (*activeiter.AlignedPair, error) {
+	if dataFile != "" {
+		f, err := os.Open(dataFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return activeiter.ReadAlignedJSON(f)
+	}
+	var cfg activeiter.GeneratorConfig
+	switch preset {
+	case "tiny":
+		cfg = activeiter.TinyDataset()
+	case "small":
+		cfg = activeiter.SmallDataset()
+	case "paper":
+		cfg = activeiter.PaperShapeDataset()
+	case "full":
+		cfg = activeiter.FullScaleDataset()
+	default:
+		return nil, fmt.Errorf("unknown preset %q", preset)
+	}
+	return activeiter.GenerateDataset(cfg)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "activeiter:", err)
+	os.Exit(1)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

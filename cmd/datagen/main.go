@@ -1,0 +1,76 @@
+// Command datagen generates a synthetic aligned social network pair and
+// writes it as JSON, substituting for the paper's Foursquare–Twitter
+// crawl (DESIGN.md §3).
+//
+// Usage:
+//
+//	datagen -preset small -seed 7 -out pair.json
+//	datagen -preset paper | gzip > pair.json.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	activeiter "github.com/activeiter/activeiter"
+)
+
+func main() {
+	preset := flag.String("preset", "small", "dataset preset: tiny, small, paper, full")
+	seed := flag.Int64("seed", 0, "override the preset's seed when non-zero")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	cfg, err := presetConfig(*preset)
+	if err != nil {
+		fatal(err)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	pair, err := activeiter.GenerateDataset(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := activeiter.WriteAlignedJSON(pair, w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated: %s\n", pair.G1.Stats())
+	fmt.Fprintf(os.Stderr, "           %s\n", pair.G2.Stats())
+	fmt.Fprintf(os.Stderr, "           anchors=%d\n", len(pair.Anchors))
+}
+
+func presetConfig(name string) (activeiter.GeneratorConfig, error) {
+	switch name {
+	case "tiny":
+		return activeiter.TinyDataset(), nil
+	case "small":
+		return activeiter.SmallDataset(), nil
+	case "paper":
+		return activeiter.PaperShapeDataset(), nil
+	case "full":
+		return activeiter.FullScaleDataset(), nil
+	default:
+		return activeiter.GeneratorConfig{}, fmt.Errorf("unknown preset %q (want tiny, small, paper or full)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command experiments regenerates the paper's tables and figures (see
+// EXPERIMENTS.md for recorded outputs and the paper-vs-measured
+// comparison).
+//
+// Usage:
+//
+//	experiments -exp table3 -preset small
+//	experiments -exp all -preset paper -workers 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table2, table3, table4, fig3, fig4, fig5, ablation-features, ablation-query, ablation-matching, ablation-noise, ablation-words, unsupervised, stability, all")
+	preset := flag.String("preset", "small", "protocol preset: tiny, small, paper")
+	workers := flag.Int("workers", 0, "override parallel cell workers when > 0")
+	seed := flag.Int64("seed", 0, "override the preset seed when non-zero")
+	flag.Parse()
+
+	pre, err := presetByName(*preset)
+	if err != nil {
+		fatal(err)
+	}
+	if *workers > 0 {
+		pre.Workers = *workers
+	}
+	if *seed != 0 {
+		pre.Seed = *seed
+	}
+
+	type runner struct {
+		name string
+		run  func(experiments.Preset) (*experiments.Table, error)
+	}
+	runners := []runner{
+		{"table2", experiments.RunTable2},
+		{"table3", experiments.RunTable3},
+		{"table4", experiments.RunTable4},
+		{"fig3", func(p experiments.Preset) (*experiments.Table, error) {
+			_, tab, err := experiments.RunFig3(p)
+			return tab, err
+		}},
+		{"fig4", func(p experiments.Preset) (*experiments.Table, error) {
+			_, tab, err := experiments.RunFig4(p)
+			return tab, err
+		}},
+		{"fig5", experiments.RunFig5},
+		{"ablation-features", experiments.RunFeatureAblation},
+		{"ablation-query", experiments.RunQueryAblation},
+		{"ablation-matching", experiments.RunMatchingAblation},
+		{"ablation-noise", experiments.RunOracleNoiseAblation},
+		{"ablation-words", experiments.RunWordFeatureAblation},
+		{"unsupervised", experiments.RunUnsupervisedComparison},
+		{"stability", func(p experiments.Preset) (*experiments.Table, error) {
+			return experiments.RunStability(p, 3)
+		}},
+	}
+	ran := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		tab, err := r.run(pre)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", r.name, err))
+		}
+		tab.Render(os.Stdout)
+		fmt.Printf("(%s completed in %v)\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func presetByName(name string) (experiments.Preset, error) {
+	switch name {
+	case "tiny":
+		return experiments.TinyPreset(), nil
+	case "small":
+		return experiments.SmallPreset(), nil
+	case "paper":
+		return experiments.PaperPreset(), nil
+	default:
+		return experiments.Preset{}, fmt.Errorf("unknown preset %q (want tiny, small or paper)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+package activeiter
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+)
+
+func TestCandidatePairsFacade(t *testing.T) {
+	pair, trainPos, testPos, _ := testFixture(t)
+	aligner, err := New(pair, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := aligner.CandidatePairs(trainPos, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates proposed")
+	}
+	inCands := make(map[int64]bool)
+	for _, a := range cands {
+		inCands[hetnet.Key(a.I, a.J)] = true
+	}
+	found := 0
+	for _, a := range testPos {
+		if inCands[hetnet.Key(a.I, a.J)] {
+			found++
+		}
+	}
+	if float64(found)/float64(len(testPos)) < 0.5 {
+		t.Errorf("candidate recall = %d/%d, want ≥ 50%%", found, len(testPos))
+	}
+	// Proposed candidates can feed Align directly.
+	res, err := aligner.Align(trainPos, cands, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PredictedAnchors()) == 0 {
+		t.Error("alignment over proposed candidates found nothing")
+	}
+}
+
+func TestExtendedFeaturesFacade(t *testing.T) {
+	cfg := TinyDataset()
+	cfg.Words = 50
+	cfg.WordsPerPost = 2
+	pair, err := GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligner, err := New(pair, Options{Features: ExtendedFeatures, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := aligner.FeatureNames()
+	if len(names) != 59 {
+		t.Fatalf("extended feature names = %d, want 59 (58 + bias)", len(names))
+	}
+	hasP7 := false
+	for _, n := range names {
+		if n == "P7" {
+			hasP7 = true
+		}
+	}
+	if !hasP7 {
+		t.Error("P7 missing from extended features")
+	}
+	// End-to-end run with word features.
+	rng := rand.New(rand.NewSource(5))
+	trainPos := pair.Anchors[:10]
+	testPos := pair.Anchors[10:]
+	neg, err := SampleNegatives(pair, 5*len(pair.Anchors), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := append(append([]Anchor{}, testPos...), neg...)
+	res, err := aligner.Align(trainPos, cands, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := EvaluateAlignment(res, testPos, neg)
+	if m.F1 <= 0 {
+		t.Errorf("extended features F1 = %v, want > 0", m.F1)
+	}
+}
+
+func TestPredictorFacade(t *testing.T) {
+	pair, trainPos, testPos, neg := testFixture(t)
+	aligner, err := New(pair, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := append(append([]Anchor{}, testPos...), neg...)
+	res, err := aligner.Align(trainPos, cands, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := res.Predictor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score a known positive vs a known negative through the same
+	// feature extractor.
+	posVec, err := aligner.FeatureVector(testPos[0].I, testPos[0].J)
+	if err != nil {
+		t.Fatal(err)
+	}
+	negVec, err := aligner.FeatureVector(neg[0].I, neg[0].J)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Score(posVec) <= pred.Score(negVec) {
+		t.Logf("note: this particular positive (%v) does not outscore negative (%v)",
+			pred.Score(posVec), pred.Score(negVec))
+	}
+	// Aggregate check: mean score of test positives must exceed mean of
+	// negatives.
+	mean := func(links []Anchor) float64 {
+		var s float64
+		for _, l := range links {
+			v, err := aligner.FeatureVector(l.I, l.J)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s += pred.Score(v)
+		}
+		return s / float64(len(links))
+	}
+	if mean(testPos) <= mean(neg) {
+		t.Errorf("mean positive score %v not above mean negative %v", mean(testPos), mean(neg))
+	}
+}

@@ -1,0 +1,63 @@
+package active
+
+import (
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+)
+
+type constOracle float64
+
+func (c constOracle) Label(hetnet.Anchor) float64 { return float64(c) }
+
+func TestNoisyOracleFlipRate(t *testing.T) {
+	inner := constOracle(1)
+	o := &NoisyOracle{Inner: inner, FlipProb: 0.3, Seed: 5}
+	flips := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		if o.Label(hetnet.Anchor{I: i, J: i + 1}) == 0 {
+			flips++
+		}
+	}
+	rate := float64(flips) / float64(n)
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("flip rate = %.3f, want ≈ 0.3", rate)
+	}
+}
+
+func TestNoisyOracleDeterministicPerLink(t *testing.T) {
+	o := &NoisyOracle{Inner: constOracle(1), FlipProb: 0.5, Seed: 9}
+	a := hetnet.Anchor{I: 3, J: 7}
+	first := o.Label(a)
+	for i := 0; i < 10; i++ {
+		if o.Label(a) != first {
+			t.Fatal("repeated queries must agree")
+		}
+	}
+}
+
+func TestNoisyOracleZeroNoise(t *testing.T) {
+	o := &NoisyOracle{Inner: constOracle(1), FlipProb: 0, Seed: 1}
+	for i := 0; i < 100; i++ {
+		if o.Label(hetnet.Anchor{I: i, J: i}) != 1 {
+			t.Fatal("zero flip probability must pass truth through")
+		}
+	}
+}
+
+func TestNoisyOracleSeedChangesPattern(t *testing.T) {
+	o1 := &NoisyOracle{Inner: constOracle(1), FlipProb: 0.5, Seed: 1}
+	o2 := &NoisyOracle{Inner: constOracle(1), FlipProb: 0.5, Seed: 2}
+	same := 0
+	n := 500
+	for i := 0; i < n; i++ {
+		a := hetnet.Anchor{I: i, J: i + 1}
+		if o1.Label(a) == o2.Label(a) {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("different seeds should disagree on some links")
+	}
+}

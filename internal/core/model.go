@@ -1,0 +1,346 @@
+// Package core implements the ActiveIter training loop of Section III-D:
+// the hierarchical alternating optimization over the weight vector w,
+// the label vector y, and the query set U_q.
+//
+//	External round:
+//	  Internal iteration, until Δy = ‖yₜ − yₜ₋₁‖₁ converges:
+//	    (1-1) w = c(I + cXᵀX)⁻¹Xᵀy      — ridge closed form
+//	    (1-2) ŷ = Xw; greedy cardinality-constrained selection flips
+//	          unlabeled labels (threshold ½, one-to-one constraint)
+//	  (2) query batch: the strategy picks k unlabeled links, the oracle
+//	      labels them, and they join U_q with fixed labels
+//
+// Running with a nil strategy (or zero budget) yields Iter-MPMD, the PU
+// baseline of reference [21] with meta-diagram features.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/active"
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/linalg"
+	"github.com/activeiter/activeiter/internal/matching"
+)
+
+// Config controls training. The zero value gets the paper's defaults.
+type Config struct {
+	// C weighs the data fit against the ‖w‖² regularizer; default 1.
+	C float64
+	// Threshold is the selection cutoff in step (1-2); default 0.5 (the
+	// value that makes greedy selection maximize the ‖Xw−y‖² objective).
+	Threshold float64
+	// Budget is the total number of oracle queries allowed (the paper's
+	// b). Zero disables querying.
+	Budget int
+	// BatchSize is the per-round query batch (the paper's k); default 5.
+	BatchSize int
+	// MaxInternalIters caps each internal convergence loop; default 20
+	// (the paper observes convergence within 5).
+	MaxInternalIters int
+	// ConvergeTol stops the internal loop when Δy ≤ tol; default 0
+	// (exact fixpoint, since labels are discrete Δy is integral).
+	ConvergeTol float64
+	// Strategy picks query candidates; nil with Budget 0 is Iter-MPMD.
+	// nil with Budget > 0 is an error.
+	Strategy active.Strategy
+	// ExactSelection replaces the ½-approximation greedy with the
+	// Hungarian optimum in step (1-2) — ablation only.
+	ExactSelection bool
+	// Seed drives strategy randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.C <= 0 {
+		c.C = 1
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 5
+	}
+	if c.MaxInternalIters <= 0 {
+		c.MaxInternalIters = 20
+	}
+	return c
+}
+
+// Problem is one alignment instance: the candidate pool H with features,
+// the labeled positive indices L⁺, and an oracle for queries.
+type Problem struct {
+	// Links is the candidate pool H (positives ∪ sampled negatives).
+	Links []hetnet.Anchor
+	// X is the |H|×d feature matrix, row k describing Links[k].
+	X *linalg.Dense
+	// LabeledPos are indices into Links forming L⁺.
+	LabeledPos []int
+	// Oracle answers queries; required when Budget > 0.
+	Oracle active.Oracle
+}
+
+// QueryRecord is one oracle interaction.
+type QueryRecord struct {
+	Index int // index into Problem.Links
+	Link  hetnet.Anchor
+	Label float64
+	Round int
+}
+
+// RoundTrace records one external round for convergence analysis
+// (Figure 3).
+type RoundTrace struct {
+	// DeltaY holds ‖yₜ−yₜ₋₁‖₁ per internal iteration.
+	DeltaY []float64
+	// Queried lists this round's oracle interactions.
+	Queried []QueryRecord
+}
+
+// Result is a trained model plus its audit trail.
+type Result struct {
+	// W is the learned weight vector.
+	W linalg.Vector
+	// Y is the final label vector over Links: 1 for L⁺, queried labels
+	// for U_q, inferred labels elsewhere.
+	Y linalg.Vector
+	// Scores is the final raw score vector ŷ = Xw.
+	Scores linalg.Vector
+	// Queried lists all oracle interactions in order.
+	Queried []QueryRecord
+	// Rounds traces every external round.
+	Rounds []RoundTrace
+	// Elapsed is the total training wall time (Figure 4's quantity).
+	Elapsed time.Duration
+	// InternalIterations counts all internal iterations performed.
+	InternalIterations int
+
+	queriedSet map[int]bool
+	linkIndex  map[int64]int
+}
+
+// ErrNoPositives is returned when L⁺ is empty — the PU setting is
+// meaningless without at least one known positive.
+var ErrNoPositives = errors.New("core: no labeled positive links")
+
+// Train runs ActiveIter (or Iter-MPMD when no querying is configured).
+func Train(p Problem, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	n := len(p.Links)
+	if n == 0 {
+		return nil, errors.New("core: empty candidate pool")
+	}
+	if rows, _ := p.X.Dims(); rows != n {
+		return nil, fmt.Errorf("core: feature matrix has %d rows for %d links", rows, n)
+	}
+	if len(p.LabeledPos) == 0 {
+		return nil, ErrNoPositives
+	}
+	if cfg.Budget > 0 {
+		if cfg.Strategy == nil {
+			return nil, errors.New("core: budget > 0 requires a query strategy")
+		}
+		if p.Oracle == nil {
+			return nil, errors.New("core: budget > 0 requires an oracle")
+		}
+	}
+
+	start := time.Now()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	ridge, err := linalg.NewRidge(p.X, cfg.C)
+	if err != nil {
+		return nil, err
+	}
+
+	// Label state. kind tracks why a label is fixed.
+	const (
+		kindUnlabeled = iota
+		kindPositive
+		kindQueried
+	)
+	kind := make([]int, n)
+	y := make(linalg.Vector, n)
+	baseOcc := matching.NewOccupied()
+	for _, idx := range p.LabeledPos {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("core: labeled positive index %d out of range [0,%d)", idx, n)
+		}
+		kind[idx] = kindPositive
+		y[idx] = 1
+		baseOcc.Take(p.Links[idx].I, p.Links[idx].J)
+	}
+
+	res := &Result{queriedSet: make(map[int]bool), linkIndex: make(map[int64]int, n)}
+	for idx, l := range p.Links {
+		res.linkIndex[hetnet.Key(l.I, l.J)] = idx
+	}
+
+	var scores linalg.Vector
+	var w linalg.Vector
+
+	// The very first solve fits w on the fixed-label rows only (L⁺, and
+	// later U_q). Solving over all of H with unlabeled y initialized to 0
+	// would shrink every score below the ½ selection threshold and the
+	// alternating iteration could never lift off; bootstrapping from the
+	// discriminative term alone is the natural reading of the paper's
+	// initialization (train on L⁺, then infer U).
+	firstSolve := true
+	solveFixedOnly := func() (linalg.Vector, error) {
+		var rows []int
+		for idx := 0; idx < n; idx++ {
+			if kind[idx] != kindUnlabeled {
+				rows = append(rows, idx)
+			}
+		}
+		_, d := p.X.Dims()
+		sub := linalg.NewDense(len(rows), d)
+		subY := make(linalg.Vector, len(rows))
+		for r, idx := range rows {
+			copy(sub.RowView(r), p.X.RowView(idx))
+			subY[r] = y[idx]
+		}
+		return linalg.RidgeSolve(sub, subY, cfg.C)
+	}
+
+	// internalConverge runs step (1) to a label fixpoint.
+	internalConverge := func(trace *RoundTrace) error {
+		for it := 0; it < cfg.MaxInternalIters; it++ {
+			res.InternalIterations++
+			// (1-1) ridge solve.
+			if firstSolve {
+				var err error
+				w, err = solveFixedOnly()
+				if err != nil {
+					return err
+				}
+				firstSolve = false
+			} else {
+				w = ridge.Solve(p.X, y)
+			}
+			// (1-2) greedy selection over unlabeled links.
+			scores = p.X.MulVec(w)
+			cands := make([]matching.Candidate, 0, n)
+			for idx := 0; idx < n; idx++ {
+				if kind[idx] != kindUnlabeled {
+					continue
+				}
+				cands = append(cands, matching.Candidate{
+					I: p.Links[idx].I, J: p.Links[idx].J,
+					Score: scores[idx], Payload: idx,
+				})
+			}
+			occ := baseOcc.Clone()
+			var selected []matching.Candidate
+			if cfg.ExactSelection {
+				selected = matching.Exact(cands, cfg.Threshold, occ)
+			} else {
+				selected = matching.Greedy(cands, cfg.Threshold, occ)
+			}
+			newY := y.Clone()
+			for idx := 0; idx < n; idx++ {
+				if kind[idx] == kindUnlabeled {
+					newY[idx] = 0
+				}
+			}
+			for _, c := range selected {
+				newY[c.Payload] = 1
+			}
+			delta := newY.Sub(y).Norm1()
+			y = newY
+			trace.DeltaY = append(trace.DeltaY, delta)
+			if delta <= cfg.ConvergeTol {
+				break
+			}
+		}
+		return nil
+	}
+
+	remaining := cfg.Budget
+	round := 0
+	for {
+		trace := RoundTrace{}
+		if err := internalConverge(&trace); err != nil {
+			return nil, err
+		}
+		if remaining <= 0 || cfg.Strategy == nil {
+			res.Rounds = append(res.Rounds, trace)
+			break
+		}
+		// (2) query batch over the unlabeled links.
+		var stLinks []hetnet.Anchor
+		var stScores, stLabels []float64
+		var stIdx []int
+		for idx := 0; idx < n; idx++ {
+			if kind[idx] != kindUnlabeled {
+				continue
+			}
+			stLinks = append(stLinks, p.Links[idx])
+			stScores = append(stScores, scores[idx])
+			stLabels = append(stLabels, y[idx])
+			stIdx = append(stIdx, idx)
+		}
+		k := cfg.BatchSize
+		if k > remaining {
+			k = remaining
+		}
+		picks := cfg.Strategy.Select(&active.State{Links: stLinks, Scores: stScores, Labels: stLabels}, k, rng)
+		for _, pi := range picks {
+			idx := stIdx[pi]
+			label := p.Oracle.Label(p.Links[idx])
+			kind[idx] = kindQueried
+			y[idx] = label
+			if label == 1 {
+				baseOcc.Take(p.Links[idx].I, p.Links[idx].J)
+			}
+			rec := QueryRecord{Index: idx, Link: p.Links[idx], Label: label, Round: round}
+			trace.Queried = append(trace.Queried, rec)
+			res.Queried = append(res.Queried, rec)
+			res.queriedSet[idx] = true
+			remaining--
+		}
+		res.Rounds = append(res.Rounds, trace)
+		round++
+		if len(picks) == 0 {
+			break // nothing left to query
+		}
+	}
+
+	res.W = w
+	res.Y = y
+	res.Scores = scores
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// LabelOf returns the final label of link (i, j) and whether the link
+// was part of the candidate pool.
+func (r *Result) LabelOf(i, j int) (float64, bool) {
+	idx, ok := r.linkIndex[hetnet.Key(i, j)]
+	if !ok {
+		return 0, false
+	}
+	return r.Y[idx], true
+}
+
+// WasQueried reports whether link (i, j) was labeled by the oracle (such
+// links are excluded from evaluation for fairness, per Section IV-B-3).
+func (r *Result) WasQueried(i, j int) bool {
+	idx, ok := r.linkIndex[hetnet.Key(i, j)]
+	return ok && r.queriedSet[idx]
+}
+
+// QueryCount returns the number of oracle queries spent.
+func (r *Result) QueryCount() int { return len(r.Queried) }
+
+// FirstRoundDeltas returns the Δy sequence of the first external round,
+// the series Figure 3 plots.
+func (r *Result) FirstRoundDeltas() []float64 {
+	if len(r.Rounds) == 0 {
+		return nil
+	}
+	return r.Rounds[0].DeltaY
+}

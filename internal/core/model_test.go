@@ -1,0 +1,285 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/active"
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/linalg"
+)
+
+// separableProblem builds a candidate pool with a perfectly informative
+// feature: true positives have feature 1, negatives 0; a bias column is
+// appended. Links are (i, i) for positives and (i, j≠i) for negatives so
+// the one-to-one structure is realistic.
+//
+// nPos true positives (the first nLabeled of them labeled), nNeg
+// negatives.
+func separableProblem(nPos, nLabeled, nNeg int) (Problem, map[int64]float64) {
+	links := make([]hetnet.Anchor, 0, nPos+nNeg)
+	truth := make(map[int64]float64)
+	for i := 0; i < nPos; i++ {
+		links = append(links, hetnet.Anchor{I: i, J: i})
+		truth[hetnet.Key(i, i)] = 1
+	}
+	for k := 0; k < nNeg; k++ {
+		a := hetnet.Anchor{I: k % nPos, J: (k + 1 + k/nPos) % nPos}
+		links = append(links, a)
+		truth[hetnet.Key(a.I, a.J)] = 0
+	}
+	x := linalg.NewDense(len(links), 2)
+	for r := range links {
+		if r < nPos {
+			x.Set(r, 0, 1)
+		}
+		x.Set(r, 1, 1)
+	}
+	labeled := make([]int, nLabeled)
+	for i := range labeled {
+		labeled[i] = i
+	}
+	return Problem{Links: links, X: x, LabeledPos: labeled}, truth
+}
+
+func TestIterMPMDRecoversUnlabeledPositives(t *testing.T) {
+	p, truth := separableProblem(10, 3, 30)
+	res, err := Train(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx, l := range p.Links {
+		want := truth[hetnet.Key(l.I, l.J)]
+		if got := res.Y[idx]; got != want {
+			t.Errorf("link %v: label %v, want %v", l, got, want)
+		}
+	}
+	if res.QueryCount() != 0 {
+		t.Errorf("Iter-MPMD should not query, got %d", res.QueryCount())
+	}
+}
+
+func TestConvergenceTraceReachesZero(t *testing.T) {
+	p, _ := separableProblem(10, 3, 30)
+	res, err := Train(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := res.FirstRoundDeltas()
+	if len(deltas) == 0 {
+		t.Fatal("no convergence trace")
+	}
+	if deltas[0] == 0 {
+		t.Error("first iteration should flip labels (Δy > 0)")
+	}
+	if last := deltas[len(deltas)-1]; last != 0 {
+		t.Errorf("final Δy = %v, want 0", last)
+	}
+	if res.InternalIterations != len(deltas) {
+		t.Errorf("InternalIterations = %d, trace length %d", res.InternalIterations, len(deltas))
+	}
+}
+
+func TestOneToOneConstraintEnforced(t *testing.T) {
+	// Two unlabeled candidates share user 1 on the left; both look
+	// perfectly positive. Only one may be selected.
+	links := []hetnet.Anchor{
+		{I: 0, J: 0},               // labeled positive
+		{I: 1, J: 1}, {I: 1, J: 2}, // conflicting pair
+	}
+	x := linalg.NewDense(3, 2)
+	for r := 0; r < 3; r++ {
+		x.Set(r, 0, 1)
+		x.Set(r, 1, 1)
+	}
+	p := Problem{Links: links, X: x, LabeledPos: []int{0}}
+	res, err := Train(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Y[1]+res.Y[2] > 1 {
+		t.Errorf("one-to-one violated: labels %v and %v", res.Y[1], res.Y[2])
+	}
+	if res.Y[1]+res.Y[2] == 0 {
+		t.Error("at least one of the conflicting candidates should be selected")
+	}
+}
+
+func TestLabeledPositivesBlockConflictingSelection(t *testing.T) {
+	// An unlabeled candidate conflicting with a labeled positive must
+	// stay negative no matter how strong its features are.
+	links := []hetnet.Anchor{
+		{I: 0, J: 0}, // labeled positive occupies I=0 and J=0
+		{I: 0, J: 1}, // conflicts on I
+		{I: 1, J: 0}, // conflicts on J
+	}
+	x := linalg.NewDense(3, 2)
+	for r := 0; r < 3; r++ {
+		x.Set(r, 0, 1)
+		x.Set(r, 1, 1)
+	}
+	p := Problem{Links: links, X: x, LabeledPos: []int{0}}
+	res, err := Train(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Y[1] != 0 || res.Y[2] != 0 {
+		t.Errorf("conflicting candidates selected: %v %v", res.Y[1], res.Y[2])
+	}
+}
+
+func TestActiveQueryingCorrectsLabels(t *testing.T) {
+	p, truth := separableProblem(10, 3, 30)
+	oracle := oracleFromTruth(truth)
+	p.Oracle = oracle
+	res, err := Train(p, Config{
+		Budget:    10,
+		BatchSize: 5,
+		Strategy:  active.Random{},
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueryCount() != 10 {
+		t.Errorf("queries = %d, want 10", res.QueryCount())
+	}
+	// Every queried link's label must equal the oracle truth.
+	for _, q := range res.Queried {
+		if want := truth[hetnet.Key(q.Link.I, q.Link.J)]; q.Label != want {
+			t.Errorf("query %v labeled %v, want %v", q.Link, q.Label, want)
+		}
+		if got := res.Y[q.Index]; got != q.Label {
+			t.Errorf("queried label not fixed in Y: %v vs %v", got, q.Label)
+		}
+		if !res.WasQueried(q.Link.I, q.Link.J) {
+			t.Errorf("WasQueried(%v) = false", q.Link)
+		}
+	}
+	// Rounds: 10/5 = 2 query rounds + trailing convergence = 3 traces.
+	if len(res.Rounds) != 3 {
+		t.Errorf("rounds = %d, want 3", len(res.Rounds))
+	}
+	_ = oracle
+}
+
+func TestBudgetClampedByBatch(t *testing.T) {
+	p, truth := separableProblem(10, 3, 30)
+	p.Oracle = oracleFromTruth(truth)
+	res, err := Train(p, Config{
+		Budget:    7, // 5 + 2
+		BatchSize: 5,
+		Strategy:  active.Random{},
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueryCount() != 7 {
+		t.Errorf("queries = %d, want exactly the budget 7", res.QueryCount())
+	}
+}
+
+type mapOracle map[int64]float64
+
+func (m mapOracle) Label(a hetnet.Anchor) float64 { return m[hetnet.Key(a.I, a.J)] }
+
+func oracleFromTruth(truth map[int64]float64) active.Oracle { return mapOracle(truth) }
+
+func TestTrainValidation(t *testing.T) {
+	p, truth := separableProblem(4, 2, 4)
+	cases := []struct {
+		name string
+		mut  func(*Problem, *Config)
+	}{
+		{"empty pool", func(p *Problem, c *Config) { p.Links = nil; p.X = linalg.NewDense(0, 2) }},
+		{"row mismatch", func(p *Problem, c *Config) { p.X = linalg.NewDense(1, 2) }},
+		{"no positives", func(p *Problem, c *Config) { p.LabeledPos = nil }},
+		{"bad positive index", func(p *Problem, c *Config) { p.LabeledPos = []int{99} }},
+		{"budget without strategy", func(p *Problem, c *Config) { c.Budget = 5 }},
+		{"budget without oracle", func(p *Problem, c *Config) {
+			c.Budget = 5
+			c.Strategy = active.Random{}
+			p.Oracle = nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prob := p
+			prob.LabeledPos = append([]int{}, p.LabeledPos...)
+			cfg := Config{}
+			tc.mut(&prob, &cfg)
+			if _, err := Train(prob, cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	_ = truth
+}
+
+func TestExactSelectionPath(t *testing.T) {
+	p, truth := separableProblem(8, 3, 20)
+	res, err := Train(p, Config{ExactSelection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx, l := range p.Links {
+		if want := truth[hetnet.Key(l.I, l.J)]; res.Y[idx] != want {
+			t.Errorf("exact selection: link %v label %v, want %v", l, res.Y[idx], want)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	p1, truth := separableProblem(10, 3, 30)
+	p1.Oracle = oracleFromTruth(truth)
+	p2 := p1
+	cfg := Config{Budget: 10, BatchSize: 5, Strategy: active.Random{}, Seed: 42}
+	r1, err := Train(p1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Train(p2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Y.EqualApprox(r2.Y, 0) {
+		t.Error("same seed should give identical labels")
+	}
+	for i := range r1.Queried {
+		if r1.Queried[i].Link != r2.Queried[i].Link {
+			t.Error("same seed should give identical queries")
+		}
+	}
+}
+
+func TestLabelOf(t *testing.T) {
+	p, _ := separableProblem(5, 2, 10)
+	res, err := Train(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab, ok := res.LabelOf(3, 3); !ok || lab != 1 {
+		t.Errorf("LabelOf(3,3) = %v,%v", lab, ok)
+	}
+	if _, ok := res.LabelOf(999, 999); ok {
+		t.Error("unknown link should miss")
+	}
+}
+
+func TestScoresExposed(t *testing.T) {
+	p, _ := separableProblem(5, 2, 10)
+	res, err := Train(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != len(p.Links) {
+		t.Fatalf("scores length %d", len(res.Scores))
+	}
+	// Positive-profile scores must exceed negative-profile scores.
+	if res.Scores[0] <= res.Scores[len(p.Links)-1] {
+		t.Errorf("positive score %v not above negative %v", res.Scores[0], res.Scores[len(p.Links)-1])
+	}
+	if len(res.W) != 2 {
+		t.Errorf("W dims %d", len(res.W))
+	}
+}

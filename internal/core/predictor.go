@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/activeiter/activeiter/internal/linalg"
+)
+
+// Predictor scores previously unseen candidate links with a trained
+// weight vector — the inductive companion to the transductive training
+// loop. Use it to rank new user pairs (e.g. users who joined after
+// training) without re-running the optimization.
+type Predictor struct {
+	w         linalg.Vector
+	threshold float64
+}
+
+// NewPredictor wraps a trained result. threshold ≤ 0 uses the paper's ½.
+func NewPredictor(res *Result, threshold float64) (*Predictor, error) {
+	if res == nil || len(res.W) == 0 {
+		return nil, fmt.Errorf("core: predictor needs a trained result")
+	}
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	return &Predictor{w: res.W.Clone(), threshold: threshold}, nil
+}
+
+// Score returns the raw score ŷ = w·x of a feature vector. It panics on
+// dimension mismatch.
+func (p *Predictor) Score(x linalg.Vector) float64 { return p.w.Dot(x) }
+
+// Predict returns the thresholded label in {0, 1}. Note this ignores the
+// one-to-one constraint — for batch inference over a candidate pool use
+// PredictBatch, which enforces it.
+func (p *Predictor) Predict(x linalg.Vector) float64 {
+	if p.Score(x) > p.threshold {
+		return 1
+	}
+	return 0
+}
+
+// PredictBatch scores every row of x and returns both the raw scores and
+// the constraint-respecting labels obtained by greedy one-to-one
+// selection over the given endpoints (endpoints[k] = {i, j} of row k).
+// Pass nil endpoints to skip the constraint.
+func (p *Predictor) PredictBatch(x *linalg.Dense, endpoints [][2]int) (scores []float64, labels []float64, err error) {
+	n, d := x.Dims()
+	if d != len(p.w) {
+		return nil, nil, fmt.Errorf("core: predictor dimension %d, features %d", len(p.w), d)
+	}
+	if endpoints != nil && len(endpoints) != n {
+		return nil, nil, fmt.Errorf("core: %d endpoint pairs for %d rows", len(endpoints), n)
+	}
+	scores = x.MulVec(p.w)
+	labels = make([]float64, n)
+	if endpoints == nil {
+		for k, s := range scores {
+			if s > p.threshold {
+				labels[k] = 1
+			}
+		}
+		return scores, labels, nil
+	}
+	type cand struct {
+		k int
+		s float64
+	}
+	order := make([]cand, 0, n)
+	for k, s := range scores {
+		if s > p.threshold {
+			order = append(order, cand{k: k, s: s})
+		}
+	}
+	// Greedy one-to-one, same semantics as training step (1-2).
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].s != order[b].s {
+			return order[a].s > order[b].s
+		}
+		return order[a].k < order[b].k
+	})
+	usedI := make(map[int]bool)
+	usedJ := make(map[int]bool)
+	for _, c := range order {
+		i, j := endpoints[c.k][0], endpoints[c.k][1]
+		if usedI[i] || usedJ[j] {
+			continue
+		}
+		usedI[i] = true
+		usedJ[j] = true
+		labels[c.k] = 1
+	}
+	return scores, labels, nil
+}

@@ -1,0 +1,265 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/metadiag"
+	"github.com/activeiter/activeiter/internal/schema"
+)
+
+func TestConfigValidation(t *testing.T) {
+	base := Tiny()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("Tiny invalid: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no users", func(c *Config) { c.Users1 = 0 }},
+		{"anchors exceed users", func(c *Config) { c.AnchorCount = c.Users2 + 1 }},
+		{"negative follows", func(c *Config) { c.AvgFollows1 = -1 }},
+		{"bad keep", func(c *Config) { c.EdgeKeep1 = 0 }},
+		{"keep over one", func(c *Config) { c.EdgeKeep2 = 1.5 }},
+		{"negative noise", func(c *Config) { c.NoiseEdgeFrac = -0.1 }},
+		{"negative posts", func(c *Config) { c.PostsPerUser1 = -1 }},
+		{"no locations", func(c *Config) { c.Locations = 0 }},
+		{"negative words", func(c *Config) { c.Words = -1 }},
+		{"zero routine", func(c *Config) { c.RoutineSize = 0 }},
+		{"bad dislocation", func(c *Config) { c.Dislocation = 1.5 }},
+		{"bad zipf", func(c *Config) { c.ZipfS = 1 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := base
+			m.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Tiny()
+	pair, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pair.G1.NodeCount(hetnet.User); got != cfg.Users1 {
+		t.Errorf("net1 users = %d, want %d", got, cfg.Users1)
+	}
+	if got := pair.G2.NodeCount(hetnet.User); got != cfg.Users2 {
+		t.Errorf("net2 users = %d, want %d", got, cfg.Users2)
+	}
+	if got := len(pair.Anchors); got != cfg.AnchorCount {
+		t.Errorf("anchors = %d, want %d", got, cfg.AnchorCount)
+	}
+	if err := pair.Validate(); err != nil {
+		t.Errorf("generated pair invalid: %v", err)
+	}
+	// Follow volumes should be within a factor of the Poisson target.
+	f1 := pair.G1.LinkCount(hetnet.Follow)
+	target1 := float64(cfg.Users1) * cfg.AvgFollows1
+	if f1 < int(target1*0.4) || f1 > int(target1*2.5) {
+		t.Errorf("net1 follows = %d, target ≈ %.0f", f1, target1)
+	}
+	// Posts exist and carry both attribute links.
+	p1 := pair.G1.NodeCount(hetnet.Post)
+	if p1 == 0 {
+		t.Fatal("no posts generated")
+	}
+	if pair.G1.LinkCount(hetnet.Checkin) != p1 || pair.G1.LinkCount(hetnet.At) != p1 {
+		t.Errorf("posts %d, checkins %d, at %d — want equal",
+			p1, pair.G1.LinkCount(hetnet.Checkin), pair.G1.LinkCount(hetnet.At))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Tiny()
+	p1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := p1.G1.Adjacency(hetnet.Follow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := p2.G1.Adjacency(hetnet.Follow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Equal(a2) {
+		t.Error("same seed produced different follow graphs")
+	}
+	if len(p1.Anchors) != len(p2.Anchors) {
+		t.Error("same seed produced different anchors")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 999
+	p3, err := Generate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3, err := p3.G1.Adjacency(hetnet.Follow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Equal(a3) {
+		t.Error("different seeds produced identical follow graphs")
+	}
+}
+
+func TestHeavyTailedPopularity(t *testing.T) {
+	pair, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := pair.G1.Adjacency(hetnet.Follow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-degree spread: preferential attachment should give max ≫ mean.
+	inDeg := adj.ColSums()
+	var sum, max float64
+	for _, d := range inDeg {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	mean := sum / float64(len(inDeg))
+	if max < 4*mean {
+		t.Errorf("max in-degree %v < 4×mean %v: popularity not heavy-tailed", max, mean)
+	}
+}
+
+// TestAnchoredPairsCarrySignal verifies the generator's core property:
+// ground-truth anchored pairs have far more joint-attribute (Ψ^a²) and
+// common-anchored-neighbor (P1) support than random non-anchored pairs.
+func TestAnchoredPairsCarrySignal(t *testing.T) {
+	pair, err := Generate(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := metadiag.NewCounter(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psiA2, err := c.Count(schema.AttributeDiagram(hetnet.At, hetnet.Checkin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var anchorMean, offMean float64
+	for _, a := range pair.Anchors {
+		anchorMean += psiA2.At(a.I, a.J)
+	}
+	anchorMean /= float64(len(pair.Anchors))
+	truth := pair.AnchorSet()
+	n := 0
+	for i := 0; i < pair.G1.NodeCount(hetnet.User); i++ {
+		for j := 0; j < pair.G2.NodeCount(hetnet.User); j++ {
+			if truth[hetnet.Key(i, j)] {
+				continue
+			}
+			offMean += psiA2.At(i, j)
+			n++
+		}
+	}
+	offMean /= float64(n)
+	if anchorMean <= 2*offMean {
+		t.Errorf("Ψ^a² anchored mean %v not well above off-anchor mean %v", anchorMean, offMean)
+	}
+}
+
+// TestDislocationKnob verifies that raising Dislocation erodes the joint
+// attribute signal while marginal co-occurrence (P5) persists.
+func TestDislocationKnob(t *testing.T) {
+	sharp := Tiny()
+	sharp.Dislocation = 0
+	blurry := Tiny()
+	blurry.Dislocation = 1
+	ratio := func(cfg Config) (joint, marginal float64) {
+		pair, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := metadiag.NewCounter(pair)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psi, err := c.Count(schema.AttributeDiagram(hetnet.At, hetnet.Checkin))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p5, err := c.Count(schema.AttributePath(hetnet.At).AsDiagram())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range pair.Anchors {
+			joint += psi.At(a.I, a.J)
+			marginal += p5.At(a.I, a.J)
+		}
+		return joint, marginal
+	}
+	jSharp, _ := ratio(sharp)
+	jBlurry, mBlurry := ratio(blurry)
+	if jSharp <= jBlurry {
+		t.Errorf("joint signal should shrink with dislocation: sharp=%v blurry=%v", jSharp, jBlurry)
+	}
+	if mBlurry == 0 {
+		t.Error("marginal co-occurrence should survive full dislocation")
+	}
+}
+
+func TestWordsGeneration(t *testing.T) {
+	cfg := Tiny()
+	cfg.Words = 30
+	cfg.WordsPerPost = 2
+	pair, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.G1.LinkCount(hetnet.Contains) == 0 {
+		t.Error("expected contains links with Words > 0")
+	}
+	if pair.G1.NodeCount(hetnet.Word) == 0 {
+		t.Error("expected word nodes")
+	}
+}
+
+func TestPresetsValid(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"Tiny", Tiny()},
+		{"Small", Small()},
+		{"PaperShape", PaperShape()},
+		{"FullScale", FullScale()},
+	} {
+		if err := tc.cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	pair, err := Generate(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indirect check of post volume ≈ users × mean.
+	cfg := Tiny()
+	want := float64(cfg.Users1) * cfg.PostsPerUser1
+	got := float64(pair.G1.NodeCount(hetnet.Post))
+	if math.Abs(got-want) > want*0.5 {
+		t.Errorf("posts = %v, want ≈ %v", got, want)
+	}
+}

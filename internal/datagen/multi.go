@@ -1,0 +1,167 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+)
+
+// MultiDataset is a family of n networks generated from one latent
+// population: the first AnchorCount latent users exist in every network
+// (the multi-way ground truth), and each network additionally has its
+// own exclusive users.
+type MultiDataset struct {
+	Nets []*hetnet.Network
+	// SharedUsers[u][k] is the user index of shared latent user u in
+	// network k; every shared user is present in every network.
+	SharedUsers [][]int
+}
+
+// GenerateMulti synthesizes n ≥ 2 aligned networks with the same
+// generative model as Generate: one latent social graph subsampled per
+// network (EdgeKeep1 for the first network, EdgeKeep2 for the rest), one
+// routine per latent user shared by all of that user's accounts, and
+// per-network posts. Every network has Users1 users, AnchorCount of
+// which are shared across all n. Supports n ≤ 16.
+func GenerateMulti(cfg Config, n int) (*MultiDataset, error) {
+	if n < 2 || n > 16 {
+		return nil, fmt.Errorf("datagen: GenerateMulti supports 2..16 networks, got %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	perNetOwn := cfg.Users1 - cfg.AnchorCount
+	latentN := cfg.AnchorCount + n*perNetOwn
+
+	membership := make([]uint16, latentN)
+	for u := 0; u < latentN; u++ {
+		if u < cfg.AnchorCount {
+			membership[u] = 1<<uint(n) - 1 // in every network
+			continue
+		}
+		k := (u - cfg.AnchorCount) / perNetOwn
+		membership[u] = 1 << uint(k)
+	}
+
+	keep := func(k int) float64 {
+		if k == 0 {
+			return cfg.EdgeKeep1
+		}
+		return cfg.EdgeKeep2
+	}
+	latentDeg := 0.0
+	for k := 0; k < n; k++ {
+		if d := cfg.AvgFollows1 / keep(k); d > latentDeg {
+			latentDeg = d
+		}
+	}
+	latent := growLatentGraph(rng, latentN, latentDeg)
+
+	locZipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Locations-1))
+	tsZipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.TimeBuckets-1))
+	communityPool := make([]combo, cfg.CommunityCombos)
+	for k := range communityPool {
+		communityPool[k] = combo{loc: rng.Intn(cfg.Locations), ts: rng.Intn(cfg.TimeBuckets)}
+	}
+	routines := make([][]combo, latentN)
+	for u := range routines {
+		r := make([]combo, cfg.RoutineSize)
+		for k := range r {
+			if len(communityPool) > 0 && rng.Float64() < cfg.CommunityShare {
+				r[k] = communityPool[rng.Intn(len(communityPool))]
+			} else {
+				r[k] = combo{loc: rng.Intn(cfg.Locations), ts: rng.Intn(cfg.TimeBuckets)}
+			}
+		}
+		routines[u] = r
+	}
+
+	ds := &MultiDataset{
+		Nets:        make([]*hetnet.Network, n),
+		SharedUsers: make([][]int, cfg.AnchorCount),
+	}
+	idx := make([][]int, n) // idx[k][u] = user index of latent u in net k
+	for k := 0; k < n; k++ {
+		ds.Nets[k] = hetnet.NewSocialNetwork(fmt.Sprintf("net%d", k+1))
+		idx[k] = make([]int, latentN)
+		for u := 0; u < latentN; u++ {
+			idx[k][u] = -1
+			if membership[u]&(1<<uint(k)) != 0 {
+				idx[k][u] = ds.Nets[k].AddNode(hetnet.User, fmt.Sprintf("n%d_user_%d", k, u))
+			}
+		}
+	}
+	for u := 0; u < cfg.AnchorCount; u++ {
+		row := make([]int, n)
+		for k := 0; k < n; k++ {
+			row[k] = idx[k][u]
+		}
+		ds.SharedUsers[u] = row
+	}
+
+	// Follows: project the latent edges into each network. The bitmask
+	// byte type of emitFollows is per-pair; inline the projection here.
+	for k := 0; k < n; k++ {
+		g := ds.Nets[k]
+		kept := 0
+		for _, e := range latent {
+			if membership[e.from]&(1<<uint(k)) == 0 || membership[e.to]&(1<<uint(k)) == 0 {
+				continue
+			}
+			if rng.Float64() >= keep(k) {
+				continue
+			}
+			if err := g.AddLink(hetnet.Follow, idx[k][e.from], idx[k][e.to]); err != nil {
+				return nil, err
+			}
+			kept++
+		}
+		users := g.NodeCount(hetnet.User)
+		for e := int(float64(kept) * cfg.NoiseEdgeFrac); e > 0 && users >= 2; e-- {
+			a, b := rng.Intn(users), rng.Intn(users)
+			if a == b {
+				continue
+			}
+			if err := g.AddLink(hetnet.Follow, a, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Posts with shared routines.
+	for k := 0; k < n; k++ {
+		g := ds.Nets[k]
+		for u := 0; u < latentN; u++ {
+			if idx[k][u] < 0 {
+				continue
+			}
+			nPosts := poisson(rng, cfg.PostsPerUser1)
+			for p := 0; p < nPosts; p++ {
+				postIdx := g.AddNode(hetnet.Post, fmt.Sprintf("n%d_post_%d_%d", k, u, p))
+				if err := g.AddLink(hetnet.Write, idx[k][u], postIdx); err != nil {
+					return nil, err
+				}
+				var loc, ts int
+				if rng.Float64() < cfg.Dislocation {
+					loc = int(locZipf.Uint64())
+					ts = int(tsZipf.Uint64())
+				} else {
+					cb := routines[u][rng.Intn(len(routines[u]))]
+					loc, ts = cb.loc, cb.ts
+				}
+				locIdx := g.AddNode(hetnet.Location, fmt.Sprintf("L%d", loc))
+				if err := g.AddLink(hetnet.Checkin, postIdx, locIdx); err != nil {
+					return nil, err
+				}
+				tsIdx := g.AddNode(hetnet.Timestamp, fmt.Sprintf("T%d", ts))
+				if err := g.AddLink(hetnet.At, postIdx, tsIdx); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return ds, nil
+}

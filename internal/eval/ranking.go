@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RankingMetrics summarizes threshold-free quality of a scoring
+// function: ROC-AUC, area under the precision-recall curve, and
+// precision@k. These complement the paper's thresholded metrics — under
+// 50:1 imbalance, ROC-AUC in particular shows whether the *scores* rank
+// anchors well even when a threshold choice hides it.
+type RankingMetrics struct {
+	ROCAUC       float64
+	PRAUC        float64
+	PrecisionAtK float64
+	K            int
+}
+
+// Ranking computes ranking metrics from parallel score/truth slices
+// (truth values 0/1). k caps the precision@k cutoff; k ≤ 0 uses the
+// number of positives. It returns an error when either class is absent
+// (the AUCs are undefined).
+func Ranking(scores, truth []float64, k int) (RankingMetrics, error) {
+	if len(scores) != len(truth) {
+		return RankingMetrics{}, fmt.Errorf("eval: %d scores for %d truths", len(scores), len(truth))
+	}
+	nPos, nNeg := 0, 0
+	for _, t := range truth {
+		switch t {
+		case 1:
+			nPos++
+		case 0:
+			nNeg++
+		default:
+			return RankingMetrics{}, fmt.Errorf("eval: truth value %v not in {0,1}", t)
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return RankingMetrics{}, fmt.Errorf("eval: ranking metrics need both classes (pos=%d neg=%d)", nPos, nNeg)
+	}
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		// Pessimistic tie-break: negatives first, so ties do not inflate
+		// the metrics.
+		return truth[order[a]] < truth[order[b]]
+	})
+
+	// ROC-AUC via the rank statistic with midrank tie handling:
+	// AUC = (Σ ranks of positives − nPos(nPos+1)/2) / (nPos·nNeg),
+	// ranks ascending by score.
+	ranks := make([]float64, len(scores))
+	for pos := 0; pos < len(order); {
+		end := pos
+		for end < len(order) && scores[order[end]] == scores[order[pos]] {
+			end++
+		}
+		// order is descending; ascending rank of slot i is len-i.
+		mid := (float64(len(order)-pos) + float64(len(order)-end+1)) / 2
+		for i := pos; i < end; i++ {
+			ranks[order[i]] = mid
+		}
+		pos = end
+	}
+	var rankSum float64
+	for i, t := range truth {
+		if t == 1 {
+			rankSum += ranks[i]
+		}
+	}
+	rocAUC := (rankSum - float64(nPos)*float64(nPos+1)/2) / (float64(nPos) * float64(nNeg))
+
+	// PR-AUC by average precision (step-wise integral over recall).
+	var ap float64
+	tp := 0
+	for i, idx := range order {
+		if truth[idx] == 1 {
+			tp++
+			ap += float64(tp) / float64(i+1)
+		}
+	}
+	ap /= float64(nPos)
+
+	if k <= 0 {
+		k = nPos
+	}
+	if k > len(order) {
+		k = len(order)
+	}
+	topPos := 0
+	for _, idx := range order[:k] {
+		if truth[idx] == 1 {
+			topPos++
+		}
+	}
+	return RankingMetrics{
+		ROCAUC:       rocAUC,
+		PRAUC:        ap,
+		PrecisionAtK: float64(topPos) / float64(k),
+		K:            k,
+	}, nil
+}

@@ -1,0 +1,178 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankingPerfect(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	truth := []float64{1, 1, 0, 0}
+	m, err := Ranking(scores, truth, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ROCAUC != 1 {
+		t.Errorf("ROCAUC = %v, want 1", m.ROCAUC)
+	}
+	if m.PRAUC != 1 {
+		t.Errorf("PRAUC = %v, want 1", m.PRAUC)
+	}
+	if m.PrecisionAtK != 1 || m.K != 2 {
+		t.Errorf("P@K = %v (K=%d), want 1 (K=2)", m.PrecisionAtK, m.K)
+	}
+}
+
+func TestRankingInverted(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	truth := []float64{1, 1, 0, 0}
+	m, err := Ranking(scores, truth, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ROCAUC != 0 {
+		t.Errorf("ROCAUC = %v, want 0", m.ROCAUC)
+	}
+	if m.PrecisionAtK != 0 {
+		t.Errorf("P@K = %v, want 0", m.PrecisionAtK)
+	}
+}
+
+func TestRankingKnownAUC(t *testing.T) {
+	// One inversion among 2 pos × 2 neg pairs: AUC = 3/4.
+	scores := []float64{0.9, 0.3, 0.5, 0.1}
+	truth := []float64{1, 1, 0, 0}
+	m, err := Ranking(scores, truth, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.ROCAUC-0.75) > 1e-12 {
+		t.Errorf("ROCAUC = %v, want 0.75", m.ROCAUC)
+	}
+}
+
+func TestRankingTiesMidrank(t *testing.T) {
+	// All scores equal: AUC must be 0.5 by midrank convention.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	truth := []float64{1, 1, 0, 0}
+	m, err := Ranking(scores, truth, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.ROCAUC-0.5) > 1e-12 {
+		t.Errorf("tied ROCAUC = %v, want 0.5", m.ROCAUC)
+	}
+}
+
+func TestRankingValidation(t *testing.T) {
+	if _, err := Ranking([]float64{1}, []float64{1, 0}, 0); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Ranking([]float64{1, 2}, []float64{1, 1}, 0); err == nil {
+		t.Error("single-class should fail")
+	}
+	if _, err := Ranking([]float64{1, 2}, []float64{1, 0.5}, 0); err == nil {
+		t.Error("non-binary truth should fail")
+	}
+}
+
+func TestRankingPrecisionAtCustomK(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.1}
+	truth := []float64{1, 0, 1, 0}
+	m, err := Ranking(scores, truth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.PrecisionAtK-2.0/3.0) > 1e-12 {
+		t.Errorf("P@3 = %v, want 2/3", m.PrecisionAtK)
+	}
+	// k beyond n clamps.
+	m, err = Ranking(scores, truth, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 4 {
+		t.Errorf("K = %d, want clamped 4", m.K)
+	}
+}
+
+// Property: AUC equals the empirical probability that a random positive
+// outscores a random negative (with ½ credit for ties), computed by
+// brute force.
+func TestRankingAUCAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		scores := make([]float64, n)
+		truth := make([]float64, n)
+		nPos := 0
+		for i := range scores {
+			scores[i] = float64(rng.Intn(8)) / 8 // coarse grid forces ties
+			if rng.Float64() < 0.4 {
+				truth[i] = 1
+				nPos++
+			}
+		}
+		if nPos == 0 || nPos == n {
+			return true // Ranking correctly rejects; nothing to compare
+		}
+		m, err := Ranking(scores, truth, 0)
+		if err != nil {
+			return false
+		}
+		var num, den float64
+		for i := range scores {
+			if truth[i] != 1 {
+				continue
+			}
+			for j := range scores {
+				if truth[j] != 0 {
+					continue
+				}
+				den++
+				switch {
+				case scores[i] > scores[j]:
+					num++
+				case scores[i] == scores[j]:
+					num += 0.5
+				}
+			}
+		}
+		return math.Abs(m.ROCAUC-num/den) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PR-AUC of a perfect ranking is 1; of any ranking it lies in
+// (0, 1].
+func TestRankingPRAUCBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		scores := make([]float64, n)
+		truth := make([]float64, n)
+		nPos := 0
+		for i := range scores {
+			scores[i] = rng.Float64()
+			if rng.Float64() < 0.5 {
+				truth[i] = 1
+				nPos++
+			}
+		}
+		if nPos == 0 || nPos == n {
+			return true
+		}
+		m, err := Ranking(scores, truth, 0)
+		if err != nil {
+			return false
+		}
+		return m.PRAUC > 0 && m.PRAUC <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/active"
+	"github.com/activeiter/activeiter/internal/core"
+	"github.com/activeiter/activeiter/internal/datagen"
+	"github.com/activeiter/activeiter/internal/eval"
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/linalg"
+	"github.com/activeiter/activeiter/internal/metadiag"
+	"github.com/activeiter/activeiter/internal/schema"
+	"github.com/activeiter/activeiter/internal/svm"
+)
+
+// Preset bundles a dataset configuration with the experimental protocol
+// scale.
+type Preset struct {
+	Name string
+	Data datagen.Config
+	// Folds is the cross-validation fold count (paper: 10).
+	Folds int
+	// ThetaValues sweeps the NP-ratio θ (paper: 5..50 step 5).
+	ThetaValues []int
+	// GammaValues sweeps the sample-ratio γ (paper: 0.1..1.0 step 0.1).
+	GammaValues []float64
+	// FixedTheta is Table IV's θ (paper: 50); FixedGamma is Table III's
+	// γ (paper: 0.6).
+	FixedTheta int
+	FixedGamma float64
+	// Budgets sweeps Figure 5's query budget b.
+	Budgets []int
+	// Seed drives the whole protocol.
+	Seed int64
+	// Workers caps cell-level parallelism; 0 means serial.
+	Workers int
+}
+
+// PaperPreset runs the full protocol shape of the paper on the
+// paper-shaped dataset. Minutes of runtime.
+func PaperPreset() Preset {
+	return Preset{
+		Name:        "paper",
+		Data:        datagen.PaperShape(),
+		Folds:       10,
+		ThetaValues: []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50},
+		GammaValues: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		FixedTheta:  50,
+		FixedGamma:  0.6,
+		Budgets:     []int{10, 25, 50, 75, 100},
+		Seed:        2019,
+		Workers:     8,
+	}
+}
+
+// SmallPreset is the default: the full sweep shape on the small dataset.
+// Tens of seconds.
+func SmallPreset() Preset {
+	p := PaperPreset()
+	p.Name = "small"
+	p.Data = datagen.Small()
+	p.Workers = 8
+	return p
+}
+
+// TinyPreset is for tests: trimmed sweeps on the tiny dataset.
+func TinyPreset() Preset {
+	return Preset{
+		Name:        "tiny",
+		Data:        datagen.Tiny(),
+		Folds:       3,
+		ThetaValues: []int{5, 20},
+		GammaValues: []float64{0.3, 1.0},
+		FixedTheta:  20,
+		FixedGamma:  0.6,
+		Budgets:     []int{5, 10},
+		Seed:        7,
+		Workers:     2,
+	}
+}
+
+// MethodKind distinguishes the training families.
+type MethodKind int
+
+const (
+	// KindPU is the PU-learning iterative family (ActiveIter and
+	// Iter-MPMD).
+	KindPU MethodKind = iota
+	// KindSVM is the supervised baseline family.
+	KindSVM
+)
+
+// FeatureKind selects the feature space.
+type FeatureKind int
+
+const (
+	// MPMD uses meta paths and meta diagrams (31 features).
+	MPMD FeatureKind = iota
+	// MP uses meta paths only (6 features).
+	MP
+)
+
+// Method is one comparison entry in the paper's tables.
+type Method struct {
+	Name     string
+	Kind     MethodKind
+	Features FeatureKind
+	Budget   int
+	Strategy active.Strategy
+}
+
+// StandardMethods returns the six methods of Tables III and IV, in the
+// paper's row order.
+func StandardMethods() []Method {
+	return []Method{
+		{Name: "ActiveIter-100", Kind: KindPU, Features: MPMD, Budget: 100, Strategy: active.Conflict{}},
+		{Name: "ActiveIter-50", Kind: KindPU, Features: MPMD, Budget: 50, Strategy: active.Conflict{}},
+		{Name: "ActiveIter-Rand-50", Kind: KindPU, Features: MPMD, Budget: 50, Strategy: active.Random{}},
+		{Name: "Iter-MPMD", Kind: KindPU, Features: MPMD},
+		{Name: "SVM-MPMD", Kind: KindSVM, Features: MPMD},
+		{Name: "SVM-MP", Kind: KindSVM, Features: MP},
+	}
+}
+
+// cellContext owns the per-cell state: one counter and two extractors
+// over the shared pair. Cells run in parallel; the pair's internal
+// adjacency caches are pre-warmed so concurrent reads are safe.
+type cellContext struct {
+	pair     *hetnet.AlignedPair
+	counter  *metadiag.Counter
+	extFull  *metadiag.Extractor
+	extPaths *metadiag.Extractor
+	oracle   active.Oracle
+	seed     int64
+}
+
+func newCellContext(pair *hetnet.AlignedPair, seed int64) (*cellContext, error) {
+	counter, err := metadiag.NewCounter(pair)
+	if err != nil {
+		return nil, err
+	}
+	lib := schema.StandardLibrary()
+	return &cellContext{
+		pair:     pair,
+		counter:  counter,
+		extFull:  metadiag.NewExtractor(counter, lib.All(), true),
+		extPaths: metadiag.NewExtractor(counter, lib.PathsOnly(), true),
+		oracle:   active.NewTruthOracle(pair),
+		seed:     seed,
+	}, nil
+}
+
+// prewarmPair materializes every adjacency cache so parallel cell
+// contexts only read the shared networks.
+func prewarmPair(pair *hetnet.AlignedPair) error {
+	for _, g := range []*hetnet.Network{pair.G1, pair.G2} {
+		for _, lt := range g.LinkTypes() {
+			if _, err := g.Adjacency(lt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// foldData is the per-fold shared state all methods reuse: the candidate
+// pool, its feature matrices under both feature spaces, and the test
+// bookkeeping.
+type foldData struct {
+	split      eval.Split
+	pool       []hetnet.Anchor
+	labeledPos []int
+	xFull      *linalg.Dense
+	xPaths     *linalg.Dense
+	testIdx    []int
+	testTruth  []float64
+	trainIdx   []int // trainPos then trainNeg rows, for SVM training
+	trainY     []float64
+}
+
+// prepareFold recomputes features against the fold's training anchors
+// and assembles the pool: [trainPos | trainNeg | testPos | testNeg].
+func (ctx *cellContext) prepareFold(split eval.Split) (*foldData, error) {
+	ctx.counter.SetAnchors(split.TrainPos)
+	if err := ctx.extFull.Recompute(); err != nil {
+		return nil, err
+	}
+	if err := ctx.extPaths.Recompute(); err != nil {
+		return nil, err
+	}
+	fd := &foldData{split: split}
+	fd.pool = append(fd.pool, split.TrainPos...)
+	fd.pool = append(fd.pool, split.TrainNeg...)
+	fd.pool = append(fd.pool, split.TestPos...)
+	fd.pool = append(fd.pool, split.TestNeg...)
+	for i := range split.TrainPos {
+		fd.labeledPos = append(fd.labeledPos, i)
+		fd.trainIdx = append(fd.trainIdx, i)
+		fd.trainY = append(fd.trainY, 1)
+	}
+	offset := len(split.TrainPos)
+	for i := range split.TrainNeg {
+		fd.trainIdx = append(fd.trainIdx, offset+i)
+		fd.trainY = append(fd.trainY, 0)
+	}
+	offset += len(split.TrainNeg)
+	for i := range split.TestPos {
+		fd.testIdx = append(fd.testIdx, offset+i)
+		fd.testTruth = append(fd.testTruth, 1)
+	}
+	offset += len(split.TestPos)
+	for i := range split.TestNeg {
+		fd.testIdx = append(fd.testIdx, offset+i)
+		fd.testTruth = append(fd.testTruth, 0)
+	}
+	var err error
+	if fd.xFull, err = ctx.extFull.FeatureMatrix(fd.pool); err != nil {
+		return nil, err
+	}
+	if fd.xPaths, err = ctx.extPaths.FeatureMatrix(fd.pool); err != nil {
+		return nil, err
+	}
+	return fd, nil
+}
+
+// runMethod trains one method on a prepared fold and scores it on the
+// test pools. It returns the confusion plus the wall time and, for PU
+// methods, the training result for trace inspection.
+func (ctx *cellContext) runMethod(m Method, fd *foldData, seed int64) (eval.Confusion, *core.Result, time.Duration, error) {
+	x := fd.xFull
+	if m.Features == MP {
+		x = fd.xPaths
+	}
+	start := time.Now()
+	var conf eval.Confusion
+	switch m.Kind {
+	case KindPU:
+		cfg := core.Config{
+			Budget:   m.Budget,
+			Strategy: m.Strategy,
+			Seed:     seed,
+		}
+		if m.Budget == 0 {
+			cfg.Strategy = nil
+		}
+		res, err := core.Train(core.Problem{
+			Links:      fd.pool,
+			X:          x,
+			LabeledPos: fd.labeledPos,
+			Oracle:     ctx.oracle,
+		}, cfg)
+		if err != nil {
+			return conf, nil, 0, err
+		}
+		for k, idx := range fd.testIdx {
+			l := fd.pool[idx]
+			if res.WasQueried(l.I, l.J) {
+				continue // queried labels are oracle-given: excluded
+			}
+			conf.Add(res.Y[idx], fd.testTruth[k])
+		}
+		return conf, res, time.Since(start), nil
+	case KindSVM:
+		_, d := x.Dims()
+		xt := linalg.NewDense(len(fd.trainIdx), d)
+		for r, idx := range fd.trainIdx {
+			copy(xt.RowView(r), x.RowView(idx))
+		}
+		model, err := svm.Train(xt, fd.trainY, svm.Config{Seed: seed})
+		if err != nil {
+			return conf, nil, 0, err
+		}
+		for k, idx := range fd.testIdx {
+			conf.Add(model.Predict(x.RowView(idx)), fd.testTruth[k])
+		}
+		return conf, nil, time.Since(start), nil
+	default:
+		return conf, nil, 0, fmt.Errorf("experiments: unknown method kind %d", m.Kind)
+	}
+}
+
+// cellMetrics runs every method across all folds of one (θ, γ) cell.
+func runCell(pair *hetnet.AlignedPair, methods []Method, theta int, gamma float64, folds int, seed int64) (map[string]eval.MetricSet, error) {
+	ctx, err := newCellContext(pair, seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + int64(theta)*1_000_003 + int64(gamma*1000)*7919))
+	neg, err := eval.SampleNegatives(pair, theta*len(pair.Anchors), rng)
+	if err != nil {
+		return nil, err
+	}
+	splits, err := eval.KFoldSplits(pair.Anchors, neg, folds, gamma, rng)
+	if err != nil {
+		return nil, err
+	}
+	perMethod := make(map[string][]eval.Confusion, len(methods))
+	for _, split := range splits {
+		fd, err := ctx.prepareFold(split)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range methods {
+			conf, _, _, err := ctx.runMethod(m, fd, seed+int64(split.Fold))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s fold %d: %w", m.Name, split.Fold, err)
+			}
+			perMethod[m.Name] = append(perMethod[m.Name], conf)
+		}
+	}
+	out := make(map[string]eval.MetricSet, len(methods))
+	for name, confs := range perMethod {
+		out[name] = eval.SummarizeConfusions(confs)
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable2(t *testing.T) {
+	tab, err := RunTable2(TinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	for _, want := range []string{"users", "follow links", "anchor links"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table II missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunTable3TinyShape(t *testing.T) {
+	pre := TinyPreset()
+	tab, err := RunTable3(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Sections) != 4 {
+		t.Fatalf("sections = %d, want 4 metrics", len(tab.Sections))
+	}
+	for _, sec := range tab.Sections {
+		if len(sec.Rows) != 6 {
+			t.Errorf("section %s has %d rows, want 6 methods", sec.Name, len(sec.Rows))
+		}
+		for _, row := range sec.Rows {
+			if len(row.Cells) != len(pre.ThetaValues) {
+				t.Errorf("row %s has %d cells, want %d", row.Label, len(row.Cells), len(pre.ThetaValues))
+			}
+			for _, c := range row.Cells {
+				if !strings.Contains(c, "±") {
+					t.Errorf("cell %q not in mean±std form", c)
+				}
+			}
+		}
+	}
+}
+
+// TestTable3ShapeProperties checks the qualitative relationships the
+// paper reports, on the tiny preset: the PU family beats the SVM family
+// on F1, and meta-diagram features beat path-only features for the SVM.
+func TestTable3ShapeProperties(t *testing.T) {
+	pre := TinyPreset()
+	cells := [][2]float64{{float64(pre.FixedTheta), pre.FixedGamma}}
+	res, err := sweepCells(pre, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := res[0]
+	if len(sortedMethodNames(cell)) != 6 {
+		t.Fatalf("methods = %v", sortedMethodNames(cell))
+	}
+	iterF1 := cell["Iter-MPMD"].F1.Mean
+	svmMPMD := cell["SVM-MPMD"].F1.Mean
+	svmMP := cell["SVM-MP"].F1.Mean
+	if iterF1 <= svmMPMD {
+		t.Errorf("Iter-MPMD F1 %v should beat SVM-MPMD %v", iterF1, svmMPMD)
+	}
+	if svmMPMD < svmMP {
+		t.Errorf("SVM-MPMD F1 %v should be ≥ SVM-MP %v", svmMPMD, svmMP)
+	}
+	activeF1 := cell["ActiveIter-100"].F1.Mean
+	if activeF1 < iterF1-0.05 {
+		t.Errorf("ActiveIter-100 F1 %v should not trail Iter-MPMD %v", activeF1, iterF1)
+	}
+}
+
+func TestRunFig3Convergence(t *testing.T) {
+	series, tab, err := RunFig3(TinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) == 0 {
+		t.Fatal("no series")
+	}
+	for _, s := range series {
+		if len(s.DeltaY) == 0 {
+			t.Fatalf("θ=%d: empty trace", s.Theta)
+		}
+		if last := s.DeltaY[len(s.DeltaY)-1]; last != 0 {
+			t.Errorf("θ=%d: did not converge, Δy=%v", s.Theta, last)
+		}
+	}
+	if !strings.Contains(tab.String(), "iter1") {
+		t.Error("figure table missing iteration columns")
+	}
+}
+
+func TestRunFig4Scalability(t *testing.T) {
+	pre := TinyPreset()
+	points, tab, err := RunFig4(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*len(pre.ThetaValues) {
+		t.Errorf("points = %d, want %d", len(points), 2*len(pre.ThetaValues))
+	}
+	if !strings.Contains(tab.String(), "ActiveIter-50") {
+		t.Error("figure table missing method rows")
+	}
+}
+
+func TestRunFig5Budgets(t *testing.T) {
+	pre := TinyPreset()
+	tab, err := RunFig5(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	for _, want := range []string{"ActiveIter", "ActiveIter-Rand", "Iter-MPMD"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Figure 5 missing %q", want)
+		}
+	}
+	if len(tab.Cols) != len(pre.Budgets) {
+		t.Errorf("cols = %d, want %d budgets", len(tab.Cols), len(pre.Budgets))
+	}
+}
+
+func TestRunFeatureAblation(t *testing.T) {
+	tab, err := RunFeatureAblation(TinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "paths only") || !strings.Contains(s, "full (MPMD)") {
+		t.Errorf("ablation rows missing:\n%s", s)
+	}
+	if len(tab.Sections[0].Rows) != 5 {
+		t.Errorf("rows = %d, want 5 variants", len(tab.Sections[0].Rows))
+	}
+}
+
+func TestRunQueryAblation(t *testing.T) {
+	tab, err := RunQueryAblation(TinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	for _, want := range []string{"conflict", "uncertainty", "random"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("query ablation missing %q", want)
+		}
+	}
+}
+
+func TestRunMatchingAblation(t *testing.T) {
+	tab, err := RunMatchingAblation(TinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "greedy") || !strings.Contains(s, "hungarian") {
+		t.Errorf("matching ablation rows missing:\n%s", s)
+	}
+}
+
+func TestPresetsSane(t *testing.T) {
+	for _, pre := range []Preset{TinyPreset(), SmallPreset(), PaperPreset()} {
+		if err := pre.Data.Validate(); err != nil {
+			t.Errorf("%s: %v", pre.Name, err)
+		}
+		if pre.Folds < 2 || len(pre.ThetaValues) == 0 || len(pre.GammaValues) == 0 {
+			t.Errorf("%s: incomplete preset", pre.Name)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:     "demo",
+		ColHeader: "m",
+		Cols:      []string{"a", "b"},
+		Sections: []Section{{
+			Name: "F1",
+			Rows: []TableRow{{Label: "x", Cells: []string{"1", "2"}}},
+		}},
+	}
+	s := tab.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "[F1]") {
+		t.Errorf("rendering wrong:\n%s", s)
+	}
+}

@@ -1,0 +1,416 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/active"
+	"github.com/activeiter/activeiter/internal/datagen"
+	"github.com/activeiter/activeiter/internal/eval"
+	"github.com/activeiter/activeiter/internal/hetnet"
+)
+
+// RunTable2 regenerates Table II: the dataset statistics of the
+// generated pair next to the paper's crawl figures for orientation.
+func RunTable2(pre Preset) (*Table, error) {
+	pair, err := datagen.Generate(pre.Data)
+	if err != nil {
+		return nil, err
+	}
+	s1, s2 := pair.G1.Stats(), pair.G2.Stats()
+	row := func(label string, v1, v2 int) TableRow {
+		return TableRow{Label: label, Cells: []string{fmt.Sprint(v1), fmt.Sprint(v2)}}
+	}
+	t := &Table{
+		Title:     fmt.Sprintf("Table II — dataset statistics (preset %q; paper crawl: 5,223/5,392 users, 164,920/76,972 follow links, 3,282 anchors)", pre.Name),
+		ColHeader: "property",
+		Cols:      []string{"network-1", "network-2"},
+		Sections: []Section{{
+			Name: "counts",
+			Rows: []TableRow{
+				row("users", s1.NodeCount[hetnet.User], s2.NodeCount[hetnet.User]),
+				row("posts", s1.NodeCount[hetnet.Post], s2.NodeCount[hetnet.Post]),
+				row("locations", s1.NodeCount[hetnet.Location], s2.NodeCount[hetnet.Location]),
+				row("timestamps", s1.NodeCount[hetnet.Timestamp], s2.NodeCount[hetnet.Timestamp]),
+				row("follow links", s1.LinkCount[hetnet.Follow], s2.LinkCount[hetnet.Follow]),
+				row("write links", s1.LinkCount[hetnet.Write], s2.LinkCount[hetnet.Write]),
+				{Label: "anchor links", Cells: []string{fmt.Sprint(len(pair.Anchors)), ""}},
+			},
+		}},
+	}
+	return t, nil
+}
+
+// sweepCells evaluates all standard methods over a list of (θ, γ) cells
+// in parallel and returns per-cell method metrics, indexed like cells.
+func sweepCells(pre Preset, cells [][2]float64) ([]map[string]eval.MetricSet, error) {
+	pair, err := datagen.Generate(pre.Data)
+	if err != nil {
+		return nil, err
+	}
+	if err := prewarmPair(pair); err != nil {
+		return nil, err
+	}
+	methods := StandardMethods()
+	results := make([]map[string]eval.MetricSet, len(cells))
+	errs := make([]error, len(cells))
+	workers := pre.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, cell := range cells {
+		wg.Add(1)
+		go func(i int, theta int, gamma float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = runCell(pair, methods, theta, gamma, pre.Folds, pre.Seed)
+		}(i, int(cell[0]), cell[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// buildMethodTable formats sweep results in the paper's layout: one
+// section per metric, one row per method, one column per swept value.
+func buildMethodTable(title, colHeader string, cols []string, cellResults []map[string]eval.MetricSet) *Table {
+	t := &Table{Title: title, ColHeader: colHeader, Cols: cols}
+	for _, metric := range eval.AllMetrics {
+		sec := Section{Name: string(metric)}
+		for _, m := range StandardMethods() {
+			row := TableRow{Label: m.Name}
+			for _, cell := range cellResults {
+				row.Cells = append(row.Cells, cell[m.Name].Get(metric).String())
+			}
+			sec.Rows = append(sec.Rows, row)
+		}
+		t.Sections = append(t.Sections, sec)
+	}
+	return t
+}
+
+// RunTable3 regenerates Table III: all methods across the NP-ratio sweep
+// at fixed sample-ratio γ.
+func RunTable3(pre Preset) (*Table, error) {
+	cells := make([][2]float64, len(pre.ThetaValues))
+	cols := make([]string, len(pre.ThetaValues))
+	for i, th := range pre.ThetaValues {
+		cells[i] = [2]float64{float64(th), pre.FixedGamma}
+		cols[i] = fmt.Sprintf("θ=%d", th)
+	}
+	res, err := sweepCells(pre, cells)
+	if err != nil {
+		return nil, err
+	}
+	title := fmt.Sprintf("Table III — performance vs NP-ratio (γ=%.0f%%, %d folds, preset %q)",
+		pre.FixedGamma*100, pre.Folds, pre.Name)
+	return buildMethodTable(title, "method", cols, res), nil
+}
+
+// RunTable4 regenerates Table IV: all methods across the sample-ratio
+// sweep at fixed NP-ratio θ.
+func RunTable4(pre Preset) (*Table, error) {
+	cells := make([][2]float64, len(pre.GammaValues))
+	cols := make([]string, len(pre.GammaValues))
+	for i, g := range pre.GammaValues {
+		cells[i] = [2]float64{float64(pre.FixedTheta), g}
+		cols[i] = fmt.Sprintf("γ=%.0f%%", g*100)
+	}
+	res, err := sweepCells(pre, cells)
+	if err != nil {
+		return nil, err
+	}
+	title := fmt.Sprintf("Table IV — performance vs sample-ratio (θ=%d, %d folds, preset %q)",
+		pre.FixedTheta, pre.Folds, pre.Name)
+	return buildMethodTable(title, "method", cols, res), nil
+}
+
+// ConvergenceSeries is one Figure 3 line: Δy per internal iteration.
+type ConvergenceSeries struct {
+	Theta  int
+	DeltaY []float64
+}
+
+// RunFig3 regenerates Figure 3: the convergence of the external
+// iteration step (1) at γ=100% for several NP-ratios.
+func RunFig3(pre Preset) ([]ConvergenceSeries, *Table, error) {
+	pair, err := datagen.Generate(pre.Data)
+	if err != nil {
+		return nil, nil, err
+	}
+	thetas := fig3Thetas(pre)
+	var series []ConvergenceSeries
+	for _, theta := range thetas {
+		ctx, err := newCellContext(pair, pre.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		rng := newRunRNG(pre.Seed, theta, 100)
+		neg, err := eval.SampleNegatives(pair, theta*len(pair.Anchors), rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		splits, err := eval.KFoldSplits(pair.Anchors, neg, pre.Folds, 1.0, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		fd, err := ctx.prepareFold(splits[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		_, res, _, err := ctx.runMethod(Method{Name: "Iter-MPMD", Kind: KindPU, Features: MPMD}, fd, pre.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		series = append(series, ConvergenceSeries{Theta: theta, DeltaY: res.FirstRoundDeltas()})
+	}
+	// Tabulate: rows = NP-ratio, columns = iteration.
+	maxLen := 0
+	for _, s := range series {
+		if len(s.DeltaY) > maxLen {
+			maxLen = len(s.DeltaY)
+		}
+	}
+	t := &Table{
+		Title:     fmt.Sprintf("Figure 3 — convergence Δy = ‖yᵢ−yᵢ₋₁‖₁ per iteration (γ=100%%, preset %q)", pre.Name),
+		ColHeader: "NP-ratio",
+		Cols:      make([]string, maxLen),
+	}
+	for i := 0; i < maxLen; i++ {
+		t.Cols[i] = fmt.Sprintf("iter%d", i+1)
+	}
+	sec := Section{Name: "Δy"}
+	for _, s := range series {
+		row := TableRow{Label: fmt.Sprintf("θ=%d", s.Theta)}
+		for i := 0; i < maxLen; i++ {
+			if i < len(s.DeltaY) {
+				row.Cells = append(row.Cells, fmt.Sprintf("%.0f", s.DeltaY[i]))
+			} else {
+				row.Cells = append(row.Cells, "")
+			}
+		}
+		sec.Rows = append(sec.Rows, row)
+	}
+	t.Sections = []Section{sec}
+	return series, t, nil
+}
+
+func fig3Thetas(pre Preset) []int {
+	// The paper plots θ ∈ {10, 30, 50}; clamp into the preset's range.
+	want := []int{10, 30, 50}
+	max := 0
+	for _, th := range pre.ThetaValues {
+		if th > max {
+			max = th
+		}
+	}
+	var out []int
+	for _, th := range want {
+		if th <= max {
+			out = append(out, th)
+		}
+	}
+	if len(out) == 0 {
+		out = pre.ThetaValues
+	}
+	return out
+}
+
+// ScalePoint is one Figure 4 measurement.
+type ScalePoint struct {
+	Theta   int
+	Budget  int
+	Elapsed time.Duration
+}
+
+// RunFig4 regenerates Figure 4: ActiveIter training wall time versus
+// NP-ratio (data size) for budgets 50 and 100, single fold, γ=100%.
+func RunFig4(pre Preset) ([]ScalePoint, *Table, error) {
+	pair, err := datagen.Generate(pre.Data)
+	if err != nil {
+		return nil, nil, err
+	}
+	budgets := []int{50, 100}
+	var points []ScalePoint
+	for _, theta := range pre.ThetaValues {
+		ctx, err := newCellContext(pair, pre.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		rng := newRunRNG(pre.Seed, theta, 400)
+		neg, err := eval.SampleNegatives(pair, theta*len(pair.Anchors), rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		splits, err := eval.KFoldSplits(pair.Anchors, neg, pre.Folds, 1.0, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		fd, err := ctx.prepareFold(splits[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, b := range budgets {
+			m := Method{Name: fmt.Sprintf("ActiveIter-%d", b), Kind: KindPU, Features: MPMD, Budget: b, Strategy: active.Conflict{}}
+			_, _, elapsed, err := ctx.runMethod(m, fd, pre.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			points = append(points, ScalePoint{Theta: theta, Budget: b, Elapsed: elapsed})
+		}
+	}
+	t := &Table{
+		Title:     fmt.Sprintf("Figure 4 — training time vs NP-ratio (γ=100%%, preset %q)", pre.Name),
+		ColHeader: "method",
+	}
+	for _, theta := range pre.ThetaValues {
+		t.Cols = append(t.Cols, fmt.Sprintf("θ=%d", theta))
+	}
+	sec := Section{Name: "wall time"}
+	for _, b := range budgets {
+		row := TableRow{Label: fmt.Sprintf("ActiveIter-%d", b)}
+		for _, theta := range pre.ThetaValues {
+			for _, p := range points {
+				if p.Theta == theta && p.Budget == b {
+					row.Cells = append(row.Cells, fmt.Sprintf("%.0fms", float64(p.Elapsed.Microseconds())/1000))
+				}
+			}
+		}
+		sec.Rows = append(sec.Rows, row)
+	}
+	t.Sections = []Section{sec}
+	return points, t, nil
+}
+
+// RunFig5 regenerates Figure 5: ActiveIter and ActiveIter-Rand across
+// query budgets at (θ, γ) fixed, with Iter-MPMD at γ and γ+10% as the
+// reference lines.
+func RunFig5(pre Preset) (*Table, error) {
+	pair, err := datagen.Generate(pre.Data)
+	if err != nil {
+		return nil, err
+	}
+	if err := prewarmPair(pair); err != nil {
+		return nil, err
+	}
+	type variant struct {
+		name    string
+		method  Method
+		gamma   float64
+		budgets []int // nil = single run, column-replicated
+	}
+	gammaHi := pre.FixedGamma + 0.1
+	if gammaHi > 1 {
+		gammaHi = 1
+	}
+	variants := []variant{
+		{name: "ActiveIter", method: Method{Kind: KindPU, Features: MPMD, Strategy: active.Conflict{}}, gamma: pre.FixedGamma, budgets: pre.Budgets},
+		{name: "ActiveIter-Rand", method: Method{Kind: KindPU, Features: MPMD, Strategy: active.Random{}}, gamma: pre.FixedGamma, budgets: pre.Budgets},
+		{name: fmt.Sprintf("Iter-MPMD γ=%.0f%%", pre.FixedGamma*100), method: Method{Kind: KindPU, Features: MPMD}, gamma: pre.FixedGamma},
+		{name: fmt.Sprintf("Iter-MPMD γ=%.0f%%", gammaHi*100), method: Method{Kind: KindPU, Features: MPMD}, gamma: gammaHi},
+	}
+	type task struct {
+		variant int
+		budget  int
+		col     int
+	}
+	var tasks []task
+	for vi, v := range variants {
+		if v.budgets == nil {
+			tasks = append(tasks, task{variant: vi, budget: 0, col: -1})
+			continue
+		}
+		for ci, b := range v.budgets {
+			tasks = append(tasks, task{variant: vi, budget: b, col: ci})
+		}
+	}
+	results := make([]eval.MetricSet, len(tasks))
+	errs := make([]error, len(tasks))
+	workers := pre.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for ti, tk := range tasks {
+		wg.Add(1)
+		go func(ti int, tk task) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			v := variants[tk.variant]
+			m := v.method
+			m.Budget = tk.budget
+			m.Name = fmt.Sprintf("%s-b%d", v.name, tk.budget)
+			results[ti], errs[ti] = runSingleMethodCell(pair, m, pre.FixedTheta, v.gamma, pre.Folds, pre.Seed)
+		}(ti, tk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	t := &Table{
+		Title:     fmt.Sprintf("Figure 5 — budget sensitivity (θ=%d, γ=%.0f%%, preset %q)", pre.FixedTheta, pre.FixedGamma*100, pre.Name),
+		ColHeader: "method",
+	}
+	for _, b := range pre.Budgets {
+		t.Cols = append(t.Cols, fmt.Sprintf("b=%d", b))
+	}
+	for _, metric := range eval.AllMetrics {
+		sec := Section{Name: string(metric)}
+		for vi, v := range variants {
+			row := TableRow{Label: v.name}
+			for ci := range pre.Budgets {
+				for ti, tk := range tasks {
+					if tk.variant != vi {
+						continue
+					}
+					if tk.col == ci || tk.col == -1 {
+						row.Cells = append(row.Cells, results[ti].Get(metric).String())
+						break
+					}
+				}
+			}
+			sec.Rows = append(sec.Rows, row)
+		}
+		t.Sections = append(t.Sections, sec)
+	}
+	return t, nil
+}
+
+// runSingleMethodCell is runCell for one method.
+func runSingleMethodCell(pair *hetnet.AlignedPair, m Method, theta int, gamma float64, folds int, seed int64) (eval.MetricSet, error) {
+	out, err := runCell(pair, []Method{m}, theta, gamma, folds, seed)
+	if err != nil {
+		return eval.MetricSet{}, err
+	}
+	return out[m.Name], nil
+}
+
+// newRunRNG derives a deterministic rng for a (seed, θ, salt) run.
+func newRunRNG(seed int64, theta, salt int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(theta)*1_000_003 + int64(salt)*7919))
+}
+
+// sortedMethodNames returns the method names of a cell result in
+// deterministic order.
+func sortedMethodNames(ms map[string]eval.MetricSet) []string {
+	names := make([]string, 0, len(ms))
+	for n := range ms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,99 @@
+package hetnet
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV streams the network's links as CSV records of the form
+//
+//	linktype,fromID,toID
+//
+// in deterministic order (link types sorted, edges in insertion order).
+// Node sets are implied by the edges; isolated nodes are appended as
+// special "node" records:
+//
+//	node,nodetype,ID
+//
+// so the round trip is lossless.
+func (g *Network) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	lts := g.LinkTypes()
+	sort.Slice(lts, func(a, b int) bool { return lts[a] < lts[b] })
+	referenced := make(map[NodeType]map[int]bool)
+	mark := func(t NodeType, idx int) {
+		m, ok := referenced[t]
+		if !ok {
+			m = make(map[int]bool)
+			referenced[t] = m
+		}
+		m[idx] = true
+	}
+	var writeErr error
+	for _, lt := range lts {
+		src, dst, _ := g.LinkEndpoints(lt)
+		g.Links(lt, func(from, to int) {
+			if writeErr != nil {
+				return
+			}
+			mark(src, from)
+			mark(dst, to)
+			writeErr = cw.Write([]string{string(lt), g.NodeID(src, from), g.NodeID(dst, to)})
+		})
+		if writeErr != nil {
+			return writeErr
+		}
+	}
+	// Isolated nodes.
+	for _, t := range g.NodeTypes() {
+		for idx := 0; idx < g.NodeCount(t); idx++ {
+			if !referenced[t][idx] {
+				if err := cw.Write([]string{"node", string(t), g.NodeID(t, idx)}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSVInto streams CSV records produced by WriteCSV (or any
+// crawler's edge list in the same format) into g. Link types must be
+// declared on g beforehand — use NewSocialNetwork for the standard
+// schema. Unknown link types are an error; node IDs are interned on
+// first sight.
+func ReadCSVInto(g *Network, r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("hetnet: csv line %d: %w", line+1, err)
+		}
+		line++
+		if rec[0] == "node" {
+			g.AddNode(NodeType(rec[1]), rec[2])
+			continue
+		}
+		if err := g.AddLinkByID(LinkType(rec[0]), rec[1], rec[2]); err != nil {
+			return fmt.Errorf("hetnet: csv line %d: %w", line, err)
+		}
+	}
+}
+
+// ReadSocialCSV reads a CSV edge list into a fresh network with the
+// standard social schema.
+func ReadSocialCSV(name string, r io.Reader) (*Network, error) {
+	g := NewSocialNetwork(name)
+	if err := ReadCSVInto(g, r); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,87 @@
+package hetnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := NewSocialNetwork("site")
+	u1 := g.AddNode(User, "alice")
+	u2 := g.AddNode(User, "bob")
+	p1 := g.AddNode(Post, "p1")
+	mustLink(t, g, Follow, u1, u2)
+	mustLink(t, g, Write, u1, p1)
+	mustLink(t, g, Checkin, p1, g.AddNode(Location, "L1"))
+	g.AddNode(Word, "lonely") // isolated node must survive
+
+	var buf bytes.Buffer
+	if err := g.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSocialCSV("site", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NodeCount(User) != 2 || back.NodeCount(Post) != 1 || back.NodeCount(Location) != 1 {
+		t.Error("node counts differ after CSV round trip")
+	}
+	if back.NodeCount(Word) != 1 {
+		t.Error("isolated node lost in CSV round trip")
+	}
+	if back.LinkCount(Follow) != 1 || back.LinkCount(Write) != 1 || back.LinkCount(Checkin) != 1 {
+		t.Error("link counts differ after CSV round trip")
+	}
+	a1, err := g.Adjacency(Follow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := back.Adjacency(Follow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Equal(a2) {
+		t.Error("follow adjacency differs after CSV round trip")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	// Unknown link type.
+	if _, err := ReadSocialCSV("x", strings.NewReader("teleport,a,b\n")); err == nil {
+		t.Error("unknown link type should fail")
+	}
+	// Wrong field count.
+	if _, err := ReadSocialCSV("x", strings.NewReader("follow,a\n")); err == nil {
+		t.Error("short record should fail")
+	}
+	// Empty input is a valid empty network.
+	g, err := ReadSocialCSV("x", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount(User) != 0 {
+		t.Error("empty CSV should give empty network")
+	}
+}
+
+func TestReadCSVExternalFormat(t *testing.T) {
+	// A crawler-style edge list, unordered, with repeated nodes.
+	in := strings.Join([]string{
+		"follow,u1,u2",
+		"follow,u2,u1",
+		"write,u1,post9",
+		"at,post9,2024-01-01",
+		"checkin,post9,paris",
+	}, "\n")
+	g, err := ReadSocialCSV("crawl", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount(User) != 2 || g.LinkCount(Follow) != 2 {
+		t.Errorf("users=%d follows=%d", g.NodeCount(User), g.LinkCount(Follow))
+	}
+	if idx, ok := g.NodeIndex(Location, "paris"); !ok || idx != 0 {
+		t.Error("location not interned from CSV")
+	}
+}

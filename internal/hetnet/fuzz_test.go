@@ -1,0 +1,66 @@
+package hetnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadNetworkJSON feeds arbitrary bytes to the JSON loader: it must
+// never panic, and any accepted network must Validate and survive a
+// write/read round trip.
+func FuzzReadNetworkJSON(f *testing.F) {
+	var buf bytes.Buffer
+	g := NewSocialNetwork("seed")
+	g.AddNode(User, "a")
+	g.AddNode(User, "b")
+	_ = g.AddLink(Follow, 0, 1)
+	_ = g.WriteJSON(&buf)
+	f.Add(buf.String())
+	f.Add(`{"name":"x","nodes":{"user":["a"]},"links":{}}`)
+	f.Add(`{"name":"x","nodes":{"user":["a","a"]},"links":{}}`)
+	f.Add(`{"name":"x","nodes":{},"links":{"follow":{"src":"user","dst":"user","from":[0],"to":[0]}}}`)
+	f.Add(`not json at all`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadNetworkJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted network fails Validate: %v", err)
+		}
+		var out bytes.Buffer
+		if err := g.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted network fails WriteJSON: %v", err)
+		}
+		g2, err := ReadNetworkJSON(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted network fails: %v", err)
+		}
+		for _, lt := range g.LinkTypes() {
+			if g.LinkCount(lt) != g2.LinkCount(lt) {
+				t.Fatalf("round trip changed %s link count", lt)
+			}
+		}
+	})
+}
+
+// FuzzReadCSV feeds arbitrary bytes to the CSV loader: never panic, and
+// accepted networks must validate.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("follow,a,b\nwrite,a,p\n")
+	f.Add("node,word,w1\n")
+	f.Add("bogus,a,b\n")
+	f.Add(",,,\n")
+	f.Add("follow,a\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadSocialCSV("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted CSV network fails Validate: %v", err)
+		}
+	})
+}

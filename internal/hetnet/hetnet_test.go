@@ -1,0 +1,214 @@
+package hetnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddNodeInterning(t *testing.T) {
+	g := NewNetwork("test")
+	a := g.AddNode(User, "alice")
+	b := g.AddNode(User, "bob")
+	a2 := g.AddNode(User, "alice")
+	if a != a2 {
+		t.Errorf("re-adding node returned new index %d != %d", a2, a)
+	}
+	if a == b {
+		t.Error("distinct nodes got the same index")
+	}
+	if g.NodeCount(User) != 2 {
+		t.Errorf("NodeCount = %d, want 2", g.NodeCount(User))
+	}
+	if g.NodeID(User, a) != "alice" {
+		t.Errorf("NodeID = %q", g.NodeID(User, a))
+	}
+	if idx, ok := g.NodeIndex(User, "bob"); !ok || idx != b {
+		t.Errorf("NodeIndex(bob) = %d,%v", idx, ok)
+	}
+	if _, ok := g.NodeIndex(User, "carol"); ok {
+		t.Error("NodeIndex should miss unknown node")
+	}
+	if _, ok := g.NodeIndex(Post, "alice"); ok {
+		t.Error("NodeIndex should miss unknown type")
+	}
+}
+
+func TestNodeIDPanicsOutOfRange(t *testing.T) {
+	g := NewNetwork("test")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.NodeID(User, 0)
+}
+
+func TestDeclareLinkConflicts(t *testing.T) {
+	g := NewNetwork("test")
+	if err := g.DeclareLink(Follow, User, User); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DeclareLink(Follow, User, User); err != nil {
+		t.Errorf("idempotent redeclare should succeed: %v", err)
+	}
+	if err := g.DeclareLink(Follow, User, Post); err == nil {
+		t.Error("conflicting redeclare should fail")
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	g := NewNetwork("test")
+	if err := g.AddLink(Follow, 0, 0); err == nil {
+		t.Error("AddLink before DeclareLink should fail")
+	}
+	if err := g.DeclareLink(Follow, User, User); err != nil {
+		t.Fatal(err)
+	}
+	g.AddNode(User, "a")
+	if err := g.AddLink(Follow, 0, 1); err == nil {
+		t.Error("out-of-range target should fail")
+	}
+	if err := g.AddLink(Follow, -1, 0); err == nil {
+		t.Error("negative source should fail")
+	}
+	g.AddNode(User, "b")
+	if err := g.AddLink(Follow, 0, 1); err != nil {
+		t.Errorf("valid link failed: %v", err)
+	}
+	if g.LinkCount(Follow) != 1 {
+		t.Errorf("LinkCount = %d", g.LinkCount(Follow))
+	}
+}
+
+func TestAddLinkByID(t *testing.T) {
+	g := NewSocialNetwork("tw")
+	if err := g.AddLinkByID(Write, "u1", "p1"); err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount(User) != 1 || g.NodeCount(Post) != 1 {
+		t.Error("AddLinkByID should intern endpoint nodes")
+	}
+	if err := g.AddLinkByID("bogus", "a", "b"); err == nil {
+		t.Error("unknown link type should fail")
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g := NewSocialNetwork("tw")
+	for _, id := range []string{"a", "b", "c"} {
+		g.AddNode(User, id)
+	}
+	mustLink(t, g, Follow, 0, 1)
+	mustLink(t, g, Follow, 1, 2)
+	mustLink(t, g, Follow, 0, 1) // duplicate edge
+	adj, err := g.Adjacency(Follow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := adj.Dims(); r != 3 || c != 3 {
+		t.Fatalf("adjacency dims %dx%d", r, c)
+	}
+	if adj.At(0, 1) != 1 {
+		t.Error("duplicate edges should collapse to 1")
+	}
+	if adj.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2", adj.NNZ())
+	}
+	// Cache invalidation on mutation.
+	mustLink(t, g, Follow, 2, 0)
+	adj2, err := g.Adjacency(Follow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj2.At(2, 0) != 1 {
+		t.Error("adjacency cache not invalidated after AddLink")
+	}
+}
+
+func TestAdjacencyUnknownType(t *testing.T) {
+	g := NewNetwork("test")
+	if _, err := g.Adjacency(Follow); err == nil {
+		t.Error("expected error for undeclared link type")
+	}
+}
+
+func TestNeighborsAndDegree(t *testing.T) {
+	g := NewSocialNetwork("tw")
+	for _, id := range []string{"a", "b", "c"} {
+		g.AddNode(User, id)
+	}
+	mustLink(t, g, Follow, 0, 2)
+	mustLink(t, g, Follow, 0, 1)
+	nbrs, err := g.Neighbors(Follow, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 2 || nbrs[0] != 1 || nbrs[1] != 2 {
+		t.Errorf("Neighbors = %v, want [1 2] sorted", nbrs)
+	}
+	d, err := g.Degree(Follow, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Errorf("Degree = %d", d)
+	}
+	if _, err := g.Neighbors(Follow, 9); err == nil {
+		t.Error("out-of-range Neighbors should fail")
+	}
+	if _, err := g.Degree(Follow, -1); err == nil {
+		t.Error("out-of-range Degree should fail")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	g := NewSocialNetwork("twitter")
+	g.AddNode(User, "a")
+	g.AddNode(User, "b")
+	mustLink(t, g, Follow, 0, 1)
+	s := g.Stats()
+	if s.NodeCount[User] != 2 || s.LinkCount[Follow] != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+	str := s.String()
+	if !strings.Contains(str, "twitter") || !strings.Contains(str, "user=2") {
+		t.Errorf("Stats.String = %q", str)
+	}
+}
+
+func TestSocialNetworkSchema(t *testing.T) {
+	g := NewSocialNetwork("fsq")
+	want := map[LinkType][2]NodeType{
+		Follow:   {User, User},
+		Write:    {User, Post},
+		At:       {Post, Timestamp},
+		Checkin:  {Post, Location},
+		Contains: {Post, Word},
+	}
+	for lt, ep := range want {
+		src, dst, ok := g.LinkEndpoints(lt)
+		if !ok || src != ep[0] || dst != ep[1] {
+			t.Errorf("LinkEndpoints(%s) = %s,%s,%v want %v", lt, src, dst, ok, ep)
+		}
+	}
+	if len(g.LinkTypes()) != 5 {
+		t.Errorf("LinkTypes = %v", g.LinkTypes())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := NewSocialNetwork("tw")
+	g.AddNode(User, "a")
+	g.AddNode(User, "b")
+	mustLink(t, g, Follow, 0, 1)
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid network failed Validate: %v", err)
+	}
+}
+
+func mustLink(t *testing.T, g *Network, lt LinkType, from, to int) {
+	t.Helper()
+	if err := g.AddLink(lt, from, to); err != nil {
+		t.Fatalf("AddLink(%s,%d,%d): %v", lt, from, to, err)
+	}
+}

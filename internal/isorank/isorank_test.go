@@ -1,0 +1,120 @@
+package isorank
+
+import (
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/datagen"
+	"github.com/activeiter/activeiter/internal/hetnet"
+)
+
+func TestAlignRecoversAnchorsUnsupervised(t *testing.T) {
+	pair, err := datagen.Generate(datagen.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Align(pair, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) == 0 {
+		t.Fatal("no matches")
+	}
+	truth := pair.AnchorSet()
+	correct := 0
+	for _, m := range res.Matches {
+		if truth[hetnet.Key(m.I, m.J)] {
+			correct++
+		}
+	}
+	recallOfAnchors := float64(correct) / float64(len(pair.Anchors))
+	// Unsupervised with attribute prior: expect meaningful but imperfect
+	// recovery — far above random (1/64 per user) yet below ActiveIter.
+	if recallOfAnchors < 0.15 {
+		t.Errorf("unsupervised anchor recovery = %.2f (%d/%d), want ≥ 0.15",
+			recallOfAnchors, correct, len(pair.Anchors))
+	}
+	// One-to-one holds.
+	seenI, seenJ := map[int]bool{}, map[int]bool{}
+	for _, m := range res.Matches {
+		if seenI[m.I] || seenJ[m.J] {
+			t.Fatal("matching violates one-to-one")
+		}
+		seenI[m.I] = true
+		seenJ[m.J] = true
+	}
+	if res.Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+}
+
+func TestAlignDefaultsAndConvergence(t *testing.T) {
+	pair, err := datagen.Generate(datagen.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Very loose tolerance: must stop well before the cap.
+	res, err := Align(pair, Config{Tol: 1, Iterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 3 {
+		t.Errorf("loose tolerance should converge immediately, took %d", res.Iterations)
+	}
+	// Tight cap is respected.
+	res2, err := Align(pair, Config{Iterations: 2, Tol: 1e-30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Iterations != 2 {
+		t.Errorf("iteration cap ignored: %d", res2.Iterations)
+	}
+}
+
+func TestAlignEmptyNetworksFail(t *testing.T) {
+	g1 := hetnet.NewSocialNetwork("a")
+	g2 := hetnet.NewSocialNetwork("b")
+	pair := hetnet.NewAlignedPair(g1, g2)
+	if _, err := Align(pair, Config{}); err == nil {
+		t.Error("empty networks should fail")
+	}
+}
+
+func TestAlignUniformPriorFallback(t *testing.T) {
+	// Networks with follows but zero posts: the attribute prior is empty
+	// and the uniform fallback must kick in without errors.
+	g1 := hetnet.NewSocialNetwork("a")
+	g2 := hetnet.NewSocialNetwork("b")
+	for _, g := range []*hetnet.Network{g1, g2} {
+		for i := 0; i < 5; i++ {
+			g.AddNode(hetnet.User, string(rune('a'+i)))
+		}
+		for i := 0; i < 4; i++ {
+			if err := g.AddLink(hetnet.Follow, i, i+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pair := hetnet.NewAlignedPair(g1, g2)
+	res, err := Align(pair, Config{Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Similarity.NNZ() == 0 {
+		t.Error("similarity empty under uniform prior")
+	}
+}
+
+func TestSimilarityIsNormalized(t *testing.T) {
+	pair, err := datagen.Generate(datagen.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Align(pair, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Similarity.Sum()
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("similarity mass = %v, want ≈ 1", sum)
+	}
+}

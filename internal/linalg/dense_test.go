@@ -1,0 +1,196 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	if r, c := m.Dims(); r != 2 || c != 3 {
+		t.Fatalf("Dims = %d,%d", r, c)
+	}
+	m.Set(0, 1, 5)
+	m.Inc(0, 1, 2)
+	if got := m.At(0, 1); got != 7 {
+		t.Errorf("At(0,1) = %v, want 7", got)
+	}
+	if got := m.At(1, 2); got != 0 {
+		t.Errorf("zero value not preserved: %v", got)
+	}
+}
+
+func TestDenseOutOfRangePanics(t *testing.T) {
+	m := NewDense(2, 2)
+	for _, fn := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(-1, 0, 1) },
+		func() { m.Row(5) },
+		func() { m.Col(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on out-of-range access")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDenseRowColViews(t *testing.T) {
+	m := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if got := m.Row(1); !got.EqualApprox(Vector{4, 5, 6}, 0) {
+		t.Errorf("Row(1) = %v", got)
+	}
+	if got := m.Col(2); !got.EqualApprox(Vector{3, 6}, 0) {
+		t.Errorf("Col(2) = %v", got)
+	}
+	// Row copies; RowView aliases.
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Error("Row should copy")
+	}
+	rv := m.RowView(0)
+	rv[0] = 42
+	if m.At(0, 0) != 42 {
+		t.Error("RowView should alias")
+	}
+}
+
+func TestDenseTranspose(t *testing.T) {
+	m := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	mt := m.T()
+	want := NewDenseFrom(3, 2, []float64{1, 4, 2, 5, 3, 6})
+	if !mt.EqualApprox(want, 0) {
+		t.Errorf("T = %v, want %v", mt, want)
+	}
+	if !mt.T().EqualApprox(m, 0) {
+		t.Error("double transpose should round-trip")
+	}
+}
+
+func TestDenseMul(t *testing.T) {
+	a := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDenseFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := a.Mul(b)
+	want := NewDenseFrom(2, 2, []float64{58, 64, 139, 154})
+	if !got.EqualApprox(want, 1e-12) {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestDenseMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(rng, 4, 4)
+	if !a.Mul(Eye(4)).EqualApprox(a, 1e-12) {
+		t.Error("A·I != A")
+	}
+	if !Eye(4).Mul(a).EqualApprox(a, 1e-12) {
+		t.Error("I·A != A")
+	}
+}
+
+func TestDenseMulVec(t *testing.T) {
+	a := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	v := Vector{1, 0, -1}
+	got := a.MulVec(v)
+	if !got.EqualApprox(Vector{-2, -2}, 1e-12) {
+		t.Errorf("MulVec = %v", got)
+	}
+	gotT := a.TMulVec(Vector{1, -1})
+	if !gotT.EqualApprox(Vector{-3, -3, -3}, 1e-12) {
+		t.Errorf("TMulVec = %v", gotT)
+	}
+}
+
+func TestDenseGramMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		a := randomDense(rng, 5+trial, 3)
+		got := a.Gram()
+		want := a.T().Mul(a)
+		if !got.EqualApprox(want, 1e-9) {
+			t.Fatalf("Gram != AᵀA (trial %d)", trial)
+		}
+	}
+}
+
+func TestDenseAddSubScale(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseFrom(2, 2, []float64{10, 20, 30, 40})
+	if got := a.Add(b); !got.EqualApprox(NewDenseFrom(2, 2, []float64{11, 22, 33, 44}), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); !got.EqualApprox(NewDenseFrom(2, 2, []float64{9, 18, 27, 36}), 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); !got.EqualApprox(NewDenseFrom(2, 2, []float64{2, 4, 6, 8}), 0) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestDenseMaxAbs(t *testing.T) {
+	m := NewDenseFrom(2, 2, []float64{1, -9, 3, 4})
+	if got := m.MaxAbs(); got != 9 {
+		t.Errorf("MaxAbs = %v, want 9", got)
+	}
+}
+
+func TestNewDenseFromPanicsOnBadLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDenseFrom(2, 2, []float64{1, 2, 3})
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ on random matrices.
+func TestDenseMulTransposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := randomDense(rng, m, k)
+		b := randomDense(rng, k, n)
+		left := a.Mul(b).T()
+		right := b.T().Mul(a.T())
+		return left.EqualApprox(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matrix multiplication distributes over addition.
+func TestDenseMulDistributesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a := randomDense(r, m, k)
+		b := randomDense(r, k, n)
+		c := randomDense(r, k, n)
+		left := a.Mul(b.Add(c))
+		right := a.Mul(b).Add(a.Mul(c))
+		return left.EqualApprox(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, math.Round(rng.NormFloat64()*100)/100)
+		}
+	}
+	return m
+}

@@ -1,0 +1,161 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorDot(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vector
+		want float64
+	}{
+		{"empty", Vector{}, Vector{}, 0},
+		{"ones", Vector{1, 1, 1}, Vector{1, 1, 1}, 3},
+		{"mixed", Vector{1, -2, 3}, Vector{4, 5, -6}, 4 - 10 - 18},
+		{"zeros", Vector{0, 0}, Vector{5, 7}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Dot(tc.b); got != tc.want {
+				t.Errorf("Dot(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVectorDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths should panic")
+		}
+	}()
+	Vector{1, 2}.Dot(Vector{1})
+}
+
+func TestVectorNorms(t *testing.T) {
+	v := Vector{3, -4}
+	if got := v.Norm2(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := v.Norm1(); got != 7 {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+	if got := v.NormInf(); got != 4 {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+	var empty Vector
+	if got := empty.Norm2(); got != 0 {
+		t.Errorf("empty Norm2 = %v, want 0", got)
+	}
+}
+
+func TestVectorAXPY(t *testing.T) {
+	v := Vector{1, 2, 3}
+	v.AXPY(2, Vector{10, 20, 30})
+	want := Vector{21, 42, 63}
+	if !v.EqualApprox(want, 0) {
+		t.Errorf("AXPY result %v, want %v", v, want)
+	}
+}
+
+func TestVectorAddSubScale(t *testing.T) {
+	a := Vector{1, 2}
+	b := Vector{3, 5}
+	if got := a.Add(b); !got.EqualApprox(Vector{4, 7}, 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); !got.EqualApprox(Vector{2, 3}, 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	c := a.Clone()
+	c.Scale(-3)
+	if !c.EqualApprox(Vector{-3, -6}, 0) {
+		t.Errorf("Scale = %v", c)
+	}
+	// Clone must not alias.
+	if !a.EqualApprox(Vector{1, 2}, 0) {
+		t.Errorf("Clone aliased its source: %v", a)
+	}
+}
+
+func TestVectorSum(t *testing.T) {
+	if got := (Vector{1, 2, 3.5}).Sum(); got != 6.5 {
+		t.Errorf("Sum = %v, want 6.5", got)
+	}
+}
+
+func TestVectorEqualApprox(t *testing.T) {
+	a := Vector{1, 2}
+	if a.EqualApprox(Vector{1}, 1) {
+		t.Error("EqualApprox should reject different lengths")
+	}
+	if !a.EqualApprox(Vector{1.05, 1.95}, 0.1) {
+		t.Error("EqualApprox should accept within tolerance")
+	}
+	if a.EqualApprox(Vector{1.2, 2}, 0.1) {
+		t.Error("EqualApprox should reject outside tolerance")
+	}
+}
+
+// Property: dot product is symmetric and Cauchy–Schwarz holds.
+func TestVectorDotProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		a := sanitize(raw)
+		b := make(Vector, len(a))
+		for i := range b {
+			b[i] = float64(i%7) - 3
+		}
+		dotAB := a.Dot(b)
+		dotBA := b.Dot(a)
+		if math.Abs(dotAB-dotBA) > 1e-9*(1+math.Abs(dotAB)) {
+			return false
+		}
+		return math.Abs(dotAB) <= a.Norm2()*b.Norm2()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality for Norm1 and Norm2.
+func TestVectorNormTriangle(t *testing.T) {
+	f := func(raw []float64) bool {
+		a := sanitize(raw)
+		b := make(Vector, len(a))
+		for i := range b {
+			b[i] = -a[i] / 2
+		}
+		sum := a.Add(b)
+		return sum.Norm1() <= a.Norm1()+b.Norm1()+1e-9 &&
+			sum.Norm2() <= a.Norm2()+b.Norm2()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize clamps quick-generated floats into a well-behaved range so
+// property tests exercise algebraic identities rather than overflow.
+func sanitize(raw []float64) Vector {
+	const cap = 64
+	out := make(Vector, 0, len(raw))
+	for _, x := range raw {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0
+		}
+		if x > cap {
+			x = cap
+		}
+		if x < -cap {
+			x = -cap
+		}
+		out = append(out, x)
+	}
+	if len(out) == 0 {
+		out = Vector{0}
+	}
+	return out
+}

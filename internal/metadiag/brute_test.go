@@ -1,0 +1,279 @@
+package metadiag
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/schema"
+)
+
+// bruteEnv is an independent, map-based view of an aligned pair used to
+// cross-check the matrix counting engine. It stores raw directed edges
+// per (network, relation) with attribute endpoints identified by string
+// ID, and enumerates diagram instances by explicit recursion over node
+// assignments.
+type bruteEnv struct {
+	pair   *hetnet.AlignedPair
+	edges  map[string]map[[2]int]bool // "net/rel" → set of (from,to) index pairs in joint spaces
+	dims   map[string]int             // typed-node string → index-space size
+	vocabs map[hetnet.NodeType]map[string]int
+}
+
+func newBruteEnv(t *testing.T, pair *hetnet.AlignedPair, anchors []hetnet.Anchor) *bruteEnv {
+	t.Helper()
+	env := &bruteEnv{
+		pair:   pair,
+		edges:  make(map[string]map[[2]int]bool),
+		dims:   make(map[string]int),
+		vocabs: make(map[hetnet.NodeType]map[string]int),
+	}
+	for _, at := range hetnet.AttributeTypes {
+		vocab := make(map[string]int)
+		for _, g := range []*hetnet.Network{pair.G1, pair.G2} {
+			for i := 0; i < g.NodeCount(at); i++ {
+				id := g.NodeID(at, i)
+				if _, ok := vocab[id]; !ok {
+					vocab[id] = len(vocab)
+				}
+			}
+		}
+		env.vocabs[at] = vocab
+	}
+	nets := []struct {
+		ref schema.NetworkRef
+		g   *hetnet.Network
+	}{{schema.Net1, pair.G1}, {schema.Net2, pair.G2}}
+	for _, n := range nets {
+		for _, lt := range n.g.LinkTypes() {
+			_, dstType, _ := n.g.LinkEndpoints(lt)
+			key := fmt.Sprintf("%v/%s", n.ref, lt)
+			set := make(map[[2]int]bool)
+			vocab, isAttr := env.vocabs[dstType]
+			g := n.g
+			g.Links(lt, func(from, to int) {
+				if isAttr {
+					to = vocab[g.NodeID(dstType, to)]
+				}
+				set[[2]int{from, to}] = true
+			})
+			env.edges[key] = set
+		}
+	}
+	anchorSet := make(map[[2]int]bool)
+	for _, a := range anchors {
+		anchorSet[[2]int{a.I, a.J}] = true
+	}
+	env.edges["anchor"] = anchorSet
+	return env
+}
+
+func (env *bruteEnv) dim(n schema.TypedNode) int {
+	switch n.Net {
+	case schema.Net1:
+		return env.pair.G1.NodeCount(n.Type)
+	case schema.Net2:
+		return env.pair.G2.NodeCount(n.Type)
+	default:
+		return len(env.vocabs[n.Type])
+	}
+}
+
+func (env *bruteEnv) hasEdge(e schema.Edge, from, to int) bool {
+	if e.Rel == schema.Anchor {
+		if e.Forward {
+			return env.edges["anchor"][[2]int{from, to}]
+		}
+		return env.edges["anchor"][[2]int{to, from}]
+	}
+	key := fmt.Sprintf("%v/%s", e.Net(), e.Rel)
+	if e.Forward {
+		return env.edges[key][[2]int{from, to}]
+	}
+	return env.edges[key][[2]int{to, from}]
+}
+
+// count enumerates instances of d between fixed endpoint nodes src and
+// dst by explicit recursion — no matrix algebra involved.
+func (env *bruteEnv) count(d schema.Diagram, src, dst int) int {
+	switch v := d.(type) {
+	case schema.Edge:
+		if env.hasEdge(v, src, dst) {
+			return 1
+		}
+		return 0
+	case schema.MetaPath:
+		return env.count(v.AsDiagram(), src, dst)
+	case schema.Series:
+		if len(v.Parts) == 1 {
+			return env.count(v.Parts[0], src, dst)
+		}
+		mid := v.Parts[0].Sink()
+		rest := schema.Series{Parts: v.Parts[1:]}
+		total := 0
+		for k := 0; k < env.dim(mid); k++ {
+			c1 := env.count(v.Parts[0], src, k)
+			if c1 == 0 {
+				continue
+			}
+			total += c1 * env.count(rest, k, dst)
+		}
+		return total
+	case schema.Parallel:
+		prod := 1
+		for _, p := range v.Parts {
+			prod *= env.count(p, src, dst)
+			if prod == 0 {
+				return 0
+			}
+		}
+		return prod
+	default:
+		panic(fmt.Sprintf("bruteEnv: unknown diagram type %T", d))
+	}
+}
+
+// randomPair generates a random aligned pair for cross-checking.
+func randomPair(t *testing.T, rng *rand.Rand) *hetnet.AlignedPair {
+	t.Helper()
+	build := func(name string, users, posts, locs, stamps int) *hetnet.Network {
+		g := hetnet.NewSocialNetwork(name)
+		for u := 0; u < users; u++ {
+			g.AddNode(hetnet.User, fmt.Sprintf("u%d", u))
+		}
+		for a := 0; a < users; a++ {
+			for b := 0; b < users; b++ {
+				if a != b && rng.Float64() < 0.3 {
+					if err := g.AddLink(hetnet.Follow, a, b); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		for p := 0; p < posts; p++ {
+			pid := fmt.Sprintf("p%d", p)
+			author := fmt.Sprintf("u%d", rng.Intn(users))
+			if err := g.AddLinkByID(hetnet.Write, author, pid); err != nil {
+				t.Fatal(err)
+			}
+			// Shared attribute IDs so cross-network overlap occurs.
+			if err := g.AddLinkByID(hetnet.At, pid, fmt.Sprintf("T%d", rng.Intn(stamps))); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.AddLinkByID(hetnet.Checkin, pid, fmt.Sprintf("L%d", rng.Intn(locs))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g
+	}
+	users := 4 + rng.Intn(3)
+	g1 := build("r1", users, 6, 3, 3)
+	g2 := build("r2", users, 6, 3, 3)
+	pair := hetnet.NewAlignedPair(g1, g2)
+	perm := rng.Perm(users)
+	for i := 0; i < users/2+1; i++ {
+		if err := pair.AddAnchor(i, perm[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pair
+}
+
+func TestCountsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	lib := schema.StandardLibrary()
+	for trial := 0; trial < 5; trial++ {
+		pair := randomPair(t, rng)
+		c, err := NewCounter(pair)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := newBruteEnv(t, pair, pair.Anchors)
+		n1 := pair.G1.NodeCount(hetnet.User)
+		n2 := pair.G2.NodeCount(hetnet.User)
+		for _, named := range lib.All() {
+			m, err := c.Count(named.D)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, named.ID, err)
+			}
+			for i := 0; i < n1; i++ {
+				for j := 0; j < n2; j++ {
+					want := float64(env.count(named.D, i, j))
+					if got := m.At(i, j); got != want {
+						t.Fatalf("trial %d %s(%d,%d) = %v, brute force = %v",
+							trial, named.ID, i, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLemma1ForwardDirection verifies the sound direction of the paper's
+// Lemma 1 on random graphs: a diagram instance between (i,j) implies
+// instances of every covering-set path between (i,j).
+func TestLemma1ForwardDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	lib := schema.StandardLibrary()
+	pair := randomPair(t, rng)
+	c, err := NewCounter(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, named := range lib.Diagrams {
+		m, err := c.Count(named.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cover := schema.CoveringSet(named.D)
+		coverCounts := make([]map[[2]int]bool, len(cover))
+		for k, p := range cover {
+			pm, err := c.Count(p.AsDiagram())
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := make(map[[2]int]bool)
+			pm.Iterate(func(i, j int, v float64) { set[[2]int{i, j}] = true })
+			coverCounts[k] = set
+		}
+		violations := 0
+		m.Iterate(func(i, j int, v float64) {
+			for k := range cover {
+				if !coverCounts[k][[2]int{i, j}] {
+					violations++
+				}
+			}
+		})
+		if violations > 0 {
+			t.Errorf("%s: %d diagram instances without covering-path instances (Lemma 1 ⇒ violated)",
+				named.ID, violations)
+		}
+	}
+}
+
+// TestLemma1ConverseCounterexample documents that the ⇐ direction of
+// Lemma 1 does not hold for diagrams whose covering paths share interior
+// nodes: the fixture's (u0, v2) pair is connected by both P5 and P6
+// instances yet has no Ψ^a² instance.
+func TestLemma1ConverseCounterexample(t *testing.T) {
+	c := newTestCounter(t)
+	p5, err := c.Count(schema.AttributePath(hetnet.At).AsDiagram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p6, err := c.Count(schema.AttributePath(hetnet.Checkin).AsDiagram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	psi, err := c.Count(schema.AttributeDiagram(hetnet.At, hetnet.Checkin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p5.At(0, 2) == 0 || p6.At(0, 2) == 0 {
+		t.Fatal("fixture should connect (0,2) by both covering paths")
+	}
+	if psi.At(0, 2) != 0 {
+		t.Fatal("fixture should have no Ψ^a² instance at (0,2)")
+	}
+}

@@ -1,0 +1,77 @@
+package metadiag
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/schema"
+	"github.com/activeiter/activeiter/internal/sparse"
+)
+
+// Candidates proposes candidate anchor links without enumerating the
+// full |U⁽¹⁾|×|U⁽²⁾| pair space: it sums the proximity score matrices
+// of the given diagrams and keeps the perUser best-scored counterparts
+// of every user on both sides. Pairs with no diagram instance at all
+// can never score and are never proposed — the sparsity of meta diagram
+// evidence is what makes alignment tractable at scale.
+//
+// The returned candidates are deduplicated and sorted by descending
+// total score (ties by index), and exclude the counter's current anchor
+// set (those are already known).
+func (c *Counter) Candidates(feats []schema.Named, perUser int) ([]hetnet.Anchor, error) {
+	if perUser < 1 {
+		return nil, fmt.Errorf("metadiag: perUser must be ≥ 1, got %d", perUser)
+	}
+	if len(feats) == 0 {
+		return nil, fmt.Errorf("metadiag: no feature diagrams given")
+	}
+	var total *sparse.CSR
+	for _, f := range feats {
+		prox, err := c.Proximity(f.D)
+		if err != nil {
+			return nil, fmt.Errorf("metadiag: candidates via %s: %w", f.ID, err)
+		}
+		sm := prox.ScoreMatrix()
+		if total == nil {
+			total = sm
+		} else {
+			total = sparse.Add(total, sm)
+		}
+	}
+	known := make(map[int64]bool)
+	c.anchor.Iterate(func(i, j int, v float64) { known[hetnet.Key(i, j)] = true })
+
+	type scored struct {
+		a hetnet.Anchor
+		v float64
+	}
+	seen := make(map[int64]bool)
+	var out []scored
+	add := func(i, j int, v float64) {
+		k := hetnet.Key(i, j)
+		if known[k] || seen[k] {
+			return
+		}
+		seen[k] = true
+		out = append(out, scored{a: hetnet.Anchor{I: i, J: j}, v: v})
+	}
+	total.TopKPerRow(perUser).Iterate(add)
+	// Column side: transpose, take top-k rows there, map back.
+	total.T().TopKPerRow(perUser).Iterate(func(j, i int, v float64) { add(i, j, v) })
+
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].v != out[b].v {
+			return out[a].v > out[b].v
+		}
+		if out[a].a.I != out[b].a.I {
+			return out[a].a.I < out[b].a.I
+		}
+		return out[a].a.J < out[b].a.J
+	})
+	anchors := make([]hetnet.Anchor, len(out))
+	for k, s := range out {
+		anchors[k] = s.a
+	}
+	return anchors, nil
+}

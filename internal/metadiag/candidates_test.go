@@ -1,0 +1,92 @@
+package metadiag
+
+import (
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/datagen"
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/schema"
+)
+
+func TestCandidatesProposesTrueAnchors(t *testing.T) {
+	pair, err := datagen.Generate(datagen.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCounter(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train on the first quarter of anchors; the rest should surface
+	// among the proposals.
+	train := pair.Anchors[:10]
+	hidden := pair.Anchors[10:]
+	c.SetAnchors(train)
+	cands, err := c.Candidates(schema.StandardLibrary().All(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates proposed")
+	}
+	inCands := make(map[int64]bool, len(cands))
+	for _, a := range cands {
+		inCands[hetnet.Key(a.I, a.J)] = true
+	}
+	// Training anchors must be excluded.
+	for _, a := range train {
+		if inCands[hetnet.Key(a.I, a.J)] {
+			t.Errorf("training anchor %v proposed as candidate", a)
+		}
+	}
+	// Recall of the candidate set over hidden anchors should be high.
+	found := 0
+	for _, a := range hidden {
+		if inCands[hetnet.Key(a.I, a.J)] {
+			found++
+		}
+	}
+	recall := float64(found) / float64(len(hidden))
+	if recall < 0.6 {
+		t.Errorf("candidate recall = %.2f (%d/%d), want ≥ 0.6", recall, found, len(hidden))
+	}
+	// Candidate volume is bounded by ~2 sides × perUser × users.
+	maxSize := 5 * (pair.G1.NodeCount(hetnet.User) + pair.G2.NodeCount(hetnet.User))
+	if len(cands) > maxSize {
+		t.Errorf("candidate count %d exceeds bound %d", len(cands), maxSize)
+	}
+}
+
+func TestCandidatesSortedAndDeduplicated(t *testing.T) {
+	pair, err := datagen.Generate(datagen.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCounter(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetAnchors(pair.Anchors[:10])
+	cands, err := c.Candidates(schema.StandardLibrary().All(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for _, a := range cands {
+		k := hetnet.Key(a.I, a.J)
+		if seen[k] {
+			t.Fatal("duplicate candidate")
+		}
+		seen[k] = true
+	}
+}
+
+func TestCandidatesValidation(t *testing.T) {
+	c := newTestCounter(t)
+	if _, err := c.Candidates(schema.StandardLibrary().All(), 0); err == nil {
+		t.Error("perUser 0 should fail")
+	}
+	if _, err := c.Candidates(nil, 3); err == nil {
+		t.Error("empty feature list should fail")
+	}
+}

@@ -1,0 +1,308 @@
+// Package metadiag counts inter-network meta diagram instances and
+// derives the meta diagram proximity features of Definition 6.
+//
+// Counting exploits the series-parallel structure of the schema package's
+// diagrams: a Series composes counts by sparse matrix product over the
+// shared intermediate node type, a Parallel by Hadamard product over the
+// shared endpoints. The result for diagram Ψ is the |U⁽¹⁾|×|U⁽²⁾| matrix
+// whose (i,j) entry is the number of Ψ instances connecting u⁽¹⁾ᵢ and
+// u⁽²⁾ⱼ.
+//
+// Sub-diagram results are memoized by notation, which realizes the
+// paper's Lemma 2 covering-set reuse: when Ψₖ' is a sub-pattern of Ψₖ
+// (C(Ψₖ') ⊆ C(Ψₖ)), the computation of Ψₖ starts from the cached Ψₖ'
+// matrices rather than recounting. Anchor-dependent entries are dropped
+// when the training anchor set changes; attribute-only entries survive
+// across folds.
+package metadiag
+
+import (
+	"fmt"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/schema"
+	"github.com/activeiter/activeiter/internal/sparse"
+)
+
+// vocabulary is a joint index space for one shared attribute type,
+// merging the attribute values of both networks by external ID. Two
+// posts in different networks "share an attribute" exactly when their
+// attribute nodes carry the same external ID.
+type vocabulary struct {
+	ids   []string
+	index map[string]int
+}
+
+func (v *vocabulary) intern(id string) int {
+	if idx, ok := v.index[id]; ok {
+		return idx
+	}
+	idx := len(v.ids)
+	v.ids = append(v.ids, id)
+	v.index[id] = idx
+	return idx
+}
+
+// Stats reports cache behaviour of a Counter, used by the Lemma-2
+// ablation bench.
+type Stats struct {
+	Evaluations int // sub-diagram evaluations performed
+	CacheHits   int // sub-diagram evaluations answered from cache
+}
+
+// Counter evaluates diagram count matrices over an aligned network pair.
+// It is not safe for concurrent use.
+type Counter struct {
+	pair   *hetnet.AlignedPair
+	sch    *schema.Schema
+	vocabs map[hetnet.NodeType]*vocabulary
+
+	anchor  *sparse.CSR
+	anchorT *sparse.CSR
+
+	adjCache   map[string]*sparse.CSR // per (net, rel, orientation)
+	countCache map[string]*sparse.CSR // per diagram notation
+	anchored   map[string]bool        // which cache entries depend on anchors
+
+	stats Stats
+}
+
+// NewCounter builds a counter over the pair using its full anchor set as
+// the traversable anchor edges. Call SetAnchors to restrict to a
+// training fold. The schema is derived from the two networks and the
+// standard attribute types.
+func NewCounter(pair *hetnet.AlignedPair) (*Counter, error) {
+	sch, err := schema.FromNetworks(pair.G1, pair.G2, hetnet.AttributeTypes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Counter{
+		pair:       pair,
+		sch:        sch,
+		vocabs:     make(map[hetnet.NodeType]*vocabulary),
+		adjCache:   make(map[string]*sparse.CSR),
+		countCache: make(map[string]*sparse.CSR),
+		anchored:   make(map[string]bool),
+	}
+	for _, t := range hetnet.AttributeTypes {
+		v := &vocabulary{index: make(map[string]int)}
+		for i := 0; i < pair.G1.NodeCount(t); i++ {
+			v.intern(pair.G1.NodeID(t, i))
+		}
+		for i := 0; i < pair.G2.NodeCount(t); i++ {
+			v.intern(pair.G2.NodeID(t, i))
+		}
+		c.vocabs[t] = v
+	}
+	c.SetAnchors(pair.Anchors)
+	return c, nil
+}
+
+// Schema returns the derived aligned network schema.
+func (c *Counter) Schema() *schema.Schema { return c.sch }
+
+// Pair returns the underlying aligned pair.
+func (c *Counter) Pair() *hetnet.AlignedPair { return c.pair }
+
+// Stats returns cumulative evaluation statistics.
+func (c *Counter) Stats() Stats { return c.stats }
+
+// SetAnchors replaces the traversable anchor edge set (the *known*
+// positive anchor links; Section III-B counts paths through labeled
+// anchors only) and invalidates every cached count that traversed them.
+func (c *Counter) SetAnchors(anchors []hetnet.Anchor) {
+	c.anchor = c.pair.AnchorMatrix(anchors)
+	c.anchorT = c.anchor.T()
+	for key, dep := range c.anchored {
+		if dep {
+			delete(c.countCache, key)
+			delete(c.anchored, key)
+		}
+	}
+}
+
+// VocabSize returns the joint vocabulary size of attribute type t.
+func (c *Counter) VocabSize(t hetnet.NodeType) int {
+	if v, ok := c.vocabs[t]; ok {
+		return len(v.ids)
+	}
+	return 0
+}
+
+// dim returns the index-space size of a typed node.
+func (c *Counter) dim(n schema.TypedNode) int {
+	switch n.Net {
+	case schema.Net1:
+		return c.pair.G1.NodeCount(n.Type)
+	case schema.Net2:
+		return c.pair.G2.NodeCount(n.Type)
+	default:
+		return c.VocabSize(n.Type)
+	}
+}
+
+// net returns the concrete network for a reference.
+func (c *Counter) net(r schema.NetworkRef) *hetnet.Network {
+	if r == schema.Net1 {
+		return c.pair.G1
+	}
+	return c.pair.G2
+}
+
+// adjacency returns the (possibly attribute-remapped) adjacency of rel in
+// network ref, oriented source→target of the declared relation. Results
+// are cached.
+func (c *Counter) adjacency(ref schema.NetworkRef, rel hetnet.LinkType) (*sparse.CSR, error) {
+	key := fmt.Sprintf("%v/%s", ref, rel)
+	if m, ok := c.adjCache[key]; ok {
+		return m, nil
+	}
+	g := c.net(ref)
+	srcType, dstType, ok := g.LinkEndpoints(rel)
+	if !ok {
+		return nil, fmt.Errorf("metadiag: relation %q not declared in %q", rel, g.Name())
+	}
+	var m *sparse.CSR
+	if vocab, shared := c.vocabs[dstType]; shared {
+		// Attribute association: remap destination indices onto the joint
+		// vocabulary so both networks' matrices share a column space.
+		b := sparse.NewBuilder(g.NodeCount(srcType), len(vocab.ids))
+		var buildErr error
+		g.Links(rel, func(from, to int) {
+			id := g.NodeID(dstType, to)
+			j, ok := vocab.index[id]
+			if !ok {
+				buildErr = fmt.Errorf("metadiag: attribute %q of type %s missing from joint vocabulary", id, dstType)
+				return
+			}
+			b.Add(from, j, 1)
+		})
+		if buildErr != nil {
+			return nil, buildErr
+		}
+		m = b.Build().Binarize()
+	} else {
+		var err error
+		m, err = g.Adjacency(rel)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.adjCache[key] = m
+	return m, nil
+}
+
+// adjacencyOriented returns the adjacency oriented along the traversal
+// direction of e (transposed for reverse traversals), cached.
+func (c *Counter) adjacencyOriented(e schema.Edge) (*sparse.CSR, error) {
+	if e.Rel == schema.Anchor {
+		if e.Forward {
+			return c.anchor, nil
+		}
+		return c.anchorT, nil
+	}
+	ref := e.Net()
+	base, err := c.adjacency(ref, e.Rel)
+	if err != nil {
+		return nil, err
+	}
+	if e.Forward {
+		return base, nil
+	}
+	key := fmt.Sprintf("%v/%s/T", ref, e.Rel)
+	if m, ok := c.adjCache[key]; ok {
+		return m, nil
+	}
+	mt := base.T()
+	c.adjCache[key] = mt
+	return mt, nil
+}
+
+// UsesAnchor reports whether the diagram traverses the anchor relation
+// (and therefore depends on the training anchor set).
+func UsesAnchor(d schema.Diagram) bool {
+	switch v := d.(type) {
+	case schema.Edge:
+		return v.Rel == schema.Anchor
+	case schema.MetaPath:
+		for _, e := range v.Edges {
+			if e.Rel == schema.Anchor {
+				return true
+			}
+		}
+		return false
+	case schema.Series:
+		for _, p := range v.Parts {
+			if UsesAnchor(p) {
+				return true
+			}
+		}
+		return false
+	case schema.Parallel:
+		for _, p := range v.Parts {
+			if UsesAnchor(p) {
+				return true
+			}
+		}
+		return false
+	default:
+		panic(fmt.Sprintf("metadiag: UsesAnchor of unknown diagram type %T", d))
+	}
+}
+
+// Count returns the instance count matrix of diagram d, validated
+// against the schema, with memoized sub-diagram reuse.
+func (c *Counter) Count(d schema.Diagram) (*sparse.CSR, error) {
+	if err := d.Validate(c.sch); err != nil {
+		return nil, err
+	}
+	return c.eval(d)
+}
+
+func (c *Counter) eval(d schema.Diagram) (*sparse.CSR, error) {
+	key := d.Notation()
+	if m, ok := c.countCache[key]; ok {
+		c.stats.CacheHits++
+		return m, nil
+	}
+	c.stats.Evaluations++
+	var m *sparse.CSR
+	var err error
+	switch v := d.(type) {
+	case schema.Edge:
+		m, err = c.adjacencyOriented(v)
+	case schema.MetaPath:
+		m, err = c.eval(v.AsDiagram())
+	case schema.Series:
+		parts := make([]*sparse.CSR, len(v.Parts))
+		for i, p := range v.Parts {
+			parts[i], err = c.eval(p)
+			if err != nil {
+				return nil, err
+			}
+		}
+		m = sparse.Chain(parts...)
+	case schema.Parallel:
+		var acc *sparse.CSR
+		for _, p := range v.Parts {
+			pm, perr := c.eval(p)
+			if perr != nil {
+				return nil, perr
+			}
+			if acc == nil {
+				acc = pm
+			} else {
+				acc = sparse.Hadamard(acc, pm)
+			}
+		}
+		m = acc
+	default:
+		return nil, fmt.Errorf("metadiag: cannot evaluate diagram type %T", d)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.countCache[key] = m
+	c.anchored[key] = UsesAnchor(d)
+	return m, nil
+}

@@ -1,0 +1,106 @@
+package metadiag
+
+import (
+	"fmt"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/linalg"
+	"github.com/activeiter/activeiter/internal/schema"
+)
+
+// Extractor turns a diagram library into per-candidate-link feature
+// vectors: one proximity score per diagram, in library order, with an
+// optional trailing bias feature fixed at 1 (the paper's "dummy feature"
+// absorbing the intercept b into w).
+type Extractor struct {
+	counter *Counter
+	feats   []schema.Named
+	prox    []*Proximity
+	bias    bool
+}
+
+// NewExtractor prepares an extractor for the given features. Proximity
+// matrices are computed on first use; call Recompute after changing the
+// counter's anchor set.
+func NewExtractor(counter *Counter, feats []schema.Named, bias bool) *Extractor {
+	return &Extractor{counter: counter, feats: feats, bias: bias}
+}
+
+// Dim returns the feature vector length (diagram count plus bias).
+func (e *Extractor) Dim() int {
+	if e.bias {
+		return len(e.feats) + 1
+	}
+	return len(e.feats)
+}
+
+// Names returns the feature names in vector order.
+func (e *Extractor) Names() []string {
+	out := make([]string, 0, e.Dim())
+	for _, f := range e.feats {
+		out = append(out, f.ID)
+	}
+	if e.bias {
+		out = append(out, "BIAS")
+	}
+	return out
+}
+
+// Recompute (re)evaluates every diagram's proximity structure against
+// the counter's current anchor set. Attribute-only diagrams are answered
+// from the counter's cache; anchor-dependent ones are recounted.
+func (e *Extractor) Recompute() error {
+	prox := make([]*Proximity, len(e.feats))
+	for k, f := range e.feats {
+		p, err := e.counter.Proximity(f.D)
+		if err != nil {
+			return fmt.Errorf("metadiag: feature %s: %w", f.ID, err)
+		}
+		prox[k] = p
+	}
+	e.prox = prox
+	return nil
+}
+
+// ready lazily computes proximities on first access.
+func (e *Extractor) ready() error {
+	if e.prox == nil {
+		return e.Recompute()
+	}
+	return nil
+}
+
+// FeatureVector writes the feature vector of candidate link (i, j) into
+// out, which must have length Dim().
+func (e *Extractor) FeatureVector(i, j int, out []float64) error {
+	if err := e.ready(); err != nil {
+		return err
+	}
+	if len(out) != e.Dim() {
+		return fmt.Errorf("metadiag: FeatureVector buffer length %d, want %d", len(out), e.Dim())
+	}
+	for k, p := range e.prox {
+		out[k] = p.Score(i, j)
+	}
+	if e.bias {
+		out[len(out)-1] = 1
+	}
+	return nil
+}
+
+// FeatureMatrix builds the design matrix X for a candidate link list:
+// row k holds the features of pairs[k]. This is the matrix the ridge
+// step (1-1) and the SVM baselines consume.
+func (e *Extractor) FeatureMatrix(pairs []hetnet.Anchor) (*linalg.Dense, error) {
+	if err := e.ready(); err != nil {
+		return nil, err
+	}
+	x := linalg.NewDense(len(pairs), e.Dim())
+	for k, pr := range pairs {
+		row := x.RowView(k)
+		if err := e.FeatureVector(pr.I, pr.J, row); err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}

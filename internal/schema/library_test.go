@@ -1,0 +1,108 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+)
+
+func TestExtendedLibraryShape(t *testing.T) {
+	lib := ExtendedLibrary()
+	// 4 follow + 3 attribute paths.
+	if len(lib.Paths) != 7 {
+		t.Errorf("paths = %d, want 7", len(lib.Paths))
+	}
+	// 6 f² + 3 a² pairs + 12 f,a + 12 f,a² + 18 f²,a² = 51.
+	if len(lib.Diagrams) != 51 {
+		t.Errorf("diagrams = %d, want 51", len(lib.Diagrams))
+	}
+	if got := len(lib.All()); got != 58 {
+		t.Errorf("total = %d, want 58", got)
+	}
+	if err := lib.Validate(SocialSchema()); err != nil {
+		t.Errorf("extended library validation: %v", err)
+	}
+	// IDs unique.
+	seen := make(map[string]bool)
+	for _, n := range lib.All() {
+		if seen[n.ID] {
+			t.Errorf("duplicate ID %q", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	// P7 present with word semantics.
+	var hasP7 bool
+	for _, n := range lib.Paths {
+		if n.ID == "P7" {
+			hasP7 = true
+			if !strings.Contains(n.Semantics, "Word") {
+				t.Errorf("P7 semantics = %q", n.Semantics)
+			}
+		}
+	}
+	if !hasP7 {
+		t.Error("P7 missing from extended library")
+	}
+}
+
+func TestExtendedLibrarySupersetOfStandard(t *testing.T) {
+	std := StandardLibrary()
+	ext := ExtendedLibrary()
+	extNotations := make(map[string]bool)
+	for _, n := range ext.All() {
+		extNotations[n.D.Notation()] = true
+	}
+	for _, n := range std.All() {
+		if !extNotations[n.D.Notation()] {
+			t.Errorf("standard member %s missing from extended library", n.ID)
+		}
+	}
+}
+
+func TestNewLibraryPanics(t *testing.T) {
+	assertPanics(t, func() { NewLibrary() })
+	assertPanics(t, func() { NewLibrary(hetnet.Follow) })
+}
+
+func TestNewLibrarySingleAttribute(t *testing.T) {
+	lib := NewLibrary(hetnet.At)
+	// 4+1 paths; 6 f² + 0 a² + 4 f,a + 0 f,a² + 0 f²,a² = 10 diagrams.
+	if len(lib.Paths) != 5 {
+		t.Errorf("paths = %d, want 5", len(lib.Paths))
+	}
+	if len(lib.Diagrams) != 10 {
+		t.Errorf("diagrams = %d, want 10", len(lib.Diagrams))
+	}
+	if err := lib.Validate(SocialSchema()); err != nil {
+		t.Errorf("single-attribute library invalid: %v", err)
+	}
+}
+
+func TestStandardLibraryIDsStable(t *testing.T) {
+	// The feature vector layout is a public contract; pin the ID order
+	// prefix.
+	lib := StandardLibrary()
+	want := []string{"P1", "P2", "P3", "P4", "P5", "P6"}
+	for i, id := range want {
+		if lib.Paths[i].ID != id {
+			t.Fatalf("path %d = %s, want %s", i, lib.Paths[i].ID, id)
+		}
+	}
+	if lib.Diagrams[0].ID != "PSI_F2[P1,P2]" {
+		t.Errorf("first diagram = %s", lib.Diagrams[0].ID)
+	}
+	if lib.Diagrams[6].ID != "PSI_A2[P5,P6]" {
+		t.Errorf("a2 diagram = %s", lib.Diagrams[6].ID)
+	}
+	// Ψ3 of Table I = Ψ^{f,a²} with P1 (single-a² naming).
+	found := false
+	for _, d := range lib.Diagrams {
+		if d.ID == "PSI_FA2[P1]" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("PSI_FA2[P1] (Table I's Ψ3) missing")
+	}
+}

@@ -1,0 +1,120 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+)
+
+// ParsePath parses the textual meta path DSL into a MetaPath. The
+// grammar, whitespace-separated:
+//
+//	path  := node (arrow node)*
+//	node  := name [ '(' ('1'|'2') ')' ]      e.g. user(1), timestamp
+//	arrow := '-' name '->'                   forward traversal
+//	       | '<-' name '-'                   reverse traversal
+//	       | '<-' name '->'                  undirected (anchor only)
+//
+// Example (P1 from Table I):
+//
+//	user(1) -follow-> user(1) <-anchor-> user(2) <-follow- user(2)
+//
+// Nodes without a network suffix are shared attribute types. The result
+// is syntactic; call Validate against a Schema to type-check it.
+func ParsePath(input string) (MetaPath, error) {
+	fields := strings.Fields(input)
+	if len(fields) == 0 {
+		return MetaPath{}, fmt.Errorf("schema: empty meta path")
+	}
+	if len(fields)%2 == 0 {
+		return MetaPath{}, fmt.Errorf("schema: meta path must alternate node arrow node ..., got %d tokens", len(fields))
+	}
+	nodes := make([]TypedNode, 0, (len(fields)+1)/2)
+	type arrow struct {
+		rel        hetnet.LinkType
+		forward    bool
+		undirected bool
+	}
+	arrows := make([]arrow, 0, len(fields)/2)
+	for i, tok := range fields {
+		if i%2 == 0 {
+			n, err := parseNode(tok)
+			if err != nil {
+				return MetaPath{}, err
+			}
+			nodes = append(nodes, n)
+			continue
+		}
+		switch {
+		case len(tok) >= 5 && strings.HasPrefix(tok, "<-") && strings.HasSuffix(tok, "->"):
+			rel := tok[2 : len(tok)-2]
+			if rel == "" {
+				return MetaPath{}, fmt.Errorf("schema: empty relation in arrow %q", tok)
+			}
+			arrows = append(arrows, arrow{rel: hetnet.LinkType(rel), undirected: true})
+		case len(tok) >= 4 && strings.HasPrefix(tok, "<-") && strings.HasSuffix(tok, "-"):
+			rel := tok[2 : len(tok)-1]
+			if rel == "" {
+				return MetaPath{}, fmt.Errorf("schema: empty relation in arrow %q", tok)
+			}
+			arrows = append(arrows, arrow{rel: hetnet.LinkType(rel), forward: false})
+		case len(tok) >= 4 && strings.HasPrefix(tok, "-") && strings.HasSuffix(tok, "->"):
+			rel := tok[1 : len(tok)-2]
+			if rel == "" {
+				return MetaPath{}, fmt.Errorf("schema: empty relation in arrow %q", tok)
+			}
+			arrows = append(arrows, arrow{rel: hetnet.LinkType(rel), forward: true})
+		default:
+			return MetaPath{}, fmt.Errorf("schema: malformed arrow %q (want -rel->, <-rel- or <-rel->)", tok)
+		}
+	}
+	edges := make([]Edge, len(arrows))
+	for k, a := range arrows {
+		from, to := nodes[k], nodes[k+1]
+		switch {
+		case a.undirected:
+			if a.rel != Anchor {
+				return MetaPath{}, fmt.Errorf("schema: relation %q cannot be undirected; only anchor may use <-rel->", a.rel)
+			}
+			edges[k] = AnchorEdge(from, to)
+		case a.forward:
+			edges[k] = Fwd(a.rel, from, to)
+		default:
+			edges[k] = Rev(a.rel, from, to)
+		}
+	}
+	return MetaPath{Edges: edges}, nil
+}
+
+func parseNode(tok string) (TypedNode, error) {
+	if open := strings.IndexByte(tok, '('); open >= 0 {
+		if !strings.HasSuffix(tok, ")") || open == 0 {
+			return TypedNode{}, fmt.Errorf("schema: malformed node %q", tok)
+		}
+		name := tok[:open]
+		ref := tok[open+1 : len(tok)-1]
+		switch ref {
+		case "1":
+			return TypedNode{Type: hetnet.NodeType(name), Net: Net1}, nil
+		case "2":
+			return TypedNode{Type: hetnet.NodeType(name), Net: Net2}, nil
+		default:
+			return TypedNode{}, fmt.Errorf("schema: node %q has invalid network ref %q (want 1 or 2)", tok, ref)
+		}
+	}
+	if tok == "" {
+		return TypedNode{}, fmt.Errorf("schema: empty node token")
+	}
+	return TypedNode{Type: hetnet.NodeType(tok), Net: SharedNet}, nil
+}
+
+// MustParsePath is ParsePath panicking on error, for static declarations
+// in tests and examples.
+func MustParsePath(input string) MetaPath {
+	p, err := ParsePath(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,127 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates coordinate-format (COO) triplets and compiles them
+// into a CSR matrix. Duplicate coordinates are summed, matching the
+// semantics of counting multiple meta path instances over the same node
+// pair.
+type Builder struct {
+	rows, cols int
+	is, js     []int
+	vs         []float64
+}
+
+// NewBuilder returns a builder for an r×c matrix.
+func NewBuilder(r, c int) *Builder {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("sparse: NewBuilder negative dimension %dx%d", r, c))
+	}
+	return &Builder{rows: r, cols: c}
+}
+
+// Add records value v at (i, j). Zero values are ignored. Adding to the
+// same coordinate twice accumulates.
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("sparse: Builder.Add (%d,%d) out of range %dx%d", i, j, b.rows, b.cols))
+	}
+	if v == 0 {
+		return
+	}
+	b.is = append(b.is, i)
+	b.js = append(b.js, j)
+	b.vs = append(b.vs, v)
+}
+
+// Len returns the number of recorded triplets (before deduplication).
+func (b *Builder) Len() int { return len(b.vs) }
+
+// Build compiles the triplets into a CSR matrix. The builder may be
+// reused afterwards; further Adds start a fresh accumulation.
+func (b *Builder) Build() *CSR {
+	m := &CSR{rows: b.rows, cols: b.cols, rowPtr: make([]int, b.rows+1)}
+	if len(b.vs) == 0 {
+		return m
+	}
+	// Sort triplets by (row, col) so duplicates become adjacent.
+	order := make([]int, len(b.vs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, c := order[x], order[y]
+		if b.is[a] != b.is[c] {
+			return b.is[a] < b.is[c]
+		}
+		return b.js[a] < b.js[c]
+	})
+	colIdx := make([]int, 0, len(b.vs))
+	val := make([]float64, 0, len(b.vs))
+	prevI, prevJ := -1, -1
+	for _, k := range order {
+		i, j, v := b.is[k], b.js[k], b.vs[k]
+		if i == prevI && j == prevJ {
+			val[len(val)-1] += v
+			continue
+		}
+		colIdx = append(colIdx, j)
+		val = append(val, v)
+		m.rowPtr[i+1]++
+		prevI, prevJ = i, j
+	}
+	// Drop entries that cancelled to exactly zero.
+	outIdx := colIdx[:0]
+	outVal := val[:0]
+	pos := 0
+	for i := 0; i < b.rows; i++ {
+		n := m.rowPtr[i+1]
+		kept := 0
+		for k := 0; k < n; k++ {
+			if val[pos+k] != 0 {
+				outIdx = append(outIdx, colIdx[pos+k])
+				outVal = append(outVal, val[pos+k])
+				kept++
+			}
+		}
+		pos += n
+		m.rowPtr[i+1] = kept
+	}
+	for i := 0; i < b.rows; i++ {
+		m.rowPtr[i+1] += m.rowPtr[i]
+	}
+	m.colIdx = outIdx
+	m.val = outVal
+	b.is, b.js, b.vs = nil, nil, nil
+	return m
+}
+
+// FromDense builds a CSR matrix from a row-major dense value slice,
+// skipping zeros. It panics if len(data) != r*c.
+func FromDense(r, c int, data []float64) *CSR {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("sparse: FromDense needs %d values, got %d", r*c, len(data)))
+	}
+	b := NewBuilder(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if v := data[i*c+j]; v != 0 {
+				b.Add(i, j, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ToDense expands m into a row-major dense value slice of length
+// rows·cols.
+func (m *CSR) ToDense() []float64 {
+	out := make([]float64, m.rows*m.cols)
+	m.Iterate(func(i, j int, v float64) {
+		out[i*m.cols+j] = v
+	})
+	return out
+}

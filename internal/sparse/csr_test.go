@@ -1,0 +1,209 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(3, 4)
+	b.Add(0, 1, 2)
+	b.Add(2, 3, 5)
+	b.Add(0, 0, 1)
+	m := b.Build()
+	if r, c := m.Dims(); r != 3 || c != 4 {
+		t.Fatalf("Dims = %d,%d", r, c)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	checks := []struct {
+		i, j int
+		want float64
+	}{
+		{0, 0, 1}, {0, 1, 2}, {2, 3, 5}, {1, 1, 0}, {0, 3, 0},
+	}
+	for _, c := range checks {
+		if got := m.At(c.i, c.j); got != c.want {
+			t.Errorf("At(%d,%d) = %v, want %v", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestBuilderAccumulatesDuplicates(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(1, 1, 3)
+	b.Add(1, 1, 4)
+	m := b.Build()
+	if got := m.At(1, 1); got != 7 {
+		t.Errorf("duplicate accumulation: At(1,1) = %v, want 7", got)
+	}
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1", m.NNZ())
+	}
+}
+
+func TestBuilderDropsCancelledEntries(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 0, 5)
+	b.Add(0, 0, -5)
+	b.Add(0, 1, 1)
+	m := b.Build()
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1 (cancelled entry kept)", m.NNZ())
+	}
+	if m.At(0, 0) != 0 || m.At(0, 1) != 1 {
+		t.Errorf("unexpected values after cancellation")
+	}
+}
+
+func TestBuilderIgnoresZeros(t *testing.T) {
+	b := NewBuilder(1, 1)
+	b.Add(0, 0, 0)
+	if b.Len() != 0 {
+		t.Error("zero add should be ignored")
+	}
+	if m := b.Build(); m.NNZ() != 0 {
+		t.Error("zero add stored")
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func TestFromDenseToDenseRoundTrip(t *testing.T) {
+	data := []float64{0, 1, 2, 0, 0, 3}
+	m := FromDense(2, 3, data)
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	back := m.ToDense()
+	for i, v := range data {
+		if back[i] != v {
+			t.Fatalf("round trip mismatch at %d: %v != %v", i, back[i], v)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromDense(2, 3, []float64{1, 0, 2, 0, 3, 0})
+	mt := m.T()
+	if r, c := mt.Dims(); r != 3 || c != 2 {
+		t.Fatalf("T dims = %d,%d", r, c)
+	}
+	want := FromDense(3, 2, []float64{1, 0, 0, 3, 2, 0})
+	if !mt.Equal(want) {
+		t.Errorf("T = %v, want %v", mt.ToDense(), want.ToDense())
+	}
+	if !mt.T().Equal(m) {
+		t.Error("double transpose should round-trip")
+	}
+}
+
+func TestRowColSums(t *testing.T) {
+	m := FromDense(2, 3, []float64{1, 2, 0, 0, 4, 5})
+	rs := m.RowSums()
+	if rs[0] != 3 || rs[1] != 9 {
+		t.Errorf("RowSums = %v", rs)
+	}
+	cs := m.ColSums()
+	if cs[0] != 1 || cs[1] != 6 || cs[2] != 5 {
+		t.Errorf("ColSums = %v", cs)
+	}
+	if m.Sum() != 12 {
+		t.Errorf("Sum = %v", m.Sum())
+	}
+}
+
+func TestScaleAndBinarize(t *testing.T) {
+	m := FromDense(2, 2, []float64{2, 0, 0, 3})
+	s := m.Scale(2)
+	if s.At(0, 0) != 4 || s.At(1, 1) != 6 {
+		t.Errorf("Scale values wrong: %v", s.ToDense())
+	}
+	z := m.Scale(0)
+	if z.NNZ() != 0 {
+		t.Errorf("Scale(0) should be empty, nnz=%d", z.NNZ())
+	}
+	bin := m.Binarize()
+	if bin.At(0, 0) != 1 || bin.At(1, 1) != 1 {
+		t.Errorf("Binarize values wrong")
+	}
+}
+
+func TestIdentityAndZero(t *testing.T) {
+	id := Identity(3)
+	if id.NNZ() != 3 || id.At(1, 1) != 1 || id.At(0, 1) != 0 {
+		t.Errorf("Identity wrong: %v", id.ToDense())
+	}
+	z := Zero(2, 5)
+	if z.NNZ() != 0 {
+		t.Error("Zero not empty")
+	}
+	if r, c := z.Dims(); r != 2 || c != 5 {
+		t.Errorf("Zero dims %d,%d", r, c)
+	}
+}
+
+func TestRowIterationOrder(t *testing.T) {
+	b := NewBuilder(1, 5)
+	b.Add(0, 4, 1)
+	b.Add(0, 0, 1)
+	b.Add(0, 2, 1)
+	m := b.Build()
+	var cols []int
+	m.Row(0, func(j int, v float64) { cols = append(cols, j) })
+	want := []int{0, 2, 4}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Fatalf("row order = %v, want %v", cols, want)
+		}
+	}
+	if m.RowNNZ(0) != 3 {
+		t.Errorf("RowNNZ = %d", m.RowNNZ(0))
+	}
+}
+
+func TestDensity(t *testing.T) {
+	m := FromDense(2, 2, []float64{1, 0, 0, 1})
+	if got := m.Density(); got != 0.5 {
+		t.Errorf("Density = %v, want 0.5", got)
+	}
+	if got := Zero(0, 0).Density(); got != 0 {
+		t.Errorf("empty Density = %v", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromDense(2, 2, []float64{1, 2, 0, 3})
+	b := FromDense(2, 2, []float64{1, 2, 0, 3})
+	if !a.Equal(b) {
+		t.Error("identical matrices not Equal")
+	}
+	c := FromDense(2, 2, []float64{1, 2, 0, 4})
+	if a.Equal(c) {
+		t.Error("different values reported Equal")
+	}
+	d := FromDense(2, 2, []float64{1, 2, 3, 0})
+	if a.Equal(d) {
+		t.Error("different patterns reported Equal")
+	}
+}
+
+func randomCSR(rng *rand.Rand, r, c int, density float64) *CSR {
+	b := NewBuilder(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, float64(1+rng.Intn(5)))
+			}
+		}
+	}
+	return b.Build()
+}

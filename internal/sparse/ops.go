@@ -1,0 +1,261 @@
+package sparse
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// MatMul returns the sparse product a·b using Gustavson's row-by-row
+// algorithm with a dense accumulator. It panics on inner-dimension
+// mismatch. For an adjacency chain this computes meta path instance
+// counts: (a·b)(i,j) = Σₖ a(i,k)·b(k,j) = number of two-hop walks.
+func MatMul(a, b *CSR) *CSR {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("sparse: MatMul dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := &CSR{rows: a.rows, cols: b.cols, rowPtr: make([]int, a.rows+1)}
+	acc := make([]float64, b.cols)
+	mark := make([]int, b.cols) // mark[j] == i+1 when acc[j] is live for row i
+	var colIdx []int
+	var val []float64
+	scratch := make([]int, 0, 256)
+	for i := 0; i < a.rows; i++ {
+		live := scratch[:0]
+		for ka := a.rowPtr[i]; ka < a.rowPtr[i+1]; ka++ {
+			k, av := a.colIdx[ka], a.val[ka]
+			for kb := b.rowPtr[k]; kb < b.rowPtr[k+1]; kb++ {
+				j := b.colIdx[kb]
+				if mark[j] != i+1 {
+					mark[j] = i + 1
+					acc[j] = 0
+					live = append(live, j)
+				}
+				acc[j] += av * b.val[kb]
+			}
+		}
+		sort.Ints(live)
+		for _, j := range live {
+			if acc[j] != 0 {
+				colIdx = append(colIdx, j)
+				val = append(val, acc[j])
+			}
+		}
+		out.rowPtr[i+1] = len(val)
+		scratch = live
+	}
+	out.colIdx = colIdx
+	out.val = val
+	return out
+}
+
+// MatMulParallel computes a·b splitting row blocks across GOMAXPROCS
+// workers. It returns the same result as MatMul; use it for large chains
+// such as the post-attribute products in meta path P5/P6.
+func MatMulParallel(a, b *CSR) *CSR {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("sparse: MatMulParallel dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.rows {
+		workers = a.rows
+	}
+	if workers <= 1 || a.rows < 64 {
+		return MatMul(a, b)
+	}
+	type block struct {
+		lo, hi int
+		rowLen []int
+		colIdx []int
+		val    []float64
+	}
+	blocks := make([]block, workers)
+	var wg sync.WaitGroup
+	chunk := (a.rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.rows {
+			hi = a.rows
+		}
+		if lo >= hi {
+			blocks[w] = block{lo: lo, hi: lo}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := make([]float64, b.cols)
+			mark := make([]int, b.cols)
+			blk := block{lo: lo, hi: hi, rowLen: make([]int, hi-lo)}
+			live := make([]int, 0, 256)
+			for i := lo; i < hi; i++ {
+				live = live[:0]
+				for ka := a.rowPtr[i]; ka < a.rowPtr[i+1]; ka++ {
+					k, av := a.colIdx[ka], a.val[ka]
+					for kb := b.rowPtr[k]; kb < b.rowPtr[k+1]; kb++ {
+						j := b.colIdx[kb]
+						if mark[j] != i+1 {
+							mark[j] = i + 1
+							acc[j] = 0
+							live = append(live, j)
+						}
+						acc[j] += av * b.val[kb]
+					}
+				}
+				sort.Ints(live)
+				n := 0
+				for _, j := range live {
+					if acc[j] != 0 {
+						blk.colIdx = append(blk.colIdx, j)
+						blk.val = append(blk.val, acc[j])
+						n++
+					}
+				}
+				blk.rowLen[i-lo] = n
+			}
+			blocks[w] = blk
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := &CSR{rows: a.rows, cols: b.cols, rowPtr: make([]int, a.rows+1)}
+	total := 0
+	for _, blk := range blocks {
+		total += len(blk.val)
+	}
+	out.colIdx = make([]int, 0, total)
+	out.val = make([]float64, 0, total)
+	for _, blk := range blocks {
+		for i := blk.lo; i < blk.hi; i++ {
+			out.rowPtr[i+1] = out.rowPtr[i] + blk.rowLen[i-blk.lo]
+		}
+		out.colIdx = append(out.colIdx, blk.colIdx...)
+		out.val = append(out.val, blk.val...)
+	}
+	return out
+}
+
+// Hadamard returns the elementwise product a ⊙ b. Shapes must match. The
+// result stores entries only where both inputs are non-zero — exactly the
+// "both path patterns present" semantics of meta diagram stacking.
+func Hadamard(a, b *CSR) *CSR {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("sparse: Hadamard shape mismatch %dx%d vs %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := &CSR{rows: a.rows, cols: a.cols, rowPtr: make([]int, a.rows+1)}
+	var colIdx []int
+	var val []float64
+	for i := 0; i < a.rows; i++ {
+		ka, kb := a.rowPtr[i], b.rowPtr[i]
+		endA, endB := a.rowPtr[i+1], b.rowPtr[i+1]
+		for ka < endA && kb < endB {
+			ja, jb := a.colIdx[ka], b.colIdx[kb]
+			switch {
+			case ja == jb:
+				if v := a.val[ka] * b.val[kb]; v != 0 {
+					colIdx = append(colIdx, ja)
+					val = append(val, v)
+				}
+				ka++
+				kb++
+			case ja < jb:
+				ka++
+			default:
+				kb++
+			}
+		}
+		out.rowPtr[i+1] = len(val)
+	}
+	out.colIdx = colIdx
+	out.val = val
+	return out
+}
+
+// Add returns a + b. Shapes must match. Entries that cancel exactly are
+// dropped.
+func Add(a, b *CSR) *CSR {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("sparse: Add shape mismatch %dx%d vs %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := &CSR{rows: a.rows, cols: a.cols, rowPtr: make([]int, a.rows+1)}
+	var colIdx []int
+	var val []float64
+	push := func(j int, v float64) {
+		if v != 0 {
+			colIdx = append(colIdx, j)
+			val = append(val, v)
+		}
+	}
+	for i := 0; i < a.rows; i++ {
+		ka, kb := a.rowPtr[i], b.rowPtr[i]
+		endA, endB := a.rowPtr[i+1], b.rowPtr[i+1]
+		for ka < endA || kb < endB {
+			switch {
+			case kb >= endB || (ka < endA && a.colIdx[ka] < b.colIdx[kb]):
+				push(a.colIdx[ka], a.val[ka])
+				ka++
+			case ka >= endA || b.colIdx[kb] < a.colIdx[ka]:
+				push(b.colIdx[kb], b.val[kb])
+				kb++
+			default:
+				push(a.colIdx[ka], a.val[ka]+b.val[kb])
+				ka++
+				kb++
+			}
+		}
+		out.rowPtr[i+1] = len(val)
+	}
+	out.colIdx = colIdx
+	out.val = val
+	return out
+}
+
+// MulVec returns the matrix-vector product m·x. It panics on dimension
+// mismatch.
+func (m *CSR) MulVec(x []float64) []float64 {
+	if m.cols != len(x) {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch %dx%d · %d", m.rows, m.cols, len(x)))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.val[k] * x[m.colIdx[k]]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TMulVec returns mᵀ·x without materializing the transpose.
+func (m *CSR) TMulVec(x []float64) []float64 {
+	if m.rows != len(x) {
+		panic(fmt.Sprintf("sparse: TMulVec dimension mismatch %dx%d ᵀ· %d", m.rows, m.cols, len(x)))
+	}
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			out[m.colIdx[k]] += m.val[k] * xi
+		}
+	}
+	return out
+}
+
+// Chain multiplies a sequence of matrices left to right:
+// Chain(a, b, c) = (a·b)·c. It panics if the sequence is empty or any
+// inner dimension mismatches. Products are evaluated with MatMulParallel.
+func Chain(ms ...*CSR) *CSR {
+	if len(ms) == 0 {
+		panic("sparse: Chain of zero matrices")
+	}
+	acc := ms[0]
+	for _, m := range ms[1:] {
+		acc = MatMulParallel(acc, m)
+	}
+	return acc
+}

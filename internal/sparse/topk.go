@@ -1,0 +1,47 @@
+package sparse
+
+import "sort"
+
+// TopKPerRow returns a copy of m keeping only the k largest-valued
+// entries in each row (ties broken toward smaller column indices).
+// k ≤ 0 returns an empty matrix of the same shape. Used for candidate
+// generation: keeping each user's k best-scored counterparts.
+func (m *CSR) TopKPerRow(k int) *CSR {
+	out := &CSR{rows: m.rows, cols: m.cols, rowPtr: make([]int, m.rows+1)}
+	if k <= 0 {
+		return out
+	}
+	var colIdx []int
+	var val []float64
+	type entry struct {
+		j int
+		v float64
+	}
+	var buf []entry
+	for i := 0; i < m.rows; i++ {
+		buf = buf[:0]
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			buf = append(buf, entry{j: m.colIdx[p], v: m.val[p]})
+		}
+		sort.Slice(buf, func(a, b int) bool {
+			if buf[a].v != buf[b].v {
+				return buf[a].v > buf[b].v
+			}
+			return buf[a].j < buf[b].j
+		})
+		keep := buf
+		if len(keep) > k {
+			keep = keep[:k]
+		}
+		// Restore column order within the row.
+		sort.Slice(keep, func(a, b int) bool { return keep[a].j < keep[b].j })
+		for _, e := range keep {
+			colIdx = append(colIdx, e.j)
+			val = append(val, e.v)
+		}
+		out.rowPtr[i+1] = len(val)
+	}
+	out.colIdx = colIdx
+	out.val = val
+	return out
+}

@@ -1,0 +1,86 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKPerRowKnown(t *testing.T) {
+	m := FromDense(2, 4, []float64{
+		5, 1, 3, 2,
+		0, 7, 0, 7,
+	})
+	top2 := m.TopKPerRow(2)
+	want := FromDense(2, 4, []float64{
+		5, 0, 3, 0,
+		0, 7, 0, 7,
+	})
+	if !top2.Equal(want) {
+		t.Errorf("TopK(2) = %v, want %v", top2.ToDense(), want.ToDense())
+	}
+}
+
+func TestTopKPerRowEdgeCases(t *testing.T) {
+	m := FromDense(2, 3, []float64{1, 2, 3, 0, 0, 0})
+	if got := m.TopKPerRow(0); got.NNZ() != 0 {
+		t.Error("k=0 should be empty")
+	}
+	if got := m.TopKPerRow(10); !got.Equal(m) {
+		t.Error("k beyond row width should keep everything")
+	}
+	z := Zero(3, 3)
+	if got := z.TopKPerRow(2); got.NNZ() != 0 {
+		t.Error("empty matrix should stay empty")
+	}
+}
+
+func TestTopKPerRowTieBreak(t *testing.T) {
+	m := FromDense(1, 3, []float64{4, 4, 4})
+	got := m.TopKPerRow(2)
+	// Ties keep the smaller column indices.
+	if got.At(0, 0) != 4 || got.At(0, 1) != 4 || got.At(0, 2) != 0 {
+		t.Errorf("tie-break wrong: %v", got.ToDense())
+	}
+}
+
+// Property: each row of TopK keeps exactly min(k, rowNNZ) entries and
+// every kept value is ≥ every dropped value.
+func TestTopKPerRowProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 1+rng.Intn(10), 1+rng.Intn(12), 0.5)
+		k := 1 + rng.Intn(5)
+		top := m.TopKPerRow(k)
+		for i := 0; i < m.Rows(); i++ {
+			wantN := m.RowNNZ(i)
+			if wantN > k {
+				wantN = k
+			}
+			if top.RowNNZ(i) != wantN {
+				return false
+			}
+			minKept := 1e18
+			kept := make(map[int]bool)
+			top.Row(i, func(j int, v float64) {
+				kept[j] = true
+				if v < minKept {
+					minKept = v
+				}
+			})
+			bad := false
+			m.Row(i, func(j int, v float64) {
+				if !kept[j] && v > minKept {
+					bad = true
+				}
+			})
+			if bad {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
