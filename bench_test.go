@@ -58,11 +58,9 @@ func BenchmarkTableII(b *testing.B) {
 }
 
 // BenchmarkTableIII regenerates one Table III cell (all six methods,
-// every fold) at θ = FixedTheta on the tiny preset and reports the
-// ActiveIter-100 F1 as a custom metric.
+// every fold) at θ = FixedTheta on the tiny preset.
 func BenchmarkTableIII(b *testing.B) {
 	pre := experiments.TinyPreset()
-	var lastF1 float64
 	for i := 0; i < b.N; i++ {
 		tab, err := experiments.RunTable3(experiments.Preset{
 			Name: pre.Name, Data: pre.Data, Folds: pre.Folds,
@@ -73,10 +71,10 @@ func BenchmarkTableIII(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		_ = tab
-		lastF1 = 1 // the table is rendered strings; metric comes from the cell runner below
+		if len(tab.Sections) == 0 {
+			b.Fatal("empty table")
+		}
 	}
-	_ = lastF1
 }
 
 // BenchmarkTableIV regenerates one Table IV cell (γ sweep point).
@@ -224,6 +222,31 @@ func BenchmarkDiagramCounting(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, n := range lib.All() {
 				if _, err := counter.Count(n.D); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	// forked-shared-cache measures the cross-fold path the experiment
+	// runners now take: each iteration forks a warm base counter (fresh
+	// anchor-dependent layer) and recounts the library, reusing the
+	// shared attribute-only cache.
+	b.Run("forked-shared-cache", func(b *testing.B) {
+		base, err := metadiag.NewCounter(pair)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range lib.All() {
+			if _, err := base.Count(n.D); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fork := base.Fork()
+			fork.SetAnchors(pair.Anchors[:len(pair.Anchors)/2])
+			for _, n := range lib.All() {
+				if _, err := fork.Count(n.D); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,3 @@
+module github.com/activeiter/activeiter
+
+go 1.21

@@ -206,6 +206,15 @@ func Train(p Problem, cfg Config) (*Result, error) {
 		return linalg.RidgeSolve(sub, subY, cfg.C)
 	}
 
+	// Scratch buffers reused across every internal iteration: the
+	// candidate list, the score vector, and the next-label vector. The
+	// candidate loop runs O(folds × rounds × iterations) times per
+	// experiment cell, so per-iteration allocation here was a dominant
+	// GC cost.
+	scores = make(linalg.Vector, n)
+	nextY := make(linalg.Vector, n)
+	cands := make([]matching.Candidate, 0, n)
+
 	// internalConverge runs step (1) to a label fixpoint.
 	internalConverge := func(trace *RoundTrace) error {
 		for it := 0; it < cfg.MaxInternalIters; it++ {
@@ -222,8 +231,8 @@ func Train(p Problem, cfg Config) (*Result, error) {
 				w = ridge.Solve(p.X, y)
 			}
 			// (1-2) greedy selection over unlabeled links.
-			scores = p.X.MulVec(w)
-			cands := make([]matching.Candidate, 0, n)
+			p.X.MulVecInto(scores, w)
+			cands = cands[:0]
 			for idx := 0; idx < n; idx++ {
 				if kind[idx] != kindUnlabeled {
 					continue
@@ -240,17 +249,25 @@ func Train(p Problem, cfg Config) (*Result, error) {
 			} else {
 				selected = matching.Greedy(cands, cfg.Threshold, occ)
 			}
-			newY := y.Clone()
 			for idx := 0; idx < n; idx++ {
 				if kind[idx] == kindUnlabeled {
-					newY[idx] = 0
+					nextY[idx] = 0
+				} else {
+					nextY[idx] = y[idx]
 				}
 			}
 			for _, c := range selected {
-				newY[c.Payload] = 1
+				nextY[c.Payload] = 1
 			}
-			delta := newY.Sub(y).Norm1()
-			y = newY
+			var delta float64
+			for idx := 0; idx < n; idx++ {
+				d := nextY[idx] - y[idx]
+				if d < 0 {
+					d = -d
+				}
+				delta += d
+			}
+			y, nextY = nextY, y
 			trace.DeltaY = append(trace.DeltaY, delta)
 			if delta <= cfg.ConvergeTol {
 				break

@@ -136,7 +136,8 @@ func RunQueryAblation(pre Preset) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := prewarmPair(pair); err != nil {
+	base, err := newBaseCounter(pair)
+	if err != nil {
 		return nil, err
 	}
 	budget := 50
@@ -152,7 +153,7 @@ func RunQueryAblation(pre Preset) (*Table, error) {
 	sec := Section{Name: fmt.Sprintf("ActiveIter-%d", budget)}
 	for _, s := range strategies {
 		m := Method{Name: "ActiveIter-" + s.Name(), Kind: KindPU, Features: MPMD, Budget: budget, Strategy: s}
-		ms, err := runSingleMethodCell(pair, m, pre.FixedTheta, pre.FixedGamma, pre.Folds, pre.Seed)
+		ms, err := runSingleMethodCell(base, m, pre.FixedTheta, pre.FixedGamma, pre.Folds, pre.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -172,10 +173,11 @@ func RunMatchingAblation(pre Preset) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx, err := newCellContext(pair, pre.Seed)
+	base, err := newBaseCounter(pair)
 	if err != nil {
 		return nil, err
 	}
+	ctx := newCellContext(base, pre.Seed)
 	theta, gamma := pre.FixedTheta, pre.FixedGamma
 	rng := newRunRNG(pre.Seed, theta, 900)
 	neg, err := eval.SampleNegatives(pair, theta*len(pair.Anchors), rng)

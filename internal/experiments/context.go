@@ -125,9 +125,10 @@ func StandardMethods() []Method {
 	}
 }
 
-// cellContext owns the per-cell state: one counter and two extractors
-// over the shared pair. Cells run in parallel; the pair's internal
-// adjacency caches are pre-warmed so concurrent reads are safe.
+// cellContext owns the per-cell state: one forked counter and two
+// extractors over the shared pair. Cells run in parallel; every fork
+// shares the base counter's adjacency matrices and attribute-only count
+// cache, so only the anchor-dependent layer is recounted per fold.
 type cellContext struct {
 	pair     *hetnet.AlignedPair
 	counter  *metadiag.Counter
@@ -137,11 +138,9 @@ type cellContext struct {
 	seed     int64
 }
 
-func newCellContext(pair *hetnet.AlignedPair, seed int64) (*cellContext, error) {
-	counter, err := metadiag.NewCounter(pair)
-	if err != nil {
-		return nil, err
-	}
+func newCellContext(base *metadiag.Counter, seed int64) *cellContext {
+	pair := base.Pair()
+	counter := base.Fork()
 	lib := schema.StandardLibrary()
 	return &cellContext{
 		pair:     pair,
@@ -150,7 +149,36 @@ func newCellContext(pair *hetnet.AlignedPair, seed int64) (*cellContext, error) 
 		extPaths: metadiag.NewExtractor(counter, lib.PathsOnly(), true),
 		oracle:   active.NewTruthOracle(pair),
 		seed:     seed,
-	}, nil
+	}
+}
+
+// newBaseCounter builds and warms the dataset-wide shared counter: one
+// counting pass over the standard library's anchor-free diagrams caches
+// every attribute-only sub-diagram in the layer all forked per-cell
+// counters share, so the Lemma-2 covering-set reuse crosses fold and
+// worker boundaries instead of being rebuilt per cell. Anchor-dependent
+// diagrams are skipped — their counts would land in the base counter's
+// private layer, which forks never read (each fold recounts them
+// against its own training anchors anyway); their anchor-free
+// sub-patterns reach the shared layer on the first fold that needs
+// them.
+func newBaseCounter(pair *hetnet.AlignedPair) (*metadiag.Counter, error) {
+	if err := prewarmPair(pair); err != nil {
+		return nil, err
+	}
+	base, err := metadiag.NewCounter(pair)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range schema.StandardLibrary().All() {
+		if metadiag.UsesAnchor(n.D) {
+			continue
+		}
+		if _, err := base.Count(n.D); err != nil {
+			return nil, err
+		}
+	}
+	return base, nil
 }
 
 // prewarmPair materializes every adjacency cache so parallel cell
@@ -282,12 +310,11 @@ func (ctx *cellContext) runMethod(m Method, fd *foldData, seed int64) (eval.Conf
 	}
 }
 
-// cellMetrics runs every method across all folds of one (θ, γ) cell.
-func runCell(pair *hetnet.AlignedPair, methods []Method, theta int, gamma float64, folds int, seed int64) (map[string]eval.MetricSet, error) {
-	ctx, err := newCellContext(pair, seed)
-	if err != nil {
-		return nil, err
-	}
+// runCell runs every method across all folds of one (θ, γ) cell,
+// working on a fork of the shared base counter.
+func runCell(base *metadiag.Counter, methods []Method, theta int, gamma float64, folds int, seed int64) (map[string]eval.MetricSet, error) {
+	pair := base.Pair()
+	ctx := newCellContext(base, seed)
 	rng := rand.New(rand.NewSource(seed + int64(theta)*1_000_003 + int64(gamma*1000)*7919))
 	neg, err := eval.SampleNegatives(pair, theta*len(pair.Anchors), rng)
 	if err != nil {

@@ -20,10 +20,11 @@ func RunOracleNoiseAblation(pre Preset) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx, err := newCellContext(pair, pre.Seed)
+	base, err := newBaseCounter(pair)
 	if err != nil {
 		return nil, err
 	}
+	ctx := newCellContext(base, pre.Seed)
 	budget := 50
 	if len(pre.Budgets) > 0 {
 		budget = pre.Budgets[len(pre.Budgets)-1]
@@ -175,10 +176,11 @@ func RunStability(pre Preset, seeds int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := prewarmPair(pair); err != nil {
+		base, err := newBaseCounter(pair)
+		if err != nil {
 			return nil, err
 		}
-		cell, err := runCell(pair, methods, pre.FixedTheta, pre.FixedGamma, pre.Folds, pre.Seed)
+		cell, err := runCell(base, methods, pre.FixedTheta, pre.FixedGamma, pre.Folds, pre.Seed)
 		if err != nil {
 			return nil, err
 		}

@@ -11,6 +11,7 @@ import (
 	"github.com/activeiter/activeiter/internal/datagen"
 	"github.com/activeiter/activeiter/internal/eval"
 	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/metadiag"
 )
 
 // RunTable2 regenerates Table II: the dataset statistics of the
@@ -51,7 +52,8 @@ func sweepCells(pre Preset, cells [][2]float64) ([]map[string]eval.MetricSet, er
 	if err != nil {
 		return nil, err
 	}
-	if err := prewarmPair(pair); err != nil {
+	base, err := newBaseCounter(pair)
+	if err != nil {
 		return nil, err
 	}
 	methods := StandardMethods()
@@ -69,7 +71,7 @@ func sweepCells(pre Preset, cells [][2]float64) ([]map[string]eval.MetricSet, er
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = runCell(pair, methods, theta, gamma, pre.Folds, pre.Seed)
+			results[i], errs[i] = runCell(base, methods, theta, gamma, pre.Folds, pre.Seed)
 		}(i, int(cell[0]), cell[1])
 	}
 	wg.Wait()
@@ -148,13 +150,14 @@ func RunFig3(pre Preset) ([]ConvergenceSeries, *Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	base, err := newBaseCounter(pair)
+	if err != nil {
+		return nil, nil, err
+	}
 	thetas := fig3Thetas(pre)
 	var series []ConvergenceSeries
 	for _, theta := range thetas {
-		ctx, err := newCellContext(pair, pre.Seed)
-		if err != nil {
-			return nil, nil, err
-		}
+		ctx := newCellContext(base, pre.Seed)
 		rng := newRunRNG(pre.Seed, theta, 100)
 		neg, err := eval.SampleNegatives(pair, theta*len(pair.Anchors), rng)
 		if err != nil {
@@ -240,13 +243,14 @@ func RunFig4(pre Preset) ([]ScalePoint, *Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	base, err := newBaseCounter(pair)
+	if err != nil {
+		return nil, nil, err
+	}
 	budgets := []int{50, 100}
 	var points []ScalePoint
 	for _, theta := range pre.ThetaValues {
-		ctx, err := newCellContext(pair, pre.Seed)
-		if err != nil {
-			return nil, nil, err
-		}
+		ctx := newCellContext(base, pre.Seed)
 		rng := newRunRNG(pre.Seed, theta, 400)
 		neg, err := eval.SampleNegatives(pair, theta*len(pair.Anchors), rng)
 		if err != nil {
@@ -300,7 +304,8 @@ func RunFig5(pre Preset) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := prewarmPair(pair); err != nil {
+	base, err := newBaseCounter(pair)
+	if err != nil {
 		return nil, err
 	}
 	type variant struct {
@@ -352,7 +357,7 @@ func RunFig5(pre Preset) (*Table, error) {
 			m := v.method
 			m.Budget = tk.budget
 			m.Name = fmt.Sprintf("%s-b%d", v.name, tk.budget)
-			results[ti], errs[ti] = runSingleMethodCell(pair, m, pre.FixedTheta, v.gamma, pre.Folds, pre.Seed)
+			results[ti], errs[ti] = runSingleMethodCell(base, m, pre.FixedTheta, v.gamma, pre.Folds, pre.Seed)
 		}(ti, tk)
 	}
 	wg.Wait()
@@ -391,8 +396,8 @@ func RunFig5(pre Preset) (*Table, error) {
 }
 
 // runSingleMethodCell is runCell for one method.
-func runSingleMethodCell(pair *hetnet.AlignedPair, m Method, theta int, gamma float64, folds int, seed int64) (eval.MetricSet, error) {
-	out, err := runCell(pair, []Method{m}, theta, gamma, folds, seed)
+func runSingleMethodCell(base *metadiag.Counter, m Method, theta int, gamma float64, folds int, seed int64) (eval.MetricSet, error) {
+	out, err := runCell(base, []Method{m}, theta, gamma, folds, seed)
 	if err != nil {
 		return eval.MetricSet{}, err
 	}

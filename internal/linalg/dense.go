@@ -183,19 +183,28 @@ func (m *Dense) Mul(b *Dense) *Dense {
 // MulVec returns the matrix-vector product m·v. It panics on dimension
 // mismatch.
 func (m *Dense) MulVec(v Vector) Vector {
+	return m.MulVecInto(make(Vector, m.rows), v)
+}
+
+// MulVecInto writes m·v into dst and returns it, avoiding an allocation
+// when the caller holds a reusable buffer (the training loop multiplies
+// every internal iteration). It panics on dimension mismatch.
+func (m *Dense) MulVecInto(dst, v Vector) Vector {
 	if m.cols != len(v) {
 		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %dx%d · %d", m.rows, m.cols, len(v)))
 	}
-	out := make(Vector, m.rows)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("linalg: MulVecInto dst length %d, want %d", len(dst), m.rows))
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, x := range row {
 			s += x * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // TMulVec returns mᵀ·v without materializing the transpose. It panics on

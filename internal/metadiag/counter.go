@@ -11,13 +11,18 @@
 // Sub-diagram results are memoized by notation, which realizes the
 // paper's Lemma 2 covering-set reuse: when Ψₖ' is a sub-pattern of Ψₖ
 // (C(Ψₖ') ⊆ C(Ψₖ)), the computation of Ψₖ starts from the cached Ψₖ'
-// matrices rather than recounting. Anchor-dependent entries are dropped
-// when the training anchor set changes; attribute-only entries survive
-// across folds.
+// matrices rather than recounting. The cache is two-layered: anchor-free
+// (attribute-only) counts live in a layer shared by every Fork of a
+// counter and survive anchor changes, while anchor-dependent counts live
+// in a per-counter layer that SetAnchors invalidates. Both layers are
+// safe for concurrent use, with per-notation single-flight so concurrent
+// callers never duplicate an evaluation.
 package metadiag
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/activeiter/activeiter/internal/hetnet"
 	"github.com/activeiter/activeiter/internal/schema"
@@ -50,21 +55,49 @@ type Stats struct {
 	CacheHits   int // sub-diagram evaluations answered from cache
 }
 
-// Counter evaluates diagram count matrices over an aligned network pair.
-// It is not safe for concurrent use.
-type Counter struct {
+// inflight is one in-progress sub-diagram evaluation; waiters block on
+// done and then read m/err.
+type inflight struct {
+	done chan struct{}
+	m    *sparse.CSR
+	err  error
+}
+
+// sharedState is the fold-independent half of a counter: the pair, the
+// derived schema, joint vocabularies, adjacency matrices, and the
+// attribute-only (anchor-free) count cache. Every Fork of a counter
+// points at the same sharedState, so Lemma-2 reuse crosses fold and
+// worker boundaries.
+type sharedState struct {
 	pair   *hetnet.AlignedPair
 	sch    *schema.Schema
 	vocabs map[hetnet.NodeType]*vocabulary
 
-	anchor  *sparse.CSR
-	anchorT *sparse.CSR
+	adjMu    sync.RWMutex
+	adjCache map[string]*sparse.CSR // per (net, rel, orientation)
 
-	adjCache   map[string]*sparse.CSR // per (net, rel, orientation)
-	countCache map[string]*sparse.CSR // per diagram notation
-	anchored   map[string]bool        // which cache entries depend on anchors
+	mu     sync.Mutex
+	counts map[string]*sparse.CSR // anchor-free counts, per notation
+	flight map[string]*inflight
+}
 
-	stats Stats
+// Counter evaluates diagram count matrices over an aligned network pair.
+// It is safe for concurrent use: concurrent Counts share cached
+// sub-results and coalesce duplicate evaluations. SetAnchors must not
+// run concurrently with Count on the same counter — use Fork to give
+// each fold or worker its own anchor-dependent layer instead.
+type Counter struct {
+	sh *sharedState
+
+	mu        sync.Mutex
+	anchor    *sparse.CSR
+	anchorT   *sparse.CSR
+	anchorGen int
+	counts    map[string]*sparse.CSR // anchor-dependent counts, per notation
+	flight    map[string]*inflight
+
+	evals atomic.Int64
+	hits  atomic.Int64
 }
 
 // NewCounter builds a counter over the pair using its full anchor set as
@@ -76,13 +109,13 @@ func NewCounter(pair *hetnet.AlignedPair) (*Counter, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Counter{
-		pair:       pair,
-		sch:        sch,
-		vocabs:     make(map[hetnet.NodeType]*vocabulary),
-		adjCache:   make(map[string]*sparse.CSR),
-		countCache: make(map[string]*sparse.CSR),
-		anchored:   make(map[string]bool),
+	sh := &sharedState{
+		pair:     pair,
+		sch:      sch,
+		vocabs:   make(map[hetnet.NodeType]*vocabulary),
+		adjCache: make(map[string]*sparse.CSR),
+		counts:   make(map[string]*sparse.CSR),
+		flight:   make(map[string]*inflight),
 	}
 	for _, t := range hetnet.AttributeTypes {
 		v := &vocabulary{index: make(map[string]int)}
@@ -92,38 +125,68 @@ func NewCounter(pair *hetnet.AlignedPair) (*Counter, error) {
 		for i := 0; i < pair.G2.NodeCount(t); i++ {
 			v.intern(pair.G2.NodeID(t, i))
 		}
-		c.vocabs[t] = v
+		sh.vocabs[t] = v
+	}
+	c := &Counter{
+		sh:     sh,
+		counts: make(map[string]*sparse.CSR),
+		flight: make(map[string]*inflight),
 	}
 	c.SetAnchors(pair.Anchors)
 	return c, nil
 }
 
+// Fork returns a counter sharing the fold-independent state — schema,
+// vocabularies, adjacency matrices, and the attribute-only count cache
+// of Lemma 2 — while keeping an independent anchor-dependent layer
+// initialized to the parent's current anchor set. Forks are safe to use
+// concurrently with each other and with the parent; give each fold or
+// worker its own fork so SetAnchors never invalidates a sibling.
+func (c *Counter) Fork() *Counter {
+	c.mu.Lock()
+	a, at := c.anchor, c.anchorT
+	c.mu.Unlock()
+	return &Counter{
+		sh:      c.sh,
+		anchor:  a,
+		anchorT: at,
+		counts:  make(map[string]*sparse.CSR),
+		flight:  make(map[string]*inflight),
+	}
+}
+
 // Schema returns the derived aligned network schema.
-func (c *Counter) Schema() *schema.Schema { return c.sch }
+func (c *Counter) Schema() *schema.Schema { return c.sh.sch }
 
 // Pair returns the underlying aligned pair.
-func (c *Counter) Pair() *hetnet.AlignedPair { return c.pair }
+func (c *Counter) Pair() *hetnet.AlignedPair { return c.sh.pair }
 
-// Stats returns cumulative evaluation statistics.
-func (c *Counter) Stats() Stats { return c.stats }
+// Stats returns cumulative evaluation statistics for this counter (a
+// fork's statistics start at zero; hits against the shared layer are
+// credited to the counter that asked).
+func (c *Counter) Stats() Stats {
+	return Stats{Evaluations: int(c.evals.Load()), CacheHits: int(c.hits.Load())}
+}
 
 // SetAnchors replaces the traversable anchor edge set (the *known*
 // positive anchor links; Section III-B counts paths through labeled
 // anchors only) and invalidates every cached count that traversed them.
+// Attribute-only counts in the shared layer survive. SetAnchors must be
+// externally synchronized with Count on the same counter.
 func (c *Counter) SetAnchors(anchors []hetnet.Anchor) {
-	c.anchor = c.pair.AnchorMatrix(anchors)
-	c.anchorT = c.anchor.T()
-	for key, dep := range c.anchored {
-		if dep {
-			delete(c.countCache, key)
-			delete(c.anchored, key)
-		}
-	}
+	am := c.sh.pair.AnchorMatrix(anchors)
+	amT := am.T()
+	c.mu.Lock()
+	c.anchor = am
+	c.anchorT = amT
+	c.anchorGen++
+	clear(c.counts)
+	c.mu.Unlock()
 }
 
 // VocabSize returns the joint vocabulary size of attribute type t.
 func (c *Counter) VocabSize(t hetnet.NodeType) int {
-	if v, ok := c.vocabs[t]; ok {
+	if v, ok := c.sh.vocabs[t]; ok {
 		return len(v.ids)
 	}
 	return 0
@@ -133,9 +196,9 @@ func (c *Counter) VocabSize(t hetnet.NodeType) int {
 func (c *Counter) dim(n schema.TypedNode) int {
 	switch n.Net {
 	case schema.Net1:
-		return c.pair.G1.NodeCount(n.Type)
+		return c.sh.pair.G1.NodeCount(n.Type)
 	case schema.Net2:
-		return c.pair.G2.NodeCount(n.Type)
+		return c.sh.pair.G2.NodeCount(n.Type)
 	default:
 		return c.VocabSize(n.Type)
 	}
@@ -144,17 +207,21 @@ func (c *Counter) dim(n schema.TypedNode) int {
 // net returns the concrete network for a reference.
 func (c *Counter) net(r schema.NetworkRef) *hetnet.Network {
 	if r == schema.Net1 {
-		return c.pair.G1
+		return c.sh.pair.G1
 	}
-	return c.pair.G2
+	return c.sh.pair.G2
 }
 
 // adjacency returns the (possibly attribute-remapped) adjacency of rel in
 // network ref, oriented source→target of the declared relation. Results
-// are cached.
+// are cached in the shared layer; a concurrent miss may compute the
+// matrix twice, but both results are identical and one wins the cache.
 func (c *Counter) adjacency(ref schema.NetworkRef, rel hetnet.LinkType) (*sparse.CSR, error) {
 	key := fmt.Sprintf("%v/%s", ref, rel)
-	if m, ok := c.adjCache[key]; ok {
+	c.sh.adjMu.RLock()
+	m, ok := c.sh.adjCache[key]
+	c.sh.adjMu.RUnlock()
+	if ok {
 		return m, nil
 	}
 	g := c.net(ref)
@@ -162,8 +229,7 @@ func (c *Counter) adjacency(ref schema.NetworkRef, rel hetnet.LinkType) (*sparse
 	if !ok {
 		return nil, fmt.Errorf("metadiag: relation %q not declared in %q", rel, g.Name())
 	}
-	var m *sparse.CSR
-	if vocab, shared := c.vocabs[dstType]; shared {
+	if vocab, shared := c.sh.vocabs[dstType]; shared {
 		// Attribute association: remap destination indices onto the joint
 		// vocabulary so both networks' matrices share a column space.
 		b := sparse.NewBuilder(g.NodeCount(srcType), len(vocab.ids))
@@ -188,18 +254,32 @@ func (c *Counter) adjacency(ref schema.NetworkRef, rel hetnet.LinkType) (*sparse
 			return nil, err
 		}
 	}
-	c.adjCache[key] = m
-	return m, nil
+	return c.storeAdjacency(key, m), nil
+}
+
+// storeAdjacency publishes m under key, returning the first stored
+// matrix when a concurrent computation won the race.
+func (c *Counter) storeAdjacency(key string, m *sparse.CSR) *sparse.CSR {
+	c.sh.adjMu.Lock()
+	defer c.sh.adjMu.Unlock()
+	if prev, ok := c.sh.adjCache[key]; ok {
+		return prev
+	}
+	c.sh.adjCache[key] = m
+	return m
 }
 
 // adjacencyOriented returns the adjacency oriented along the traversal
 // direction of e (transposed for reverse traversals), cached.
 func (c *Counter) adjacencyOriented(e schema.Edge) (*sparse.CSR, error) {
 	if e.Rel == schema.Anchor {
+		c.mu.Lock()
+		a, at := c.anchor, c.anchorT
+		c.mu.Unlock()
 		if e.Forward {
-			return c.anchor, nil
+			return a, nil
 		}
-		return c.anchorT, nil
+		return at, nil
 	}
 	ref := e.Net()
 	base, err := c.adjacency(ref, e.Rel)
@@ -210,12 +290,13 @@ func (c *Counter) adjacencyOriented(e schema.Edge) (*sparse.CSR, error) {
 		return base, nil
 	}
 	key := fmt.Sprintf("%v/%s/T", ref, e.Rel)
-	if m, ok := c.adjCache[key]; ok {
+	c.sh.adjMu.RLock()
+	m, ok := c.sh.adjCache[key]
+	c.sh.adjMu.RUnlock()
+	if ok {
 		return m, nil
 	}
-	mt := base.T()
-	c.adjCache[key] = mt
-	return mt, nil
+	return c.storeAdjacency(key, base.T()), nil
 }
 
 // UsesAnchor reports whether the diagram traverses the anchor relation
@@ -253,41 +334,114 @@ func UsesAnchor(d schema.Diagram) bool {
 // Count returns the instance count matrix of diagram d, validated
 // against the schema, with memoized sub-diagram reuse.
 func (c *Counter) Count(d schema.Diagram) (*sparse.CSR, error) {
-	if err := d.Validate(c.sch); err != nil {
+	if err := d.Validate(c.sh.sch); err != nil {
 		return nil, err
 	}
 	return c.eval(d)
 }
 
+// eval routes a sub-diagram to the appropriate cache layer: anchor-free
+// diagrams to the shared layer (reused across every fork and anchor
+// set), anchor-dependent ones to this counter's private layer.
 func (c *Counter) eval(d schema.Diagram) (*sparse.CSR, error) {
+	// Normalize wrappers that share their notation with their content — a
+	// MetaPath with its Series form, a single-part Series or Parallel
+	// with its part — before keying, so the single-flight never waits on
+	// an entry registered by its own evaluation.
+	for {
+		switch v := d.(type) {
+		case schema.MetaPath:
+			d = v.AsDiagram()
+			continue
+		case schema.Series:
+			if len(v.Parts) == 1 {
+				d = v.Parts[0]
+				continue
+			}
+		case schema.Parallel:
+			if len(v.Parts) == 1 {
+				d = v.Parts[0]
+				continue
+			}
+		}
+		break
+	}
 	key := d.Notation()
-	if m, ok := c.countCache[key]; ok {
-		c.stats.CacheHits++
+	if UsesAnchor(d) {
+		return c.evalIn(d, key, &c.mu, c.counts, c.flight, &c.anchorGen)
+	}
+	return c.evalIn(d, key, &c.sh.mu, c.sh.counts, c.sh.flight, nil)
+}
+
+// evalIn answers key from one cache layer with per-notation
+// single-flight: the first caller computes, concurrent callers for the
+// same notation wait and share the result. genPtr, when non-nil, is read
+// under mu and the result is only cached if the generation is unchanged
+// at store time (SetAnchors bumps it, so a racing stale evaluation is
+// returned to its caller but never poisons the fresh cache).
+func (c *Counter) evalIn(d schema.Diagram, key string, mu *sync.Mutex, counts map[string]*sparse.CSR, flights map[string]*inflight, genPtr *int) (*sparse.CSR, error) {
+	mu.Lock()
+	if m, ok := counts[key]; ok {
+		mu.Unlock()
+		c.hits.Add(1)
 		return m, nil
 	}
-	c.stats.Evaluations++
-	var m *sparse.CSR
-	var err error
+	if f, ok := flights[key]; ok {
+		mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		c.hits.Add(1)
+		return f.m, nil
+	}
+	startGen := 0
+	if genPtr != nil {
+		startGen = *genPtr
+	}
+	f := &inflight{done: make(chan struct{})}
+	flights[key] = f
+	mu.Unlock()
+
+	c.evals.Add(1)
+	f.m, f.err = c.compute(d)
+
+	mu.Lock()
+	if f.err == nil && (genPtr == nil || *genPtr == startGen) {
+		counts[key] = f.m
+	}
+	delete(flights, key)
+	mu.Unlock()
+	close(f.done)
+	return f.m, f.err
+}
+
+// compute evaluates one diagram node, recursing through eval so every
+// sub-diagram passes the cache.
+func (c *Counter) compute(d schema.Diagram) (*sparse.CSR, error) {
 	switch v := d.(type) {
 	case schema.Edge:
-		m, err = c.adjacencyOriented(v)
+		return c.adjacencyOriented(v)
 	case schema.MetaPath:
-		m, err = c.eval(v.AsDiagram())
+		// Unreachable via eval (which normalizes paths), kept for direct
+		// callers.
+		return c.eval(v.AsDiagram())
 	case schema.Series:
 		parts := make([]*sparse.CSR, len(v.Parts))
 		for i, p := range v.Parts {
-			parts[i], err = c.eval(p)
+			m, err := c.eval(p)
 			if err != nil {
 				return nil, err
 			}
+			parts[i] = m
 		}
-		m = sparse.Chain(parts...)
+		return sparse.Chain(parts...), nil
 	case schema.Parallel:
 		var acc *sparse.CSR
 		for _, p := range v.Parts {
-			pm, perr := c.eval(p)
-			if perr != nil {
-				return nil, perr
+			pm, err := c.eval(p)
+			if err != nil {
+				return nil, err
 			}
 			if acc == nil {
 				acc = pm
@@ -295,14 +449,8 @@ func (c *Counter) eval(d schema.Diagram) (*sparse.CSR, error) {
 				acc = sparse.Hadamard(acc, pm)
 			}
 		}
-		m = acc
+		return acc, nil
 	default:
 		return nil, fmt.Errorf("metadiag: cannot evaluate diagram type %T", d)
 	}
-	if err != nil {
-		return nil, err
-	}
-	c.countCache[key] = m
-	c.anchored[key] = UsesAnchor(d)
-	return m, nil
 }

@@ -2,6 +2,9 @@ package metadiag
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 
 	"github.com/activeiter/activeiter/internal/hetnet"
 	"github.com/activeiter/activeiter/internal/linalg"
@@ -12,6 +15,10 @@ import (
 // vectors: one proximity score per diagram, in library order, with an
 // optional trailing bias feature fixed at 1 (the paper's "dummy feature"
 // absorbing the intercept b into w).
+//
+// After Recompute (or the first lazy computation), FeatureVector and
+// FeatureMatrix are safe for concurrent use; Recompute itself must be
+// externally synchronized with readers.
 type Extractor struct {
 	counter *Counter
 	feats   []schema.Named
@@ -47,16 +54,45 @@ func (e *Extractor) Names() []string {
 }
 
 // Recompute (re)evaluates every diagram's proximity structure against
-// the counter's current anchor set. Attribute-only diagrams are answered
-// from the counter's cache; anchor-dependent ones are recounted.
+// the counter's current anchor set, fanning the diagrams out across
+// GOMAXPROCS workers — the counter's single-flight cache deduplicates
+// shared sub-diagrams between them. Attribute-only diagrams are
+// answered from the counter's shared cache; anchor-dependent ones are
+// recounted.
 func (e *Extractor) Recompute() error {
 	prox := make([]*Proximity, len(e.feats))
-	for k, f := range e.feats {
-		p, err := e.counter.Proximity(f.D)
-		if err != nil {
-			return fmt.Errorf("metadiag: feature %s: %w", f.ID, err)
+	errs := make([]error, len(e.feats))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(e.feats) {
+		workers = len(e.feats)
+	}
+	if workers <= 1 {
+		for k, f := range e.feats {
+			p, err := e.counter.Proximity(f.D)
+			if err != nil {
+				return fmt.Errorf("metadiag: feature %s: %w", f.ID, err)
+			}
+			prox[k] = p
 		}
-		prox[k] = p
+		e.prox = prox
+		return nil
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for k := range e.feats {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			prox[k], errs[k] = e.counter.Proximity(e.feats[k].D)
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			return fmt.Errorf("metadiag: feature %s: %w", e.feats[k].ID, err)
+		}
 	}
 	e.prox = prox
 	return nil
@@ -88,19 +124,89 @@ func (e *Extractor) FeatureVector(i, j int, out []float64) error {
 	return nil
 }
 
+// featureMatrixParallelThreshold is the candidate count below which the
+// per-goroutine overhead outweighs feature-level fan-out.
+const featureMatrixParallelThreshold = 512
+
 // FeatureMatrix builds the design matrix X for a candidate link list:
 // row k holds the features of pairs[k]. This is the matrix the ridge
 // step (1-1) and the SVM baselines consume.
+//
+// Rather than issuing one point lookup per (diagram × link), the pool
+// is sorted by (i, j) once and each proximity's count rows are streamed
+// with a two-pointer merge — no hashing or binary search on the hot
+// path. Large pools additionally fan the proximities out across
+// GOMAXPROCS workers. The result is identical to row-by-row
+// FeatureVector construction.
 func (e *Extractor) FeatureMatrix(pairs []hetnet.Anchor) (*linalg.Dense, error) {
 	if err := e.ready(); err != nil {
 		return nil, err
 	}
 	x := linalg.NewDense(len(pairs), e.Dim())
-	for k, pr := range pairs {
-		row := x.RowView(k)
-		if err := e.FeatureVector(pr.I, pr.J, row); err != nil {
-			return nil, err
+	if len(pairs) == 0 {
+		return x, nil
+	}
+	order := make([]int, len(pairs))
+	for k := range order {
+		order[k] = k
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pairs[order[a]], pairs[order[b]]
+		if pa.I != pb.I {
+			return pa.I < pb.I
+		}
+		return pa.J < pb.J
+	})
+	if e.bias {
+		bias := e.Dim() - 1
+		for k := range pairs {
+			x.Set(k, bias, 1)
 		}
 	}
+	fill := func(feat int) {
+		p := e.prox[feat]
+		lastI := -1
+		var cols []int
+		var vals []float64
+		kb := 0
+		for _, idx := range order {
+			l := pairs[idx]
+			if l.I != lastI {
+				cols, vals = p.Counts.RowSlice(l.I)
+				kb = 0
+				lastI = l.I
+			}
+			for kb < len(cols) && cols[kb] < l.J {
+				kb++
+			}
+			if kb < len(cols) && cols[kb] == l.J {
+				if denom := p.RowSums[l.I] + p.ColSums[l.J]; denom > 0 {
+					x.Set(idx, feat, 2*vals[kb]/denom)
+				}
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(e.feats) {
+		workers = len(e.feats)
+	}
+	if workers <= 1 || len(pairs) < featureMatrixParallelThreshold {
+		for feat := range e.prox {
+			fill(feat)
+		}
+		return x, nil
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for feat := range e.prox {
+		wg.Add(1)
+		go func(feat int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fill(feat)
+		}(feat)
+	}
+	wg.Wait()
 	return x, nil
 }

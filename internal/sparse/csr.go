@@ -62,6 +62,17 @@ func (m *CSR) Row(i int, fn func(j int, v float64)) {
 	}
 }
 
+// RowSlice returns zero-copy views of row i's column indices and
+// values, in increasing column order. The slices alias internal storage
+// and must not be mutated.
+func (m *CSR) RowSlice(i int) (colIdx []int, val []float64) {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("sparse: row %d out of range %d", i, m.rows))
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.val[lo:hi]
+}
+
 // RowNNZ returns the number of stored entries in row i.
 func (m *CSR) RowNNZ(i int) int {
 	if i < 0 || i >= m.rows {

@@ -3,50 +3,24 @@ package sparse
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 )
 
 // MatMul returns the sparse product a·b using Gustavson's row-by-row
-// algorithm with a dense accumulator. It panics on inner-dimension
-// mismatch. For an adjacency chain this computes meta path instance
-// counts: (a·b)(i,j) = Σₖ a(i,k)·b(k,j) = number of two-hop walks.
+// algorithm with a pooled dense accumulator. It panics on
+// inner-dimension mismatch. For an adjacency chain this computes meta
+// path instance counts: (a·b)(i,j) = Σₖ a(i,k)·b(k,j) = number of
+// two-hop walks.
 func MatMul(a, b *CSR) *CSR {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("sparse: MatMul dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := &CSR{rows: a.rows, cols: b.cols, rowPtr: make([]int, a.rows+1)}
-	acc := make([]float64, b.cols)
-	mark := make([]int, b.cols) // mark[j] == i+1 when acc[j] is live for row i
-	var colIdx []int
-	var val []float64
-	scratch := make([]int, 0, 256)
-	for i := 0; i < a.rows; i++ {
-		live := scratch[:0]
-		for ka := a.rowPtr[i]; ka < a.rowPtr[i+1]; ka++ {
-			k, av := a.colIdx[ka], a.val[ka]
-			for kb := b.rowPtr[k]; kb < b.rowPtr[k+1]; kb++ {
-				j := b.colIdx[kb]
-				if mark[j] != i+1 {
-					mark[j] = i + 1
-					acc[j] = 0
-					live = append(live, j)
-				}
-				acc[j] += av * b.val[kb]
-			}
-		}
-		sort.Ints(live)
-		for _, j := range live {
-			if acc[j] != 0 {
-				colIdx = append(colIdx, j)
-				val = append(val, acc[j])
-			}
-		}
-		out.rowPtr[i+1] = len(val)
-		scratch = live
+	rowLen := make([]int, a.rows)
+	out.colIdx, out.val = mulRows(a, b, 0, a.rows, rowLen)
+	for i, n := range rowLen {
+		out.rowPtr[i+1] = out.rowPtr[i] + n
 	}
-	out.colIdx = colIdx
-	out.val = val
 	return out
 }
 
@@ -86,35 +60,8 @@ func MatMulParallel(a, b *CSR) *CSR {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			acc := make([]float64, b.cols)
-			mark := make([]int, b.cols)
 			blk := block{lo: lo, hi: hi, rowLen: make([]int, hi-lo)}
-			live := make([]int, 0, 256)
-			for i := lo; i < hi; i++ {
-				live = live[:0]
-				for ka := a.rowPtr[i]; ka < a.rowPtr[i+1]; ka++ {
-					k, av := a.colIdx[ka], a.val[ka]
-					for kb := b.rowPtr[k]; kb < b.rowPtr[k+1]; kb++ {
-						j := b.colIdx[kb]
-						if mark[j] != i+1 {
-							mark[j] = i + 1
-							acc[j] = 0
-							live = append(live, j)
-						}
-						acc[j] += av * b.val[kb]
-					}
-				}
-				sort.Ints(live)
-				n := 0
-				for _, j := range live {
-					if acc[j] != 0 {
-						blk.colIdx = append(blk.colIdx, j)
-						blk.val = append(blk.val, acc[j])
-						n++
-					}
-				}
-				blk.rowLen[i-lo] = n
-			}
+			blk.colIdx, blk.val = mulRows(a, b, lo, hi, blk.rowLen)
 			blocks[w] = blk
 		}(w, lo, hi)
 	}
@@ -246,16 +193,48 @@ func (m *CSR) TMulVec(x []float64) []float64 {
 	return out
 }
 
-// Chain multiplies a sequence of matrices left to right:
-// Chain(a, b, c) = (a·b)·c. It panics if the sequence is empty or any
-// inner dimension mismatches. Products are evaluated with MatMulParallel.
+// Chain multiplies a sequence of matrices: Chain(a, b, c) computes
+// a·b·c. It panics if the sequence is empty or any inner dimension
+// mismatches. Rather than associating blindly left to right, each step
+// multiplies the adjacent pair with the smallest exact Gustavson flop
+// count (Σ over stored entries (i,k) of the left factor of the right
+// factor's row-k length), so a cheap attribute product collapses before
+// it is dragged through an expensive follow product. Products are
+// evaluated with MatMulParallel.
 func Chain(ms ...*CSR) *CSR {
 	if len(ms) == 0 {
 		panic("sparse: Chain of zero matrices")
 	}
-	acc := ms[0]
-	for _, m := range ms[1:] {
-		acc = MatMulParallel(acc, m)
+	for i := 0; i+1 < len(ms); i++ {
+		if ms[i].cols != ms[i+1].rows {
+			panic(fmt.Sprintf("sparse: Chain dimension mismatch %dx%d · %dx%d at position %d",
+				ms[i].rows, ms[i].cols, ms[i+1].rows, ms[i+1].cols, i))
+		}
 	}
-	return acc
+	work := make([]*CSR, len(ms))
+	copy(work, ms)
+	for len(work) > 1 {
+		best := 0
+		bestCost := spgemmFlops(work[0], work[1])
+		for i := 1; i+1 < len(work); i++ {
+			if c := spgemmFlops(work[i], work[i+1]); c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		prod := MatMulParallel(work[best], work[best+1])
+		work[best] = prod
+		work = append(work[:best+1], work[best+2:]...)
+	}
+	return work[0]
+}
+
+// spgemmFlops returns the exact multiply-add count Gustavson SpGEMM
+// performs for a·b — the row-length dot product Σₖ |a(·,k)|·|b(k,·)|,
+// evaluated as one pass over a's stored column indices.
+func spgemmFlops(a, b *CSR) float64 {
+	var f float64
+	for _, k := range a.colIdx {
+		f += float64(b.rowPtr[k+1] - b.rowPtr[k])
+	}
+	return f
 }

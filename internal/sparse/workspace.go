@@ -1,0 +1,123 @@
+package sparse
+
+import (
+	"sort"
+	"sync"
+)
+
+// gemmWorkspace is the per-goroutine scratch state for Gustavson SpGEMM:
+// a dense accumulator, a generation-stamped liveness mark, and the list
+// of live columns for the current row. Workspaces are pooled so repeated
+// products — diagram counting evaluates hundreds of chained products per
+// fold — stop re-allocating O(cols) buffers on every multiply.
+type gemmWorkspace struct {
+	acc  []float64
+	mark []int
+	live []int
+	gen  int
+}
+
+var gemmPool = sync.Pool{New: func() any { return new(gemmWorkspace) }}
+
+// getWorkspace returns a workspace with capacity for cols columns. The
+// mark array is generation-stamped: row i of a multiply is live where
+// mark[j] equals that row's generation, so reusing a pooled workspace
+// needs no clearing. Growing the mark array resets the generation, so a
+// stale stamp can never alias a live row.
+func getWorkspace(cols int) *gemmWorkspace {
+	w := gemmPool.Get().(*gemmWorkspace)
+	if cap(w.mark) < cols {
+		w.acc = make([]float64, cols)
+		w.mark = make([]int, cols)
+		w.gen = 0
+	}
+	w.acc = w.acc[:cols]
+	w.mark = w.mark[:cols]
+	if w.live == nil {
+		w.live = make([]int, 0, 256)
+	}
+	return w
+}
+
+func putWorkspace(w *gemmWorkspace) { gemmPool.Put(w) }
+
+// mulRows computes rows [lo, hi) of a·b, returning the concatenated
+// column indices and values plus per-row entry counts in rowLen (which
+// must have length hi-lo). Surviving entries per row are emitted in
+// increasing column order.
+//
+// Compaction avoids the former unconditional sort.Ints: rows whose live
+// columns cover a tight span are emitted by scanning [minJ, maxJ]
+// against the mark array (O(span) with no comparison sort), and only
+// genuinely scattered rows fall back to sorting, with insertion sort for
+// short lists.
+func mulRows(a, b *CSR, lo, hi int, rowLen []int) (colIdx []int, val []float64) {
+	w := getWorkspace(b.cols)
+	defer putWorkspace(w)
+	for i := lo; i < hi; i++ {
+		w.gen++
+		gen := w.gen
+		live := w.live[:0]
+		minJ, maxJ := b.cols, -1
+		for ka := a.rowPtr[i]; ka < a.rowPtr[i+1]; ka++ {
+			k, av := a.colIdx[ka], a.val[ka]
+			for kb := b.rowPtr[k]; kb < b.rowPtr[k+1]; kb++ {
+				j := b.colIdx[kb]
+				if w.mark[j] != gen {
+					w.mark[j] = gen
+					w.acc[j] = 0
+					live = append(live, j)
+					if j < minJ {
+						minJ = j
+					}
+					if j > maxJ {
+						maxJ = j
+					}
+				}
+				w.acc[j] += av * b.val[kb]
+			}
+		}
+		w.live = live
+		n := 0
+		if len(live) > 0 {
+			if span := maxJ - minJ + 1; span <= 4*len(live) {
+				for j := minJ; j <= maxJ; j++ {
+					if w.mark[j] == gen && w.acc[j] != 0 {
+						colIdx = append(colIdx, j)
+						val = append(val, w.acc[j])
+						n++
+					}
+				}
+			} else {
+				sortLive(live)
+				for _, j := range live {
+					if w.acc[j] != 0 {
+						colIdx = append(colIdx, j)
+						val = append(val, w.acc[j])
+						n++
+					}
+				}
+			}
+		}
+		rowLen[i-lo] = n
+	}
+	return colIdx, val
+}
+
+// sortLive orders a live-column list, using insertion sort below the
+// point where sort.Ints' overhead pays off.
+func sortLive(xs []int) {
+	if len(xs) <= 48 {
+		for i := 1; i < len(xs); i++ {
+			x := xs[i]
+			j := i - 1
+			for j >= 0 && xs[j] > x {
+				xs[j+1] = xs[j]
+				j--
+			}
+			xs[j+1] = x
+		}
+		return
+	}
+	sort.Ints(xs)
+}
