@@ -24,6 +24,7 @@ package activeiter
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/activeiter/activeiter/internal/active"
 	"github.com/activeiter/activeiter/internal/core"
@@ -117,13 +118,46 @@ type Options struct {
 	Strategy StrategyKind
 	// C is the ridge fit weight (default 1).
 	C float64
-	// Threshold is the link-selection cutoff (default 0.5).
-	Threshold float64
+	// Threshold is the link-selection cutoff; nil means the paper's 0.5.
+	// An explicit zero (Ptr(0)) is honored as a real boundary. The active
+	// uncertainty strategy queries around this same cutoff.
+	Threshold *float64
 	// ExactSelection swaps the greedy ½-approximation for the Hungarian
 	// optimum — slower, for ablations.
 	ExactSelection bool
 	// Seed drives every random choice; fixed seed ⇒ identical runs.
 	Seed int64
+	// Partitions splits the candidate space into this many overlapping
+	// partitions when aligning through PartitionedAligner; ≤ 1 means
+	// monolithic. Plain Aligner ignores it.
+	Partitions int
+}
+
+// Ptr wraps a value for the pointer-typed option fields (e.g.
+// Options{Threshold: activeiter.Ptr(0.7)}).
+func Ptr[T any](v T) *T { return &v }
+
+// validate rejects option values that would otherwise be silently
+// misinterpreted downstream (a negative budget, for instance, skips
+// core's oracle validation because only Budget > 0 is checked there).
+func (o Options) validate() error {
+	if _, err := o.strategy(); err != nil {
+		return err
+	}
+	switch {
+	case o.Budget < 0:
+		return fmt.Errorf("activeiter: negative Budget %d (use 0 to disable active learning)", o.Budget)
+	case o.BatchSize < 0:
+		return fmt.Errorf("activeiter: negative BatchSize %d (use 0 for the paper's default of 5)", o.BatchSize)
+	case o.C < 0 || math.IsNaN(o.C) || math.IsInf(o.C, 0):
+		return fmt.Errorf("activeiter: invalid ridge weight C %v (use 0 for the default of 1)", o.C)
+	case o.Partitions < 0:
+		return fmt.Errorf("activeiter: negative Partitions %d (use 0 or 1 for monolithic alignment)", o.Partitions)
+	}
+	if o.Threshold != nil && (math.IsNaN(*o.Threshold) || math.IsInf(*o.Threshold, 0)) {
+		return fmt.Errorf("activeiter: non-finite Threshold %v", *o.Threshold)
+	}
+	return nil
 }
 
 func (o Options) strategy() (active.Strategy, error) {
@@ -154,7 +188,7 @@ func New(pair *AlignedPair, opts Options) (*Aligner, error) {
 	if pair == nil {
 		return nil, errors.New("activeiter: nil pair")
 	}
-	if _, err := opts.strategy(); err != nil {
+	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	counter, err := metadiag.NewCounter(pair)

@@ -2,6 +2,7 @@ package activeiter
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -215,5 +216,32 @@ func TestConvergenceTraceExposed(t *testing.T) {
 	}
 	if res.Raw() == nil {
 		t.Error("Raw should expose the inner result")
+	}
+}
+
+// Regression: New used to accept negative Budget/BatchSize/C silently —
+// a negative Budget in particular skipped core's oracle validation
+// (only Budget > 0 is checked there) and quietly disabled active
+// learning. Invalid options must fail fast with a descriptive error.
+func TestNewRejectsInvalidOptions(t *testing.T) {
+	pair, _, _, _ := testFixture(t)
+	bad := []Options{
+		{Budget: -5},
+		{BatchSize: -1},
+		{C: -0.5},
+		{C: math.NaN()},
+		{C: math.Inf(1)},
+		{Partitions: -2},
+		{Threshold: Ptr(math.NaN())},
+		{Threshold: Ptr(math.Inf(1))},
+	}
+	for _, opts := range bad {
+		if _, err := New(pair, opts); err == nil {
+			t.Errorf("New(%+v) accepted invalid options", opts)
+		}
+	}
+	// The boundary values stay legal: zeros mean "default/disabled".
+	if _, err := New(pair, Options{Budget: 0, BatchSize: 0, C: 0, Threshold: Ptr(0.0)}); err != nil {
+		t.Errorf("zero-valued options rejected: %v", err)
 	}
 }

@@ -347,3 +347,43 @@ func benchProblem(b *testing.B, pair *AlignedPair, nTrain int) (core.Problem, Or
 	}
 	return core.Problem{Links: links, X: x, LabeledPos: labeled}, NewTruthOracle(pair)
 }
+
+// BenchmarkPartitionedAlignment compares one monolithic alignment pass
+// against the partitioned pipeline at several K on the small dataset —
+// the PR 2 scalability artifact (BENCH_PR2.json records the large-pair
+// runs from cmd/experiments -exp scalability).
+func BenchmarkPartitionedAlignment(b *testing.B) {
+	pair, err := datagen.Generate(datagen.Small())
+	if err != nil {
+		b.Fatal(err)
+	}
+	anchors := pair.Anchors
+	trainPos := anchors[:len(anchors)/2]
+	rng := rand.New(rand.NewSource(17))
+	neg, err := eval.SampleNegatives(pair, 10*len(anchors), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	candidates := append(append([]Anchor{}, anchors[len(anchors)/2:]...), neg...)
+	for _, k := range []int{1, 4} {
+		name := "monolithic"
+		if k > 1 {
+			name = "partitioned-K4"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				al, err := NewPartitioned(pair, Options{Seed: 9, Partitions: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := al.Align(trainPos, candidates, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.PredictedAnchors()) == 0 {
+					b.Fatal("no predictions")
+				}
+			}
+		})
+	}
+}

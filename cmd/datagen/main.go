@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	preset := flag.String("preset", "small", "dataset preset: tiny, small, paper, full")
+	preset := flag.String("preset", "small", "dataset preset: tiny, small, paper, full, xl")
 	seed := flag.Int64("seed", 0, "override the preset's seed when non-zero")
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
@@ -65,8 +65,10 @@ func presetConfig(name string) (activeiter.GeneratorConfig, error) {
 		return activeiter.PaperShapeDataset(), nil
 	case "full":
 		return activeiter.FullScaleDataset(), nil
+	case "xl":
+		return activeiter.XLScaleDataset(), nil
 	default:
-		return activeiter.GeneratorConfig{}, fmt.Errorf("unknown preset %q (want tiny, small, paper or full)", name)
+		return activeiter.GeneratorConfig{}, fmt.Errorf("unknown preset %q (want tiny, small, paper, full or xl)", name)
 	}
 }
 

@@ -17,23 +17,45 @@ import (
 	"github.com/activeiter/activeiter/internal/experiments"
 )
 
+// overrides carries the flag values that may replace preset fields. Each
+// value only applies when its flag was explicitly set on the command
+// line — sentinel checks like "non-zero means set" would make `-seed 0`
+// or `-workers 0` silently keep the preset value.
+type overrides struct {
+	workers    int
+	seed       int64
+	partitions int
+	set        map[string]bool // flag name → explicitly set
+}
+
+// apply overwrites the preset fields whose flags were explicitly set.
+func (o overrides) apply(pre *experiments.Preset) {
+	if o.set["workers"] {
+		pre.Workers = o.workers
+	}
+	if o.set["seed"] {
+		pre.Seed = o.seed
+	}
+	if o.set["partitions"] {
+		pre.Partitions = o.partitions
+	}
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, table3, table4, fig3, fig4, fig5, ablation-features, ablation-query, ablation-matching, ablation-noise, ablation-words, unsupervised, stability, all")
-	preset := flag.String("preset", "small", "protocol preset: tiny, small, paper")
-	workers := flag.Int("workers", 0, "override parallel cell workers when > 0")
-	seed := flag.Int64("seed", 0, "override the preset seed when non-zero")
+	exp := flag.String("exp", "all", "experiment: table2, table3, table4, fig3, fig4, fig5, ablation-features, ablation-query, ablation-matching, ablation-noise, ablation-words, unsupervised, stability, scalability, all")
+	preset := flag.String("preset", "small", "protocol preset: tiny, small, paper, full, xl")
+	workers := flag.Int("workers", 0, "override parallel cell workers (0 = serial)")
+	seed := flag.Int64("seed", 0, "override the preset seed")
+	partitions := flag.Int("partitions", 0, "run the PU family of cell-based experiments (table3/table4/fig5/stability/ablation-query) and scalability through partitioned alignment with this many partitions (≤1 = monolithic; fig3/fig4 and the remaining ablations trace training internals and stay monolithic)")
 	flag.Parse()
 
 	pre, err := presetByName(*preset)
 	if err != nil {
 		fatal(err)
 	}
-	if *workers > 0 {
-		pre.Workers = *workers
-	}
-	if *seed != 0 {
-		pre.Seed = *seed
-	}
+	ov := overrides{workers: *workers, seed: *seed, partitions: *partitions, set: map[string]bool{}}
+	flag.Visit(func(f *flag.Flag) { ov.set[f.Name] = true })
+	ov.apply(&pre)
 
 	type runner struct {
 		name string
@@ -61,6 +83,7 @@ func main() {
 		{"stability", func(p experiments.Preset) (*experiments.Table, error) {
 			return experiments.RunStability(p, 3)
 		}},
+		{"scalability", experiments.RunScalability},
 	}
 	ran := false
 	for _, r := range runners {
@@ -89,8 +112,12 @@ func presetByName(name string) (experiments.Preset, error) {
 		return experiments.SmallPreset(), nil
 	case "paper":
 		return experiments.PaperPreset(), nil
+	case "full":
+		return experiments.FullPreset(), nil
+	case "xl":
+		return experiments.XLPreset(), nil
 	default:
-		return experiments.Preset{}, fmt.Errorf("unknown preset %q (want tiny, small or paper)", name)
+		return experiments.Preset{}, fmt.Errorf("unknown preset %q (want tiny, small, paper, full or xl)", name)
 	}
 }
 

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/experiments"
+)
+
+// Regression: the old code treated 0 as "flag not set", so `-seed 0` and
+// `-workers 0` silently kept the preset values. Overrides must apply
+// exactly when the flag was explicitly present on the command line.
+func TestOverridesApplyOnlyExplicitFlags(t *testing.T) {
+	base := experiments.SmallPreset()
+
+	// Explicit zeros must overwrite the preset values.
+	pre := base
+	ov := overrides{workers: 0, seed: 0, set: map[string]bool{"workers": true, "seed": true}}
+	ov.apply(&pre)
+	if pre.Seed != 0 {
+		t.Errorf("explicit -seed 0 kept preset seed %d", pre.Seed)
+	}
+	if pre.Workers != 0 {
+		t.Errorf("explicit -workers 0 kept preset workers %d", pre.Workers)
+	}
+
+	// Unset flags must not touch the preset, whatever their values.
+	pre = base
+	ov = overrides{workers: 99, seed: 99, partitions: 99, set: map[string]bool{}}
+	ov.apply(&pre)
+	if pre.Seed != base.Seed || pre.Workers != base.Workers || pre.Partitions != base.Partitions {
+		t.Errorf("unset flags mutated preset: %+v", pre)
+	}
+
+	// And a normal non-zero override still works.
+	pre = base
+	ov = overrides{partitions: 4, set: map[string]bool{"partitions": true}}
+	ov.apply(&pre)
+	if pre.Partitions != 4 {
+		t.Errorf("partitions override = %d, want 4", pre.Partitions)
+	}
+}

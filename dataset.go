@@ -17,11 +17,13 @@ type GeneratorConfig = datagen.Config
 // Dataset presets, smallest to largest. TinyDataset suits unit tests;
 // SmallDataset is the default experiment scale; PaperShapeDataset tracks
 // Table II's ratios at 1/5 linear scale; FullScaleDataset reproduces the
-// crawl's user and link magnitudes.
+// crawl's user and link magnitudes; XLScaleDataset is ~10× the crawl —
+// the partitioned-alignment stress scale.
 func TinyDataset() GeneratorConfig       { return datagen.Tiny() }
 func SmallDataset() GeneratorConfig      { return datagen.Small() }
 func PaperShapeDataset() GeneratorConfig { return datagen.PaperShape() }
 func FullScaleDataset() GeneratorConfig  { return datagen.FullScale() }
+func XLScaleDataset() GeneratorConfig    { return datagen.XLScale() }
 
 // GenerateDataset synthesizes an aligned pair from the configuration.
 // Identical configs generate identical pairs.
@@ -49,10 +51,21 @@ type Metrics struct {
 	TP, FP, TN, FN                  int
 }
 
-// EvaluateAlignment scores a result against labeled test pools. Queried
-// links are excluded, matching the paper's evaluation fairness rule
-// (their labels came from the oracle, not the model).
-func EvaluateAlignment(res *Result, testPos, testNeg []Anchor) Metrics {
+// AlignmentResult is the read-side contract shared by monolithic and
+// partitioned alignment results: final labels plus the oracle audit.
+type AlignmentResult interface {
+	// Label returns the final label of link (i, j) and whether the link
+	// was part of the candidate pool.
+	Label(i, j int) (float64, bool)
+	// WasQueried reports whether (i, j) was labeled by the oracle.
+	WasQueried(i, j int) bool
+}
+
+// EvaluateAlignment scores a result (monolithic *Result or partitioned
+// *PartitionedResult) against labeled test pools. Queried links are
+// excluded, matching the paper's evaluation fairness rule (their labels
+// came from the oracle, not the model).
+func EvaluateAlignment(res AlignmentResult, testPos, testNeg []Anchor) Metrics {
 	var c eval.Confusion
 	score := func(links []Anchor, truth float64) {
 		for _, l := range links {

@@ -79,11 +79,15 @@ func (o *NoisyOracle) Label(a hetnet.Anchor) float64 {
 
 // State is the model state a strategy inspects when choosing queries:
 // the unlabeled links U \ U_q with their current scores ŷ and inferred
-// labels y.
+// labels y, plus the training loop's resolved selection threshold.
 type State struct {
 	Links  []hetnet.Anchor
 	Scores []float64
 	Labels []float64
+	// Threshold is the decision boundary the training loop selects
+	// against; nil when the caller has no boundary (strategies fall back
+	// to the paper's ½). An explicit 0 is a real boundary, not "unset".
+	Threshold *float64
 }
 
 // Strategy selects up to k unlabeled links (by index into State.Links)
@@ -246,7 +250,10 @@ func (Random) Select(st *State, k int, rng *rand.Rand) []int {
 // threshold — the classic active-learning baseline, included as an
 // ablation (it ignores the one-to-one constraint entirely).
 type Uncertainty struct {
-	// Threshold is the decision boundary; defaults to 0.5.
+	// Threshold overrides the decision boundary when non-zero. Leave it
+	// zero to inherit the training loop's configured threshold from
+	// State.Threshold (the usual case); the paper's ½ is the last-resort
+	// default when neither is present.
 	Threshold float64
 }
 
@@ -255,9 +262,12 @@ func (Uncertainty) Name() string { return "uncertainty" }
 
 // Select implements Strategy.
 func (u Uncertainty) Select(st *State, k int, rng *rand.Rand) []int {
-	thr := u.Threshold
-	if thr == 0 {
-		thr = 0.5
+	thr := 0.5
+	if st.Threshold != nil {
+		thr = *st.Threshold
+	}
+	if u.Threshold != 0 {
+		thr = u.Threshold
 	}
 	type scored struct {
 		idx  int

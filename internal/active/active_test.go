@@ -172,3 +172,32 @@ func TestUncertaintyStrategy(t *testing.T) {
 		t.Errorf("picks = %v, want [4 1]", picks)
 	}
 }
+
+// Regression: Uncertainty used to hardcode its 0.5 boundary, ignoring
+// the training loop's configured threshold. With State.Threshold set it
+// must query around the configured boundary instead.
+func TestUncertaintyFollowsStateThreshold(t *testing.T) {
+	st := conflictState()
+	thr := 0.7
+	st.Threshold = &thr
+	picks := Uncertainty{}.Select(st, 2, rand.New(rand.NewSource(1)))
+	// Distances to 0.7: idx0 .2, idx1 .12, idx2 .5, idx3 .1, idx4 .15, idx5 0
+	if len(picks) != 2 || picks[0] != 5 || picks[1] != 3 {
+		t.Errorf("picks = %v, want [5 3] (nearest 0.7)", picks)
+	}
+	// An explicit 0 boundary is honored, not replaced by the ½ default.
+	zero := 0.0
+	st.Threshold = &zero
+	picks = Uncertainty{}.Select(st, 1, rand.New(rand.NewSource(1)))
+	// Distances to 0: idx2 .2 is the closest score.
+	if len(picks) != 1 || picks[0] != 2 {
+		t.Errorf("picks = %v, want [2] (nearest 0)", picks)
+	}
+	// A strategy-level override still wins over the state boundary.
+	st.Threshold = &thr
+	picks = Uncertainty{Threshold: 0.9}.Select(st, 1, rand.New(rand.NewSource(1)))
+	// Distances to 0.9: idx0 0 is the closest score.
+	if len(picks) != 1 || picks[0] != 0 {
+		t.Errorf("picks = %v, want [0] (nearest 0.9 override)", picks)
+	}
+}

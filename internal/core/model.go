@@ -30,9 +30,11 @@ import (
 type Config struct {
 	// C weighs the data fit against the ‖w‖² regularizer; default 1.
 	C float64
-	// Threshold is the selection cutoff in step (1-2); default 0.5 (the
-	// value that makes greedy selection maximize the ‖Xw−y‖² objective).
-	Threshold float64
+	// Threshold is the selection cutoff in step (1-2); nil means the
+	// paper's 0.5 (the value that makes greedy selection maximize the
+	// ‖Xw−y‖² objective). An explicit 0 is honored — it is a real
+	// boundary, not "use the default".
+	Threshold *float64
 	// Budget is the total number of oracle queries allowed (the paper's
 	// b). Zero disables querying.
 	Budget int
@@ -58,8 +60,9 @@ func (c Config) withDefaults() Config {
 	if c.C <= 0 {
 		c.C = 1
 	}
-	if c.Threshold <= 0 {
-		c.Threshold = 0.5
+	if c.Threshold == nil {
+		half := 0.5
+		c.Threshold = &half
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 5
@@ -245,9 +248,9 @@ func Train(p Problem, cfg Config) (*Result, error) {
 			occ := baseOcc.Clone()
 			var selected []matching.Candidate
 			if cfg.ExactSelection {
-				selected = matching.Exact(cands, cfg.Threshold, occ)
+				selected = matching.Exact(cands, *cfg.Threshold, occ)
 			} else {
-				selected = matching.Greedy(cands, cfg.Threshold, occ)
+				selected = matching.Greedy(cands, *cfg.Threshold, occ)
 			}
 			for idx := 0; idx < n; idx++ {
 				if kind[idx] == kindUnlabeled {
@@ -304,7 +307,10 @@ func Train(p Problem, cfg Config) (*Result, error) {
 		if k > remaining {
 			k = remaining
 		}
-		picks := cfg.Strategy.Select(&active.State{Links: stLinks, Scores: stScores, Labels: stLabels}, k, rng)
+		picks := cfg.Strategy.Select(&active.State{
+			Links: stLinks, Scores: stScores, Labels: stLabels,
+			Threshold: cfg.Threshold,
+		}, k, rng)
 		for _, pi := range picks {
 			idx := stIdx[pi]
 			label := p.Oracle.Label(p.Links[idx])

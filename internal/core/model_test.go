@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 
 	"github.com/activeiter/activeiter/internal/active"
@@ -281,5 +282,59 @@ func TestScoresExposed(t *testing.T) {
 	}
 	if len(res.W) != 2 {
 		t.Errorf("W dims %d", len(res.W))
+	}
+}
+
+// Regression: Config used to treat an explicit Threshold of 0 as "use
+// the 0.5 default" (the <= 0 sentinel check). With pointer semantics,
+// nil means default and an explicit zero survives withDefaults.
+func TestThresholdExplicitZeroSurvivesDefaults(t *testing.T) {
+	zero := 0.0
+	cfg := (Config{Threshold: &zero}).withDefaults()
+	if *cfg.Threshold != 0 {
+		t.Errorf("explicit zero threshold became %v", *cfg.Threshold)
+	}
+	cfg = (Config{}).withDefaults()
+	if *cfg.Threshold != 0.5 {
+		t.Errorf("default threshold = %v, want 0.5", *cfg.Threshold)
+	}
+}
+
+// spyStrategy records the State it was handed, to assert the training
+// loop plumbs its resolved threshold through to the query strategy.
+type spyStrategy struct {
+	seen []*float64
+}
+
+func (s *spyStrategy) Name() string { return "spy" }
+
+func (s *spyStrategy) Select(st *active.State, k int, rng *rand.Rand) []int {
+	thr := st.Threshold
+	if thr != nil {
+		v := *thr
+		thr = &v
+	}
+	s.seen = append(s.seen, thr)
+	return nil // query nothing; one round is enough
+}
+
+// Regression: strategies used to see no threshold at all, so
+// active.Uncertainty queried around a hardcoded 0.5 even when the
+// training loop selected against a different boundary.
+func TestTrainPassesThresholdToStrategy(t *testing.T) {
+	p, truth := separableProblem(5, 2, 10)
+	p.Oracle = oracleFromTruth(truth)
+	thr := 0.7
+	spy := &spyStrategy{}
+	if _, err := Train(p, Config{Budget: 5, Strategy: spy, Threshold: &thr}); err != nil {
+		t.Fatal(err)
+	}
+	if len(spy.seen) == 0 {
+		t.Fatal("strategy never consulted")
+	}
+	for _, got := range spy.seen {
+		if got == nil || *got != 0.7 {
+			t.Errorf("strategy saw threshold %v, want 0.7", got)
+		}
 	}
 }

@@ -185,6 +185,35 @@ func FullScale() Config {
 	}
 }
 
+// XLScale is ~10× FullScale in users, follow links, and anchors — the
+// partitioned-alignment stress preset, far past what one monolithic
+// training loop handles comfortably. The attribute side is deliberately
+// de-skewed relative to the crawl presets: with Zipf-popular venues the
+// head venue is visited by a constant fraction of users, so its
+// cross-network co-occurrence block grows quadratically with the user
+// count — crawl-level skew at 10× the users means hundred-GB count
+// matrices before the first training iteration. Flattening the
+// popularity head (ZipfS 1.05, Dislocation 0.2) and oversizing the
+// vocabularies keeps attribute evidence per user pair at a realistic
+// level while bounding count-matrix density — the same tractability
+// argument DESIGN.md §3 makes for capping post volume. This preset
+// measures scale, not the dislocation confound (the crawl-shaped
+// presets keep that). Words are disabled (the evaluation never uses
+// them). Generation takes minutes; counting the standard library over
+// the pair takes tens of GB.
+func XLScale() Config {
+	return Config{
+		Seed: 2019, Users1: 52230, Users2: 53920, AnchorCount: 32820,
+		AvgFollows1: 31.6, AvgFollows2: 14.3,
+		EdgeKeep1: 0.7, EdgeKeep2: 0.6, NoiseEdgeFrac: 0.2,
+		PostsPerUser1: 12, PostsPerUser2: 6,
+		Locations: 200000, TimeBuckets: 20000,
+		Words: 0, WordsPerPost: 0,
+		RoutineSize: 4, Dislocation: 0.2, ZipfS: 1.05,
+		CommunityCombos: 8000, CommunityShare: 0.3,
+	}
+}
+
 // combo is one (location, timestamp) routine entry.
 type combo struct {
 	loc, ts int

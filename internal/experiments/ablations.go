@@ -144,6 +144,10 @@ func RunQueryAblation(pre Preset) (*Table, error) {
 	if len(pre.Budgets) > 0 {
 		budget = pre.Budgets[len(pre.Budgets)-1]
 	}
+	queryPlanner, err := sweepPlanner(base, pre)
+	if err != nil {
+		return nil, err
+	}
 	strategies := []active.Strategy{active.Conflict{}, active.Uncertainty{}, active.Random{}}
 	t := &Table{
 		Title:     fmt.Sprintf("Query-strategy ablation — ActiveIter with budget %d (θ=%d, γ=%.0f%%, preset %q)", budget, pre.FixedTheta, pre.FixedGamma*100, pre.Name),
@@ -153,7 +157,7 @@ func RunQueryAblation(pre Preset) (*Table, error) {
 	sec := Section{Name: fmt.Sprintf("ActiveIter-%d", budget)}
 	for _, s := range strategies {
 		m := Method{Name: "ActiveIter-" + s.Name(), Kind: KindPU, Features: MPMD, Budget: budget, Strategy: s}
-		ms, err := runSingleMethodCell(base, m, pre.FixedTheta, pre.FixedGamma, pre.Folds, pre.Seed)
+		ms, err := runSingleMethodCell(base, queryPlanner, m, pre.FixedTheta, pre.FixedGamma, pre.Folds, pre.Seed, pre.Partitions)
 		if err != nil {
 			return nil, err
 		}

@@ -12,6 +12,7 @@ import (
 	"github.com/activeiter/activeiter/internal/hetnet"
 	"github.com/activeiter/activeiter/internal/linalg"
 	"github.com/activeiter/activeiter/internal/metadiag"
+	"github.com/activeiter/activeiter/internal/partition"
 	"github.com/activeiter/activeiter/internal/schema"
 	"github.com/activeiter/activeiter/internal/svm"
 )
@@ -37,6 +38,10 @@ type Preset struct {
 	Seed int64
 	// Workers caps cell-level parallelism; 0 means serial.
 	Workers int
+	// Partitions routes the PU training family through the partitioned
+	// alignment pipeline with this many candidate-space partitions; ≤ 1
+	// keeps the monolithic path.
+	Partitions int
 }
 
 // PaperPreset runs the full protocol shape of the paper on the
@@ -64,6 +69,42 @@ func SmallPreset() Preset {
 	p.Data = datagen.Small()
 	p.Workers = 8
 	return p
+}
+
+// FullPreset runs a trimmed protocol on the crawl-scale dataset —
+// Figure 4's scalability regime. Minutes of runtime, a few GB.
+func FullPreset() Preset {
+	return Preset{
+		Name:        "full",
+		Data:        datagen.FullScale(),
+		Folds:       3,
+		ThetaValues: []int{5, 10},
+		GammaValues: []float64{0.6},
+		FixedTheta:  5,
+		FixedGamma:  0.6,
+		Budgets:     []int{100},
+		Seed:        2019,
+		Workers:     8,
+	}
+}
+
+// XLPreset runs a minimal protocol on the ~10×-crawl dataset — the
+// partitioned-alignment stress scale. θ is small because the anchor set
+// is huge (θ=2 already means a ~100k-link candidate pool); the point is
+// user-count scale, not NP-ratio sweeps. Tens of minutes, tens of GB.
+func XLPreset() Preset {
+	return Preset{
+		Name:        "xl",
+		Data:        datagen.XLScale(),
+		Folds:       2,
+		ThetaValues: []int{2},
+		GammaValues: []float64{0.6},
+		FixedTheta:  2,
+		FixedGamma:  0.6,
+		Budgets:     []int{100},
+		Seed:        2019,
+		Workers:     4,
+	}
 }
 
 // TinyPreset is for tests: trimmed sweeps on the tiny dataset.
@@ -131,11 +172,24 @@ func StandardMethods() []Method {
 // cache, so only the anchor-dependent layer is recounted per fold.
 type cellContext struct {
 	pair     *hetnet.AlignedPair
+	base     *metadiag.Counter
 	counter  *metadiag.Counter
 	extFull  *metadiag.Extractor
 	extPaths *metadiag.Extractor
 	oracle   active.Oracle
 	seed     int64
+	// partitions > 1 routes PU methods through the partitioned pipeline
+	// (each partition forks base again).
+	partitions int
+	// skipFoldFeatures elides the fold-wide feature matrices when every
+	// method in the cell takes the partitioned path (shards extract
+	// their own).
+	skipFoldFeatures bool
+	// planner caches fold-independent partition-plan inputs. Sweeps
+	// pass one shared planner into every cell (the inputs are pair-level
+	// and Plan is safe for concurrent use); otherwise it is built lazily
+	// on the first partitioned method.
+	planner *partition.Planner
 }
 
 func newCellContext(base *metadiag.Counter, seed int64) *cellContext {
@@ -144,6 +198,7 @@ func newCellContext(base *metadiag.Counter, seed int64) *cellContext {
 	lib := schema.StandardLibrary()
 	return &cellContext{
 		pair:     pair,
+		base:     base,
 		counter:  counter,
 		extFull:  metadiag.NewExtractor(counter, lib.All(), true),
 		extPaths: metadiag.NewExtractor(counter, lib.PathsOnly(), true),
@@ -207,17 +262,26 @@ type foldData struct {
 	testTruth  []float64
 	trainIdx   []int // trainPos then trainNeg rows, for SVM training
 	trainY     []float64
+	// plan caches the fold's budgetless partition plan; the shard
+	// assignment is method-independent (only the budget split differs).
+	plan *partition.Plan
 }
 
 // prepareFold recomputes features against the fold's training anchors
 // and assembles the pool: [trainPos | trainNeg | testPos | testNeg].
+// When every method in the cell takes the partitioned path the
+// fold-wide extraction is skipped — each shard extracts its own slice
+// from a fork of base, and the fold matrices would be dead weight (at
+// crawl scale they are the dominant per-fold cost).
 func (ctx *cellContext) prepareFold(split eval.Split) (*foldData, error) {
-	ctx.counter.SetAnchors(split.TrainPos)
-	if err := ctx.extFull.Recompute(); err != nil {
-		return nil, err
-	}
-	if err := ctx.extPaths.Recompute(); err != nil {
-		return nil, err
+	if !ctx.skipFoldFeatures {
+		ctx.counter.SetAnchors(split.TrainPos)
+		if err := ctx.extFull.Recompute(); err != nil {
+			return nil, err
+		}
+		if err := ctx.extPaths.Recompute(); err != nil {
+			return nil, err
+		}
 	}
 	fd := &foldData{split: split}
 	fd.pool = append(fd.pool, split.TrainPos...)
@@ -244,6 +308,9 @@ func (ctx *cellContext) prepareFold(split eval.Split) (*foldData, error) {
 		fd.testIdx = append(fd.testIdx, offset+i)
 		fd.testTruth = append(fd.testTruth, 0)
 	}
+	if ctx.skipFoldFeatures {
+		return fd, nil
+	}
 	var err error
 	if fd.xFull, err = ctx.extFull.FeatureMatrix(fd.pool); err != nil {
 		return nil, err
@@ -266,6 +333,9 @@ func (ctx *cellContext) runMethod(m Method, fd *foldData, seed int64) (eval.Conf
 	var conf eval.Confusion
 	switch m.Kind {
 	case KindPU:
+		if ctx.partitions > 1 {
+			return ctx.runPartitionedPU(m, fd, seed, start)
+		}
 		cfg := core.Config{
 			Budget:   m.Budget,
 			Strategy: m.Strategy,
@@ -310,11 +380,73 @@ func (ctx *cellContext) runMethod(m Method, fd *foldData, seed int64) (eval.Conf
 	}
 }
 
+// runPartitionedPU trains a PU method through the partitioned pipeline:
+// shard the fold's candidate pool, align every shard on a fork of the
+// cell's base counter, reconcile, and score the merged labels.
+func (ctx *cellContext) runPartitionedPU(m Method, fd *foldData, seed int64, start time.Time) (eval.Confusion, *core.Result, time.Duration, error) {
+	var conf eval.Confusion
+	trainPos := fd.split.TrainPos
+	candidates := fd.pool[len(trainPos):]
+	feats := schema.StandardLibrary().All()
+	if m.Features == MP {
+		feats = schema.StandardLibrary().PathsOnly()
+	}
+	// One planner per cell: adjacency, propagation operators, and the
+	// coarse-similarity propagation are fold- and method-independent.
+	if ctx.planner == nil {
+		pl, err := partition.NewPlanner(ctx.base)
+		if err != nil {
+			return conf, nil, 0, err
+		}
+		ctx.planner = pl
+	}
+	// One shard assignment per fold: methods share trainPos/candidates
+	// and differ only in budget, so plan once and re-split per method.
+	if fd.plan == nil {
+		var err error
+		if fd.plan, err = ctx.planner.Plan(trainPos, candidates, 0, partition.Config{K: ctx.partitions}); err != nil {
+			return conf, nil, 0, err
+		}
+	}
+	plan := fd.plan.WithBudget(m.Budget)
+	// Cells already fan out across Preset.Workers goroutines; keep the
+	// shard pipelines serial inside each cell so a sweep cannot multiply
+	// K heavy pipelines per worker.
+	res, err := partition.Align(ctx.base, plan, partition.TrainOptions{
+		Features: feats,
+		Core:     core.Config{Budget: m.Budget, Strategy: m.Strategy, Seed: seed},
+		Workers:  1,
+	}, ctx.oracle)
+	if err != nil {
+		return conf, nil, 0, err
+	}
+	for k, idx := range fd.testIdx {
+		l := fd.pool[idx]
+		if res.WasQueried(l.I, l.J) {
+			continue // queried labels are oracle-given: excluded
+		}
+		lab, _ := res.Label(l.I, l.J)
+		conf.Add(lab, fd.testTruth[k])
+	}
+	return conf, nil, time.Since(start), nil
+}
+
 // runCell runs every method across all folds of one (θ, γ) cell,
 // working on a fork of the shared base counter.
-func runCell(base *metadiag.Counter, methods []Method, theta int, gamma float64, folds int, seed int64) (map[string]eval.MetricSet, error) {
+func runCell(base *metadiag.Counter, planner *partition.Planner, methods []Method, theta int, gamma float64, folds int, seed int64, partitions int) (map[string]eval.MetricSet, error) {
 	pair := base.Pair()
 	ctx := newCellContext(base, seed)
+	ctx.partitions = partitions
+	ctx.planner = planner
+	if partitions > 1 {
+		ctx.skipFoldFeatures = true
+		for _, m := range methods {
+			if m.Kind != KindPU {
+				ctx.skipFoldFeatures = false
+				break
+			}
+		}
+	}
 	rng := rand.New(rand.NewSource(seed + int64(theta)*1_000_003 + int64(gamma*1000)*7919))
 	neg, err := eval.SampleNegatives(pair, theta*len(pair.Anchors), rng)
 	if err != nil {

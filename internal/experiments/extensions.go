@@ -180,7 +180,11 @@ func RunStability(pre Preset, seeds int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cell, err := runCell(base, methods, pre.FixedTheta, pre.FixedGamma, pre.Folds, pre.Seed)
+		planner, err := sweepPlanner(base, pre)
+		if err != nil {
+			return nil, err
+		}
+		cell, err := runCell(base, planner, methods, pre.FixedTheta, pre.FixedGamma, pre.Folds, pre.Seed, pre.Partitions)
 		if err != nil {
 			return nil, err
 		}

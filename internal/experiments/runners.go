@@ -12,6 +12,7 @@ import (
 	"github.com/activeiter/activeiter/internal/eval"
 	"github.com/activeiter/activeiter/internal/hetnet"
 	"github.com/activeiter/activeiter/internal/metadiag"
+	"github.com/activeiter/activeiter/internal/partition"
 )
 
 // RunTable2 regenerates Table II: the dataset statistics of the
@@ -57,6 +58,10 @@ func sweepCells(pre Preset, cells [][2]float64) ([]map[string]eval.MetricSet, er
 		return nil, err
 	}
 	methods := StandardMethods()
+	planner, err := sweepPlanner(base, pre)
+	if err != nil {
+		return nil, err
+	}
 	results := make([]map[string]eval.MetricSet, len(cells))
 	errs := make([]error, len(cells))
 	workers := pre.Workers
@@ -71,7 +76,7 @@ func sweepCells(pre Preset, cells [][2]float64) ([]map[string]eval.MetricSet, er
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = runCell(base, methods, theta, gamma, pre.Folds, pre.Seed)
+			results[i], errs[i] = runCell(base, planner, methods, theta, gamma, pre.Folds, pre.Seed, pre.Partitions)
 		}(i, int(cell[0]), cell[1])
 	}
 	wg.Wait()
@@ -339,6 +344,10 @@ func RunFig5(pre Preset) (*Table, error) {
 			tasks = append(tasks, task{variant: vi, budget: b, col: ci})
 		}
 	}
+	planner, err := sweepPlanner(base, pre)
+	if err != nil {
+		return nil, err
+	}
 	results := make([]eval.MetricSet, len(tasks))
 	errs := make([]error, len(tasks))
 	workers := pre.Workers
@@ -357,7 +366,7 @@ func RunFig5(pre Preset) (*Table, error) {
 			m := v.method
 			m.Budget = tk.budget
 			m.Name = fmt.Sprintf("%s-b%d", v.name, tk.budget)
-			results[ti], errs[ti] = runSingleMethodCell(base, m, pre.FixedTheta, v.gamma, pre.Folds, pre.Seed)
+			results[ti], errs[ti] = runSingleMethodCell(base, planner, m, pre.FixedTheta, v.gamma, pre.Folds, pre.Seed, pre.Partitions)
 		}(ti, tk)
 	}
 	wg.Wait()
@@ -395,9 +404,18 @@ func RunFig5(pre Preset) (*Table, error) {
 	return t, nil
 }
 
+// sweepPlanner derives the shared pair-level partition planner once per
+// sweep; nil (and no cost) when the sweep is monolithic.
+func sweepPlanner(base *metadiag.Counter, pre Preset) (*partition.Planner, error) {
+	if pre.Partitions <= 1 {
+		return nil, nil
+	}
+	return partition.NewPlanner(base)
+}
+
 // runSingleMethodCell is runCell for one method.
-func runSingleMethodCell(base *metadiag.Counter, m Method, theta int, gamma float64, folds int, seed int64) (eval.MetricSet, error) {
-	out, err := runCell(base, []Method{m}, theta, gamma, folds, seed)
+func runSingleMethodCell(base *metadiag.Counter, planner *partition.Planner, m Method, theta int, gamma float64, folds int, seed int64, partitions int) (eval.MetricSet, error) {
+	out, err := runCell(base, planner, []Method{m}, theta, gamma, folds, seed, partitions)
 	if err != nil {
 		return eval.MetricSet{}, err
 	}

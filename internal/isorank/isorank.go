@@ -69,37 +69,42 @@ type Result struct {
 	Iterations int
 }
 
-// Align runs IsoRank over the pair. No anchor labels are consulted.
-func Align(pair *hetnet.AlignedPair, cfg Config) (*Result, error) {
+// Similarity runs the IsoRank power iteration and returns the converged
+// |U¹|×|U²| similarity matrix without the matching step — the coarse
+// scorer the partitioned aligner seeds its candidate-space shards with.
+// hasAttr reports whether the pair carried any joint attribute evidence:
+// when false the returned matrix was propagated from the dense uniform
+// prior, which large-pair callers should avoid by falling back to
+// structure-only seeding instead of calling this at scale.
+func Similarity(pair *hetnet.AlignedPair, cfg Config) (r *sparse.CSR, hasAttr bool, iters int, err error) {
 	cfg = cfg.withDefaults()
 	n1 := pair.G1.NodeCount(hetnet.User)
 	n2 := pair.G2.NodeCount(hetnet.User)
 	if n1 == 0 || n2 == 0 {
-		return nil, fmt.Errorf("isorank: empty user sets %d/%d", n1, n2)
+		return nil, false, 0, fmt.Errorf("isorank: empty user sets %d/%d", n1, n2)
 	}
 
 	// Symmetrized, degree-normalized follow operators: W = (A ∨ Aᵀ) with
 	// rows scaled by 1/degree. Propagation is then R ← α·W1ᵀ? We use
 	// R ← α · W1 · R · W2ᵀ with W the *column*-normalized undirected
 	// adjacency, which realizes the neighbor-average recurrence.
-	w1, err := normalizedUndirected(pair.G1)
+	w1, err := NormalizedUndirected(pair.G1)
 	if err != nil {
-		return nil, err
+		return nil, false, 0, err
 	}
-	w2, err := normalizedUndirected(pair.G2)
+	w2, err := NormalizedUndirected(pair.G2)
 	if err != nil {
-		return nil, err
+		return nil, false, 0, err
 	}
 
 	// Attribute prior: Ψ^a² proximity, normalized to sum 1; uniform when
 	// the networks carry no attribute overlap at all.
-	prior, err := attributePrior(pair, n1, n2)
+	prior, hasAttr, err := attributePrior(pair, n1, n2)
 	if err != nil {
-		return nil, err
+		return nil, false, 0, err
 	}
 
-	r := prior
-	iters := 0
+	r = prior
 	for it := 0; it < cfg.Iterations; it++ {
 		iters = it + 1
 		// R' = α · W1 R W2ᵀ + (1−α) H.
@@ -111,6 +116,16 @@ func Align(pair *hetnet.AlignedPair, cfg Config) (*Result, error) {
 		if delta < cfg.Tol {
 			break
 		}
+	}
+	return r, hasAttr, iters, nil
+}
+
+// Align runs IsoRank over the pair. No anchor labels are consulted.
+func Align(pair *hetnet.AlignedPair, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r, _, iters, err := Similarity(pair, cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	// Greedy one-to-one matching over the top-M candidates per user.
@@ -127,9 +142,12 @@ func Align(pair *hetnet.AlignedPair, cfg Config) (*Result, error) {
 	return &Result{Similarity: r, Matches: matches, Iterations: iters}, nil
 }
 
-// normalizedUndirected returns the symmetrized follow adjacency with
-// rows scaled to sum 1 (isolated users keep empty rows).
-func normalizedUndirected(g *hetnet.Network) (*sparse.CSR, error) {
+// NormalizedUndirected returns the symmetrized follow adjacency with
+// rows scaled to sum 1 (isolated users keep empty rows) — the neighbor-
+// average propagation operator of the IsoRank recurrence. Shared with
+// the partition planner's coarse-similarity seed so both propagate with
+// identical semantics.
+func NormalizedUndirected(g *hetnet.Network) (*sparse.CSR, error) {
 	adj, err := g.Adjacency(hetnet.Follow)
 	if err != nil {
 		return nil, err
@@ -146,17 +164,17 @@ func normalizedUndirected(g *hetnet.Network) (*sparse.CSR, error) {
 }
 
 // attributePrior builds the Ψ^a² proximity prior, falling back to a
-// uniform matrix when no joint attributes exist.
-func attributePrior(pair *hetnet.AlignedPair, n1, n2 int) (*sparse.CSR, error) {
+// uniform matrix (hasAttr=false) when no joint attributes exist.
+func attributePrior(pair *hetnet.AlignedPair, n1, n2 int) (prior *sparse.CSR, hasAttr bool, err error) {
 	counter, err := metadiag.NewCounter(pair)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	// No anchors are used: clear them so path features cannot leak.
 	counter.SetAnchors(nil)
 	prox, err := counter.Proximity(schema.AttributeDiagram(hetnet.At, hetnet.Checkin))
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	sm := prox.ScoreMatrix()
 	if sm.NNZ() == 0 {
@@ -168,9 +186,9 @@ func attributePrior(pair *hetnet.AlignedPair, n1, n2 int) (*sparse.CSR, error) {
 				b.Add(i, j, u)
 			}
 		}
-		return b.Build(), nil
+		return b.Build(), false, nil
 	}
-	return renormalize(sm), nil
+	return renormalize(sm), true, nil
 }
 
 // renormalize scales a non-negative matrix to total sum 1.

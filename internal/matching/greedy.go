@@ -14,7 +14,10 @@
 // (Exact) used by the ablation benchmarks to quantify the gap.
 package matching
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Candidate is a scored candidate anchor link. Payload carries the
 // caller's identifier (e.g. the index into the candidate pool H) through
@@ -61,19 +64,30 @@ func (o *Occupied) Clone() *Occupied {
 	return c
 }
 
+// finite reports whether a score can participate in selection. NaN
+// scores make the sort comparator intransitive (and compare false
+// against any threshold), and ±Inf corrupts the selection objective, so
+// non-finite candidates are dropped before ordering.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
 // Greedy selects candidates in descending score order, keeping a
 // candidate when its score exceeds threshold and both endpoints are
 // free (including endpoints consumed by occ, which is mutated). Ties
-// break deterministically by (I, J). The returned slice preserves the
-// descending-score pick order. This is the ½-approximation greedy of
-// reference [21]; with threshold ½ it greedily maximizes Σ(2ŷ−1).
+// break deterministically by (I, J). Candidates with non-finite scores
+// are skipped. The returned slice preserves the descending-score pick
+// order. This is the ½-approximation greedy of reference [21]; with
+// threshold ½ it greedily maximizes Σ(2ŷ−1).
 func Greedy(cands []Candidate, threshold float64, occ *Occupied) []Candidate {
 	if occ == nil {
 		occ = NewOccupied()
 	}
-	order := make([]int, len(cands))
-	for i := range order {
-		order[i] = i
+	order := make([]int, 0, len(cands))
+	for i, c := range cands {
+		if finite(c.Score) {
+			order = append(order, i)
+		}
 	}
 	sort.Slice(order, func(a, b int) bool {
 		ca, cb := cands[order[a]], cands[order[b]]

@@ -25,7 +25,7 @@ func Exact(cands []Candidate, threshold float64, occ *Occupied) []Candidate {
 	rightIDs := make(map[int]int)
 	var edges []edge
 	for idx, c := range cands {
-		if c.Score <= threshold || !occ.Free(c.I, c.J) {
+		if !finite(c.Score) || c.Score <= threshold || !occ.Free(c.I, c.J) {
 			continue
 		}
 		li, ok := leftIDs[c.I]

@@ -74,6 +74,63 @@ func TestGreedyEmpty(t *testing.T) {
 	}
 }
 
+// Regression: a NaN score is not ≤ threshold (every comparison with NaN
+// is false), so pre-fix Greedy could select NaN-scored candidates and —
+// when the intransitive sort floated the NaN to the front — break out of
+// the loop before ever seeing valid candidates. Non-finite scores must
+// be skipped entirely, by Greedy and Exact alike.
+func TestSelectionSkipsNonFiniteScores(t *testing.T) {
+	nan := math.NaN()
+	if got := Greedy([]Candidate{{I: 0, J: 0, Score: nan}}, 0.5, nil); len(got) != 0 {
+		t.Errorf("Greedy selected NaN-scored candidate: %+v", got)
+	}
+	if got := Exact([]Candidate{{I: 0, J: 0, Score: nan}}, 0.5, nil); len(got) != 0 {
+		t.Errorf("Exact selected NaN-scored candidate: %+v", got)
+	}
+	// Finite candidates must survive NaN and ±Inf neighbours, wherever
+	// the intransitive comparator would have placed them.
+	cands := []Candidate{
+		{I: 0, J: 0, Score: nan, Payload: 0},
+		{I: 1, J: 1, Score: 0.9, Payload: 1},
+		{I: 2, J: 2, Score: math.Inf(1), Payload: 2},
+		{I: 3, J: 3, Score: 0.7, Payload: 3},
+		{I: 4, J: 4, Score: math.Inf(-1), Payload: 4},
+	}
+	for name, sel := range map[string][]Candidate{
+		"Greedy": Greedy(cands, 0.5, nil),
+		"Exact":  Exact(cands, 0.5, nil),
+	} {
+		if len(sel) != 2 {
+			t.Fatalf("%s selected %d candidates (%+v), want the 2 finite ones", name, len(sel), sel)
+		}
+		for _, c := range sel {
+			if !finite(c.Score) {
+				t.Errorf("%s selected non-finite candidate %+v", name, c)
+			}
+		}
+	}
+}
+
+// Regression: with a NaN sorted first (intransitivity permitting), the
+// sorted-early-break in Greedy must not hide real candidates behind it.
+func TestGreedyNaNDoesNotTriggerEarlyBreak(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cands := randomCandidates(rng, 2+rng.Intn(20), 1+rng.Intn(8), 1+rng.Intn(8))
+		want := TotalGain(Greedy(cands, 0.5, nil))
+		// Splice NaNs throughout; the finite selection must be unchanged.
+		withNaN := make([]Candidate, 0, 2*len(cands))
+		for k, c := range cands {
+			withNaN = append(withNaN, Candidate{I: 100 + k, J: 100 + k, Score: math.NaN()})
+			withNaN = append(withNaN, c)
+		}
+		return TotalGain(Greedy(withNaN, 0.5, nil)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestOccupiedClone(t *testing.T) {
 	occ := NewOccupied()
 	occ.Take(1, 2)

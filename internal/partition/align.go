@@ -1,0 +1,325 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/active"
+	"github.com/activeiter/activeiter/internal/core"
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/metadiag"
+	"github.com/activeiter/activeiter/internal/multinet"
+	"github.com/activeiter/activeiter/internal/schema"
+)
+
+// seedStride separates the per-partition training seeds. Partition 0
+// keeps the configured seed unchanged, so a single-partition plan is
+// bit-identical to the monolithic training loop.
+const seedStride = 1_000_003
+
+// TrainOptions configures the per-partition training pipelines.
+type TrainOptions struct {
+	// Features is the meta diagram feature list every partition extracts.
+	Features []schema.Named
+	// Core is the training configuration. Core.Budget is the TOTAL query
+	// budget — each partition runs with its plan-assigned slice of it —
+	// and Core.Seed is the base seed, offset per partition.
+	Core core.Config
+	// Workers caps concurrent partition pipelines; default
+	// min(K, GOMAXPROCS). Callers stacking Align under their own worker
+	// pools (one cell per worker, say) should pass 1 to avoid
+	// multiplying heavy pipelines.
+	Workers int
+}
+
+// PartReport is the audit trail of one partition's pipeline.
+type PartReport struct {
+	Index      int
+	TrainPos   int
+	Candidates int
+	Budget     int
+	Queries    int
+	Elapsed    time.Duration
+}
+
+// Result is a merged partitioned alignment. It satisfies the same
+// read-side contract as core's result (Label / WasQueried / predicted
+// anchors), so evaluation code treats both uniformly.
+type Result struct {
+	anchors []hetnet.Anchor
+	labels  map[int64]float64
+	scores  map[int64]float64
+	queried map[int64]bool
+
+	// Rejected counts positive predictions dropped by the global
+	// one-to-one reconciliation (cross-partition conflicts).
+	Rejected int
+	// Reports holds one entry per partition, in partition order.
+	Reports []PartReport
+	// Elapsed is the wall time of Align: fork, extract, train, merge
+	// (planning time is the caller's, via BuildPlan).
+	Elapsed time.Duration
+}
+
+// PredictedAnchors returns the merged positive links, sorted by (I, J).
+func (r *Result) PredictedAnchors() []hetnet.Anchor {
+	out := make([]hetnet.Anchor, len(r.anchors))
+	copy(out, r.anchors)
+	return out
+}
+
+// Label returns the final label of link (i, j) and whether the link was
+// part of any partition's candidate pool.
+func (r *Result) Label(i, j int) (float64, bool) {
+	v, ok := r.labels[hetnet.Key(i, j)]
+	return v, ok
+}
+
+// Score returns the best per-partition raw score of link (i, j).
+func (r *Result) Score(i, j int) (float64, bool) {
+	v, ok := r.scores[hetnet.Key(i, j)]
+	return v, ok
+}
+
+// WasQueried reports whether any partition labeled (i, j) by the oracle.
+func (r *Result) WasQueried(i, j int) bool {
+	return r.queried[hetnet.Key(i, j)]
+}
+
+// QueryCount returns the total oracle queries spent across partitions.
+func (r *Result) QueryCount() int {
+	n := 0
+	for _, rep := range r.Reports {
+		n += rep.Queries
+	}
+	return n
+}
+
+// lockedOracle serializes oracle access across partition pipelines —
+// the Oracle contract does not require thread safety (CountingOracle,
+// for one, keeps a counter).
+type lockedOracle struct {
+	mu    sync.Mutex
+	inner active.Oracle
+}
+
+func (o *lockedOracle) Label(a hetnet.Anchor) float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.inner.Label(a)
+}
+
+// partOutput is one partition pipeline's raw result.
+type partOutput struct {
+	part  *Part
+	links []hetnet.Anchor
+	res   *core.Result
+}
+
+// Align runs the counter→extractor→core.Train pipeline for every
+// partition of the plan concurrently — each on a Fork of base, so the
+// attribute-only count layer is shared while anchor-dependent counts
+// stay partition-local — and merges the per-partition predictions into
+// one globally one-to-one result via score-greedy union-find
+// reconciliation. The oracle may be nil when the total budget is zero.
+// Oracle calls are serialized but arrive in nondeterministic order
+// across partitions; every oracle in this module answers as a pure
+// function of the link (TruthOracle, hash-seeded NoisyOracle), which
+// keeps multi-partition runs reproducible — an oracle whose answers
+// depend on CALL ORDER would not be.
+func Align(base *metadiag.Counter, plan *Plan, opts TrainOptions, oracle active.Oracle) (*Result, error) {
+	if base == nil {
+		return nil, fmt.Errorf("partition: nil base counter")
+	}
+	if plan == nil || len(plan.Parts) == 0 {
+		return nil, fmt.Errorf("partition: empty plan")
+	}
+	start := time.Now()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plan.Parts) {
+		workers = len(plan.Parts)
+	}
+	if oracle != nil && len(plan.Parts) > 1 {
+		oracle = &lockedOracle{inner: oracle}
+	}
+
+	outs := make([]partOutput, len(plan.Parts))
+	errs := make([]error, len(plan.Parts))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for p := range plan.Parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outs[p], errs[p] = runPart(base, &plan.Parts[p], opts, oracle)
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("partition %d: %w", p, err)
+		}
+	}
+	res := merge(outs)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runPart executes one partition's pipeline on a fresh fork of base.
+// The body deliberately mirrors the monolithic Aligner.Align: restrict
+// the counter to the partition's training anchors, recompute features,
+// assemble the deduplicated pool, and train.
+func runPart(base *metadiag.Counter, part *Part, opts TrainOptions, oracle active.Oracle) (partOutput, error) {
+	t0 := time.Now()
+	counter := base.Fork()
+	counter.SetAnchors(part.TrainPos)
+	ext := metadiag.NewExtractor(counter, opts.Features, true)
+	if err := ext.Recompute(); err != nil {
+		return partOutput{}, err
+	}
+	links := make([]hetnet.Anchor, 0, len(part.TrainPos)+len(part.Candidates))
+	links = append(links, part.TrainPos...)
+	seen := make(map[int64]bool, len(links))
+	for _, l := range part.TrainPos {
+		seen[hetnet.Key(l.I, l.J)] = true
+	}
+	for _, l := range part.Candidates {
+		if !seen[hetnet.Key(l.I, l.J)] {
+			seen[hetnet.Key(l.I, l.J)] = true
+			links = append(links, l)
+		}
+	}
+	x, err := ext.FeatureMatrix(links)
+	if err != nil {
+		return partOutput{}, err
+	}
+	labeled := make([]int, len(part.TrainPos))
+	for i := range labeled {
+		labeled[i] = i
+	}
+	cfg := opts.Core
+	cfg.Budget = part.Budget
+	cfg.Seed += int64(part.Index) * seedStride
+	if cfg.Budget == 0 {
+		cfg.Strategy = nil
+	}
+	res, err := core.Train(core.Problem{
+		Links:      links,
+		X:          x,
+		LabeledPos: labeled,
+		Oracle:     oracle,
+	}, cfg)
+	if err != nil {
+		return partOutput{}, err
+	}
+	out := partOutput{part: part, links: links, res: res}
+	out.res.Elapsed = time.Since(t0) // include fork+extract, the real per-partition cost
+	return out, nil
+}
+
+// linkVote is one partition's verdict on one pool link, the unit the
+// merge decision works on.
+type linkVote struct {
+	link    hetnet.Anchor
+	label   float64
+	score   float64
+	queried bool // oracle-labeled in that partition
+	fixed   bool // training anchor (ground-truth positive)
+}
+
+// merge reconciles the per-partition predictions into one globally
+// one-to-one label assignment via mergeVotes.
+func merge(outs []partOutput) *Result {
+	res := &Result{}
+	var votes []linkVote
+	for _, out := range outs {
+		res.Reports = append(res.Reports, PartReport{
+			Index:      out.part.Index,
+			TrainPos:   len(out.part.TrainPos),
+			Candidates: len(out.part.Candidates),
+			Budget:     out.part.Budget,
+			Queries:    out.res.QueryCount(),
+			Elapsed:    out.res.Elapsed,
+		})
+		for idx, l := range out.links {
+			votes = append(votes, linkVote{
+				link:    l,
+				label:   out.res.Y[idx],
+				score:   out.res.Scores[idx],
+				queried: out.res.WasQueried(l.I, l.J),
+				fixed:   idx < len(out.part.TrainPos),
+			})
+		}
+	}
+	res.labels, res.scores, res.queried, res.anchors, res.Rejected = mergeVotes(votes)
+	return res
+}
+
+// mergeVotes folds per-partition votes into one globally one-to-one
+// label assignment. Ground truth outranks inference in both directions:
+// training anchors and queried positives enter the union-find at +Inf
+// score so they always win, while a link the oracle answered NEGATIVE
+// in any partition never enters at all — an overlapping partition that
+// merely inferred it positive must not overrule a paid-for oracle
+// answer. Remaining inferred positives compete at their best
+// per-partition raw score; conflicting inferred links across partition
+// borders lose to the higher-scored side and are counted in rejected.
+func mergeVotes(votes []linkVote) (labels, scores map[int64]float64, queried map[int64]bool, anchors []hetnet.Anchor, rejected int) {
+	labels = make(map[int64]float64)
+	scores = make(map[int64]float64)
+	queried = make(map[int64]bool)
+	queriedNeg := make(map[int64]bool)
+	for _, v := range votes {
+		key := hetnet.Key(v.link.I, v.link.J)
+		if _, ok := labels[key]; !ok {
+			labels[key] = 0
+		}
+		if !math.IsNaN(v.score) {
+			if old, ok := scores[key]; !ok || v.score > old {
+				scores[key] = v.score
+			}
+		}
+		if v.queried {
+			queried[key] = true
+			if v.label == 0 {
+				queriedNeg[key] = true
+			}
+		}
+	}
+	posScore := make(map[int64]float64)
+	posLink := make(map[int64]hetnet.Anchor)
+	for _, v := range votes {
+		if v.label != 1 {
+			continue
+		}
+		key := hetnet.Key(v.link.I, v.link.J)
+		score := v.score
+		if v.fixed || (v.queried && v.label == 1) {
+			score = math.Inf(1)
+		} else if queriedNeg[key] {
+			continue // the oracle said no somewhere: inference is overruled
+		}
+		if old, ok := posScore[key]; !ok || score > old {
+			posScore[key] = score
+			posLink[key] = v.link
+		}
+	}
+	scored := make([]multinet.ScoredLink, 0, len(posScore))
+	for key, s := range posScore {
+		scored = append(scored, multinet.ScoredLink{NetI: 0, NetJ: 1, A: posLink[key], Score: s})
+	}
+	clusters, rejected := multinet.Reconcile(scored)
+	anchors = multinet.PairLinks(clusters, 0, 1)
+	for _, a := range anchors {
+		labels[hetnet.Key(a.I, a.J)] = 1
+	}
+	return labels, scores, queried, anchors, rejected
+}

@@ -1,0 +1,415 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/active"
+	"github.com/activeiter/activeiter/internal/core"
+	"github.com/activeiter/activeiter/internal/datagen"
+	"github.com/activeiter/activeiter/internal/eval"
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/metadiag"
+	"github.com/activeiter/activeiter/internal/schema"
+)
+
+// fixture generates the tiny pair and a train/candidate split shaped
+// like the experiment protocol.
+func fixture(t *testing.T) (pair *hetnet.AlignedPair, trainPos, candidates []hetnet.Anchor) {
+	t.Helper()
+	pair, err := datagen.Generate(datagen.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(pair.Anchors) / 2
+	trainPos = pair.Anchors[:n]
+	testPos := pair.Anchors[n:]
+	rng := rand.New(rand.NewSource(5))
+	neg, err := eval.SampleNegatives(pair, 8*len(pair.Anchors), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates = append(append([]hetnet.Anchor{}, testPos...), neg...)
+	return pair, trainPos, candidates
+}
+
+func newBase(t *testing.T, pair *hetnet.AlignedPair) *metadiag.Counter {
+	t.Helper()
+	base, err := metadiag.NewCounter(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func TestPlanK1IsMonolithic(t *testing.T) {
+	pair, trainPos, candidates := fixture(t)
+	plan, err := BuildPlan(newBase(t, pair), trainPos, candidates, 42, Config{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Parts) != 1 {
+		t.Fatalf("K=1 produced %d parts", len(plan.Parts))
+	}
+	p := plan.Parts[0]
+	if len(p.TrainPos) != len(trainPos) || len(p.Candidates) != len(candidates) || p.Budget != 42 {
+		t.Errorf("monolithic part lost inputs: %d anchors, %d candidates, budget %d",
+			len(p.TrainPos), len(p.Candidates), p.Budget)
+	}
+	for i, c := range p.Candidates {
+		if c != candidates[i] {
+			t.Fatalf("candidate order changed at %d", i)
+		}
+	}
+}
+
+func TestPlanCoverageBalanceAndBudget(t *testing.T) {
+	pair, trainPos, candidates := fixture(t)
+	const k, budget = 3, 50
+	plan, err := BuildPlan(newBase(t, pair), trainPos, candidates, budget, Config{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Parts) != k {
+		t.Fatalf("got %d parts, want %d", len(plan.Parts), k)
+	}
+	// Every partition needs at least one training anchor (PU training is
+	// meaningless without positives) and the anchor groups partition the
+	// training set.
+	seenAnchor := make(map[int64]int)
+	totalAnchors := 0
+	for _, p := range plan.Parts {
+		if len(p.TrainPos) == 0 {
+			t.Errorf("partition %d has no training anchors", p.Index)
+		}
+		totalAnchors += len(p.TrainPos)
+		for _, a := range p.TrainPos {
+			seenAnchor[hetnet.Key(a.I, a.J)]++
+		}
+	}
+	if totalAnchors != len(trainPos) {
+		t.Errorf("anchor groups cover %d anchors, want %d", totalAnchors, len(trainPos))
+	}
+	for key, n := range seenAnchor {
+		if n != 1 {
+			i, j := hetnet.UnpackKey(key)
+			t.Errorf("anchor (%d,%d) in %d groups", i, j, n)
+		}
+	}
+	// Every candidate must appear in at least one partition; overlap in
+	// at most two.
+	seenCand := make(map[int64]int)
+	for _, p := range plan.Parts {
+		for _, c := range p.Candidates {
+			seenCand[hetnet.Key(c.I, c.J)]++
+		}
+	}
+	for _, c := range candidates {
+		n := seenCand[hetnet.Key(c.I, c.J)]
+		if n < 1 || n > 2 {
+			t.Errorf("candidate (%d,%d) assigned to %d partitions", c.I, c.J, n)
+		}
+	}
+	if plan.Candidates() != len(candidates)+plan.Overlapped {
+		t.Errorf("assignment count %d ≠ candidates %d + overlapped %d",
+			plan.Candidates(), len(candidates), plan.Overlapped)
+	}
+	// Budgets split the total exactly, proportional enough that no
+	// non-empty shard is starved while another holds everything.
+	sum := 0
+	for _, p := range plan.Parts {
+		sum += p.Budget
+		if p.Budget < 0 {
+			t.Errorf("partition %d has negative budget %d", p.Index, p.Budget)
+		}
+	}
+	if sum != budget {
+		t.Errorf("budgets sum to %d, want %d", sum, budget)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	pair, trainPos, candidates := fixture(t)
+	base := newBase(t, pair)
+	if _, err := BuildPlan(nil, trainPos, candidates, 0, Config{K: 2}); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := BuildPlan(base, nil, candidates, 0, Config{K: 2}); err == nil {
+		t.Error("empty training anchors accepted")
+	}
+	if _, err := BuildPlan(base, trainPos, candidates, -1, Config{K: 2}); err == nil {
+		t.Error("negative budget accepted")
+	}
+	// K above the anchor count clamps rather than failing.
+	plan, err := BuildPlan(base, trainPos[:2], candidates, 0, Config{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Parts) > 2 {
+		t.Errorf("K not clamped to anchor count: %d parts", len(plan.Parts))
+	}
+}
+
+// monolithicTrain runs the exact pipeline Aligner.Align runs, for
+// equivalence checks.
+func monolithicTrain(t *testing.T, pair *hetnet.AlignedPair, trainPos, candidates []hetnet.Anchor, cfg core.Config, oracle active.Oracle) (*core.Result, []hetnet.Anchor) {
+	t.Helper()
+	counter, err := metadiag.NewCounter(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter.SetAnchors(trainPos)
+	ext := metadiag.NewExtractor(counter, schema.StandardLibrary().All(), true)
+	if err := ext.Recompute(); err != nil {
+		t.Fatal(err)
+	}
+	links := append([]hetnet.Anchor{}, trainPos...)
+	seen := make(map[int64]bool)
+	for _, l := range trainPos {
+		seen[hetnet.Key(l.I, l.J)] = true
+	}
+	for _, l := range candidates {
+		if !seen[hetnet.Key(l.I, l.J)] {
+			seen[hetnet.Key(l.I, l.J)] = true
+			links = append(links, l)
+		}
+	}
+	x, err := ext.FeatureMatrix(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled := make([]int, len(trainPos))
+	for i := range labeled {
+		labeled[i] = i
+	}
+	if cfg.Budget == 0 {
+		cfg.Strategy = nil
+	}
+	res, err := core.Train(core.Problem{Links: links, X: x, LabeledPos: labeled, Oracle: oracle}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, links
+}
+
+func sortedAnchors(in []hetnet.Anchor) []hetnet.Anchor {
+	out := append([]hetnet.Anchor{}, in...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}
+
+// The K=1 partitioned pipeline must reproduce the monolithic training
+// loop exactly: same positive set, same labels, same query sequence.
+func TestAlignK1MatchesMonolithic(t *testing.T) {
+	pair, trainPos, candidates := fixture(t)
+	for _, budget := range []int{0, 15} {
+		cfg := core.Config{Budget: budget, Strategy: active.Conflict{}, Seed: 7}
+		var oracle active.Oracle
+		if budget > 0 {
+			oracle = active.NewTruthOracle(pair)
+		}
+		mono, monoLinks := monolithicTrain(t, pair, trainPos, candidates, cfg, oracle)
+		var monoPos []hetnet.Anchor
+		for idx, l := range monoLinks {
+			if mono.Y[idx] == 1 {
+				monoPos = append(monoPos, l)
+			}
+		}
+
+		base, err := metadiag.NewCounter(pair)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := BuildPlan(base, trainPos, candidates, budget, Config{K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := Align(base, plan, TrainOptions{
+			Features: schema.StandardLibrary().All(),
+			Core:     cfg,
+		}, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		want := sortedAnchors(monoPos)
+		got := part.PredictedAnchors()
+		if len(got) != len(want) {
+			t.Fatalf("budget %d: K=1 predicted %d anchors, monolithic %d", budget, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("budget %d: anchor %d = %+v, want %+v", budget, i, got[i], want[i])
+			}
+		}
+		// Labels agree on every pool link, and the oracle audit matches.
+		for _, l := range monoLinks {
+			mLab, _ := mono.LabelOf(l.I, l.J)
+			pLab, ok := part.Label(l.I, l.J)
+			if !ok || mLab != pLab {
+				t.Fatalf("budget %d: label of (%d,%d) = %v/%v (ok=%v)", budget, l.I, l.J, pLab, mLab, ok)
+			}
+			if mono.WasQueried(l.I, l.J) != part.WasQueried(l.I, l.J) {
+				t.Fatalf("budget %d: queried mismatch at (%d,%d)", budget, l.I, l.J)
+			}
+		}
+		if mono.QueryCount() != part.QueryCount() {
+			t.Fatalf("budget %d: query count %d vs %d", budget, part.QueryCount(), mono.QueryCount())
+		}
+		if part.Rejected != 0 {
+			t.Errorf("budget %d: K=1 reconciliation rejected %d links", budget, part.Rejected)
+		}
+	}
+}
+
+// K>1 output must respect the global one-to-one constraint, label every
+// candidate, and spend no more than the configured budget.
+func TestAlignMultiPartitionOneToOne(t *testing.T) {
+	pair, trainPos, candidates := fixture(t)
+	base, err := metadiag.NewCounter(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 12
+	plan, err := BuildPlan(base, trainPos, candidates, budget, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := &active.CountingOracle{Inner: active.NewTruthOracle(pair)}
+	res, err := Align(base, plan, TrainOptions{
+		Features: schema.StandardLibrary().All(),
+		Core:     core.Config{Budget: budget, Strategy: active.Conflict{}, Seed: 7},
+	}, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenI, seenJ := map[int]bool{}, map[int]bool{}
+	for _, a := range res.PredictedAnchors() {
+		if seenI[a.I] || seenJ[a.J] {
+			t.Fatalf("one-to-one violated at (%d,%d)", a.I, a.J)
+		}
+		seenI[a.I] = true
+		seenJ[a.J] = true
+	}
+	// Training anchors always survive reconciliation (they are ground
+	// truth, queued at +Inf).
+	for _, a := range trainPos {
+		if lab, ok := res.Label(a.I, a.J); !ok || lab != 1 {
+			t.Errorf("training anchor (%d,%d) lost: label %v ok=%v", a.I, a.J, lab, ok)
+		}
+	}
+	// Every candidate is labeled.
+	for _, c := range candidates {
+		if _, ok := res.Label(c.I, c.J); !ok {
+			t.Errorf("candidate (%d,%d) unlabeled", c.I, c.J)
+		}
+	}
+	if oracle.Queries > budget {
+		t.Errorf("spent %d queries over budget %d", oracle.Queries, budget)
+	}
+	if got := res.QueryCount(); got != oracle.Queries {
+		t.Errorf("QueryCount %d ≠ oracle count %d", got, oracle.Queries)
+	}
+	if len(res.Reports) != len(plan.Parts) {
+		t.Errorf("%d reports for %d parts", len(res.Reports), len(plan.Parts))
+	}
+}
+
+// Concurrent partition pipelines share the base counter's attribute-only
+// cache; run a K=4 alignment twice to exercise the forked concurrent
+// path under -race.
+func TestAlignConcurrentForksRace(t *testing.T) {
+	pair, trainPos, candidates := fixture(t)
+	base, err := metadiag.NewCounter(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		plan, err := BuildPlan(base, trainPos, candidates, 0, Config{K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Align(base, plan, TrainOptions{
+			Features: schema.StandardLibrary().All(),
+			Core:     core.Config{Seed: 3},
+			Workers:  4,
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Regression: clusterAnchors drops empty groups, so it can return fewer
+// groups than requested — training anchors sharing one network-1
+// endpoint give farthest-point seeding no distinct seeds to pick.
+// BuildPlan used to index d1/d2/parts by the requested K and panic.
+func TestPlanDegenerateAnchorEndpoints(t *testing.T) {
+	pair, _, candidates := fixture(t)
+	// Five anchors, all incident to network-1 user 0: one seed location.
+	degenerate := []hetnet.Anchor{{I: 0, J: 0}, {I: 0, J: 1}, {I: 0, J: 2}, {I: 0, J: 3}, {I: 0, J: 4}}
+	plan, err := BuildPlan(newBase(t, pair), degenerate, candidates, 10, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range plan.Parts {
+		if len(p.TrainPos) == 0 {
+			t.Errorf("partition %d has no training anchors", p.Index)
+		}
+		total += p.Budget
+	}
+	if total != 10 {
+		t.Errorf("budgets sum to %d, want 10", total)
+	}
+	seen := make(map[int64]bool)
+	for _, p := range plan.Parts {
+		for _, c := range p.Candidates {
+			seen[hetnet.Key(c.I, c.J)] = true
+		}
+	}
+	if len(seen) != len(candidates) {
+		t.Errorf("plan covers %d distinct candidates, want %d", len(seen), len(candidates))
+	}
+}
+
+// Regression: on an overlapped candidate, one partition's INFERRED
+// positive must not overrule another partition's oracle-answered
+// negative — the system paid a query for that 0. Queried positives and
+// training anchors still outrank everything.
+func TestMergeVotesOracleNegativeWins(t *testing.T) {
+	cand := hetnet.Anchor{I: 5, J: 7}
+	votes := []linkVote{
+		// Partition A inferred the candidate positive with a high score.
+		{link: cand, label: 1, score: 0.93},
+		// Partition B queried it; the oracle said no.
+		{link: cand, label: 0, score: 0.88, queried: true},
+		// An unrelated inferred positive must survive.
+		{link: hetnet.Anchor{I: 1, J: 1}, label: 1, score: 0.7},
+		// A queried positive enters at +Inf.
+		{link: hetnet.Anchor{I: 2, J: 2}, label: 1, score: 0.1, queried: true},
+		// A training anchor enters at +Inf.
+		{link: hetnet.Anchor{I: 3, J: 3}, label: 1, score: 0.2, fixed: true},
+	}
+	labels, _, queried, anchors, _ := mergeVotes(votes)
+	if lab := labels[hetnet.Key(cand.I, cand.J)]; lab != 0 {
+		t.Errorf("oracle-refuted candidate merged with label %v, want 0", lab)
+	}
+	if !queried[hetnet.Key(cand.I, cand.J)] {
+		t.Error("queried flag lost in merge")
+	}
+	want := []hetnet.Anchor{{I: 1, J: 1}, {I: 2, J: 2}, {I: 3, J: 3}}
+	if len(anchors) != len(want) {
+		t.Fatalf("merged anchors %v, want %v", anchors, want)
+	}
+	for i := range want {
+		if anchors[i] != want[i] {
+			t.Fatalf("merged anchors %v, want %v", anchors, want)
+		}
+	}
+}

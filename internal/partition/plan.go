@@ -1,0 +1,628 @@
+// Package partition scales alignment past one monolithic training loop
+// by sharding a large AlignedPair's candidate space into K overlapping
+// partitions, running the existing counter→extractor→core.Train pipeline
+// per partition concurrently on forked counters, and merging the
+// per-partition predictions into one globally one-to-one result via the
+// score-greedy union-find reconciliation of internal/multinet.
+//
+// The approach follows "Scalable Heterogeneous Social Network Alignment
+// through Synergistic Graph Partition" (Ren, Meng, Zhang): alignment
+// quality is dominated by local evidence — a candidate link (i, j) is
+// decided by the meta-diagram instances in the neighborhoods of i and j
+// — so the candidate space can be cut along neighborhood boundaries and
+// each shard aligned independently, as long as a global reconciliation
+// restores the one-to-one constraint across shard borders. Partitions
+// are seeded two ways at once:
+//
+//   - training-anchor locality: the labeled anchors are clustered by
+//     farthest-point seeding over the follow graph, and every candidate
+//     gravitates to the partition whose anchors are closest (BFS hops on
+//     both networks), and
+//   - coarse IsoRank-style similarity: a few truncated power-iteration
+//     rounds of the isorank recurrence (counted on the shared base
+//     counter's attribute prior) give every user a soft affinity to each
+//     anchor cluster, which places candidates whose graph neighborhoods
+//     are uninformative (sparse followers, isolated users).
+//
+// A candidate whose second-best partition affinity is within
+// Config.Overlap of its best joins both shards — the overlap is what
+// lets reconciliation undo a bad hard assignment at a shard border.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/isorank"
+	"github.com/activeiter/activeiter/internal/metadiag"
+	"github.com/activeiter/activeiter/internal/schema"
+	"github.com/activeiter/activeiter/internal/sparse"
+)
+
+// Config controls partition planning. The zero value of every field gets
+// a usable default; K ≤ 1 plans a single monolithic partition.
+type Config struct {
+	// K is the number of candidate-space partitions. It is clamped to
+	// the training-anchor count (every partition needs at least one
+	// labeled positive for PU training to be well-posed).
+	K int
+	// Overlap ∈ [0,1) assigns a candidate to its runner-up partition too
+	// when the runner-up affinity is at least Overlap × the best
+	// affinity; default 0.85. Negative disables overlapping entirely.
+	Overlap float64
+	// LocalityWeight ∈ [0,1] blends BFS anchor-locality against coarse
+	// similarity in the candidate affinity; default 0.7.
+	LocalityWeight float64
+	// CoarseIters caps the truncated IsoRank-style power iteration used
+	// for the similarity half of the affinity; default 2 (coarse by
+	// design — the fine-grained signal comes from per-partition
+	// training, and every extra round costs two crawl-scale SpGEMMs).
+	CoarseIters int
+}
+
+func (c Config) withDefaults() Config {
+	if c.K < 1 {
+		c.K = 1
+	}
+	if c.Overlap == 0 {
+		c.Overlap = 0.85
+	} else if c.Overlap < 0 {
+		c.Overlap = 1.1 // unattainable ratio: no overlap
+	}
+	if c.LocalityWeight <= 0 || c.LocalityWeight > 1 {
+		c.LocalityWeight = 0.7
+	}
+	if c.CoarseIters <= 0 {
+		c.CoarseIters = 2
+	}
+	return c
+}
+
+// Part is one candidate-space shard: the training anchors that seed it,
+// the candidate links it decides, and its slice of the query budget.
+type Part struct {
+	Index      int
+	TrainPos   []hetnet.Anchor
+	Candidates []hetnet.Anchor
+	Budget     int
+}
+
+// Plan is a complete sharding of one alignment problem.
+type Plan struct {
+	Parts []Part
+	// Overlapped counts candidates assigned to two partitions.
+	Overlapped int
+	// SimilaritySeeded reports whether the coarse similarity signal was
+	// available (pairs without joint attribute evidence fall back to
+	// locality-only affinity rather than paying for a dense prior).
+	SimilaritySeeded bool
+}
+
+// Candidates returns the total candidate assignments across parts
+// (overlapping candidates counted once per shard).
+func (p *Plan) Candidates() int {
+	n := 0
+	for _, part := range p.Parts {
+		n += len(part.Candidates)
+	}
+	return n
+}
+
+// WithBudget returns a copy of the plan with totalBudget re-split
+// across the shards. The shard assignment itself is budget-independent,
+// so callers running several methods over one fold plan once and
+// re-split per method instead of re-running clustering, BFS fields, and
+// the affinity scan. Anchor and candidate slices are shared (read-only)
+// with the receiver.
+func (p *Plan) WithBudget(totalBudget int) *Plan {
+	out := &Plan{
+		Parts:            make([]Part, len(p.Parts)),
+		Overlapped:       p.Overlapped,
+		SimilaritySeeded: p.SimilaritySeeded,
+	}
+	copy(out.Parts, p.Parts)
+	for i := range out.Parts {
+		out.Parts[i].Budget = 0
+	}
+	splitBudget(out.Parts, totalBudget)
+	return out
+}
+
+// Planner caches the plan inputs that do not depend on the training
+// fold: the symmetrized follow graphs of both networks, their
+// row-normalized propagation operators, and the truncated coarse
+// similarity propagation. One planner shards any number of folds,
+// methods, and partition counts over the same pair without re-deriving
+// them — the dominant planning cost at crawl scale. Safe for concurrent
+// Plan calls.
+type Planner struct {
+	base       *metadiag.Counter
+	adj1, adj2 [][]int32
+	w1, w2     *sparse.CSR
+	prior      *sparse.CSR // truncated Ψ^a² scores; nil = no attribute evidence
+
+	mu   sync.Mutex
+	sims map[int]*sparse.CSR // CoarseIters → propagated similarity
+}
+
+// NewPlanner derives the fold-independent plan inputs from the base
+// counter. The Ψ^a² prior is counted on the counter's SHARED
+// attribute-only layer, so the per-partition pipelines that follow
+// reuse the count for free. A pair without joint attribute evidence is
+// not an error — such planners seed by locality alone — but a counting
+// failure is.
+func NewPlanner(base *metadiag.Counter) (*Planner, error) {
+	if base == nil {
+		return nil, fmt.Errorf("partition: nil base counter")
+	}
+	pair := base.Pair()
+	adj1, w1, err := undirectedNeighbors(pair.G1)
+	if err != nil {
+		return nil, err
+	}
+	adj2, w2, err := undirectedNeighbors(pair.G2)
+	if err != nil {
+		return nil, err
+	}
+	prox, err := base.Proximity(schema.AttributeDiagram(hetnet.At, hetnet.Checkin))
+	if err != nil {
+		return nil, fmt.Errorf("partition: coarse similarity prior: %w", err)
+	}
+	prior := truncatedScores(prox, coarseTopM)
+	if prior.NNZ() == 0 {
+		prior = nil
+	} else if s := prior.Sum(); s > 0 {
+		prior = prior.Scale(1 / s)
+	}
+	return &Planner{
+		base: base,
+		adj1: adj1, adj2: adj2,
+		w1: w1, w2: w2,
+		prior: prior,
+		sims:  make(map[int]*sparse.CSR),
+	}, nil
+}
+
+// BuildPlan is the one-shot convenience wrapper: derive the planner
+// inputs and shard once. Callers planning repeatedly over the same pair
+// (per fold, per method, per K) should hold a Planner instead. A K ≤ 1
+// request skips input derivation entirely — the monolithic plan needs
+// none of it.
+func BuildPlan(base *metadiag.Counter, trainPos, candidates []hetnet.Anchor, totalBudget int, cfg Config) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	if base == nil {
+		return nil, fmt.Errorf("partition: nil base counter")
+	}
+	if err := validatePlanInputs(trainPos, totalBudget); err != nil {
+		return nil, err
+	}
+	if cfg.K == 1 || len(trainPos) == 1 {
+		return monolithicPlan(trainPos, candidates, totalBudget), nil
+	}
+	pl, err := NewPlanner(base)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Plan(trainPos, candidates, totalBudget, cfg)
+}
+
+func validatePlanInputs(trainPos []hetnet.Anchor, totalBudget int) error {
+	if len(trainPos) == 0 {
+		return fmt.Errorf("partition: no training anchors to seed partitions with")
+	}
+	if totalBudget < 0 {
+		return fmt.Errorf("partition: negative budget %d", totalBudget)
+	}
+	return nil
+}
+
+func monolithicPlan(trainPos, candidates []hetnet.Anchor, totalBudget int) *Plan {
+	return &Plan{Parts: []Part{{
+		Index: 0, TrainPos: trainPos, Candidates: candidates, Budget: totalBudget,
+	}}}
+}
+
+// Plan shards the candidate space into cfg.K overlapping partitions and
+// splits totalBudget proportionally to shard size. trainPos must be
+// non-empty; every partition is guaranteed at least one training
+// anchor. Candidate order is preserved within each partition, so a K=1
+// plan reproduces the monolithic pipeline exactly.
+func (pl *Planner) Plan(trainPos, candidates []hetnet.Anchor, totalBudget int, cfg Config) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	if err := validatePlanInputs(trainPos, totalBudget); err != nil {
+		return nil, err
+	}
+	k := cfg.K
+	if k > len(trainPos) {
+		k = len(trainPos)
+	}
+	if k == 1 {
+		return monolithicPlan(trainPos, candidates, totalBudget), nil
+	}
+
+	groups := clusterAnchors(trainPos, pl.adj1, k)
+	// clusterAnchors can return fewer groups than requested (duplicate
+	// anchor endpoints make farthest-point seeding run out of distinct
+	// seeds); every index below must follow the realized count.
+	k = len(groups)
+	if k == 1 {
+		return monolithicPlan(trainPos, candidates, totalBudget), nil
+	}
+
+	// Per-partition hop distances on both networks from the group's
+	// anchor endpoints.
+	d1 := make([][]int, k)
+	d2 := make([][]int, k)
+	for p, g := range groups {
+		var src1, src2 []int
+		for _, ai := range g {
+			src1 = append(src1, trainPos[ai].I)
+			src2 = append(src2, trainPos[ai].J)
+		}
+		d1[p] = multiSourceBFS(pl.adj1, src1)
+		d2[p] = multiSourceBFS(pl.adj2, src2)
+	}
+
+	simLeft, simRight, seeded := pl.foldSimilarity(trainPos, groups, cfg.CoarseIters)
+
+	parts := make([]Part, k)
+	for p := range parts {
+		parts[p].Index = p
+		for _, ai := range groups[p] {
+			parts[p].TrainPos = append(parts[p].TrainPos, trainPos[ai])
+		}
+	}
+
+	overlapped := 0
+	wLoc := cfg.LocalityWeight
+	if !seeded {
+		wLoc = 1 // locality is the only signal
+	}
+	for ci, c := range candidates {
+		best, second := -1, -1
+		var bestAff, secondAff float64
+		for p := 0; p < k; p++ {
+			aff := wLoc * (invHop(d1[p], c.I) + invHop(d2[p], c.J)) / 2
+			if seeded {
+				aff += (1 - wLoc) * (simAt(simLeft, c.I, p, k) + simAt(simRight, c.J, p, k)) / 2
+			}
+			if best == -1 || aff > bestAff {
+				second, secondAff = best, bestAff
+				best, bestAff = p, aff
+			} else if second == -1 || aff > secondAff {
+				second, secondAff = p, aff
+			}
+		}
+		if bestAff == 0 {
+			// No signal at all (isolated endpoints, no similarity mass):
+			// spread deterministically so coverage is preserved.
+			best = ci % k
+		}
+		parts[best].Candidates = append(parts[best].Candidates, c)
+		if second >= 0 && bestAff > 0 && secondAff >= cfg.Overlap*bestAff && secondAff > 0 {
+			parts[second].Candidates = append(parts[second].Candidates, c)
+			overlapped++
+		}
+	}
+
+	splitBudget(parts, totalBudget)
+	return &Plan{Parts: parts, Overlapped: overlapped, SimilaritySeeded: seeded}, nil
+}
+
+// undirectedNeighbors materializes the symmetrized follow adjacency of a
+// network twice over: the row-normalized propagation operator shared
+// with isorank (so the coarse-similarity seed propagates with identical
+// semantics to the IsoRank scorer it mirrors) and neighbor lists for BFS
+// derived from the operator's pattern.
+func undirectedNeighbors(g *hetnet.Network) ([][]int32, *sparse.CSR, error) {
+	norm, err := isorank.NormalizedUndirected(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]int32, norm.Rows())
+	for i := range out {
+		cols, _ := norm.RowSlice(i)
+		row := make([]int32, len(cols))
+		for k, j := range cols {
+			row[k] = int32(j)
+		}
+		out[i] = row
+	}
+	return out, norm, nil
+}
+
+// multiSourceBFS returns hop distances from the source set; -1 marks
+// unreachable users.
+func multiSourceBFS(adj [][]int32, sources []int) []int {
+	dist := make([]int, len(adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if s >= 0 && s < len(dist) && dist[s] == -1 {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, int(v))
+			}
+		}
+	}
+	return dist
+}
+
+// clusterAnchors groups the training anchors into k balanced clusters by
+// farthest-point seeding plus capacity-bounded nearest-seed assignment
+// over the network-1 follow graph. It returns anchor indices per group;
+// every group is non-empty.
+func clusterAnchors(trainPos []hetnet.Anchor, adj1 [][]int32, k int) [][]int {
+	// Farthest-point seed selection, deterministic from trainPos[0].
+	seeds := []int{0}
+	for len(seeds) < k {
+		var src []int
+		for _, s := range seeds {
+			src = append(src, trainPos[s].I)
+		}
+		dist := multiSourceBFS(adj1, src)
+		bestIdx, bestDist := -1, -2
+		taken := make(map[int]bool, len(seeds))
+		for _, s := range seeds {
+			taken[s] = true
+		}
+		for ai := range trainPos {
+			if taken[ai] {
+				continue
+			}
+			d := dist[trainPos[ai].I] // -1 (unreachable) sorts above all finite
+			score := d
+			if d == -1 {
+				score = len(adj1) + 1
+			}
+			if score > bestDist {
+				bestIdx, bestDist = ai, score
+			}
+		}
+		if bestIdx == -1 {
+			break // fewer distinct anchors than k; clamp below
+		}
+		seeds = append(seeds, bestIdx)
+	}
+	k = len(seeds)
+
+	// Distance fields from each seed.
+	fields := make([][]int, k)
+	for s, ai := range seeds {
+		fields[s] = multiSourceBFS(adj1, []int{trainPos[ai].I})
+	}
+	groups := make([][]int, k)
+	capacity := (len(trainPos) + k - 1) / k
+	for ai := range trainPos {
+		type opt struct {
+			seed, d int
+		}
+		opts := make([]opt, 0, k)
+		for s := 0; s < k; s++ {
+			d := fields[s][trainPos[ai].I]
+			if d == -1 {
+				d = len(adj1) + 1
+			}
+			opts = append(opts, opt{seed: s, d: d})
+		}
+		// Nearest seed with free capacity; ties break toward the lower
+		// seed index (opts are seed-ordered, first win keeps it). If all
+		// groups are at capacity — possible through ceil rounding — relax
+		// the cap and retry.
+		assigned := -1
+		for assigned == -1 {
+			best := -1
+			for oi, o := range opts {
+				if len(groups[o.seed]) >= capacity {
+					continue
+				}
+				if best == -1 || o.d < opts[best].d {
+					best = oi
+				}
+			}
+			if best >= 0 {
+				assigned = opts[best].seed
+			} else {
+				capacity++
+			}
+		}
+		groups[assigned] = append(groups[assigned], ai)
+	}
+	// Drop empty groups (possible when k was clamped by reachability).
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// coarseAlpha and coarseTopM bound the similarity seed: the IsoRank
+// recurrence weight, and the per-row truncation that keeps every
+// propagation product linear in the user count (a planner needs coarse
+// mass on anchor groups, not a converged similarity).
+const (
+	coarseAlpha = 0.6
+	coarseTopM  = 16
+)
+
+// similarity returns the propagated, truncated coarse similarity for
+// the given iteration count, computing it once per planner:
+// R ← α·W1·R·W2ᵀ + (1−α)·H with H the truncated Ψ^a² prior, every
+// product truncated to coarseTopM entries per row. nil when the pair
+// carries no joint attribute evidence.
+func (pl *Planner) similarity(iters int) *sparse.CSR {
+	if pl.prior == nil {
+		return nil
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if r, ok := pl.sims[iters]; ok {
+		return r
+	}
+	r := pl.prior
+	for it := 0; it < iters; it++ {
+		// Truncate between the two products too: without it the second
+		// SpGEMM's output is near-dense (every neighbor of a neighbor),
+		// which at crawl scale costs tens of seconds per iteration.
+		prop := sparse.MatMulParallel(pl.w1, r).TopKPerRow(coarseTopM)
+		prop = sparse.MatMulParallel(prop, pl.w2.T()).TopKPerRow(coarseTopM)
+		r = sparse.Add(prop.Scale(coarseAlpha), pl.prior.Scale(1-coarseAlpha)).TopKPerRow(coarseTopM)
+		if s := r.Sum(); s > 0 {
+			r = r.Scale(1 / s)
+		}
+	}
+	pl.sims[iters] = r
+	return r
+}
+
+// foldSimilarity folds the propagated similarity mass onto the anchor
+// groups: simLeft[u*k+p] accumulates the similarity of network-1 user u
+// to partition p's network-2 anchor endpoints (symmetrically for
+// simRight). Both are normalized to [0,1] by their global maxima.
+// seeded=false when the pair carries no joint attribute evidence — the
+// caller then uses locality alone.
+func (pl *Planner) foldSimilarity(trainPos []hetnet.Anchor, groups [][]int, iters int) (simLeft, simRight []float64, seeded bool) {
+	r := pl.similarity(iters)
+	if r == nil {
+		return nil, nil, false
+	}
+	n1 := pl.base.Pair().G1.NodeCount(hetnet.User)
+	n2 := pl.base.Pair().G2.NodeCount(hetnet.User)
+	k := len(groups)
+	groupOfI := make(map[int]int)
+	groupOfJ := make(map[int]int)
+	for p, g := range groups {
+		for _, ai := range g {
+			groupOfI[trainPos[ai].I] = p
+			groupOfJ[trainPos[ai].J] = p
+		}
+	}
+	simLeft = make([]float64, n1*k)
+	simRight = make([]float64, n2*k)
+	var maxL, maxR float64
+	r.Iterate(func(u, v int, val float64) {
+		if p, ok := groupOfJ[v]; ok {
+			simLeft[u*k+p] += val
+			if simLeft[u*k+p] > maxL {
+				maxL = simLeft[u*k+p]
+			}
+		}
+		if p, ok := groupOfI[u]; ok {
+			simRight[v*k+p] += val
+			if simRight[v*k+p] > maxR {
+				maxR = simRight[v*k+p]
+			}
+		}
+	})
+	if maxL > 0 {
+		for i := range simLeft {
+			simLeft[i] /= maxL
+		}
+	}
+	if maxR > 0 {
+		for i := range simRight {
+			simRight[i] /= maxR
+		}
+	}
+	return simLeft, simRight, true
+}
+
+// truncatedScores builds the top-M-per-row proximity score matrix
+// straight from the cached count matrix — Proximity.ScoreMatrix would
+// materialize every score first, which at crawl scale means pushing
+// ~10⁸ entries through a builder only to throw almost all of them away.
+func truncatedScores(p *metadiag.Proximity, topM int) *sparse.CSR {
+	rows, cols := p.Counts.Dims()
+	b := sparse.NewBuilder(rows, cols)
+	type entry struct {
+		j int
+		s float64
+	}
+	var scratch []entry
+	for i := 0; i < rows; i++ {
+		colIdx, vals := p.Counts.RowSlice(i)
+		scratch = scratch[:0]
+		for k, j := range colIdx {
+			denom := p.RowSums[i] + p.ColSums[j]
+			if denom > 0 {
+				scratch = append(scratch, entry{j: j, s: 2 * vals[k] / denom})
+			}
+		}
+		if len(scratch) > topM {
+			sort.Slice(scratch, func(a, b int) bool {
+				if scratch[a].s != scratch[b].s {
+					return scratch[a].s > scratch[b].s
+				}
+				return scratch[a].j < scratch[b].j
+			})
+			scratch = scratch[:topM]
+		}
+		for _, e := range scratch {
+			b.Add(i, e.j, e.s)
+		}
+	}
+	return b.Build()
+}
+
+// invHop maps a BFS distance to a (0,1] affinity; unreachable → 0.
+func invHop(dist []int, u int) float64 {
+	if u < 0 || u >= len(dist) || dist[u] < 0 {
+		return 0
+	}
+	return 1 / float64(1+dist[u])
+}
+
+// simAt reads the folded similarity of user u to partition p.
+func simAt(sim []float64, u, p, k int) float64 {
+	idx := u*k + p
+	if sim == nil || idx < 0 || idx >= len(sim) {
+		return 0
+	}
+	return sim[idx]
+}
+
+// splitBudget distributes the oracle budget proportionally to shard
+// candidate counts; the rounding remainder goes to the largest shards
+// first (ties by index), one unit each. A shard with no candidates gets
+// no budget (there is nothing to query there).
+func splitBudget(parts []Part, total int) {
+	if total <= 0 {
+		return
+	}
+	sum := 0
+	for i := range parts {
+		sum += len(parts[i].Candidates)
+	}
+	if sum == 0 {
+		parts[0].Budget = total
+		return
+	}
+	assigned := 0
+	order := make([]int, 0, len(parts))
+	for i := range parts {
+		parts[i].Budget = total * len(parts[i].Candidates) / sum
+		assigned += parts[i].Budget
+		if len(parts[i].Candidates) > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(parts[order[a]].Candidates) > len(parts[order[b]].Candidates)
+	})
+	for rem, k := total-assigned, 0; rem > 0; rem, k = rem-1, k+1 {
+		parts[order[k%len(order)]].Budget++
+	}
+}

@@ -1,0 +1,111 @@
+package activeiter
+
+import (
+	"errors"
+
+	"github.com/activeiter/activeiter/internal/active"
+	"github.com/activeiter/activeiter/internal/core"
+	"github.com/activeiter/activeiter/internal/metadiag"
+	"github.com/activeiter/activeiter/internal/partition"
+)
+
+// PartitionedResult is a merged partitioned alignment: the globally
+// one-to-one predicted anchors plus per-partition audit reports. It
+// satisfies the same read-side contract as Result (Label, WasQueried,
+// PredictedAnchors), so EvaluateAlignment scores both uniformly.
+type PartitionedResult = partition.Result
+
+// PartitionReport is the audit trail of one partition's pipeline.
+type PartitionReport = partition.PartReport
+
+// PartitionedAligner scales alignment past one monolithic training loop:
+// it shards the candidate space into Options.Partitions overlapping
+// partitions (seeded by coarse IsoRank-style similarity plus
+// training-anchor locality), runs the counter→extractor→training
+// pipeline per partition concurrently on forked counters sharing one
+// attribute-only count cache, splits the active-learning budget across
+// partitions proportionally to their candidate share, and merges the
+// per-partition predictions into one globally one-to-one result via
+// score-greedy union-find reconciliation.
+//
+// With Options.Partitions ≤ 1 the result is identical to Aligner.Align
+// — the partitioned pipeline is a strict generalization.
+type PartitionedAligner struct {
+	pair    *AlignedPair
+	base    *metadiag.Counter
+	opts    Options
+	planner *partition.Planner // lazy; only needed when Partitions > 1
+}
+
+// NewPartitioned builds a partitioned aligner over the pair. The number
+// of partitions comes from Options.Partitions.
+func NewPartitioned(pair *AlignedPair, opts Options) (*PartitionedAligner, error) {
+	if pair == nil {
+		return nil, errors.New("activeiter: nil pair")
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	base, err := metadiag.NewCounter(pair)
+	if err != nil {
+		return nil, err
+	}
+	return &PartitionedAligner{pair: pair, base: base, opts: opts}, nil
+}
+
+// Align shards candidates into partitions, trains every partition
+// concurrently on trainPos ∩ partition, and reconciles. The oracle may
+// be nil when Budget is 0. Semantics match Aligner.Align: trainPos links
+// join each partition's pool automatically, and the union of partition
+// pools covers every candidate.
+//
+// Reproducibility: with Partitions > 1 oracle queries arrive in
+// nondeterministic order across the concurrent shard pipelines. Runs
+// remain identical for a fixed Seed as long as the oracle answers as a
+// pure function of the queried link — true of NewTruthOracle and the
+// hash-seeded NoisyOracle. Supply an order-dependent oracle only with
+// Partitions ≤ 1.
+func (pa *PartitionedAligner) Align(trainPos []Anchor, candidates []Anchor, oracle Oracle) (*PartitionedResult, error) {
+	if len(trainPos) == 0 {
+		return nil, core.ErrNoPositives
+	}
+	var plan *partition.Plan
+	var err error
+	if pa.opts.Partitions > 1 && len(trainPos) > 1 {
+		// Repeated Align calls (cross-validation folds, retraining after
+		// new labels) reuse one planner's fold-independent inputs.
+		if pa.planner == nil {
+			if pa.planner, err = partition.NewPlanner(pa.base); err != nil {
+				return nil, err
+			}
+		}
+		plan, err = pa.planner.Plan(trainPos, candidates, pa.opts.Budget, partition.Config{K: pa.opts.Partitions})
+	} else {
+		plan, err = partition.BuildPlan(pa.base, trainPos, candidates, pa.opts.Budget, partition.Config{K: pa.opts.Partitions})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return partition.Align(pa.base, plan, partition.TrainOptions{
+		Features: pa.opts.features(),
+		Core: core.Config{
+			C:              pa.opts.C,
+			Threshold:      pa.opts.Threshold,
+			Budget:         pa.opts.Budget,
+			BatchSize:      pa.opts.BatchSize,
+			Strategy:       mustStrategy(pa.opts),
+			ExactSelection: pa.opts.ExactSelection,
+			Seed:           pa.opts.Seed,
+		},
+	}, oracle)
+}
+
+// mustStrategy resolves the configured strategy; Options were validated
+// in NewPartitioned, so failure is impossible here.
+func mustStrategy(opts Options) active.Strategy {
+	s, err := opts.strategy()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,135 @@
+package activeiter
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sortAnchors(in []Anchor) []Anchor {
+	out := append([]Anchor{}, in...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}
+
+// Property: a PartitionedAligner with K=1 reproduces the monolithic
+// Aligner exactly — same predicted anchors, same labels, same oracle
+// audit — with and without active learning.
+func TestPartitionedK1IdenticalToMonolithic(t *testing.T) {
+	pair, trainPos, testPos, neg := testFixture(t)
+	candidates := append(append([]Anchor{}, testPos...), neg...)
+	for _, budget := range []int{0, 10} {
+		opts := Options{Budget: budget, Seed: 3, Partitions: 1}
+		mono, err := New(pair, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var oracle Oracle
+		if budget > 0 {
+			oracle = NewTruthOracle(pair)
+		}
+		mRes, err := mono.Align(trainPos, candidates, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := NewPartitioned(pair, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pRes, err := part.Align(trainPos, candidates, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sortAnchors(mRes.PredictedAnchors())
+		got := pRes.PredictedAnchors()
+		if len(got) != len(want) {
+			t.Fatalf("budget %d: %d predicted vs %d monolithic", budget, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("budget %d: anchor %d = %+v, want %+v", budget, i, got[i], want[i])
+			}
+		}
+		for _, c := range candidates {
+			mLab, mOK := mRes.Label(c.I, c.J)
+			pLab, pOK := pRes.Label(c.I, c.J)
+			if mOK != pOK || mLab != pLab {
+				t.Fatalf("budget %d: label (%d,%d) = %v/%v vs %v/%v", budget, c.I, c.J, pLab, pOK, mLab, mOK)
+			}
+			if mRes.WasQueried(c.I, c.J) != pRes.WasQueried(c.I, c.J) {
+				t.Fatalf("budget %d: queried mismatch (%d,%d)", budget, c.I, c.J)
+			}
+		}
+		if mRes.QueryCount() != pRes.QueryCount() {
+			t.Fatalf("budget %d: queries %d vs %d", budget, pRes.QueryCount(), mRes.QueryCount())
+		}
+		// The shared evaluation path scores both result kinds.
+		mm := EvaluateAlignment(mRes, testPos, neg)
+		pm := EvaluateAlignment(pRes, testPos, neg)
+		if mm != pm {
+			t.Fatalf("budget %d: metrics diverge: %+v vs %+v", budget, pm, mm)
+		}
+	}
+}
+
+// Property: K>1 output respects the global one-to-one constraint and
+// stays within ε of the monolithic F1 on the small dataset.
+func TestPartitionedSmallDatasetQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SmallDataset alignment in -short mode")
+	}
+	pair, err := GenerateDataset(SmallDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := pair.Anchors
+	nTrain := len(anchors) / 2
+	trainPos := anchors[:nTrain]
+	testPos := anchors[nTrain:]
+	neg, err := SampleNegatives(pair, 10*len(anchors), rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := append(append([]Anchor{}, testPos...), neg...)
+
+	mono, err := New(pair, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mRes, err := mono.Align(trainPos, candidates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mF1 := EvaluateAlignment(mRes, testPos, neg).F1
+
+	part, err := NewPartitioned(pair, Options{Seed: 9, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRes, err := part.Align(trainPos, candidates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenI, seenJ := map[int]bool{}, map[int]bool{}
+	for _, a := range pRes.PredictedAnchors() {
+		if seenI[a.I] || seenJ[a.J] {
+			t.Fatalf("one-to-one violated at (%d,%d)", a.I, a.J)
+		}
+		seenI[a.I] = true
+		seenJ[a.J] = true
+	}
+	pF1 := EvaluateAlignment(pRes, testPos, neg).F1
+	const eps = 0.08
+	if math.Abs(pF1-mF1) > eps {
+		t.Errorf("partitioned F1 %.4f drifted more than %.2f from monolithic %.4f", pF1, eps, mF1)
+	}
+	if len(pRes.Reports) != 4 {
+		t.Errorf("%d partition reports, want 4", len(pRes.Reports))
+	}
+}
