@@ -128,9 +128,14 @@ type Options struct {
 	// Seed drives every random choice; fixed seed ⇒ identical runs.
 	Seed int64
 	// Partitions splits the candidate space into this many overlapping
-	// partitions when aligning through PartitionedAligner; ≤ 1 means
-	// monolithic. Plain Aligner ignores it.
+	// partitions when aligning through PartitionedAligner or
+	// DistributedAligner; ≤ 1 means monolithic. Plain Aligner ignores it.
 	Partitions int
+	// Workers caps shard-execution concurrency: concurrent partition
+	// pipelines in PartitionedAligner, concurrent worker connections in
+	// DistributedAligner. 0 means min(partitions, GOMAXPROCS). Plain
+	// Aligner ignores it.
+	Workers int
 }
 
 // Ptr wraps a value for the pointer-typed option fields (e.g.
@@ -153,6 +158,8 @@ func (o Options) validate() error {
 		return fmt.Errorf("activeiter: invalid ridge weight C %v (use 0 for the default of 1)", o.C)
 	case o.Partitions < 0:
 		return fmt.Errorf("activeiter: negative Partitions %d (use 0 or 1 for monolithic alignment)", o.Partitions)
+	case o.Workers < 0:
+		return fmt.Errorf("activeiter: negative Workers %d (use 0 for the GOMAXPROCS default)", o.Workers)
 	}
 	if o.Threshold != nil && (math.IsNaN(*o.Threshold) || math.IsInf(*o.Threshold, 0)) {
 		return fmt.Errorf("activeiter: non-finite Threshold %v", *o.Threshold)

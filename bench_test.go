@@ -387,3 +387,59 @@ func BenchmarkPartitionedAlignment(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDistributedLoopback measures the distributed pipeline's
+// transport and serialization overhead against the in-process
+// partitioned path it is property-tested equal to: the same K-shard
+// plan executed on counter forks vs shipped (extracted, serialized) to
+// loopback wire workers — the PR 3 artifact (BENCH_PR3.json records the
+// large-pair and subprocess runs from cmd/experiments -exp distributed).
+func BenchmarkDistributedLoopback(b *testing.B) {
+	pair, err := datagen.Generate(datagen.Small())
+	if err != nil {
+		b.Fatal(err)
+	}
+	anchors := pair.Anchors
+	trainPos := anchors[:len(anchors)/2]
+	rng := rand.New(rand.NewSource(17))
+	neg, err := eval.SampleNegatives(pair, 10*len(anchors), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	candidates := append(append([]Anchor{}, anchors[len(anchors)/2:]...), neg...)
+	opts := Options{Seed: 9, Partitions: 4}
+	b.Run("in-process-K4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			al, err := NewPartitioned(pair, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := al.Align(trainPos, candidates, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.PredictedAnchors()) == 0 {
+				b.Fatal("no predictions")
+			}
+		}
+	})
+	b.Run("loopback-K4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			al, err := NewDistributed(pair, opts, NewLoopbackTransport())
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := al.Align(trainPos, candidates, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.PredictedAnchors()) == 0 {
+				b.Fatal("no predictions")
+			}
+			if al.Metrics().JobBytes == 0 {
+				b.Fatal("no bytes crossed the wire")
+			}
+			b.ReportMetric(float64(al.Metrics().JobBytes), "job-bytes")
+		}
+	})
+}

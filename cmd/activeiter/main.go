@@ -7,11 +7,17 @@
 //
 //	activeiter -preset small -budget 50 -train-frac 0.1 -np-ratio 20
 //	activeiter -data pair.json -budget 100 -strategy conflict
+//
+// Worker mode turns the binary into a distributed-alignment shard
+// worker (see README §Distributed alignment): `-worker` speaks the wire
+// protocol on stdin/stdout for a coordinator that spawned it,
+// `-worker-listen addr` accepts coordinator TCP connections instead.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -32,7 +38,26 @@ func main() {
 	exact := flag.Bool("exact", false, "use exact Hungarian selection instead of greedy")
 	seed := flag.Int64("seed", 1, "random seed")
 	showTop := flag.Int("show", 10, "print this many predicted anchors")
+	worker := flag.Bool("worker", false, "run as a distributed-alignment worker on stdin/stdout (all other flags ignored)")
+	workerListen := flag.String("worker-listen", "", "run as a distributed-alignment worker accepting coordinator TCP connections on this address")
 	flag.Parse()
+
+	if *worker {
+		// Stdout belongs to the wire protocol in worker mode; anything
+		// human-readable goes to stderr.
+		err := activeiter.ServeWorker(struct {
+			io.Reader
+			io.Writer
+		}{os.Stdin, os.Stdout})
+		if err != nil && err != io.EOF {
+			fatal(err)
+		}
+		return
+	}
+	if *workerListen != "" {
+		fmt.Fprintf(os.Stderr, "activeiter: worker listening on %s\n", *workerListen)
+		fatal(activeiter.ListenAndServeWorker(*workerListen))
+	}
 
 	pair, err := loadPair(*dataFile, *preset)
 	if err != nil {

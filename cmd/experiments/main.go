@@ -22,10 +22,11 @@ import (
 // line — sentinel checks like "non-zero means set" would make `-seed 0`
 // or `-workers 0` silently keep the preset value.
 type overrides struct {
-	workers    int
-	seed       int64
-	partitions int
-	set        map[string]bool // flag name → explicitly set
+	workers        int
+	seed           int64
+	partitions     int
+	distribWorkers int
+	set            map[string]bool // flag name → explicitly set
 }
 
 // apply overwrites the preset fields whose flags were explicitly set.
@@ -41,21 +42,52 @@ func (o overrides) apply(pre *experiments.Preset) {
 	}
 }
 
+// validate rejects flag values that would be silently misread
+// downstream; the zero values stay legal because `apply` and
+// `distributedConfig` only read explicitly-set flags.
+func (o overrides) validate() error {
+	if o.set["distrib-workers"] && o.distribWorkers < 0 {
+		return fmt.Errorf("negative -distrib-workers %d (use 0 for the preset default)", o.distribWorkers)
+	}
+	return nil
+}
+
+// distributedConfig resolves the distributed experiment's knobs: the
+// worker cap only overrides the preset when -distrib-workers was
+// explicitly on the command line (flag.Visit detection, like -seed).
+func (o overrides) distributedConfig(workerCmd string) experiments.DistributedConfig {
+	cfg := experiments.DistributedConfig{}
+	if o.set["distrib-workers"] {
+		cfg.Workers = o.distribWorkers
+	}
+	if workerCmd != "" {
+		cfg.WorkerCmd = workerCmd
+		cfg.WorkerArgs = []string{"-worker"}
+	}
+	return cfg
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, table3, table4, fig3, fig4, fig5, ablation-features, ablation-query, ablation-matching, ablation-noise, ablation-words, unsupervised, stability, scalability, all")
+	exp := flag.String("exp", "all", "experiment: table2, table3, table4, fig3, fig4, fig5, ablation-features, ablation-query, ablation-matching, ablation-noise, ablation-words, unsupervised, stability, scalability, distributed, all")
 	preset := flag.String("preset", "small", "protocol preset: tiny, small, paper, full, xl")
 	workers := flag.Int("workers", 0, "override parallel cell workers (0 = serial)")
 	seed := flag.Int64("seed", 0, "override the preset seed")
 	partitions := flag.Int("partitions", 0, "run the PU family of cell-based experiments (table3/table4/fig5/stability/ablation-query) and scalability through partitioned alignment with this many partitions (≤1 = monolithic; fig3/fig4 and the remaining ablations trace training internals and stay monolithic)")
+	distribWorkers := flag.Int("distrib-workers", 0, "distributed experiment: concurrent shard workers (0 = preset default)")
+	distribWorkerCmd := flag.String("distrib-worker-cmd", "", "distributed experiment: worker binary to spawn per connection (runs with -worker; empty = in-process loopback transport only)")
 	flag.Parse()
 
 	pre, err := presetByName(*preset)
 	if err != nil {
 		fatal(err)
 	}
-	ov := overrides{workers: *workers, seed: *seed, partitions: *partitions, set: map[string]bool{}}
+	ov := overrides{workers: *workers, seed: *seed, partitions: *partitions, distribWorkers: *distribWorkers, set: map[string]bool{}}
 	flag.Visit(func(f *flag.Flag) { ov.set[f.Name] = true })
+	if err := ov.validate(); err != nil {
+		fatal(err)
+	}
 	ov.apply(&pre)
+	distribCfg := ov.distributedConfig(*distribWorkerCmd)
 
 	type runner struct {
 		name string
@@ -84,6 +116,9 @@ func main() {
 			return experiments.RunStability(p, 3)
 		}},
 		{"scalability", experiments.RunScalability},
+		{"distributed", func(p experiments.Preset) (*experiments.Table, error) {
+			return experiments.RunDistributedWith(p, distribCfg)
+		}},
 	}
 	ran := false
 	for _, r := range runners {

@@ -39,3 +39,36 @@ func TestOverridesApplyOnlyExplicitFlags(t *testing.T) {
 		t.Errorf("partitions override = %d, want 4", pre.Partitions)
 	}
 }
+
+// The distributed flags follow the same explicit-set convention:
+// negative worker counts are rejected, `-distrib-workers 0` set
+// explicitly means "preset default" (0 passes through), and an unset
+// flag leaves the config at the preset-default sentinel regardless of
+// the parsed value.
+func TestDistributedFlagValidation(t *testing.T) {
+	// Negative is only an error when the flag was actually given.
+	ov := overrides{distribWorkers: -1, set: map[string]bool{"distrib-workers": true}}
+	if err := ov.validate(); err == nil {
+		t.Error("explicit -distrib-workers -1 accepted")
+	}
+	ov = overrides{distribWorkers: -1, set: map[string]bool{}}
+	if err := ov.validate(); err != nil {
+		t.Errorf("unset distrib-workers validated: %v", err)
+	}
+
+	// Explicitly set values reach the config; unset ones do not.
+	ov = overrides{distribWorkers: 3, set: map[string]bool{"distrib-workers": true}}
+	if got := ov.distributedConfig("").Workers; got != 3 {
+		t.Errorf("explicit -distrib-workers 3 resolved to %d", got)
+	}
+	ov = overrides{distribWorkers: 3, set: map[string]bool{}}
+	if got := ov.distributedConfig("").Workers; got != 0 {
+		t.Errorf("unset -distrib-workers leaked %d into the config", got)
+	}
+
+	// The worker command implies -worker args for the spawned binary.
+	cfg := overrides{set: map[string]bool{}}.distributedConfig("/usr/bin/activeiter")
+	if cfg.WorkerCmd != "/usr/bin/activeiter" || len(cfg.WorkerArgs) != 1 || cfg.WorkerArgs[0] != "-worker" {
+		t.Errorf("worker command config = %+v", cfg)
+	}
+}

@@ -1,0 +1,151 @@
+package activeiter
+
+import (
+	"errors"
+	"io"
+
+	"github.com/activeiter/activeiter/internal/core"
+	"github.com/activeiter/activeiter/internal/distrib"
+	"github.com/activeiter/activeiter/internal/metadiag"
+	"github.com/activeiter/activeiter/internal/partition"
+)
+
+// ShardTransport produces worker connections for distributed alignment.
+// Use NewLoopbackTransport, NewWorkerProcessTransport or
+// NewTCPTransport — or implement Dial for a custom fabric.
+type ShardTransport = distrib.Transport
+
+// DistributedMetrics is a distributed run's transport audit: bytes on
+// the wire per shard and in total, oracle round-trips, retries.
+type DistributedMetrics = distrib.Metrics
+
+// NewLoopbackTransport serves every shard with an in-process worker
+// goroutine speaking the full wire protocol — the zero-setup transport
+// for tests and single-machine runs, and the serialization-overhead
+// baseline for benchmarks.
+func NewLoopbackTransport() ShardTransport { return distrib.Loopback{} }
+
+// NewWorkerProcessTransport spawns one worker subprocess per connection
+// and speaks the wire protocol over its stdio. The command must run the
+// worker serve loop on stdin/stdout — `activeiter -worker` does.
+func NewWorkerProcessTransport(cmd string, args ...string) ShardTransport {
+	return &distrib.Exec{Cmd: cmd, Args: args}
+}
+
+// NewTCPTransport dials remote workers round-robin across addrs; each
+// address should run `activeiter -worker-listen <addr>`.
+func NewTCPTransport(addrs ...string) ShardTransport { return distrib.NewTCP(addrs...) }
+
+// ServeWorker runs the distributed-alignment worker protocol over the
+// given stream until it closes — the loop behind `activeiter -worker`.
+func ServeWorker(conn io.ReadWriter) error { return distrib.Serve(conn) }
+
+// ListenAndServeWorker accepts coordinator connections on addr and
+// serves each until the listener fails — the loop behind
+// `activeiter -worker-listen`.
+func ListenAndServeWorker(addr string) error { return distrib.ListenAndServe(addr, nil) }
+
+// DistributedAligner fans shard alignment out across processes: it
+// plans candidate-space shards exactly like PartitionedAligner, cuts
+// each shard's networks down to the closed neighborhood its pipeline
+// reads (shrinking bytes on the wire and per-worker memory), ships the
+// jobs over a ShardTransport, answers the workers' oracle queries, and
+// reconciles the returned vote streams into one globally one-to-one
+// result.
+//
+// For the same Options (seed, partitions, budget) a distributed run
+// produces the same alignment as PartitionedAligner — shard extraction
+// preserves features exactly, the workers run the identical per-shard
+// pipeline, and the reconciliation is order-independent. The difference
+// is where shards execute: forks in one process vs worker processes on
+// any number of machines.
+type DistributedAligner struct {
+	pair      *AlignedPair
+	base      *metadiag.Counter
+	opts      Options
+	transport ShardTransport
+	planner   *partition.Planner
+
+	metrics *DistributedMetrics
+}
+
+// NewDistributed builds a distributed aligner over the pair. Shard
+// count comes from Options.Partitions, worker-connection concurrency
+// from Options.Workers.
+func NewDistributed(pair *AlignedPair, opts Options, transport ShardTransport) (*DistributedAligner, error) {
+	if pair == nil {
+		return nil, errors.New("activeiter: nil pair")
+	}
+	if transport == nil {
+		return nil, errors.New("activeiter: nil shard transport")
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	base, err := metadiag.NewCounter(pair)
+	if err != nil {
+		return nil, err
+	}
+	return &DistributedAligner{pair: pair, base: base, opts: opts, transport: transport}, nil
+}
+
+// Align shards the candidate space, dispatches every shard to a worker,
+// and reconciles. Semantics match PartitionedAligner.Align, including
+// the pure-oracle reproducibility caveat; the oracle stays on this side
+// of the wire and is queried through label round-trip frames, so remote
+// workers never see ground truth beyond their shard's training anchors.
+func (da *DistributedAligner) Align(trainPos, candidates []Anchor, oracle Oracle) (*PartitionedResult, error) {
+	if len(trainPos) == 0 {
+		return nil, core.ErrNoPositives
+	}
+	plan, err := planShards(da.base, &da.planner, da.opts, trainPos, candidates)
+	if err != nil {
+		return nil, err
+	}
+	coord := &distrib.Coordinator{
+		Transport: da.transport,
+		Opts: distrib.Options{
+			Train:   da.opts.trainConfig(),
+			Workers: da.opts.Workers,
+		},
+	}
+	res, metrics, err := coord.Run(da.pair, plan, oracle)
+	if err != nil {
+		return nil, err
+	}
+	da.metrics = metrics
+	return res, nil
+}
+
+// Metrics returns the transport audit of the last Align call (nil
+// before the first).
+func (da *DistributedAligner) Metrics() *DistributedMetrics { return da.metrics }
+
+// trainConfig flattens the options into the wire-safe training
+// configuration workers receive.
+func (o Options) trainConfig() distrib.TrainConfig {
+	cfg := distrib.TrainConfig{
+		C:         o.C,
+		Threshold: o.Threshold,
+		BatchSize: o.BatchSize,
+		Exact:     o.ExactSelection,
+		Seed:      o.Seed,
+	}
+	switch o.Features {
+	case PathFeatures:
+		cfg.FeatureSet = distrib.FeaturesPaths
+	case ExtendedFeatures:
+		cfg.FeatureSet = distrib.FeaturesExtended
+	default:
+		cfg.FeatureSet = distrib.FeaturesFull
+	}
+	switch o.Strategy {
+	case StrategyRandom:
+		cfg.Strategy = distrib.StrategyRandom
+	case StrategyUncertainty:
+		cfg.Strategy = distrib.StrategyUncertainty
+	default:
+		cfg.Strategy = distrib.StrategyConflict
+	}
+	return cfg
+}

@@ -1,0 +1,138 @@
+package activeiter
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/distrib"
+)
+
+// workerEnv re-executes this test binary as a wire worker so the
+// subprocess-transport property test crosses a real process boundary
+// without a prebuilt binary.
+const workerEnv = "ACTIVEITER_FACADE_TEST_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnv) == "1" {
+		err := ServeWorker(struct {
+			io.Reader
+			io.Writer
+		}{os.Stdin, os.Stdout})
+		if err != nil && err != io.EOF {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// assertSameAsPartitioned compares a distributed result with the
+// in-process partitioned reference over the full pool.
+func assertSameAsPartitioned(t *testing.T, got, want *PartitionedResult, pool []Anchor) {
+	t.Helper()
+	ga, wa := got.PredictedAnchors(), want.PredictedAnchors()
+	if len(ga) != len(wa) {
+		t.Fatalf("distributed predicted %d anchors, partitioned %d", len(ga), len(wa))
+	}
+	for i := range wa {
+		if ga[i] != wa[i] {
+			t.Fatalf("anchor %d: distributed %v, partitioned %v", i, ga[i], wa[i])
+		}
+	}
+	if got.QueryCount() != want.QueryCount() {
+		t.Errorf("query counts: distributed %d, partitioned %d", got.QueryCount(), want.QueryCount())
+	}
+	if got.Rejected != want.Rejected {
+		t.Errorf("rejected: distributed %d, partitioned %d", got.Rejected, want.Rejected)
+	}
+	for _, l := range pool {
+		gl, gok := got.Label(l.I, l.J)
+		wl, wok := want.Label(l.I, l.J)
+		if gok != wok || gl != wl {
+			t.Fatalf("label(%d,%d): distributed %v/%v, partitioned %v/%v", l.I, l.J, gl, gok, wl, wok)
+		}
+		if got.WasQueried(l.I, l.J) != want.WasQueried(l.I, l.J) {
+			t.Fatalf("queried(%d,%d) diverges", l.I, l.J)
+		}
+	}
+}
+
+// TestDistributedMatchesPartitioned is the facade-level acceptance
+// property: for the same Options (seed, K, budget), a K-shard
+// distributed run — over the loopback transport and over genuine
+// subprocess workers — produces the same globally one-to-one alignment
+// as PartitionedAligner.
+func TestDistributedMatchesPartitioned(t *testing.T) {
+	pair, trainPos, testPos, neg := testFixture(t)
+	candidates := append(append([]Anchor{}, testPos...), neg...)
+	pool := append(append([]Anchor{}, trainPos...), candidates...)
+	opts := Options{Budget: 10, Seed: 3, Partitions: 3, Workers: 2}
+	oracle := NewTruthOracle(pair)
+
+	ref, err := NewPartitioned(pair, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Align(trainPos, candidates, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	transports := map[string]ShardTransport{
+		"loopback": NewLoopbackTransport(),
+	}
+	if exe, err := os.Executable(); err == nil && !testing.Short() {
+		// The worker command is this test binary re-executed in worker
+		// mode (see TestMain) — a genuine subprocess speaking the wire
+		// protocol over stdio, like `activeiter -worker` does.
+		transports["subprocess"] = &distrib.Exec{
+			Cmd:    exe,
+			Env:    append(os.Environ(), workerEnv+"=1"),
+			Stderr: os.Stderr,
+		}
+	}
+	for name, tr := range transports {
+		t.Run(name, func(t *testing.T) {
+			da, err := NewDistributed(pair, opts, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := da.Align(trainPos, candidates, oracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameAsPartitioned(t, got, want, pool)
+			m := da.Metrics()
+			if m == nil || m.JobBytes <= 0 {
+				t.Errorf("metrics missing after Align: %+v", m)
+			}
+			// The shared evaluation path scores the distributed result
+			// like any other.
+			dm := EvaluateAlignment(got, testPos, neg)
+			wm := EvaluateAlignment(want, testPos, neg)
+			if dm != wm {
+				t.Errorf("metrics diverge: distributed %+v, partitioned %+v", dm, wm)
+			}
+		})
+	}
+}
+
+// TestNewDistributedValidation pins constructor error paths.
+func TestNewDistributedValidation(t *testing.T) {
+	pair, _, _, _ := testFixture(t)
+	if _, err := NewDistributed(nil, Options{}, NewLoopbackTransport()); err == nil {
+		t.Error("nil pair accepted")
+	}
+	if _, err := NewDistributed(pair, Options{}, nil); err == nil {
+		t.Error("nil transport accepted")
+	}
+	if _, err := NewDistributed(pair, Options{Workers: -1}, NewLoopbackTransport()); err == nil {
+		t.Error("negative Workers accepted")
+	}
+	if _, err := NewDistributed(pair, Options{Partitions: -2}, NewLoopbackTransport()); err == nil {
+		t.Error("negative Partitions accepted")
+	}
+}

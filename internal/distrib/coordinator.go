@@ -1,0 +1,409 @@
+package distrib
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/active"
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/partition"
+)
+
+// Options configures a coordinator run.
+type Options struct {
+	// Train is the training configuration shipped with every job.
+	Train TrainConfig
+	// Workers caps concurrent worker connections; default
+	// min(shards, GOMAXPROCS).
+	Workers int
+	// Retries is how many times a failed shard is re-dispatched on a
+	// fresh connection before the run aborts; default 2. Negative
+	// disables retries.
+	Retries int
+	// NoExtract ships every shard with the full pair (identity maps)
+	// instead of its extracted neighborhood — the bytes-on-wire baseline
+	// and the fallback for schemas ExtractShard refuses.
+	NoExtract bool
+	// OnProgress, when set, receives worker progress frames (from
+	// concurrent goroutines; the callback must be thread-safe).
+	OnProgress func(Progress)
+}
+
+// ShardMetrics records one shard's wire cost; attempts > 1 means the
+// shard was retried.
+type ShardMetrics struct {
+	Shard     int
+	JobBytes  int64 // job frame bytes, last successful attempt
+	Attempts  int
+	Extracted bool
+}
+
+// Metrics is a run's transport audit: what crossed the wire.
+type Metrics struct {
+	Shards      []ShardMetrics
+	JobBytes    int64 // total job frame bytes, successful attempts only
+	ResultBytes int64 // total bytes read back from workers
+	// Queries counts oracle round-trips actually answered, INCLUDING
+	// those of failed attempts whose votes were discarded — retried
+	// shards re-spend oracle labels, and this is the audit of real
+	// labeling cost. Equals Result.QueryCount only on retry-free runs.
+	Queries int
+	Retries int // shard re-dispatches after failures
+}
+
+// Coordinator dispatches shard jobs over a transport and reconciles the
+// returned vote streams into one globally one-to-one result. A zero
+// Coordinator is not usable; set Transport.
+type Coordinator struct {
+	Transport Transport
+	Opts      Options
+}
+
+// countingWriter tallies bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// countingReader tallies bytes read through it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// shardResult is one successful shard execution, ready to commit.
+type shardResult struct {
+	votes     []partition.Vote
+	report    partition.PartReport
+	jobBytes  int64
+	readBytes int64
+	extracted bool
+}
+
+// Run executes every shard of the plan on remote workers and merges
+// their votes. The pair must be the ORIGINAL aligned pair the plan was
+// built against; oracle may be nil when the plan's total budget is
+// zero. Votes are committed to the merger only when a shard's Done
+// frame arrives, so a shard that dies mid-stream retries from scratch
+// without double-voting; within that rule the reconciliation is
+// streaming — shards commit as they finish, in any order, and the
+// merged result is order-independent.
+func (c *Coordinator) Run(pair *hetnet.AlignedPair, plan *partition.Plan, oracle active.Oracle) (*partition.Result, *Metrics, error) {
+	if c.Transport == nil {
+		return nil, nil, fmt.Errorf("distrib: nil transport")
+	}
+	if pair == nil {
+		return nil, nil, fmt.Errorf("distrib: nil pair")
+	}
+	if plan == nil || len(plan.Parts) == 0 {
+		return nil, nil, fmt.Errorf("distrib: empty plan")
+	}
+	totalBudget := 0
+	for i := range plan.Parts {
+		totalBudget += plan.Parts[i].Budget
+	}
+	if totalBudget > 0 && oracle == nil {
+		return nil, nil, fmt.Errorf("distrib: plan carries budget %d but no oracle", totalBudget)
+	}
+	start := time.Now()
+
+	k := len(plan.Parts)
+	workers := c.Opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	retries := c.Opts.Retries
+	if retries == 0 {
+		retries = 2
+	} else if retries < 0 {
+		retries = 0
+	}
+
+	run := &runState{
+		coord:    c,
+		pair:     pair,
+		plan:     plan,
+		oracle:   oracle,
+		jobs:     make(chan int, k*(retries+1)),
+		attempts: make([]int, k),
+		retries:  retries,
+		results:  make([]*shardResult, k),
+		merger:   partition.NewMerger(),
+	}
+	for i := 0; i < k; i++ {
+		run.jobs <- i
+	}
+	run.outstanding = k
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run.workerLoop()
+		}()
+	}
+	wg.Wait()
+	if run.err != nil {
+		return nil, nil, run.err
+	}
+
+	metrics := &Metrics{Retries: run.totalRetries}
+	var reports []partition.PartReport
+	for i, sr := range run.results {
+		if sr == nil {
+			return nil, nil, fmt.Errorf("distrib: shard %d never completed", i)
+		}
+		reports = append(reports, sr.report)
+		metrics.Shards = append(metrics.Shards, ShardMetrics{
+			Shard:     plan.Parts[i].Index,
+			JobBytes:  sr.jobBytes,
+			Attempts:  run.attempts[i],
+			Extracted: sr.extracted,
+		})
+		metrics.JobBytes += sr.jobBytes
+		metrics.ResultBytes += sr.readBytes
+	}
+	metrics.Queries = int(run.queries.Load())
+	res := run.merger.Finish()
+	res.Reports = reports
+	res.Elapsed = time.Since(start)
+	return res, metrics, nil
+}
+
+// runState is the shared dispatch state of one Run.
+type runState struct {
+	coord  *Coordinator
+	pair   *hetnet.AlignedPair
+	plan   *partition.Plan
+	oracle active.Oracle
+
+	jobs    chan int
+	retries int
+
+	oracleMu sync.Mutex // serializes oracle access across connections
+	// queries counts every oracle round-trip actually answered —
+	// including those of failed shard attempts whose votes were
+	// discarded, since the oracle (a paid labeler, a CountingOracle) was
+	// really consulted.
+	queries atomic.Int64
+
+	mu           sync.Mutex
+	attempts     []int
+	results      []*shardResult
+	merger       *partition.Merger // commits stream in as shards finish
+	outstanding  int
+	totalRetries int
+	err          error
+	closed       bool
+}
+
+// finish closes the job channel exactly once so worker loops drain.
+func (r *runState) finish() {
+	if !r.closed {
+		r.closed = true
+		close(r.jobs)
+	}
+}
+
+// workerLoop owns one (lazily dialed) connection and executes queued
+// shards on it until the queue closes. A shard failure burns the
+// connection — the next shard dials fresh — and requeues the shard
+// until its attempt budget runs out, which aborts the whole run.
+func (r *runState) workerLoop() {
+	var conn io.ReadWriteCloser
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for shard := range r.jobs {
+		r.mu.Lock()
+		if r.err != nil {
+			r.mu.Unlock()
+			continue // aborted: drain the queue without executing
+		}
+		r.attempts[shard]++
+		r.mu.Unlock()
+
+		if conn == nil {
+			var err error
+			conn, err = r.dial()
+			if err != nil {
+				r.fail(shard, err)
+				continue
+			}
+		}
+		sr, err := r.runShard(conn, shard)
+		if err != nil {
+			conn.Close()
+			conn = nil
+			r.fail(shard, err)
+			continue
+		}
+		r.mu.Lock()
+		// Commit is transactional per shard: the votes only reach the
+		// merger once the Done frame proved the stream complete, so a
+		// retried shard never double-votes.
+		for _, v := range sr.votes {
+			r.merger.Add(v)
+		}
+		sr.votes = nil
+		r.results[shard] = sr
+		r.outstanding--
+		if r.outstanding == 0 {
+			r.finish()
+		}
+		r.mu.Unlock()
+	}
+}
+
+// dial opens and handshakes a connection.
+func (r *runState) dial() (io.ReadWriteCloser, error) {
+	conn, err := r.coord.Transport.Dial()
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(conn, FrameHello, &Hello{Role: "coordinator"}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := ReadExpect(conn, FrameHello, &Hello{}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// fail requeues the shard or aborts the run when its attempts are
+// spent.
+func (r *runState) fail(shard int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	if r.attempts[shard] <= r.retries {
+		r.totalRetries++
+		r.jobs <- shard
+		return
+	}
+	r.err = fmt.Errorf("distrib: shard %d failed after %d attempts: %w", shard, r.attempts[shard], err)
+	r.finish()
+}
+
+// runShard ships one job and consumes its frame stream to completion.
+func (r *runState) runShard(conn io.ReadWriteCloser, shard int) (*shardResult, error) {
+	part := &r.plan.Parts[shard]
+	var sh *partition.Shard
+	if r.coord.Opts.NoExtract {
+		sh = partition.FullShard(r.pair, part)
+	} else {
+		var err error
+		sh, err = partition.ExtractShard(r.pair, part)
+		if err != nil {
+			// A schema outside the extractor's closure argument is not
+			// fatal — ship the full pair instead.
+			sh = partition.FullShard(r.pair, part)
+		}
+	}
+	job := NewJob(sh, r.coord.Opts.Train)
+
+	cw := &countingWriter{w: conn}
+	if err := WriteFrame(cw, FrameJob, job); err != nil {
+		return nil, err
+	}
+	sr := &shardResult{jobBytes: cw.n, extracted: sh.Extracted()}
+
+	cr := &countingReader{r: conn}
+	for {
+		typ, body, err := ReadFrame(cr)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case FrameVotes:
+			var v Votes
+			if err := DecodeBody(body, &v); err != nil {
+				return nil, err
+			}
+			if v.Shard != part.Index {
+				return nil, fmt.Errorf("distrib: votes for shard %d on shard %d's stream", v.Shard, part.Index)
+			}
+			for _, wv := range v.Votes {
+				sr.votes = append(sr.votes, partition.Vote{
+					Link:    hetnet.Anchor{I: int(wv.I), J: int(wv.J)},
+					Label:   wv.Label,
+					Score:   wv.Score,
+					Queried: wv.Queried,
+					Fixed:   wv.Fixed,
+				})
+			}
+		case FrameProgress:
+			var p Progress
+			if err := DecodeBody(body, &p); err != nil {
+				return nil, err
+			}
+			if r.coord.Opts.OnProgress != nil {
+				r.coord.Opts.OnProgress(p)
+			}
+		case FrameQuery:
+			var q Query
+			if err := DecodeBody(body, &q); err != nil {
+				return nil, err
+			}
+			if r.oracle == nil {
+				return nil, fmt.Errorf("distrib: worker queried shard %d but no oracle is configured", q.Shard)
+			}
+			r.oracleMu.Lock()
+			label := r.oracle.Label(hetnet.Anchor{I: int(q.I), J: int(q.J)})
+			r.oracleMu.Unlock()
+			r.queries.Add(1)
+			if err := WriteFrame(conn, FrameAnswer, &Answer{Seq: q.Seq, Label: label}); err != nil {
+				return nil, err
+			}
+		case FrameDone:
+			var d Done
+			if err := DecodeBody(body, &d); err != nil {
+				return nil, err
+			}
+			sr.report = partition.PartReport{
+				Index:      part.Index,
+				TrainPos:   d.TrainPos,
+				Candidates: d.Candidates,
+				Budget:     d.Budget,
+				Queries:    d.Queries,
+				Elapsed:    time.Duration(d.ElapsedNS),
+			}
+			sr.readBytes = cr.n
+			return sr, nil
+		case FrameError:
+			var je JobError
+			if err := DecodeBody(body, &je); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("distrib: worker failed shard %d: %s", je.Shard, je.Msg)
+		default:
+			return nil, fmt.Errorf("distrib: unexpected frame type %d from worker", typ)
+		}
+	}
+}

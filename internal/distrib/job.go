@@ -1,0 +1,177 @@
+package distrib
+
+import (
+	"io"
+
+	"fmt"
+
+	"github.com/activeiter/activeiter/internal/active"
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/partition"
+	"github.com/activeiter/activeiter/internal/schema"
+)
+
+// Feature set and strategy names carried on the wire. They mirror the
+// facade's FeatureSet/StrategyKind vocabulary; the worker resolves them
+// locally because neither schema.Named nor active.Strategy is
+// serializable.
+const (
+	FeaturesFull     = "full"
+	FeaturesPaths    = "paths"
+	FeaturesExtended = "extended"
+
+	StrategyConflict    = "conflict"
+	StrategyRandom      = "random"
+	StrategyUncertainty = "uncertainty"
+)
+
+// ResolveFeatures maps a wire feature-set name to the diagram library.
+// The empty name means FeaturesFull.
+func ResolveFeatures(name string) ([]schema.Named, error) {
+	switch name {
+	case "", FeaturesFull:
+		return schema.StandardLibrary().All(), nil
+	case FeaturesPaths:
+		return schema.StandardLibrary().PathsOnly(), nil
+	case FeaturesExtended:
+		return schema.ExtendedLibrary().All(), nil
+	default:
+		return nil, fmt.Errorf("distrib: unknown feature set %q", name)
+	}
+}
+
+// ResolveStrategy maps a wire strategy name to a query strategy. The
+// empty name means conflict (the paper's default).
+func ResolveStrategy(name string) (active.Strategy, error) {
+	switch name {
+	case "", StrategyConflict:
+		return active.Conflict{}, nil
+	case StrategyRandom:
+		return active.Random{}, nil
+	case StrategyUncertainty:
+		return active.Uncertainty{}, nil
+	default:
+		return nil, fmt.Errorf("distrib: unknown strategy %q", name)
+	}
+}
+
+// TrainConfig is the wire-safe training configuration shared by every
+// job of one run — partition.TrainOptions flattened into serializable
+// scalars.
+type TrainConfig struct {
+	// FeatureSet selects the diagram library ("full", "paths",
+	// "extended"; empty = full).
+	FeatureSet string
+	// Strategy selects the query strategy ("conflict", "random",
+	// "uncertainty"; empty = conflict).
+	Strategy string
+	// C is the ridge fit weight (0 = default 1).
+	C float64
+	// Threshold is the selection cutoff; nil = the paper's ½.
+	Threshold *float64
+	// BatchSize is the per-round query batch (0 = default 5).
+	BatchSize int
+	// Exact swaps greedy selection for the Hungarian optimum.
+	Exact bool
+	// Seed is the base seed; each shard offsets it by its index exactly
+	// like the in-process pipeline.
+	Seed int64
+}
+
+// NewJob packages an extracted shard with the run's training
+// configuration as a wire job.
+func NewJob(shard *partition.Shard, cfg TrainConfig) *Job {
+	j := &Job{
+		Shard:      shard.Part.Index,
+		G1:         EncodeNetwork(shard.Pair.G1),
+		G2:         EncodeNetwork(shard.Pair.G2),
+		AnchorType: string(shard.Pair.AnchorType),
+		TrainPos:   shard.Part.TrainPos,
+		Candidates: shard.Part.Candidates,
+		InvUsers1:  shard.InvUsers1,
+		InvUsers2:  shard.InvUsers2,
+		FeatureSet: cfg.FeatureSet,
+		Strategy:   cfg.Strategy,
+		C:          cfg.C,
+		BatchSize:  cfg.BatchSize,
+		Exact:      cfg.Exact,
+		Budget:     shard.Part.Budget,
+		Seed:       cfg.Seed,
+	}
+	if cfg.Threshold != nil {
+		j.Threshold = *cfg.Threshold
+		j.HasThreshold = true
+	}
+	return j
+}
+
+// JobSizes measures, per shard of the plan, the serialized job frame in
+// bytes — with neighborhood extraction when extract is true, shipping
+// the full pair otherwise — without dispatching anything. A run's real
+// shipped bytes come from Metrics.JobBytes; this exists to price the
+// counterfactual (what would the OTHER mode have cost), so callers only
+// pay extraction+serialization for the variant they ask about.
+func JobSizes(pair *hetnet.AlignedPair, plan *partition.Plan, cfg TrainConfig, extract bool) ([]int64, error) {
+	var sizes []int64
+	for i := range plan.Parts {
+		part := &plan.Parts[i]
+		var sh *partition.Shard
+		if extract {
+			var err error
+			if sh, err = partition.ExtractShard(pair, part); err != nil {
+				sh = partition.FullShard(pair, part)
+			}
+		} else {
+			sh = partition.FullShard(pair, part)
+		}
+		cw := &countingWriter{w: io.Discard}
+		if err := WriteFrame(cw, FrameJob, NewJob(sh, cfg)); err != nil {
+			return nil, err
+		}
+		sizes = append(sizes, cw.n)
+	}
+	return sizes, nil
+}
+
+// DecodeShard rebuilds the job's sub-pair and part on the worker side,
+// validating networks, anchors and inverse maps.
+func (j *Job) DecodeShard() (*hetnet.AlignedPair, *partition.Part, error) {
+	g1, err := j.G1.Decode()
+	if err != nil {
+		return nil, nil, err
+	}
+	g2, err := j.G2.Decode()
+	if err != nil {
+		return nil, nil, err
+	}
+	pair := hetnet.NewAlignedPair(g1, g2)
+	if j.AnchorType != "" {
+		pair.AnchorType = hetnet.NodeType(j.AnchorType)
+	}
+	for _, a := range j.TrainPos {
+		if err := pair.AddAnchor(a.I, a.J); err != nil {
+			return nil, nil, fmt.Errorf("distrib: job shard %d: %w", j.Shard, err)
+		}
+	}
+	if err := pair.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("distrib: job shard %d: %w", j.Shard, err)
+	}
+	n1 := g1.NodeCount(pair.AnchorType)
+	n2 := g2.NodeCount(pair.AnchorType)
+	if len(j.InvUsers1) != n1 || len(j.InvUsers2) != n2 {
+		return nil, nil, fmt.Errorf("distrib: job shard %d: inverse maps (%d,%d) do not match user counts (%d,%d)",
+			j.Shard, len(j.InvUsers1), len(j.InvUsers2), n1, n2)
+	}
+	for _, c := range j.Candidates {
+		if c.I < 0 || c.I >= n1 || c.J < 0 || c.J >= n2 {
+			return nil, nil, fmt.Errorf("distrib: job shard %d: candidate (%d,%d) out of range", j.Shard, c.I, c.J)
+		}
+	}
+	part := &partition.Part{
+		Index:      j.Shard,
+		TrainPos:   j.TrainPos,
+		Candidates: j.Candidates,
+		Budget:     j.Budget,
+	}
+	return pair, part, nil
+}

@@ -1,0 +1,179 @@
+package distrib
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// Transport produces worker connections for the coordinator. Dial is
+// called lazily, once per worker slot (plus once per retry that burned
+// a connection), and may be called concurrently.
+//
+// Three implementations ship: Loopback (in-process goroutine — tests,
+// benchmarks, and the degenerate single-machine case), Exec (stdio
+// pipes to a spawned worker subprocess — one machine, many processes)
+// and TCP (remote workers listening with ListenAndServe — many
+// machines).
+type Transport interface {
+	Dial() (io.ReadWriteCloser, error)
+}
+
+// Loopback serves every dialed connection with an in-process worker
+// goroutine over a synchronous pipe. The worker still speaks the full
+// wire protocol — loopback runs exercise serialization, extraction and
+// reconciliation end to end, minus process isolation.
+type Loopback struct{}
+
+// loopbackConn tags the coordinator half so Close also reaps the
+// worker goroutine (closing the pipe makes Serve return io.EOF).
+type loopbackConn struct {
+	net.Conn
+	done chan struct{}
+}
+
+func (c *loopbackConn) Close() error {
+	err := c.Conn.Close()
+	<-c.done
+	return err
+}
+
+// Dial implements Transport.
+func (Loopback) Dial() (io.ReadWriteCloser, error) {
+	here, there := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer there.Close()
+		// The coordinator observes worker death through the broken
+		// stream; the error itself is not reachable from a real remote
+		// worker either.
+		_ = Serve(there)
+	}()
+	return &loopbackConn{Conn: here, done: done}, nil
+}
+
+// Exec spawns one worker subprocess per connection and speaks the wire
+// protocol over its stdin/stdout. The command must run the worker serve
+// loop on its stdio (cmd/activeiter -worker does).
+type Exec struct {
+	Cmd  string
+	Args []string
+	// Env is the child environment; nil inherits the parent's.
+	Env []string
+	// Stderr receives the worker's stderr; nil discards it.
+	Stderr io.Writer
+}
+
+// execConn bundles the child's pipes; Close tears the process down.
+type execConn struct {
+	io.WriteCloser // child stdin
+	io.Reader      // child stdout
+	cmd            *exec.Cmd
+}
+
+// execShutdownGrace is how long Close waits for a worker process to
+// exit on its own after stdin closes before killing it.
+const execShutdownGrace = 5 * time.Second
+
+func (c *execConn) Close() error {
+	c.WriteCloser.Close() // EOF on the child's stdin ends its serve loop
+	// A worker torn down mid-stream can be blocked in write(2) on a full
+	// stdout pipe nobody reads anymore; os/exec only closes its
+	// StdoutPipe after the process exits, so an unconditional Wait could
+	// hang forever. Give the child a grace period, then kill it.
+	done := make(chan error, 1)
+	go func() { done <- c.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			// A worker killed mid-job exits non-zero; the coordinator has
+			// already decided to retry, so surface nothing fatal.
+			return fmt.Errorf("distrib: worker process: %w", err)
+		}
+		return nil
+	case <-time.After(execShutdownGrace):
+		c.cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("distrib: worker process killed after %v shutdown grace", execShutdownGrace)
+	}
+}
+
+// Dial implements Transport.
+func (t *Exec) Dial() (io.ReadWriteCloser, error) {
+	cmd := exec.Command(t.Cmd, t.Args...)
+	cmd.Env = t.Env
+	cmd.Stderr = t.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("distrib: start worker %q: %w", t.Cmd, err)
+	}
+	return &execConn{WriteCloser: stdin, Reader: stdout, cmd: cmd}, nil
+}
+
+// TCP dials remote workers round-robin across the given addresses. Each
+// address should run ListenAndServe (cmd/activeiter -worker-listen).
+type TCP struct {
+	Addrs []string
+
+	mu   sync.Mutex
+	next int
+}
+
+// NewTCP builds a TCP transport over the worker addresses.
+func NewTCP(addrs ...string) *TCP {
+	return &TCP{Addrs: addrs}
+}
+
+// Dial implements Transport.
+func (t *TCP) Dial() (io.ReadWriteCloser, error) {
+	if len(t.Addrs) == 0 {
+		return nil, fmt.Errorf("distrib: TCP transport has no worker addresses")
+	}
+	t.mu.Lock()
+	addr := t.Addrs[t.next%len(t.Addrs)]
+	t.next++
+	t.mu.Unlock()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: dial worker %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// ListenAndServe accepts worker connections on addr and serves each in
+// its own goroutine until the listener fails. ready (optional) receives
+// the bound address once listening — callers binding ":0" learn the
+// port.
+func ListenAndServe(addr string, ready chan<- string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			if err := Serve(conn); err != nil && err != io.EOF {
+				fmt.Fprintf(os.Stderr, "distrib: worker connection: %v\n", err)
+			}
+		}()
+	}
+}

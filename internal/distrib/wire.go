@@ -1,0 +1,353 @@
+// Package distrib fans shard alignment out across processes: a
+// coordinator serializes each partition.Shard as a wire-format job,
+// dispatches it to workers over a pluggable transport (in-process
+// loopback, stdio pipes to subprocesses, TCP), answers the workers'
+// oracle queries, and reconciles the returned vote streams incrementally
+// through the partition.Merger / multinet score-greedy union-find. The
+// per-shard pipeline a worker runs is partition.TrainPart — the same
+// code the in-process path runs on counter forks — so a distributed run
+// is property-tested identical to PartitionedAligner for the same seed
+// and shard plan.
+//
+// # Wire format
+//
+// The protocol is a stream of length-prefixed, versioned frames in both
+// directions:
+//
+//	┌─────────────┬─────────┬──────────┬──────────────────┐
+//	│ length u32  │ magic   │ ver  typ │ gob payload      │
+//	│ big endian  │ 2 bytes │ 1B   1B  │ length − 4 bytes │
+//	└─────────────┴─────────┴──────────┴──────────────────┘
+//
+// Every frame is a self-contained gob document (a fresh encoder per
+// frame), so frames survive reordering across connections, a reader can
+// skip unknown frame types of its version, and corrupt or foreign
+// streams fail fast on the magic/version check instead of deep inside a
+// decoder. A version bump is a wire-compatibility statement: readers
+// reject frames of any other version (ErrVersionMismatch) rather than
+// guess at field semantics.
+//
+// The conversation is strictly request-driven: the coordinator sends
+// Hello then one Job per shard; the worker answers with any number of
+// Progress, Query (oracle round-trips, answered by Answer frames) and
+// Votes frames, terminated by exactly one Done or Error frame.
+package distrib
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+)
+
+// Version is the wire protocol version. Bump it on any change to frame
+// payload shapes; readers reject every other version.
+const Version = 1
+
+// magic guards against feeding a non-distrib stream into the decoder.
+var magic = [2]byte{'A', 'I'}
+
+// maxFrameSize bounds a frame's declared length so a corrupt or hostile
+// length prefix cannot OOM the reader. Jobs carry whole sub-networks;
+// 1 GiB is far above any realistic shard and far below pathology.
+const maxFrameSize = 1 << 30
+
+// FrameType tags a frame payload.
+type FrameType uint8
+
+const (
+	// FrameHello opens a connection in each direction.
+	FrameHello FrameType = iota + 1
+	// FrameJob carries one shard job, coordinator → worker.
+	FrameJob
+	// FrameVotes carries a batch of pool-link votes, worker → coordinator.
+	FrameVotes
+	// FrameProgress reports a pipeline stage change, worker → coordinator.
+	FrameProgress
+	// FrameQuery asks the coordinator's oracle for a label.
+	FrameQuery
+	// FrameAnswer returns an oracle label, coordinator → worker.
+	FrameAnswer
+	// FrameDone completes a job with its audit report.
+	FrameDone
+	// FrameError aborts a job with a worker-side failure.
+	FrameError
+)
+
+// ErrVersionMismatch is returned (wrapped, with the versions) when a
+// frame of a different protocol version arrives.
+var ErrVersionMismatch = errors.New("distrib: wire version mismatch")
+
+// Hello is the handshake payload. Role is informational ("coordinator",
+// "worker") — the version check rides in the frame header.
+type Hello struct {
+	Role string
+}
+
+// WireNetwork is the deterministic interchange form of a
+// hetnet.Network: node tables as ID lists in registration order, links
+// as declared endpoint types plus parallel index arrays. Unlike the
+// map-keyed JSON/gob interchange of hetnet, every field is a slice in a
+// canonical order, so encoding the same network twice yields identical
+// bytes — which is what makes golden-file wire tests possible.
+type WireNetwork struct {
+	Name      string
+	NodeTypes []string
+	NodeIDs   [][]string // parallel to NodeTypes
+	LinkTypes []string
+	LinkSrc   []string // parallel to LinkTypes
+	LinkDst   []string
+	LinkFrom  [][]int32
+	LinkTo    [][]int32
+}
+
+// EncodeNetwork converts a network to wire form.
+func EncodeNetwork(g *hetnet.Network) WireNetwork {
+	w := WireNetwork{Name: g.Name()}
+	for _, t := range g.NodeTypes() {
+		ids := make([]string, g.NodeCount(t))
+		for i := range ids {
+			ids[i] = g.NodeID(t, i)
+		}
+		w.NodeTypes = append(w.NodeTypes, string(t))
+		w.NodeIDs = append(w.NodeIDs, ids)
+	}
+	for _, lt := range g.LinkTypes() {
+		src, dst, _ := g.LinkEndpoints(lt)
+		from := make([]int32, 0, g.LinkCount(lt))
+		to := make([]int32, 0, g.LinkCount(lt))
+		g.Links(lt, func(f, t int) {
+			from = append(from, int32(f))
+			to = append(to, int32(t))
+		})
+		w.LinkTypes = append(w.LinkTypes, string(lt))
+		w.LinkSrc = append(w.LinkSrc, string(src))
+		w.LinkDst = append(w.LinkDst, string(dst))
+		w.LinkFrom = append(w.LinkFrom, from)
+		w.LinkTo = append(w.LinkTo, to)
+	}
+	return w
+}
+
+// Decode rebuilds the network, validating shape as it goes.
+func (w *WireNetwork) Decode() (*hetnet.Network, error) {
+	if len(w.NodeTypes) != len(w.NodeIDs) {
+		return nil, fmt.Errorf("distrib: network %q: %d node types, %d ID lists", w.Name, len(w.NodeTypes), len(w.NodeIDs))
+	}
+	if len(w.LinkTypes) != len(w.LinkSrc) || len(w.LinkTypes) != len(w.LinkDst) ||
+		len(w.LinkTypes) != len(w.LinkFrom) || len(w.LinkTypes) != len(w.LinkTo) {
+		return nil, fmt.Errorf("distrib: network %q: ragged link tables", w.Name)
+	}
+	g := hetnet.NewNetwork(w.Name)
+	for k, t := range w.NodeTypes {
+		nt := hetnet.NodeType(t)
+		for _, id := range w.NodeIDs[k] {
+			g.AddNode(nt, id)
+		}
+		if g.NodeCount(nt) != len(w.NodeIDs[k]) {
+			return nil, fmt.Errorf("distrib: network %q: duplicate node IDs in type %q", w.Name, t)
+		}
+	}
+	for k, lt := range w.LinkTypes {
+		if err := g.DeclareLink(hetnet.LinkType(lt), hetnet.NodeType(w.LinkSrc[k]), hetnet.NodeType(w.LinkDst[k])); err != nil {
+			return nil, fmt.Errorf("distrib: network %q: %w", w.Name, err)
+		}
+		if len(w.LinkFrom[k]) != len(w.LinkTo[k]) {
+			return nil, fmt.Errorf("distrib: network %q: link type %q has mismatched from/to lengths", w.Name, lt)
+		}
+		for e := range w.LinkFrom[k] {
+			if err := g.AddLink(hetnet.LinkType(lt), int(w.LinkFrom[k][e]), int(w.LinkTo[k][e])); err != nil {
+				return nil, fmt.Errorf("distrib: network %q: %w", w.Name, err)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Job is one shard job: the extracted sub-pair, the shard's pool in
+// sub-pair index space, the training configuration, and the inverse
+// user maps the worker uses to vote (and query) in original indices.
+type Job struct {
+	// Shard is the Part.Index — it offsets the training seed and tags
+	// every frame the worker sends back.
+	Shard int
+	// G1, G2 and AnchorType describe the (extracted) sub-pair.
+	G1, G2     WireNetwork
+	AnchorType string
+	// TrainPos and Candidates are the shard pool in sub-pair indices.
+	TrainPos   []hetnet.Anchor
+	Candidates []hetnet.Anchor
+	// InvUsers1/InvUsers2 map sub-pair user indices back to original
+	// pair indices.
+	InvUsers1, InvUsers2 []int32
+	// Training configuration, mirroring partition.TrainOptions flattened
+	// into wire-safe scalars.
+	FeatureSet   string // "full", "paths", "extended"
+	Strategy     string // "conflict", "random", "uncertainty"
+	C            float64
+	Threshold    float64
+	HasThreshold bool
+	Budget       int // this shard's slice
+	BatchSize    int
+	Exact        bool
+	Seed         int64 // base seed; the worker applies the per-shard offset
+}
+
+// Vote is one pool link's verdict in ORIGINAL pair indices — the wire
+// form of partition.Vote.
+type Vote struct {
+	I, J    int32
+	Label   float64
+	Score   float64
+	Queried bool
+	Fixed   bool
+}
+
+// Votes is a batch of votes for one shard.
+type Votes struct {
+	Shard int
+	Votes []Vote
+}
+
+// Progress reports a worker pipeline stage.
+type Progress struct {
+	Shard   int
+	Stage   string // "counting", "features", "training", "voting"
+	Queries int
+}
+
+// Query asks the coordinator's oracle to label a link (original
+// indices).
+type Query struct {
+	Shard int
+	Seq   uint64
+	I, J  int32
+}
+
+// Answer returns an oracle label for the query with the same Seq.
+type Answer struct {
+	Seq   uint64
+	Label float64
+}
+
+// Done completes a job; the fields mirror partition.PartReport.
+type Done struct {
+	Shard      int
+	TrainPos   int
+	Candidates int
+	Budget     int
+	Queries    int
+	ElapsedNS  int64
+}
+
+// JobError aborts a job with a worker-side failure description.
+type JobError struct {
+	Shard int
+	Msg   string
+}
+
+// WriteFrame encodes payload as one length-prefixed frame. The payload
+// must be one of the frame payload structs above.
+func WriteFrame(w io.Writer, typ FrameType, payload any) error {
+	// Frames are self-contained gob documents: a fresh encoder per
+	// frame keeps them independently decodable.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return fmt.Errorf("distrib: encode %v frame: %w", typ, err)
+	}
+	body := buf.Bytes()
+	// Reject oversized frames at the writer: shipping gigabytes only for
+	// the reader to refuse the length prefix (and, past 2³²−4, silently
+	// wrapping it into a corrupt stream) wastes the whole transfer once
+	// per retry.
+	if len(body)+4 > maxFrameSize {
+		return fmt.Errorf("distrib: frame type %d is %d bytes, over the %d limit — shard the job smaller", typ, len(body)+4, maxFrameSize)
+	}
+	header := make([]byte, 8)
+	binary.BigEndian.PutUint32(header[0:4], uint32(4+len(body)))
+	header[4], header[5] = magic[0], magic[1]
+	header[6] = Version
+	header[7] = byte(typ)
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("distrib: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("distrib: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame header and returns its type plus the raw
+// gob body for DecodeBody. io.EOF is returned untouched on a clean
+// end-of-stream boundary.
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("distrib: read frame length: %w", err)
+	}
+	length := binary.BigEndian.Uint32(lenBuf[:])
+	if length < 4 || length > maxFrameSize {
+		return 0, nil, fmt.Errorf("distrib: frame length %d outside [4,%d]", length, maxFrameSize)
+	}
+	// Validate the fixed magic/version/type bytes BEFORE allocating the
+	// declared body size: the length prefix is untrusted input, and an
+	// unauthenticated TCP client must not be able to make a listening
+	// worker allocate a gigabyte with a 4-byte probe. On a header
+	// error the body is still drained (into the void, no allocation) so
+	// the frame is fully consumed either way — a peer mid-Write on a
+	// fully synchronous link (net.Pipe) would otherwise block forever on
+	// the bytes nobody reads.
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("distrib: read frame header: %w", err)
+	}
+	hdrErr := error(nil)
+	switch {
+	case hdr[0] != magic[0] || hdr[1] != magic[1]:
+		hdrErr = fmt.Errorf("distrib: bad frame magic %q", hdr[0:2])
+	case hdr[2] != Version:
+		hdrErr = fmt.Errorf("%w: got %d, want %d", ErrVersionMismatch, hdr[2], Version)
+	}
+	if hdrErr != nil {
+		io.CopyN(io.Discard, r, int64(length-4))
+		return 0, nil, hdrErr
+	}
+	body := make([]byte, length-4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("distrib: read frame body: %w", err)
+	}
+	return FrameType(hdr[3]), body, nil
+}
+
+// DecodeBody decodes a frame body returned by ReadFrame into the
+// payload struct matching its type.
+func DecodeBody(body []byte, into any) error {
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(into)
+}
+
+// ReadExpect reads one frame and requires the given type, decoding into
+// `into`. An Error frame is surfaced as its message; anything else is a
+// protocol violation.
+func ReadExpect(r io.Reader, want FrameType, into any) error {
+	typ, body, err := ReadFrame(r)
+	if err != nil {
+		return err
+	}
+	if typ == FrameError && want != FrameError {
+		var je JobError
+		if derr := DecodeBody(body, &je); derr == nil {
+			return fmt.Errorf("distrib: remote error (shard %d): %s", je.Shard, je.Msg)
+		}
+	}
+	if typ != want {
+		return fmt.Errorf("distrib: unexpected frame type %d, want %d", typ, want)
+	}
+	return DecodeBody(body, into)
+}

@@ -1,0 +1,272 @@
+package distrib
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/partition"
+)
+
+var update = flag.Bool("update", false, "rewrite golden wire files")
+
+// fixturePair builds a small deterministic pair: follows, posts,
+// timestamps and check-ins on both sides with overlapping attribute
+// values.
+func fixturePair(t testing.TB) *hetnet.AlignedPair {
+	t.Helper()
+	build := func(name string, shift int) *hetnet.Network {
+		g := hetnet.NewSocialNetwork(name)
+		for u := 0; u < 8; u++ {
+			g.AddNode(hetnet.User, fmt.Sprintf("%s-u%d", name, u))
+		}
+		for u := 0; u < 8; u++ {
+			if err := g.AddLinkByID(hetnet.Follow, fmt.Sprintf("%s-u%d", name, u), fmt.Sprintf("%s-u%d", name, (u+1+shift)%8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for u := 0; u < 8; u++ {
+			post := fmt.Sprintf("%s-p%d", name, u)
+			if err := g.AddLinkByID(hetnet.Write, fmt.Sprintf("%s-u%d", name, u), post); err != nil {
+				t.Fatal(err)
+			}
+			// Shared attribute vocabularies: plain t%d / l%d IDs join
+			// across networks.
+			if err := g.AddLinkByID(hetnet.At, post, fmt.Sprintf("t%d", (u+shift)%4)); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.AddLinkByID(hetnet.Checkin, post, fmt.Sprintf("l%d", u%3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g
+	}
+	pair := hetnet.NewAlignedPair(build("net1", 0), build("net2", 1))
+	for u := 0; u < 4; u++ {
+		if err := pair.AddAnchor(u, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pair
+}
+
+// fixtureJob extracts shard 1 of a two-part split of the fixture pair.
+func fixtureJob(t testing.TB) *Job {
+	t.Helper()
+	pair := fixturePair(t)
+	part := &partition.Part{
+		Index:      1,
+		TrainPos:   []hetnet.Anchor{{I: 0, J: 0}, {I: 1, J: 1}},
+		Candidates: []hetnet.Anchor{{I: 4, J: 5}, {I: 5, J: 4}, {I: 6, J: 6}},
+		Budget:     3,
+	}
+	shard, err := partition.ExtractShard(pair, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := 0.5
+	return NewJob(shard, TrainConfig{
+		FeatureSet: FeaturesFull,
+		Strategy:   StrategyConflict,
+		C:          1,
+		Threshold:  &half,
+		BatchSize:  5,
+		Seed:       2019,
+	})
+}
+
+// goldenFrames enumerates every frame type with a representative
+// payload, the corpus the golden files pin.
+func goldenFrames(t testing.TB) []struct {
+	name    string
+	typ     FrameType
+	payload any
+} {
+	return []struct {
+		name    string
+		typ     FrameType
+		payload any
+	}{
+		{"hello", FrameHello, &Hello{Role: "coordinator"}},
+		{"job", FrameJob, fixtureJob(t)},
+		{"votes", FrameVotes, &Votes{Shard: 1, Votes: []Vote{
+			{I: 4, J: 5, Label: 1, Score: 0.91},
+			{I: 5, J: 4, Label: 0, Score: 0.12, Queried: true},
+			{I: 0, J: 0, Label: 1, Score: 0.99, Fixed: true},
+		}}},
+		{"progress", FrameProgress, &Progress{Shard: 1, Stage: "training", Queries: 2}},
+		{"query", FrameQuery, &Query{Shard: 1, Seq: 7, I: 4, J: 5}},
+		{"answer", FrameAnswer, &Answer{Seq: 7, Label: 1}},
+		{"done", FrameDone, &Done{Shard: 1, TrainPos: 2, Candidates: 3, Budget: 3, Queries: 3, ElapsedNS: 12345678}},
+		{"error", FrameError, &JobError{Shard: 1, Msg: "boom"}},
+	}
+}
+
+// TestWireGolden pins wire compatibility against recorded frames: every
+// golden file holds bytes a Version-1 coordinator/worker actually wrote,
+// and the current reader must still decode each one into the expected
+// payload. Any change that breaks decoding (field rename or retype,
+// header layout, encoder swap) fails here and forces a deliberate
+// Version bump — regenerate with -update after bumping. Byte-for-byte
+// re-encoding is deliberately NOT asserted: gob assigns wire type IDs
+// from a process-global counter, so equal payloads can encode with
+// different (self-describing, mutually decodable) type IDs depending on
+// encode history.
+func TestWireGolden(t *testing.T) {
+	for _, tc := range goldenFrames(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", "frame_"+tc.name+".golden")
+			if *update {
+				var buf bytes.Buffer
+				if err := WriteFrame(&buf, tc.typ, tc.payload); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			typ, body, err := ReadFrame(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("golden frame unreadable — wire format changed without a Version bump: %v", err)
+			}
+			if typ != tc.typ {
+				t.Fatalf("golden frame type %d, want %d", typ, tc.typ)
+			}
+			// Decode into a fresh value of the payload's type and compare
+			// structurally. The expected payload is normalized through one
+			// encode/decode cycle first: gob flattens empty slices to nil,
+			// and that normalization is part of the format, not a change.
+			got := reflect.New(reflect.TypeOf(tc.payload).Elem()).Interface()
+			if err := DecodeBody(body, got); err != nil {
+				t.Fatalf("golden payload undecodable — bump Version and regenerate with -update: %v", err)
+			}
+			var norm bytes.Buffer
+			if err := WriteFrame(&norm, tc.typ, tc.payload); err != nil {
+				t.Fatal(err)
+			}
+			_, normBody, err := ReadFrame(&norm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := reflect.New(reflect.TypeOf(tc.payload).Elem()).Interface()
+			if err := DecodeBody(normBody, want); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("golden payload decodes differently:\n got: %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestWireRoundTrip decodes each golden frame and checks the payloads
+// survive: the job's sub-pair rebuilds into a valid aligned pair whose
+// pool links translate back through the inverse maps, and scored votes
+// round-trip exactly.
+func TestWireRoundTrip(t *testing.T) {
+	for _, tc := range goldenFrames(t) {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, tc.typ, tc.payload); err != nil {
+			t.Fatal(err)
+		}
+		typ, body, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if typ != tc.typ {
+			t.Fatalf("%s: type %d, want %d", tc.name, typ, tc.typ)
+		}
+		switch tc.name {
+		case "job":
+			var j Job
+			if err := DecodeBody(body, &j); err != nil {
+				t.Fatal(err)
+			}
+			orig := tc.payload.(*Job)
+			pair, part, err := j.DecodeShard()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := pair.G1.NodeCount(hetnet.User); got != len(orig.InvUsers1) {
+				t.Errorf("job round-trip: G1 has %d users, want %d", got, len(orig.InvUsers1))
+			}
+			if len(part.Candidates) != len(orig.Candidates) {
+				t.Errorf("job round-trip: %d candidates, want %d", len(part.Candidates), len(orig.Candidates))
+			}
+			if j.Budget != orig.Budget || j.Seed != orig.Seed || !j.HasThreshold || j.Threshold != 0.5 {
+				t.Errorf("job round-trip: training config mangled: %+v", j)
+			}
+		case "votes":
+			var v Votes
+			if err := DecodeBody(body, &v); err != nil {
+				t.Fatal(err)
+			}
+			orig := tc.payload.(*Votes)
+			if len(v.Votes) != len(orig.Votes) {
+				t.Fatalf("votes round-trip: %d votes, want %d", len(v.Votes), len(orig.Votes))
+			}
+			for k := range v.Votes {
+				if v.Votes[k] != orig.Votes[k] {
+					t.Errorf("vote %d round-trip: %+v, want %+v", k, v.Votes[k], orig.Votes[k])
+				}
+			}
+		}
+	}
+}
+
+// TestWireVersionMismatch is the rejection contract: a frame of any
+// other protocol version must fail with ErrVersionMismatch, before any
+// payload decoding.
+func TestWireVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameHello, &Hello{Role: "worker"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[6] = Version + 1 // version byte lives after the 4-byte length + 2-byte magic
+	_, _, err := ReadFrame(bytes.NewReader(raw))
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("got %v, want ErrVersionMismatch", err)
+	}
+}
+
+// TestWireRejectsGarbage covers the fail-fast paths: bad magic,
+// oversized length prefix, truncated body.
+func TestWireRejectsGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameHello, &Hello{Role: "worker"}); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	bad := append([]byte(nil), good...)
+	bad[4] = 'X'
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	huge := append([]byte(nil), good...)
+	huge[0], huge[1], huge[2], huge[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := ReadFrame(bytes.NewReader(huge)); err == nil {
+		t.Error("oversized length accepted")
+	}
+
+	if _, _, err := ReadFrame(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Error("truncated body accepted")
+	}
+
+	if _, _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Error("empty stream should be io.EOF")
+	}
+}

@@ -1,0 +1,201 @@
+package distrib
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/active"
+	"github.com/activeiter/activeiter/internal/core"
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/metadiag"
+	"github.com/activeiter/activeiter/internal/partition"
+)
+
+// voteBatchSize caps votes per FrameVotes so one huge pool does not
+// buffer an unbounded frame.
+const voteBatchSize = 4096
+
+// Serve runs the worker side of one connection: handshake, then a loop
+// of job → (progress/query/votes)* → done until the coordinator closes
+// the stream. A job-level failure is reported as an Error frame and the
+// loop continues — the connection only dies on wire-level failures.
+// Workers are stateless between jobs: every job carries its own
+// sub-pair, so a worker can serve shards of different runs back to
+// back.
+func Serve(conn io.ReadWriter) error {
+	// The coordinator speaks first: over fully synchronous links
+	// (net.Pipe) two sides writing their Hello simultaneously would
+	// deadlock, so the handshake is strictly coordinator-then-worker.
+	if err := ReadExpect(conn, FrameHello, &Hello{}); err != nil {
+		if err == io.EOF {
+			return nil
+		}
+		return err
+	}
+	if err := WriteFrame(conn, FrameHello, &Hello{Role: "worker"}); err != nil {
+		return err
+	}
+	for {
+		typ, body, err := ReadFrame(conn)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if typ != FrameJob {
+			return fmt.Errorf("distrib: worker expected a job frame, got type %d", typ)
+		}
+		var job Job
+		if err := DecodeBody(body, &job); err != nil {
+			return fmt.Errorf("distrib: decode job: %w", err)
+		}
+		if err := runJob(conn, &job); err != nil {
+			if werr := WriteFrame(conn, FrameError, &JobError{Shard: job.Shard, Msg: err.Error()}); werr != nil {
+				return werr
+			}
+		}
+	}
+}
+
+// wireAbort carries a wire-level failure out of the oracle callback —
+// the Oracle interface has no error channel, so the pipeline unwinds by
+// panic and runJob rethrows it as a connection error.
+type wireAbort struct{ err error }
+
+// wireOracle answers oracle queries by round-tripping them to the
+// coordinator, translating the worker's sub-pair indices to original
+// indices first — the coordinator (and its human or truth oracle) only
+// speaks the original pair.
+type wireOracle struct {
+	conn  io.ReadWriter
+	shard int
+	seq   uint64
+	inv1  []int32
+	inv2  []int32
+}
+
+func (o *wireOracle) Label(a hetnet.Anchor) float64 {
+	o.seq++
+	q := &Query{Shard: o.shard, Seq: o.seq, I: o.inv1[a.I], J: o.inv2[a.J]}
+	if err := WriteFrame(o.conn, FrameQuery, q); err != nil {
+		panic(wireAbort{err})
+	}
+	var ans Answer
+	if err := ReadExpect(o.conn, FrameAnswer, &ans); err != nil {
+		panic(wireAbort{err})
+	}
+	if ans.Seq != o.seq {
+		panic(wireAbort{fmt.Errorf("distrib: answer seq %d for query %d", ans.Seq, o.seq)})
+	}
+	return ans.Label
+}
+
+// runJob executes one shard pipeline and streams the results. It
+// returns the error to report as an Error frame; wire-level failures
+// panic through wireAbort and are rethrown to kill the connection.
+func runJob(conn io.ReadWriter, job *Job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if wa, ok := r.(wireAbort); ok {
+				err = wa.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	t0 := time.Now()
+	pair, part, err := job.DecodeShard()
+	if err != nil {
+		return err
+	}
+	feats, err := ResolveFeatures(job.FeatureSet)
+	if err != nil {
+		return err
+	}
+	strategy, err := ResolveStrategy(job.Strategy)
+	if err != nil {
+		return err
+	}
+	progress := func(stage string, queries int) error {
+		return WriteFrame(conn, FrameProgress, &Progress{Shard: job.Shard, Stage: stage, Queries: queries})
+	}
+	if err := progress("counting", 0); err != nil {
+		return err
+	}
+	counter, err := metadiag.NewCounter(pair)
+	if err != nil {
+		return err
+	}
+	counter.SetAnchors(part.TrainPos)
+
+	cfg := core.Config{
+		C:              job.C,
+		Budget:         job.Budget, // TrainPart re-reads the part's slice; equal by construction
+		BatchSize:      job.BatchSize,
+		Strategy:       strategy,
+		ExactSelection: job.Exact,
+		Seed:           job.Seed,
+	}
+	if job.HasThreshold {
+		th := job.Threshold
+		cfg.Threshold = &th
+	}
+	var oracle active.Oracle
+	if job.Budget > 0 {
+		oracle = &wireOracle{conn: conn, shard: job.Shard, inv1: job.InvUsers1, inv2: job.InvUsers2}
+	}
+	if err := progress("training", 0); err != nil {
+		return err
+	}
+	links, res, err := partition.TrainPart(counter, part, partition.TrainOptions{
+		Features: feats,
+		Core:     cfg,
+	}, oracle)
+	if err != nil {
+		return err
+	}
+	if err := progress("voting", res.QueryCount()); err != nil {
+		return err
+	}
+
+	votes := partition.PartVotes(part, links, res)
+	batch := make([]Vote, 0, voteBatchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := WriteFrame(conn, FrameVotes, &Votes{Shard: job.Shard, Votes: batch}); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for _, v := range votes {
+		batch = append(batch, Vote{
+			I:       job.InvUsers1[v.Link.I],
+			J:       job.InvUsers2[v.Link.J],
+			Label:   v.Label,
+			Score:   v.Score,
+			Queried: v.Queried,
+			Fixed:   v.Fixed,
+		})
+		if len(batch) == voteBatchSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return WriteFrame(conn, FrameDone, &Done{
+		Shard:      job.Shard,
+		TrainPos:   len(part.TrainPos),
+		Candidates: len(part.Candidates),
+		Budget:     part.Budget,
+		Queries:    res.QueryCount(),
+		ElapsedNS:  time.Since(t0).Nanoseconds(),
+	})
+}

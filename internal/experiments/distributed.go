@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/active"
+	"github.com/activeiter/activeiter/internal/core"
+	"github.com/activeiter/activeiter/internal/datagen"
+	"github.com/activeiter/activeiter/internal/distrib"
+	"github.com/activeiter/activeiter/internal/eval"
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/partition"
+	"github.com/activeiter/activeiter/internal/schema"
+)
+
+// DistributedPoint is one measured execution mode of the same K-shard
+// alignment problem.
+type DistributedPoint struct {
+	Mode       string // "in-process", "loopback", "subprocess"
+	Partitions int
+	Workers    int
+	F1         float64
+	Precision  float64
+	Recall     float64
+	Queries    int
+	Rejected   int
+	AlignTime  time.Duration
+	// JobBytes is what the mode shipped per run (0 for in-process);
+	// JobBytesFull is the same plan serialized without shard extraction.
+	JobBytes     int64
+	JobBytesFull int64
+	Retries      int
+}
+
+// DistributedConfig parameterizes RunDistributedPoints beyond the
+// preset.
+type DistributedConfig struct {
+	// Workers caps concurrent shard execution (pipelines in-process,
+	// worker connections distributed); ≤ 0 uses the preset's Workers
+	// (minimum 1).
+	Workers int
+	// WorkerCmd, when non-empty, adds a subprocess-transport run
+	// spawning this command (plus Args) per worker — typically a built
+	// `activeiter` binary invoked with -worker.
+	WorkerCmd  string
+	WorkerArgs []string
+}
+
+// RunDistributedPoints measures the same single-cell shard plan as
+// RunScalabilityPoints executed three ways: in-process partition
+// pipelines, distributed over the in-process loopback transport, and
+// (when a worker command is configured) distributed over subprocess
+// workers. All three must produce the same alignment — the point of the
+// comparison is the transport and serialization overhead, and what
+// shard extraction saves in bytes on the wire.
+func RunDistributedPoints(pre Preset, cfg DistributedConfig) ([]DistributedPoint, error) {
+	pair, err := datagen.Generate(pre.Data)
+	if err != nil {
+		return nil, err
+	}
+	base, err := newBaseCounter(pair)
+	if err != nil {
+		return nil, err
+	}
+	budget := 0
+	if len(pre.Budgets) > 0 {
+		budget = pre.Budgets[len(pre.Budgets)-1]
+	}
+	rng := newRunRNG(pre.Seed, pre.FixedTheta, 1300)
+	neg, err := eval.SampleNegatives(pair, pre.FixedTheta*len(pair.Anchors), rng)
+	if err != nil {
+		return nil, err
+	}
+	splits, err := eval.KFoldSplits(pair.Anchors, neg, pre.Folds, pre.FixedGamma, rng)
+	if err != nil {
+		return nil, err
+	}
+	split := splits[0]
+	trainPos := split.TrainPos
+	var candidates []hetnet.Anchor
+	candidates = append(candidates, split.TrainNeg...)
+	candidates = append(candidates, split.TestPos...)
+	candidates = append(candidates, split.TestNeg...)
+	oracle := active.NewTruthOracle(pair)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = pre.Workers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// An explicit -partitions 1 means a genuine monolithic single-shard
+	// plan (the '≤1 = monolithic' contract of the flag); only the unset
+	// zero falls back to a 2-shard default.
+	k := pre.Partitions
+	if k <= 0 {
+		k = 2
+	}
+
+	plan, err := partition.BuildPlan(base, trainPos, candidates, budget, partition.Config{K: k})
+	if err != nil {
+		return nil, err
+	}
+	train := distrib.TrainConfig{FeatureSet: distrib.FeaturesFull, Strategy: distrib.StrategyConflict, Seed: pre.Seed}
+	// Shipped bytes come from each mode's run metrics; only the
+	// full-pair counterfactual needs pricing separately.
+	jobFull, err := distrib.JobSizes(pair, plan, train, false)
+	if err != nil {
+		return nil, err
+	}
+	var fullTotal int64
+	for _, n := range jobFull {
+		fullTotal += n
+	}
+
+	score := func(res *partition.Result) (f1, prec, rec float64) {
+		var conf eval.Confusion
+		add := func(links []hetnet.Anchor, truth float64) {
+			for _, l := range links {
+				if res.WasQueried(l.I, l.J) {
+					continue
+				}
+				lab, _ := res.Label(l.I, l.J)
+				conf.Add(lab, truth)
+			}
+		}
+		add(split.TestPos, 1)
+		add(split.TestNeg, 0)
+		return conf.F1(), conf.Precision(), conf.Recall()
+	}
+
+	var points []DistributedPoint
+
+	// In-process reference: the PartitionedAligner path.
+	var strat active.Strategy
+	if budget > 0 {
+		strat = active.Conflict{}
+	}
+	inproc, err := partition.Align(base, plan, partition.TrainOptions{
+		Features: schema.StandardLibrary().All(),
+		Core:     core.Config{Budget: budget, Strategy: strat, Seed: pre.Seed},
+		Workers:  workers,
+	}, oracle)
+	if err != nil {
+		return nil, fmt.Errorf("distributed: in-process reference: %w", err)
+	}
+	f1, prec, rec := score(inproc)
+	points = append(points, DistributedPoint{
+		Mode: "in-process", Partitions: len(plan.Parts), Workers: workers,
+		F1: f1, Precision: prec, Recall: rec,
+		Queries: inproc.QueryCount(), Rejected: inproc.Rejected,
+		AlignTime: inproc.Elapsed, JobBytesFull: fullTotal,
+	})
+
+	runCoord := func(mode string, transport distrib.Transport) error {
+		coord := &distrib.Coordinator{Transport: transport, Opts: distrib.Options{Train: train, Workers: workers}}
+		res, metrics, err := coord.Run(pair, plan, oracle)
+		if err != nil {
+			return fmt.Errorf("distributed: %s: %w", mode, err)
+		}
+		f1, prec, rec := score(res)
+		points = append(points, DistributedPoint{
+			Mode: mode, Partitions: len(plan.Parts), Workers: workers,
+			F1: f1, Precision: prec, Recall: rec,
+			Queries: res.QueryCount(), Rejected: res.Rejected,
+			AlignTime: res.Elapsed,
+			JobBytes:  metrics.JobBytes, JobBytesFull: fullTotal,
+			Retries: metrics.Retries,
+		})
+		return nil
+	}
+	if err := runCoord("loopback", distrib.Loopback{}); err != nil {
+		return nil, err
+	}
+	if cfg.WorkerCmd != "" {
+		tr := &distrib.Exec{Cmd: cfg.WorkerCmd, Args: cfg.WorkerArgs, Stderr: os.Stderr}
+		if err := runCoord("subprocess", tr); err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// RunDistributedWith tabulates RunDistributedPoints for the CLI.
+func RunDistributedWith(pre Preset, cfg DistributedConfig) (*Table, error) {
+	points, err := RunDistributedPoints(pre, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Distributed — shard execution modes (θ=%d, γ=%.0f%%, K=%d, workers=%d, preset %q)",
+			pre.FixedTheta, pre.FixedGamma*100, points[0].Partitions, points[0].Workers, pre.Name),
+		ColHeader: "mode",
+		Cols:      []string{"F1", "Precision", "Recall", "queries", "rejected", "align", "job bytes", "job bytes (full pair)", "retries"},
+	}
+	sec := Section{Name: "distributed alignment"}
+	for _, p := range points {
+		jobBytes := "—"
+		if p.JobBytes > 0 {
+			jobBytes = fmt.Sprint(p.JobBytes)
+		}
+		sec.Rows = append(sec.Rows, TableRow{Label: p.Mode, Cells: []string{
+			fmt.Sprintf("%.4f", p.F1),
+			fmt.Sprintf("%.4f", p.Precision),
+			fmt.Sprintf("%.4f", p.Recall),
+			fmt.Sprint(p.Queries),
+			fmt.Sprint(p.Rejected),
+			p.AlignTime.Round(time.Millisecond).String(),
+			jobBytes,
+			fmt.Sprint(p.JobBytesFull),
+			fmt.Sprint(p.Retries),
+		}})
+	}
+	t.Sections = []Section{sec}
+	return t, nil
+}
+
+// RunDistributed is the parameterless runner used by `-exp all`:
+// loopback and in-process modes on the preset's defaults.
+func RunDistributed(pre Preset) (*Table, error) {
+	return RunDistributedWith(pre, DistributedConfig{})
+}

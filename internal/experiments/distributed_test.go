@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The distributed experiment's whole point: every execution mode of the
+// same shard plan produces the same alignment, and extraction ships
+// fewer bytes than the full pair would.
+func TestRunDistributedModesAgree(t *testing.T) {
+	pre := TinyPreset()
+	pre.Partitions = 2
+	points, err := RunDistributedPoints(pre, DistributedConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want in-process + loopback", len(points))
+	}
+	ref := points[0]
+	if ref.Mode != "in-process" {
+		t.Fatalf("first point is %q, want in-process", ref.Mode)
+	}
+	for _, p := range points[1:] {
+		if p.F1 != ref.F1 || p.Precision != ref.Precision || p.Recall != ref.Recall {
+			t.Errorf("%s diverged from in-process: F1 %v vs %v", p.Mode, p.F1, ref.F1)
+		}
+		if p.Queries != ref.Queries {
+			t.Errorf("%s spent %d queries, in-process %d", p.Mode, p.Queries, ref.Queries)
+		}
+		if p.JobBytes <= 0 {
+			t.Errorf("%s shipped no job bytes", p.Mode)
+		}
+		if p.JobBytes >= p.JobBytesFull {
+			t.Errorf("%s: extraction did not reduce job size (%d ≥ %d)", p.Mode, p.JobBytes, p.JobBytesFull)
+		}
+	}
+	tab, err := RunDistributedWith(pre, DistributedConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Sections) != 1 || len(tab.Sections[0].Rows) != 2 {
+		t.Fatalf("unexpected table shape: %+v", tab)
+	}
+}

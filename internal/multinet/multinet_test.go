@@ -2,6 +2,7 @@ package multinet
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"github.com/activeiter/activeiter/internal/core"
@@ -300,4 +301,92 @@ func TestGenerateMultiShape(t *testing.T) {
 	if _, err := datagen.GenerateMulti(cfg, 17); err == nil {
 		t.Error("n=17 should fail")
 	}
+}
+
+// randomLinks generates a scored link multiset over nNets networks with
+// deliberate score ties and duplicate links, the inputs where ordering
+// bugs would show.
+func randomLinks(rng *rand.Rand, nNets, nUsers, n int) []ScoredLink {
+	links := make([]ScoredLink, 0, n)
+	for len(links) < n {
+		i := rng.Intn(nNets)
+		j := rng.Intn(nNets)
+		if i == j {
+			continue
+		}
+		l := ScoredLink{
+			NetI:  i,
+			NetJ:  j,
+			A:     hetnet.Anchor{I: rng.Intn(nUsers), J: rng.Intn(nUsers)},
+			Score: float64(rng.Intn(4)), // few distinct scores: many ties
+		}
+		links = append(links, l)
+		if rng.Intn(4) == 0 { // occasional exact duplicate
+			links = append(links, l)
+		}
+	}
+	return links[:n]
+}
+
+func clustersEqual(a, b []Cluster) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if clusterKey(a[k]) != clusterKey(b[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReconcilerMatchesBatchOnShuffledStreams is the streaming
+// reconciler property: feeding any permutation of a link stream into
+// Add yields exactly the clusters (and rejection count) of the batch
+// Reconcile over the original order.
+func TestReconcilerMatchesBatchOnShuffledStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		links := randomLinks(rng, 2+rng.Intn(3), 1+rng.Intn(8), rng.Intn(60))
+		wantClusters, wantRejected := Reconcile(links)
+
+		shuffled := make([]ScoredLink, len(links))
+		copy(shuffled, links)
+		rng.Shuffle(len(shuffled), func(a, b int) {
+			shuffled[a], shuffled[b] = shuffled[b], shuffled[a]
+		})
+		r := NewReconciler()
+		for _, l := range shuffled {
+			r.Add(l)
+		}
+		if r.Len() != len(links) {
+			t.Fatalf("trial %d: Len=%d want %d", trial, r.Len(), len(links))
+		}
+		gotClusters, gotRejected := r.Finish()
+		if gotRejected != wantRejected {
+			t.Errorf("trial %d: rejected=%d want %d", trial, gotRejected, wantRejected)
+		}
+		if !clustersEqual(gotClusters, wantClusters) {
+			t.Errorf("trial %d: clusters diverge from batch Reconcile\n got: %v\nwant: %v",
+				trial, gotClusters, wantClusters)
+		}
+	}
+}
+
+// TestReconcilerSingleUse pins the single-use contract: Add or Finish
+// after Finish must panic rather than silently corrupt the stream.
+func TestReconcilerSingleUse(t *testing.T) {
+	r := NewReconciler()
+	r.Add(ScoredLink{NetI: 0, NetJ: 1, A: hetnet.Anchor{I: 0, J: 0}, Score: 1})
+	r.Finish()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s after Finish did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Add", func() { r.Add(ScoredLink{}) })
+	mustPanic("Finish", func() { r.Finish() })
 }

@@ -2,7 +2,6 @@ package partition
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -11,7 +10,6 @@ import (
 	"github.com/activeiter/activeiter/internal/core"
 	"github.com/activeiter/activeiter/internal/hetnet"
 	"github.com/activeiter/activeiter/internal/metadiag"
-	"github.com/activeiter/activeiter/internal/multinet"
 	"github.com/activeiter/activeiter/internal/schema"
 )
 
@@ -174,16 +172,32 @@ func Align(base *metadiag.Counter, plan *Plan, opts TrainOptions, oracle active.
 }
 
 // runPart executes one partition's pipeline on a fresh fork of base.
-// The body deliberately mirrors the monolithic Aligner.Align: restrict
-// the counter to the partition's training anchors, recompute features,
-// assemble the deduplicated pool, and train.
 func runPart(base *metadiag.Counter, part *Part, opts TrainOptions, oracle active.Oracle) (partOutput, error) {
 	t0 := time.Now()
 	counter := base.Fork()
 	counter.SetAnchors(part.TrainPos)
+	links, res, err := TrainPart(counter, part, opts, oracle)
+	if err != nil {
+		return partOutput{}, err
+	}
+	out := partOutput{part: part, links: links, res: res}
+	out.res.Elapsed = time.Since(t0) // include fork+extract, the real per-partition cost
+	return out, nil
+}
+
+// TrainPart runs one shard's counter→extractor→training pipeline on a
+// counter whose anchors are already restricted to part.TrainPos. The
+// body deliberately mirrors the monolithic Aligner.Align: recompute
+// features, assemble the deduplicated pool (TrainPos first, then
+// candidates in order), and train on the part's budget slice with the
+// part-offset seed. It is shared by the in-process path (on a Fork of
+// the base counter) and the distributed worker (on a fresh counter over
+// the shard's extracted sub-pair) — any divergence between the two
+// pipelines would break their property-tested equality.
+func TrainPart(counter *metadiag.Counter, part *Part, opts TrainOptions, oracle active.Oracle) ([]hetnet.Anchor, *core.Result, error) {
 	ext := metadiag.NewExtractor(counter, opts.Features, true)
 	if err := ext.Recompute(); err != nil {
-		return partOutput{}, err
+		return nil, nil, err
 	}
 	links := make([]hetnet.Anchor, 0, len(part.TrainPos)+len(part.Candidates))
 	links = append(links, part.TrainPos...)
@@ -199,7 +213,7 @@ func runPart(base *metadiag.Counter, part *Part, opts TrainOptions, oracle activ
 	}
 	x, err := ext.FeatureMatrix(links)
 	if err != nil {
-		return partOutput{}, err
+		return nil, nil, err
 	}
 	labeled := make([]int, len(part.TrainPos))
 	for i := range labeled {
@@ -218,30 +232,19 @@ func runPart(base *metadiag.Counter, part *Part, opts TrainOptions, oracle activ
 		Oracle:     oracle,
 	}, cfg)
 	if err != nil {
-		return partOutput{}, err
+		return nil, nil, err
 	}
-	out := partOutput{part: part, links: links, res: res}
-	out.res.Elapsed = time.Since(t0) // include fork+extract, the real per-partition cost
-	return out, nil
-}
-
-// linkVote is one partition's verdict on one pool link, the unit the
-// merge decision works on.
-type linkVote struct {
-	link    hetnet.Anchor
-	label   float64
-	score   float64
-	queried bool // oracle-labeled in that partition
-	fixed   bool // training anchor (ground-truth positive)
+	return links, res, nil
 }
 
 // merge reconciles the per-partition predictions into one globally
-// one-to-one label assignment via mergeVotes.
+// one-to-one label assignment by streaming every pool link's vote
+// through a Merger (see merger.go for the precedence rules).
 func merge(outs []partOutput) *Result {
-	res := &Result{}
-	var votes []linkVote
+	m := NewMerger()
+	var reports []PartReport
 	for _, out := range outs {
-		res.Reports = append(res.Reports, PartReport{
+		reports = append(reports, PartReport{
 			Index:      out.part.Index,
 			TrainPos:   len(out.part.TrainPos),
 			Candidates: len(out.part.Candidates),
@@ -249,77 +252,29 @@ func merge(outs []partOutput) *Result {
 			Queries:    out.res.QueryCount(),
 			Elapsed:    out.res.Elapsed,
 		})
-		for idx, l := range out.links {
-			votes = append(votes, linkVote{
-				link:    l,
-				label:   out.res.Y[idx],
-				score:   out.res.Scores[idx],
-				queried: out.res.WasQueried(l.I, l.J),
-				fixed:   idx < len(out.part.TrainPos),
-			})
+		for _, v := range PartVotes(out.part, out.links, out.res) {
+			m.Add(v)
 		}
 	}
-	res.labels, res.scores, res.queried, res.anchors, res.Rejected = mergeVotes(votes)
+	res := m.Finish()
+	res.Reports = reports
 	return res
 }
 
-// mergeVotes folds per-partition votes into one globally one-to-one
-// label assignment. Ground truth outranks inference in both directions:
-// training anchors and queried positives enter the union-find at +Inf
-// score so they always win, while a link the oracle answered NEGATIVE
-// in any partition never enters at all — an overlapping partition that
-// merely inferred it positive must not overrule a paid-for oracle
-// answer. Remaining inferred positives compete at their best
-// per-partition raw score; conflicting inferred links across partition
-// borders lose to the higher-scored side and are counted in rejected.
-func mergeVotes(votes []linkVote) (labels, scores map[int64]float64, queried map[int64]bool, anchors []hetnet.Anchor, rejected int) {
-	labels = make(map[int64]float64)
-	scores = make(map[int64]float64)
-	queried = make(map[int64]bool)
-	queriedNeg := make(map[int64]bool)
-	for _, v := range votes {
-		key := hetnet.Key(v.link.I, v.link.J)
-		if _, ok := labels[key]; !ok {
-			labels[key] = 0
-		}
-		if !math.IsNaN(v.score) {
-			if old, ok := scores[key]; !ok || v.score > old {
-				scores[key] = v.score
-			}
-		}
-		if v.queried {
-			queried[key] = true
-			if v.label == 0 {
-				queriedNeg[key] = true
-			}
+// PartVotes extracts one shard pipeline's votes from its training
+// result: one vote per pool link, in pool order. The distributed worker
+// streams exactly these votes (translated to original indices) back to
+// the coordinator, so the in-process and remote merge inputs coincide.
+func PartVotes(part *Part, links []hetnet.Anchor, res *core.Result) []Vote {
+	votes := make([]Vote, len(links))
+	for idx, l := range links {
+		votes[idx] = Vote{
+			Link:    l,
+			Label:   res.Y[idx],
+			Score:   res.Scores[idx],
+			Queried: res.WasQueried(l.I, l.J),
+			Fixed:   idx < len(part.TrainPos),
 		}
 	}
-	posScore := make(map[int64]float64)
-	posLink := make(map[int64]hetnet.Anchor)
-	for _, v := range votes {
-		if v.label != 1 {
-			continue
-		}
-		key := hetnet.Key(v.link.I, v.link.J)
-		score := v.score
-		if v.fixed || (v.queried && v.label == 1) {
-			score = math.Inf(1)
-		} else if queriedNeg[key] {
-			continue // the oracle said no somewhere: inference is overruled
-		}
-		if old, ok := posScore[key]; !ok || score > old {
-			posScore[key] = score
-			posLink[key] = v.link
-		}
-	}
-	scored := make([]multinet.ScoredLink, 0, len(posScore))
-	for key, s := range posScore {
-		scored = append(scored, multinet.ScoredLink{NetI: 0, NetJ: 1, A: posLink[key], Score: s})
-	}
-	clusters, rejected := multinet.Reconcile(scored)
-	anchors = multinet.PairLinks(clusters, 0, 1)
-	for _, a := range anchors {
-		labels[hetnet.Key(a.I, a.J)] = 1
-	}
-	return labels, scores, queried, anchors, rejected
+	return votes
 }

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -378,38 +379,88 @@ func TestPlanDegenerateAnchorEndpoints(t *testing.T) {
 	}
 }
 
+// Regression: a NaN-scored positive vote must not make the merge
+// depend on vote arrival order — shards commit in nondeterministic
+// completion order under the distributed coordinator, and NaN compares
+// false against everything, so an unguarded max would keep whichever
+// vote arrived first. The NaN vote still counts as a positive, pinned
+// deterministically below every real score.
+func TestMergerNaNScoreOrderIndependent(t *testing.T) {
+	link := hetnet.Anchor{I: 2, J: 3}
+	votes := []Vote{
+		{Link: link, Label: 1, Score: math.NaN()},
+		{Link: link, Label: 1, Score: 0.8},
+		// A competing link forces the reconciler to order by score.
+		{Link: hetnet.Anchor{I: 2, J: 4}, Label: 1, Score: 0.5},
+	}
+	var ref *Result
+	for shift := range votes {
+		m := NewMerger()
+		for k := range votes {
+			m.Add(votes[(k+shift)%len(votes)])
+		}
+		res := m.Finish()
+		if s, _ := res.Score(link.I, link.J); s != 0.8 {
+			t.Errorf("shift %d: best score %v, want 0.8", shift, s)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		got, want := res.PredictedAnchors(), ref.PredictedAnchors()
+		if len(got) != len(want) {
+			t.Fatalf("shift %d: %d anchors vs %d in reference order", shift, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shift %d: anchor %d = %v, reference %v", shift, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // Regression: on an overlapped candidate, one partition's INFERRED
 // positive must not overrule another partition's oracle-answered
 // negative — the system paid a query for that 0. Queried positives and
 // training anchors still outrank everything.
 func TestMergeVotesOracleNegativeWins(t *testing.T) {
 	cand := hetnet.Anchor{I: 5, J: 7}
-	votes := []linkVote{
+	votes := []Vote{
 		// Partition A inferred the candidate positive with a high score.
-		{link: cand, label: 1, score: 0.93},
+		{Link: cand, Label: 1, Score: 0.93},
 		// Partition B queried it; the oracle said no.
-		{link: cand, label: 0, score: 0.88, queried: true},
+		{Link: cand, Label: 0, Score: 0.88, Queried: true},
 		// An unrelated inferred positive must survive.
-		{link: hetnet.Anchor{I: 1, J: 1}, label: 1, score: 0.7},
+		{Link: hetnet.Anchor{I: 1, J: 1}, Label: 1, Score: 0.7},
 		// A queried positive enters at +Inf.
-		{link: hetnet.Anchor{I: 2, J: 2}, label: 1, score: 0.1, queried: true},
+		{Link: hetnet.Anchor{I: 2, J: 2}, Label: 1, Score: 0.1, Queried: true},
 		// A training anchor enters at +Inf.
-		{link: hetnet.Anchor{I: 3, J: 3}, label: 1, score: 0.2, fixed: true},
+		{Link: hetnet.Anchor{I: 3, J: 3}, Label: 1, Score: 0.2, Fixed: true},
 	}
-	labels, _, queried, anchors, _ := mergeVotes(votes)
-	if lab := labels[hetnet.Key(cand.I, cand.J)]; lab != 0 {
-		t.Errorf("oracle-refuted candidate merged with label %v, want 0", lab)
-	}
-	if !queried[hetnet.Key(cand.I, cand.J)] {
-		t.Error("queried flag lost in merge")
-	}
-	want := []hetnet.Anchor{{I: 1, J: 1}, {I: 2, J: 2}, {I: 3, J: 3}}
-	if len(anchors) != len(want) {
-		t.Fatalf("merged anchors %v, want %v", anchors, want)
-	}
-	for i := range want {
-		if anchors[i] != want[i] {
-			t.Fatalf("merged anchors %v, want %v", anchors, want)
+	// The merge must be order-independent: every rotation of the vote
+	// stream — in particular the oracle NO arriving before AND after the
+	// conflicting inferred positive — merges identically.
+	for shift := range votes {
+		m := NewMerger()
+		for k := range votes {
+			m.Add(votes[(k+shift)%len(votes)])
+		}
+		res := m.Finish()
+		if lab, _ := res.Label(cand.I, cand.J); lab != 0 {
+			t.Errorf("shift %d: oracle-refuted candidate merged with label %v, want 0", shift, lab)
+		}
+		if !res.WasQueried(cand.I, cand.J) {
+			t.Errorf("shift %d: queried flag lost in merge", shift)
+		}
+		anchors := res.PredictedAnchors()
+		want := []hetnet.Anchor{{I: 1, J: 1}, {I: 2, J: 2}, {I: 3, J: 3}}
+		if len(anchors) != len(want) {
+			t.Fatalf("shift %d: merged anchors %v, want %v", shift, anchors, want)
+		}
+		for i := range want {
+			if anchors[i] != want[i] {
+				t.Fatalf("shift %d: merged anchors %v, want %v", shift, anchors, want)
+			}
 		}
 	}
 }

@@ -69,25 +69,13 @@ func (pa *PartitionedAligner) Align(trainPos []Anchor, candidates []Anchor, orac
 	if len(trainPos) == 0 {
 		return nil, core.ErrNoPositives
 	}
-	var plan *partition.Plan
-	var err error
-	if pa.opts.Partitions > 1 && len(trainPos) > 1 {
-		// Repeated Align calls (cross-validation folds, retraining after
-		// new labels) reuse one planner's fold-independent inputs.
-		if pa.planner == nil {
-			if pa.planner, err = partition.NewPlanner(pa.base); err != nil {
-				return nil, err
-			}
-		}
-		plan, err = pa.planner.Plan(trainPos, candidates, pa.opts.Budget, partition.Config{K: pa.opts.Partitions})
-	} else {
-		plan, err = partition.BuildPlan(pa.base, trainPos, candidates, pa.opts.Budget, partition.Config{K: pa.opts.Partitions})
-	}
+	plan, err := planShards(pa.base, &pa.planner, pa.opts, trainPos, candidates)
 	if err != nil {
 		return nil, err
 	}
 	return partition.Align(pa.base, plan, partition.TrainOptions{
 		Features: pa.opts.features(),
+		Workers:  pa.opts.Workers,
 		Core: core.Config{
 			C:              pa.opts.C,
 			Threshold:      pa.opts.Threshold,
@@ -98,6 +86,26 @@ func (pa *PartitionedAligner) Align(trainPos []Anchor, candidates []Anchor, orac
 			Seed:           pa.opts.Seed,
 		},
 	}, oracle)
+}
+
+// planShards is the shard planning shared by PartitionedAligner and
+// DistributedAligner — same plan in, same alignment out is the
+// property the two paths are tested against, so they must never plan
+// differently. Repeated Align calls (cross-validation folds,
+// retraining after new labels) reuse one cached planner's
+// fold-independent inputs through the *planner slot.
+func planShards(base *metadiag.Counter, planner **partition.Planner, opts Options, trainPos, candidates []Anchor) (*partition.Plan, error) {
+	if opts.Partitions > 1 && len(trainPos) > 1 {
+		if *planner == nil {
+			pl, err := partition.NewPlanner(base)
+			if err != nil {
+				return nil, err
+			}
+			*planner = pl
+		}
+		return (*planner).Plan(trainPos, candidates, opts.Budget, partition.Config{K: opts.Partitions})
+	}
+	return partition.BuildPlan(base, trainPos, candidates, opts.Budget, partition.Config{K: opts.Partitions})
 }
 
 // mustStrategy resolves the configured strategy; Options were validated
