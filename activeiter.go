@@ -18,7 +18,12 @@
 // linear algebra, the heterogeneous network store, the meta diagram
 // algebra and counting engine, cardinality-constrained matching, the SVM
 // baseline, and the experiment harness that regenerates every table and
-// figure of the paper (see cmd/experiments and EXPERIMENTS.md).
+// figure of the paper (see cmd/experiments). Beyond the single-pair
+// Aligner, PartitionedAligner shards large candidate spaces across
+// in-process pipelines and DistributedAligner ships those shards to
+// worker processes — multi-round active learning included
+// (Options.Rounds). docs/ARCHITECTURE.md walks the whole design;
+// docs/WIRE.md specifies the worker wire protocol.
 package activeiter
 
 import (
@@ -136,6 +141,13 @@ type Options struct {
 	// DistributedAligner. 0 means min(partitions, GOMAXPROCS). Plain
 	// Aligner ignores it.
 	Workers int
+	// Rounds (DistributedAligner only) lifts the active loop to the
+	// coordinator: the query budget splits across this many
+	// retrain-after-labels rounds over one sticky worker session — round
+	// 1 ships each shard once, later rounds ship only the new oracle
+	// labels to the workers already holding the shard warm. ≤ 1 means
+	// the single-shot dispatch. The other aligners ignore it.
+	Rounds int
 }
 
 // Ptr wraps a value for the pointer-typed option fields (e.g.
@@ -160,6 +172,8 @@ func (o Options) validate() error {
 		return fmt.Errorf("activeiter: negative Partitions %d (use 0 or 1 for monolithic alignment)", o.Partitions)
 	case o.Workers < 0:
 		return fmt.Errorf("activeiter: negative Workers %d (use 0 for the GOMAXPROCS default)", o.Workers)
+	case o.Rounds < 0:
+		return fmt.Errorf("activeiter: negative Rounds %d (use 0 or 1 for single-shot dispatch)", o.Rounds)
 	}
 	if o.Threshold != nil && (math.IsNaN(*o.Threshold) || math.IsInf(*o.Threshold, 0)) {
 		return fmt.Errorf("activeiter: non-finite Threshold %v", *o.Threshold)

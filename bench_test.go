@@ -443,3 +443,50 @@ func BenchmarkDistributedLoopback(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkDistributedSessionRounds measures the sticky-session active
+// loop — the PR 4 artifact: a 3-round retrain over one worker session
+// with JobRef delta shipping, against the same rounds re-shipping full
+// jobs (what PR 3's dispatch would pay per retrain). The reported
+// job-bytes/delta-bytes split is the point: delta rounds move the
+// per-retrain wire cost from the shard size to the label delta.
+func BenchmarkDistributedSessionRounds(b *testing.B) {
+	pair, err := datagen.Generate(datagen.Small())
+	if err != nil {
+		b.Fatal(err)
+	}
+	anchors := pair.Anchors
+	trainPos := anchors[:len(anchors)/2]
+	rng := rand.New(rand.NewSource(17))
+	neg, err := eval.SampleNegatives(pair, 10*len(anchors), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	candidates := append(append([]Anchor{}, anchors[len(anchors)/2:]...), neg...)
+	oracle := NewTruthOracle(pair)
+	run := func(b *testing.B, opts Options) {
+		for i := 0; i < b.N; i++ {
+			al, err := NewDistributed(pair, opts, NewLoopbackTransport())
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := al.Align(trainPos, candidates, oracle)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.PredictedAnchors()) == 0 {
+				b.Fatal("no predictions")
+			}
+			m := al.Metrics()
+			b.ReportMetric(float64(m.JobBytes), "job-bytes")
+			b.ReportMetric(float64(m.DeltaBytes), "delta-bytes")
+			b.ReportMetric(float64(m.CacheHits), "cache-hits")
+		}
+	}
+	b.Run("single-shot-K4", func(b *testing.B) {
+		run(b, Options{Seed: 9, Partitions: 4, Budget: 30})
+	})
+	b.Run("session-3rounds-delta-K4", func(b *testing.B) {
+		run(b, Options{Seed: 9, Partitions: 4, Budget: 30, Rounds: 3})
+	})
+}

@@ -1,11 +1,13 @@
-// Command experiments regenerates the paper's tables and figures (see
-// EXPERIMENTS.md for recorded outputs and the paper-vs-measured
+// Command experiments regenerates the paper's tables and figures
+// (BENCH_PR*.json record measured outputs and the paper-vs-measured
 // comparison).
 //
 // Usage:
 //
 //	experiments -exp table3 -preset small
 //	experiments -exp all -preset paper -workers 16
+//	experiments -exp distributed -preset full -partitions 4 \
+//	    -distrib-workers 4 -distrib-rounds 3 -distrib-worker-cmd ./activeiter
 package main
 
 import (
@@ -26,6 +28,7 @@ type overrides struct {
 	seed           int64
 	partitions     int
 	distribWorkers int
+	distribRounds  int
 	set            map[string]bool // flag name → explicitly set
 }
 
@@ -49,6 +52,9 @@ func (o overrides) validate() error {
 	if o.set["distrib-workers"] && o.distribWorkers < 0 {
 		return fmt.Errorf("negative -distrib-workers %d (use 0 for the preset default)", o.distribWorkers)
 	}
+	if o.set["distrib-rounds"] && o.distribRounds < 0 {
+		return fmt.Errorf("negative -distrib-rounds %d (use 0 or 1 for single-shot dispatch)", o.distribRounds)
+	}
 	return nil
 }
 
@@ -59,6 +65,9 @@ func (o overrides) distributedConfig(workerCmd string) experiments.DistributedCo
 	cfg := experiments.DistributedConfig{}
 	if o.set["distrib-workers"] {
 		cfg.Workers = o.distribWorkers
+	}
+	if o.set["distrib-rounds"] {
+		cfg.Rounds = o.distribRounds
 	}
 	if workerCmd != "" {
 		cfg.WorkerCmd = workerCmd
@@ -75,13 +84,14 @@ func main() {
 	partitions := flag.Int("partitions", 0, "run the PU family of cell-based experiments (table3/table4/fig5/stability/ablation-query) and scalability through partitioned alignment with this many partitions (≤1 = monolithic; fig3/fig4 and the remaining ablations trace training internals and stay monolithic)")
 	distribWorkers := flag.Int("distrib-workers", 0, "distributed experiment: concurrent shard workers (0 = preset default)")
 	distribWorkerCmd := flag.String("distrib-worker-cmd", "", "distributed experiment: worker binary to spawn per connection (runs with -worker; empty = in-process loopback transport only)")
+	distribRounds := flag.Int("distrib-rounds", 0, "distributed experiment: split the budget across this many sticky-session retrain rounds (≤1 = single-shot dispatch); adds full-reship and delta-shipping session modes")
 	flag.Parse()
 
 	pre, err := presetByName(*preset)
 	if err != nil {
 		fatal(err)
 	}
-	ov := overrides{workers: *workers, seed: *seed, partitions: *partitions, distribWorkers: *distribWorkers, set: map[string]bool{}}
+	ov := overrides{workers: *workers, seed: *seed, partitions: *partitions, distribWorkers: *distribWorkers, distribRounds: *distribRounds, set: map[string]bool{}}
 	flag.Visit(func(f *flag.Flag) { ov.set[f.Name] = true })
 	if err := ov.validate(); err != nil {
 		fatal(err)

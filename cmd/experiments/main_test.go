@@ -72,3 +72,25 @@ func TestDistributedFlagValidation(t *testing.T) {
 		t.Errorf("worker command config = %+v", cfg)
 	}
 }
+
+// -distrib-rounds follows the same explicit-set convention as the other
+// distributed flags: negative rejected only when given, explicit values
+// reach the config, unset values do not leak.
+func TestDistribRoundsFlag(t *testing.T) {
+	ov := overrides{distribRounds: -1, set: map[string]bool{"distrib-rounds": true}}
+	if err := ov.validate(); err == nil {
+		t.Error("explicit -distrib-rounds -1 accepted")
+	}
+	ov = overrides{distribRounds: -1, set: map[string]bool{}}
+	if err := ov.validate(); err != nil {
+		t.Errorf("unset distrib-rounds validated: %v", err)
+	}
+	ov = overrides{distribRounds: 3, set: map[string]bool{"distrib-rounds": true}}
+	if got := ov.distributedConfig("").Rounds; got != 3 {
+		t.Errorf("explicit -distrib-rounds 3 resolved to %d", got)
+	}
+	ov = overrides{distribRounds: 3, set: map[string]bool{}}
+	if got := ov.distributedConfig("").Rounds; got != 0 {
+		t.Errorf("unset -distrib-rounds leaked %d into the config", got)
+	}
+}

@@ -14,16 +14,21 @@ import (
 // DESIGN.md §3).
 type GeneratorConfig = datagen.Config
 
-// Dataset presets, smallest to largest. TinyDataset suits unit tests;
-// SmallDataset is the default experiment scale; PaperShapeDataset tracks
-// Table II's ratios at 1/5 linear scale; FullScaleDataset reproduces the
-// crawl's user and link magnitudes; XLScaleDataset is ~10× the crawl —
-// the partitioned-alignment stress scale.
-func TinyDataset() GeneratorConfig       { return datagen.Tiny() }
-func SmallDataset() GeneratorConfig      { return datagen.Small() }
+// TinyDataset is the smallest preset — suits unit tests.
+func TinyDataset() GeneratorConfig { return datagen.Tiny() }
+
+// SmallDataset is the default experiment scale.
+func SmallDataset() GeneratorConfig { return datagen.Small() }
+
+// PaperShapeDataset tracks Table II's ratios at 1/5 linear scale.
 func PaperShapeDataset() GeneratorConfig { return datagen.PaperShape() }
-func FullScaleDataset() GeneratorConfig  { return datagen.FullScale() }
-func XLScaleDataset() GeneratorConfig    { return datagen.XLScale() }
+
+// FullScaleDataset reproduces the crawl's user and link magnitudes.
+func FullScaleDataset() GeneratorConfig { return datagen.FullScale() }
+
+// XLScaleDataset is ~10× the crawl — the partitioned-alignment stress
+// scale.
+func XLScaleDataset() GeneratorConfig { return datagen.XLScale() }
 
 // GenerateDataset synthesizes an aligned pair from the configuration.
 // Identical configs generate identical pairs.

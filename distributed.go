@@ -10,6 +10,10 @@ import (
 	"github.com/activeiter/activeiter/internal/partition"
 )
 
+// LabeledLink is one oracle-labeled pool link, as returned by
+// PartitionedResult.QueriedLabels and consumed by a multi-round session.
+type LabeledLink = partition.LabeledLink
+
 // ShardTransport produces worker connections for distributed alignment.
 // Use NewLoopbackTransport, NewWorkerProcessTransport or
 // NewTCPTransport — or implement Dial for a custom fabric.
@@ -94,6 +98,13 @@ func NewDistributed(pair *AlignedPair, opts Options, transport ShardTransport) (
 // the pure-oracle reproducibility caveat; the oracle stays on this side
 // of the wire and is queried through label round-trip frames, so remote
 // workers never see ground truth beyond their shard's training anchors.
+//
+// With Options.Rounds > 1 the active loop lifts to the coordinator: the
+// budget splits across that many rounds over one sticky worker session,
+// each round's oracle answers are fed back into the stable plan as fixed
+// labels, and every round after the first ships only those label deltas
+// to the workers already holding the shards warm (see
+// Metrics().CacheHits and DeltaBytes for the audit).
 func (da *DistributedAligner) Align(trainPos, candidates []Anchor, oracle Oracle) (*PartitionedResult, error) {
 	if len(trainPos) == 0 {
 		return nil, core.ErrNoPositives
@@ -101,6 +112,9 @@ func (da *DistributedAligner) Align(trainPos, candidates []Anchor, oracle Oracle
 	plan, err := planShards(da.base, &da.planner, da.opts, trainPos, candidates)
 	if err != nil {
 		return nil, err
+	}
+	if da.opts.Rounds > 1 {
+		return da.alignSession(plan, oracle)
 	}
 	coord := &distrib.Coordinator{
 		Transport: da.transport,
@@ -114,6 +128,40 @@ func (da *DistributedAligner) Align(trainPos, candidates []Anchor, oracle Oracle
 		return nil, err
 	}
 	da.metrics = metrics
+	return res, nil
+}
+
+// alignSession drives the multi-round sticky-session protocol: rebudget
+// the stable plan per round, run it, feed the round's oracle labels back
+// as prelabels for the next. The final round's merged result (which
+// carries every queried link across rounds) is the alignment; its
+// Reports accumulate one entry per shard per round, so QueryCount spans
+// the whole session's oracle spend, matching the single-shot contract.
+func (da *DistributedAligner) alignSession(plan *partition.Plan, oracle Oracle) (*PartitionedResult, error) {
+	sess, err := distrib.NewSession(da.transport, da.pair, distrib.Options{
+		Train:   da.opts.trainConfig(),
+		Workers: da.opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	rounds := da.opts.Rounds
+	var res *PartitionedResult
+	var reports []PartitionReport
+	for r := 0; r < rounds; r++ {
+		plan.Rebudget(partition.RoundBudget(da.opts.Budget, rounds, r))
+		res, _, err = sess.Run(plan, oracle)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, res.Reports...)
+		if r < rounds-1 {
+			plan.AppendLabels(res.QueriedLabels())
+		}
+	}
+	res.Reports = reports
+	da.metrics = sess.Metrics()
 	return res, nil
 }
 

@@ -136,3 +136,72 @@ func TestNewDistributedValidation(t *testing.T) {
 		t.Error("negative Partitions accepted")
 	}
 }
+
+// TestDistributedRoundsSession: Options.Rounds > 1 drives the sticky
+// session — the run completes, every shard past round 1 is served from
+// the workers' warm caches, the delta bytes are a sliver of the full-job
+// bytes, and all rounds' oracle answers are visible through WasQueried.
+func TestDistributedRoundsSession(t *testing.T) {
+	pair, trainPos, testPos, neg := testFixture(t)
+	candidates := append(append([]Anchor{}, testPos...), neg...)
+	opts := Options{Budget: 12, Seed: 3, Partitions: 3, Workers: 2, Rounds: 3}
+	oracle := NewTruthOracle(pair)
+
+	da, err := NewDistributed(pair, opts, NewLoopbackTransport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := da.Align(trainPos, candidates, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := da.Metrics()
+	if m == nil {
+		t.Fatal("no metrics after session Align")
+	}
+	if m.CacheHits == 0 {
+		t.Error("multi-round session produced no cache hits")
+	}
+	if m.DeltaBytes <= 0 {
+		t.Error("multi-round session shipped no delta bytes")
+	}
+	// 3 shards ship cold once; rounds 2 and 3 should be all deltas.
+	if wantHits := (opts.Rounds - 1) * opts.Partitions; m.CacheHits != wantHits {
+		t.Errorf("cache hits = %d, want %d", m.CacheHits, wantHits)
+	}
+	if m.DeltaBytes >= m.JobBytes {
+		t.Errorf("deltas (%d bytes) not smaller than cold jobs (%d bytes)", m.DeltaBytes, m.JobBytes)
+	}
+	if m.Queries > opts.Budget {
+		t.Errorf("session spent %d queries over budget %d", m.Queries, opts.Budget)
+	}
+	// The result's Reports accumulate across rounds, so QueryCount keeps
+	// the single-shot contract — total oracle spend — on retry-free runs.
+	if m.Retries == 0 && res.QueryCount() != m.Queries {
+		t.Errorf("result QueryCount %d != session oracle round-trips %d", res.QueryCount(), m.Queries)
+	}
+	// Every oracle answer across rounds is excluded from evaluation via
+	// WasQueried on the final result. Distinct queried links can trail
+	// the round-trip count — overlapping shards may both query a border
+	// link within one round — but never exceed it.
+	queried := 0
+	for _, l := range append(append([]Anchor{}, trainPos...), candidates...) {
+		if res.WasQueried(l.I, l.J) {
+			queried++
+		}
+	}
+	if queried == 0 || queried > m.Queries {
+		t.Errorf("final result reports %d queried links, session answered %d round-trips", queried, m.Queries)
+	}
+	if len(res.PredictedAnchors()) == 0 {
+		t.Error("session alignment predicted nothing")
+	}
+}
+
+// TestOptionsRoundsValidation: negative Rounds is rejected up front.
+func TestOptionsRoundsValidation(t *testing.T) {
+	pair, _, _, _ := testFixture(t)
+	if _, err := NewDistributed(pair, Options{Rounds: -1}, NewLoopbackTransport()); err == nil {
+		t.Error("negative Rounds accepted")
+	}
+}

@@ -82,6 +82,18 @@ type Problem struct {
 	X *linalg.Dense
 	// LabeledPos are indices into Links forming L⁺.
 	LabeledPos []int
+	// Prelabeled are indices into Links whose labels were fixed by oracle
+	// answers obtained before this run — earlier rounds of a multi-round
+	// session re-training over a stable pool. They behave exactly like
+	// in-run queried labels: fixed for the whole run, occupying their
+	// (i, j) slot when positive, excluded from query selection, and
+	// reported by WasQueried so evaluation skips them. They do NOT count
+	// toward this run's Budget or QueryCount — the oracle was paid in the
+	// round that asked.
+	Prelabeled []int
+	// PrelabeledY carries the fixed label of each Prelabeled index
+	// (parallel slices).
+	PrelabeledY []float64
 	// Oracle answers queries; required when Budget > 0.
 	Oracle active.Oracle
 }
@@ -180,6 +192,28 @@ func Train(p Problem, cfg Config) (*Result, error) {
 	res := &Result{queriedSet: make(map[int]bool), linkIndex: make(map[int64]int, n)}
 	for idx, l := range p.Links {
 		res.linkIndex[hetnet.Key(l.I, l.J)] = idx
+	}
+
+	// Prelabeled links enter in the same state an in-run query would have
+	// left them: fixed label, occupied slot when positive, flagged as
+	// queried. Applied after L⁺ so a conflicting double-listing (caller
+	// bug) surfaces as an error rather than silently preferring one side.
+	if len(p.Prelabeled) != len(p.PrelabeledY) {
+		return nil, fmt.Errorf("core: %d prelabeled indices for %d labels", len(p.Prelabeled), len(p.PrelabeledY))
+	}
+	for k, idx := range p.Prelabeled {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("core: prelabeled index %d out of range [0,%d)", idx, n)
+		}
+		if kind[idx] != kindUnlabeled {
+			return nil, fmt.Errorf("core: prelabeled index %d already labeled (listed twice, or also in LabeledPos)", idx)
+		}
+		kind[idx] = kindQueried
+		y[idx] = p.PrelabeledY[k]
+		if y[idx] == 1 {
+			baseOcc.Take(p.Links[idx].I, p.Links[idx].J)
+		}
+		res.queriedSet[idx] = true
 	}
 
 	var scores linalg.Vector

@@ -338,3 +338,80 @@ func TestTrainPassesThresholdToStrategy(t *testing.T) {
 		}
 	}
 }
+
+// TestPrelabeledActAsFixedQueriedLabels: prelabels (oracle answers
+// carried in from earlier session rounds) start fixed, occupy their
+// one-to-one slot, report as queried, and spend no budget.
+func TestPrelabeledActAsFixedQueriedLabels(t *testing.T) {
+	p, _ := separableProblem(10, 3, 30)
+	// Fix one unlabeled positive as a prelabeled YES and one negative as
+	// a prelabeled NO.
+	posIdx, negIdx := 5, 12
+	p.Prelabeled = []int{posIdx, negIdx}
+	p.PrelabeledY = []float64{1, 0}
+	res, err := Train(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Y[posIdx] != 1 || res.Y[negIdx] != 0 {
+		t.Errorf("prelabels not fixed: y[%d]=%v y[%d]=%v", posIdx, res.Y[posIdx], negIdx, res.Y[negIdx])
+	}
+	for _, idx := range []int{posIdx, negIdx} {
+		l := p.Links[idx]
+		if !res.WasQueried(l.I, l.J) {
+			t.Errorf("prelabel %v not reported as queried", l)
+		}
+	}
+	if res.QueryCount() != 0 {
+		t.Errorf("prelabels spent %d budget queries", res.QueryCount())
+	}
+}
+
+// TestPrelabeledPositiveOccupiesSlot: a prelabeled positive takes its
+// (i, j) row/column in the one-to-one constraint exactly like an in-run
+// queried positive — a conflicting candidate cannot be selected.
+func TestPrelabeledPositiveOccupiesSlot(t *testing.T) {
+	links := []hetnet.Anchor{{I: 0, J: 0}, {I: 1, J: 1}, {I: 1, J: 2}}
+	x := linalg.NewDense(3, 2)
+	for r := 0; r < 3; r++ {
+		x.Set(r, 0, 1)
+		x.Set(r, 1, 1)
+	}
+	p := Problem{Links: links, X: x, LabeledPos: []int{0},
+		Prelabeled: []int{1}, PrelabeledY: []float64{1}}
+	res, err := Train(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Y[1] != 1 {
+		t.Fatalf("prelabeled positive lost its label: %v", res.Y)
+	}
+	if res.Y[2] != 0 {
+		t.Errorf("candidate (1,2) selected despite user 1 occupied by a prelabel: %v", res.Y)
+	}
+}
+
+// TestPrelabeledValidation: ragged slices, out-of-range indices and
+// double listings are caller bugs and must error, not silently skew
+// training.
+func TestPrelabeledValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(p *Problem)
+	}{
+		{"ragged", func(p *Problem) { p.Prelabeled = []int{1}; p.PrelabeledY = nil }},
+		{"out of range", func(p *Problem) { p.Prelabeled = []int{99}; p.PrelabeledY = []float64{1} }},
+		{"negative", func(p *Problem) { p.Prelabeled = []int{-1}; p.PrelabeledY = []float64{1} }},
+		{"also labeled positive", func(p *Problem) { p.Prelabeled = []int{0}; p.PrelabeledY = []float64{1} }},
+		{"listed twice", func(p *Problem) { p.Prelabeled = []int{5, 5}; p.PrelabeledY = []float64{1, 1} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, _ := separableProblem(10, 3, 30)
+			tc.mut(&p)
+			if _, err := Train(p, Config{}); err == nil {
+				t.Error("invalid prelabels accepted")
+			}
+		})
+	}
+}

@@ -28,6 +28,14 @@ type Options struct {
 	// instead of its extracted neighborhood — the bytes-on-wire baseline
 	// and the fallback for schemas ExtractShard refuses.
 	NoExtract bool
+	// DeltaMaxLabels (sessions only) caps the label delta a JobRef may
+	// carry: a shard whose accumulated unsent labels exceed it re-ships
+	// as a full Job instead (an oversized delta plus a warm re-train can
+	// cost more than a cold job). 0 means the default (4096); negative
+	// disables delta shipping entirely — every round ships full jobs,
+	// which is the session property-test baseline. Coordinator.Run
+	// ignores it.
+	DeltaMaxLabels int
 	// OnProgress, when set, receives worker progress frames (from
 	// concurrent goroutines; the callback must be thread-safe).
 	OnProgress func(Progress)
@@ -40,19 +48,47 @@ type ShardMetrics struct {
 	JobBytes  int64 // job frame bytes, last successful attempt
 	Attempts  int
 	Extracted bool
+	// CacheHit and DeltaLabels describe session delta shipping: the
+	// shard re-ran from the worker's warm cache, carrying this many new
+	// labels. On a hit JobBytes is the JobRef frame's size; on a missed
+	// JobRef attempt it includes both the JobRef and the fallback Job.
+	CacheHit    bool
+	DeltaLabels int
 }
 
-// Metrics is a run's transport audit: what crossed the wire.
+// Metrics is a run's transport audit: what crossed the wire. For a
+// Session, Run returns the round's metrics and Session.Metrics the
+// running totals.
 type Metrics struct {
 	Shards      []ShardMetrics
-	JobBytes    int64 // total job frame bytes, successful attempts only
-	ResultBytes int64 // total bytes read back from workers
+	JobBytes    int64 // total full-job frame bytes, successful attempts only
+	DeltaBytes  int64 // total JobRef frame bytes (hit or missed attempts), successful shards only
+	ResultBytes int64 // total bytes read back from workers (incl. CacheAcks)
 	// Queries counts oracle round-trips actually answered, INCLUDING
 	// those of failed attempts whose votes were discarded — retried
 	// shards re-spend oracle labels, and this is the audit of real
 	// labeling cost. Equals Result.QueryCount only on retry-free runs.
 	Queries int
 	Retries int // shard re-dispatches after failures
+	// CacheHits/CacheMisses count JobRef verdicts (sessions only): a
+	// miss is a JobRef the worker could not serve warm — worker restart,
+	// eviction, fingerprint-collision defense — answered by a full-Job
+	// re-ship.
+	CacheHits   int
+	CacheMisses int
+}
+
+// add folds a per-shard or per-round tally into the receiver (used for
+// the session's cumulative metrics).
+func (m *Metrics) add(o *Metrics) {
+	m.Shards = append(m.Shards, o.Shards...)
+	m.JobBytes += o.JobBytes
+	m.DeltaBytes += o.DeltaBytes
+	m.ResultBytes += o.ResultBytes
+	m.Queries += o.Queries
+	m.Retries += o.Retries
+	m.CacheHits += o.CacheHits
+	m.CacheMisses += o.CacheMisses
 }
 
 // Coordinator dispatches shard jobs over a transport and reconciles the
@@ -91,7 +127,8 @@ func (c *countingReader) Read(p []byte) (int, error) {
 type shardResult struct {
 	votes     []partition.Vote
 	report    partition.PartReport
-	jobBytes  int64
+	jobBytes  int64 // full Job frame bytes written
+	refBytes  int64 // JobRef frame bytes written (sessions; hit or missed attempt)
 	readBytes int64
 	extracted bool
 }
@@ -314,18 +351,7 @@ func (r *runState) fail(shard int, err error) {
 // runShard ships one job and consumes its frame stream to completion.
 func (r *runState) runShard(conn io.ReadWriteCloser, shard int) (*shardResult, error) {
 	part := &r.plan.Parts[shard]
-	var sh *partition.Shard
-	if r.coord.Opts.NoExtract {
-		sh = partition.FullShard(r.pair, part)
-	} else {
-		var err error
-		sh, err = partition.ExtractShard(r.pair, part)
-		if err != nil {
-			// A schema outside the extractor's closure argument is not
-			// fatal — ship the full pair instead.
-			sh = partition.FullShard(r.pair, part)
-		}
-	}
+	sh := buildShard(r.pair, part, r.coord.Opts.NoExtract)
 	job := NewJob(sh, r.coord.Opts.Train)
 
 	cw := &countingWriter{w: conn}
@@ -333,21 +359,62 @@ func (r *runState) runShard(conn io.ReadWriteCloser, shard int) (*shardResult, e
 		return nil, err
 	}
 	sr := &shardResult{jobBytes: cw.n, extracted: sh.Extracted()}
+	env := &streamEnv{
+		oracle: r.oracle, oracleMu: &r.oracleMu, queries: &r.queries,
+		onProgress: r.coord.Opts.OnProgress,
+	}
+	if err := collectShard(conn, part.Index, env, sr); err != nil {
+		return nil, err
+	}
+	return sr, nil
+}
 
+// buildShard packages a part for the wire: extracted down to its feature
+// closure, or the full pair when extraction is disabled or the schema is
+// outside the extractor's closure argument (not fatal — ship it all).
+func buildShard(pair *hetnet.AlignedPair, part *partition.Part, noExtract bool) *partition.Shard {
+	if noExtract {
+		return partition.FullShard(pair, part)
+	}
+	sh, err := partition.ExtractShard(pair, part)
+	if err != nil {
+		return partition.FullShard(pair, part)
+	}
+	return sh
+}
+
+// streamEnv is the coordinator-side context for consuming one shard's
+// response stream: the serialized oracle, the round-trip audit counter,
+// and the progress callback. One env may serve many concurrent
+// collectShard calls.
+type streamEnv struct {
+	oracle     active.Oracle
+	oracleMu   *sync.Mutex
+	queries    *atomic.Int64
+	onProgress func(Progress)
+}
+
+// collectShard consumes one shard's frame stream — votes, progress,
+// oracle round-trips — through to its Done frame, accumulating into sr.
+// It is shared by the single-shot coordinator and the session: the
+// response protocol is identical whether the request was a Job or a
+// cache-hit JobRef.
+func collectShard(conn io.ReadWriter, partIndex int, env *streamEnv, sr *shardResult) error {
 	cr := &countingReader{r: conn}
+	defer func() { sr.readBytes += cr.n }()
 	for {
 		typ, body, err := ReadFrame(cr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		switch typ {
 		case FrameVotes:
 			var v Votes
 			if err := DecodeBody(body, &v); err != nil {
-				return nil, err
+				return err
 			}
-			if v.Shard != part.Index {
-				return nil, fmt.Errorf("distrib: votes for shard %d on shard %d's stream", v.Shard, part.Index)
+			if v.Shard != partIndex {
+				return fmt.Errorf("distrib: votes for shard %d on shard %d's stream", v.Shard, partIndex)
 			}
 			for _, wv := range v.Votes {
 				sr.votes = append(sr.votes, partition.Vote{
@@ -361,49 +428,48 @@ func (r *runState) runShard(conn io.ReadWriteCloser, shard int) (*shardResult, e
 		case FrameProgress:
 			var p Progress
 			if err := DecodeBody(body, &p); err != nil {
-				return nil, err
+				return err
 			}
-			if r.coord.Opts.OnProgress != nil {
-				r.coord.Opts.OnProgress(p)
+			if env.onProgress != nil {
+				env.onProgress(p)
 			}
 		case FrameQuery:
 			var q Query
 			if err := DecodeBody(body, &q); err != nil {
-				return nil, err
+				return err
 			}
-			if r.oracle == nil {
-				return nil, fmt.Errorf("distrib: worker queried shard %d but no oracle is configured", q.Shard)
+			if env.oracle == nil {
+				return fmt.Errorf("distrib: worker queried shard %d but no oracle is configured", q.Shard)
 			}
-			r.oracleMu.Lock()
-			label := r.oracle.Label(hetnet.Anchor{I: int(q.I), J: int(q.J)})
-			r.oracleMu.Unlock()
-			r.queries.Add(1)
+			env.oracleMu.Lock()
+			label := env.oracle.Label(hetnet.Anchor{I: int(q.I), J: int(q.J)})
+			env.oracleMu.Unlock()
+			env.queries.Add(1)
 			if err := WriteFrame(conn, FrameAnswer, &Answer{Seq: q.Seq, Label: label}); err != nil {
-				return nil, err
+				return err
 			}
 		case FrameDone:
 			var d Done
 			if err := DecodeBody(body, &d); err != nil {
-				return nil, err
+				return err
 			}
 			sr.report = partition.PartReport{
-				Index:      part.Index,
+				Index:      partIndex,
 				TrainPos:   d.TrainPos,
 				Candidates: d.Candidates,
 				Budget:     d.Budget,
 				Queries:    d.Queries,
 				Elapsed:    time.Duration(d.ElapsedNS),
 			}
-			sr.readBytes = cr.n
-			return sr, nil
+			return nil
 		case FrameError:
 			var je JobError
 			if err := DecodeBody(body, &je); err != nil {
-				return nil, err
+				return err
 			}
-			return nil, fmt.Errorf("distrib: worker failed shard %d: %s", je.Shard, je.Msg)
+			return fmt.Errorf("distrib: worker failed shard %d: %s", je.Shard, je.Msg)
 		default:
-			return nil, fmt.Errorf("distrib: unexpected frame type %d from worker", typ)
+			return fmt.Errorf("distrib: unexpected frame type %d from worker", typ)
 		}
 	}
 }

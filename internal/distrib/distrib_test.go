@@ -44,12 +44,27 @@ func TestMain(m *testing.M) {
 // distFixture builds the tiny pair, a K-shard plan with a non-zero
 // budget, and the in-process reference result.
 type distFixture struct {
-	pair   *hetnet.AlignedPair
-	base   *metadiag.Counter
-	plan   *partition.Plan
-	oracle active.Oracle
-	train  TrainConfig
-	ref    *partition.Result
+	pair       *hetnet.AlignedPair
+	base       *metadiag.Counter
+	plan       *partition.Plan
+	k          int
+	trainPos   []hetnet.Anchor
+	candidates []hetnet.Anchor
+	oracle     active.Oracle
+	train      TrainConfig
+	ref        *partition.Result
+}
+
+// freshPlan re-plans the fixture's pools — session drivers mutate their
+// plan (rebudget, label appends), so every driver needs its own.
+// Planning is deterministic: the parts match fx.plan exactly.
+func (fx *distFixture) freshPlan(t testing.TB, budget int) *partition.Plan {
+	t.Helper()
+	plan, err := partition.BuildPlan(fx.base, fx.trainPos, fx.candidates, budget, partition.Config{K: fx.k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
 }
 
 func newDistFixture(t testing.TB, k, budget int) *distFixture {
@@ -89,7 +104,8 @@ func newDistFixture(t testing.TB, k, budget int) *distFixture {
 		t.Fatal(err)
 	}
 	return &distFixture{
-		pair: pair, base: base, plan: plan, oracle: oracle,
+		pair: pair, base: base, plan: plan, k: k,
+		trainPos: trainPos, candidates: candidates, oracle: oracle,
 		train: TrainConfig{FeatureSet: FeaturesFull, Strategy: StrategyConflict, Seed: 2019},
 		ref:   ref,
 	}

@@ -1,9 +1,12 @@
 package distrib
 
 import (
-	"io"
-
+	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+	"math"
 
 	"github.com/activeiter/activeiter/internal/active"
 	"github.com/activeiter/activeiter/internal/hetnet"
@@ -79,7 +82,9 @@ type TrainConfig struct {
 }
 
 // NewJob packages an extracted shard with the run's training
-// configuration as a wire job.
+// configuration as a wire job. The shard's prelabels (if any) ship in
+// sub-pair indices; Fingerprint is left zero — session coordinators
+// stamp it via ComputeFingerprint to opt the worker into caching.
 func NewJob(shard *partition.Shard, cfg TrainConfig) *Job {
 	j := &Job{
 		Shard:      shard.Part.Index,
@@ -88,6 +93,7 @@ func NewJob(shard *partition.Shard, cfg TrainConfig) *Job {
 		AnchorType: string(shard.Pair.AnchorType),
 		TrainPos:   shard.Part.TrainPos,
 		Candidates: shard.Part.Candidates,
+		Prelabeled: WireLabels(shard.Part.Prelabeled),
 		InvUsers1:  shard.InvUsers1,
 		InvUsers2:  shard.InvUsers2,
 		FeatureSet: cfg.FeatureSet,
@@ -103,6 +109,117 @@ func NewJob(shard *partition.Shard, cfg TrainConfig) *Job {
 		j.HasThreshold = true
 	}
 	return j
+}
+
+// WireLabels converts partition labels (already in the job's index
+// space) to their wire form.
+func WireLabels(labels []partition.LabeledLink) []WireLabel {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]WireLabel, len(labels))
+	for k, l := range labels {
+		out[k] = WireLabel{I: int32(l.Link.I), J: int32(l.Link.J), Label: l.Label}
+	}
+	return out
+}
+
+// partLabels is the inverse of WireLabels.
+func partLabels(labels []WireLabel) []partition.LabeledLink {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]partition.LabeledLink, len(labels))
+	for k, l := range labels {
+		out[k] = partition.LabeledLink{Link: hetnet.Anchor{I: int(l.I), J: int(l.J)}, Label: l.Label}
+	}
+	return out
+}
+
+// fingerprintHasher feeds length-delimited primitives into FNV-1a. Gob
+// is deliberately NOT used here: gob streams embed type IDs assigned
+// from process-global encode history, so equal values can encode to
+// different bytes in different processes — fine for the self-describing
+// frames, fatal for a fingerprint two runs must agree on.
+type fingerprintHasher struct{ h hash.Hash64 }
+
+func (f *fingerprintHasher) u64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	f.h.Write(b[:])
+}
+func (f *fingerprintHasher) str(s string) {
+	f.u64(uint64(len(s)))
+	f.h.Write([]byte(s))
+}
+func (f *fingerprintHasher) anchors(as []hetnet.Anchor) {
+	f.u64(uint64(len(as)))
+	for _, a := range as {
+		f.u64(uint64(uint32(a.I)))
+		f.u64(uint64(uint32(a.J)))
+	}
+}
+func (f *fingerprintHasher) ints(vs []int32) {
+	f.u64(uint64(len(vs)))
+	for _, v := range vs {
+		f.u64(uint64(uint32(v)))
+	}
+}
+func (f *fingerprintHasher) network(w *WireNetwork) {
+	f.str(w.Name)
+	f.u64(uint64(len(w.NodeTypes)))
+	for k, t := range w.NodeTypes {
+		f.str(t)
+		f.u64(uint64(len(w.NodeIDs[k])))
+		for _, id := range w.NodeIDs[k] {
+			f.str(id)
+		}
+	}
+	f.u64(uint64(len(w.LinkTypes)))
+	for k, t := range w.LinkTypes {
+		f.str(t)
+		f.str(w.LinkSrc[k])
+		f.str(w.LinkDst[k])
+		f.ints(w.LinkFrom[k])
+		f.ints(w.LinkTo[k])
+	}
+}
+
+// ComputeFingerprint hashes the job's shard-stable content: the sub-pair
+// networks, the pool, the inverse maps, and the training configuration.
+// Budget, Seed and Prelabeled — the per-round mutables — stay out, so
+// every round of a stable plan hashes identically, which is the whole
+// point. The result keys the worker-side shard cache; it is a cache key,
+// not an authenticator. Never returns 0 (the "no caching" sentinel).
+func (j *Job) ComputeFingerprint() uint64 {
+	f := &fingerprintHasher{h: fnv.New64a()}
+	f.u64(uint64(uint32(j.Shard)))
+	f.network(&j.G1)
+	f.network(&j.G2)
+	f.str(j.AnchorType)
+	f.anchors(j.TrainPos)
+	f.anchors(j.Candidates)
+	f.ints(j.InvUsers1)
+	f.ints(j.InvUsers2)
+	f.str(j.FeatureSet)
+	f.str(j.Strategy)
+	f.u64(math.Float64bits(j.C))
+	f.u64(math.Float64bits(j.Threshold))
+	if j.HasThreshold {
+		f.u64(1)
+	} else {
+		f.u64(0)
+	}
+	f.u64(uint64(uint32(j.BatchSize)))
+	if j.Exact {
+		f.u64(1)
+	} else {
+		f.u64(0)
+	}
+	if s := f.h.Sum64(); s != 0 {
+		return s
+	}
+	return 1
 }
 
 // JobSizes measures, per shard of the plan, the serialized job frame in
@@ -167,11 +284,17 @@ func (j *Job) DecodeShard() (*hetnet.AlignedPair, *partition.Part, error) {
 			return nil, nil, fmt.Errorf("distrib: job shard %d: candidate (%d,%d) out of range", j.Shard, c.I, c.J)
 		}
 	}
+	for _, l := range j.Prelabeled {
+		if l.I < 0 || int(l.I) >= n1 || l.J < 0 || int(l.J) >= n2 {
+			return nil, nil, fmt.Errorf("distrib: job shard %d: prelabel (%d,%d) out of range", j.Shard, l.I, l.J)
+		}
+	}
 	part := &partition.Part{
 		Index:      j.Shard,
 		TrainPos:   j.TrainPos,
 		Candidates: j.Candidates,
 		Budget:     j.Budget,
+		Prelabeled: partLabels(j.Prelabeled),
 	}
 	return pair, part, nil
 }

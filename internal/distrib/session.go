@@ -1,0 +1,509 @@
+package distrib
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/active"
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/partition"
+)
+
+// roundSeedStride separates the per-round training seeds of a session,
+// the same way partition's per-shard stride separates shards. Round 0
+// keeps the configured seed unchanged.
+const roundSeedStride = 2_038_074_743
+
+// defaultDeltaMaxLabels is the JobRef label-delta cap when
+// Options.DeltaMaxLabels is zero.
+const defaultDeltaMaxLabels = 4096
+
+// Session runs multi-round distributed alignment over a stable shard
+// plan with sticky shard routing: connections stay open across rounds,
+// each shard is routed back to the worker connection that already holds
+// its fingerprinted state, and a repeat round ships a JobRef (the label
+// delta since the last run) instead of the full job. Extraction and job
+// serialization are paid once per shard on the coordinator, counting and
+// feature extraction once per shard on the worker; every later round
+// costs bytes proportional to its new labels.
+//
+// The fallback ladder keeps sessions exactly as reliable as single-shot
+// runs: a JobRef the worker cannot serve warm (restarted process,
+// evicted cache entry, colliding fingerprint) is answered by a full-Job
+// re-ship on the same connection; a broken connection burns its cached
+// fingerprints and the shard retries cold on a fresh dial, up to
+// Options.Retries. Either way the votes that come back are identical —
+// delta-shipped rounds are property-tested bit-equal to full re-ship.
+//
+// Use one Session per (pair, plan) lifetime: Run may be called once per
+// active-learning round, with the caller growing the plan's prelabels
+// (Plan.AppendLabels) and re-splitting the budget (Plan.Rebudget)
+// between rounds. Close releases the worker connections. A Session is
+// not safe for concurrent Run calls.
+type Session struct {
+	transport Transport
+	opts      Options
+	pair      *hetnet.AlignedPair
+
+	round int
+	slots []*sessionSlot
+	// shardsMu guards the shards map itself; each entry is only ever
+	// touched by the slot goroutine its shard is assigned to.
+	shardsMu sync.Mutex
+	shards   map[int]*sessionShard
+	cum      Metrics
+
+	oracleMu sync.Mutex
+	queries  atomic.Int64
+}
+
+// sessionSlot is one persistent worker connection and the shard states
+// it holds warm.
+type sessionSlot struct {
+	conn  io.ReadWriteCloser
+	holds map[int]uint64 // part index → fingerprint run warm on this connection
+}
+
+// sessionShard is the coordinator-side cache of one shard: the one-time
+// extraction, its fingerprint, and how much of the label log has been
+// shipped to the current holder.
+type sessionShard struct {
+	shard    *partition.Shard
+	template *Job // fully encoded job with zero prelabels; per-round copies override the mutables
+	fp       uint64
+	partSig  uint64 // TrainPos/Candidates content hash: detects plan drift between rounds
+	sent     int    // prelabels already held by the home connection
+	home     int    // slot index holding fp, -1 when none
+}
+
+// NewSession opens a sticky shard session for the pair over the
+// transport. Connections are dialed lazily on the first Run.
+func NewSession(transport Transport, pair *hetnet.AlignedPair, opts Options) (*Session, error) {
+	if transport == nil {
+		return nil, fmt.Errorf("distrib: nil transport")
+	}
+	if pair == nil {
+		return nil, fmt.Errorf("distrib: nil pair")
+	}
+	return &Session{
+		transport: transport,
+		opts:      opts,
+		pair:      pair,
+		shards:    make(map[int]*sessionShard),
+	}, nil
+}
+
+// Round returns how many rounds have completed.
+func (s *Session) Round() int { return s.round }
+
+// Metrics returns the running totals across every completed round.
+func (s *Session) Metrics() *Metrics {
+	m := s.cum
+	m.Shards = append([]ShardMetrics(nil), s.cum.Shards...)
+	return &m
+}
+
+// Close tears down the worker connections. The session keeps its
+// coordinator-side shard cache, but a Run after Close redials and
+// re-ships cold (the workers' warm state died with the connections).
+func (s *Session) Close() error {
+	var first error
+	for _, slot := range s.slots {
+		if slot.conn != nil {
+			if err := slot.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+			slot.conn = nil
+			slot.holds = make(map[int]uint64)
+		}
+	}
+	for _, st := range s.shards {
+		st.home = -1
+	}
+	return first
+}
+
+// Run executes one round of the plan: every shard trains on a worker
+// (warm where the plan is stable, cold otherwise) and the votes merge
+// into one globally one-to-one result. The plan must be the same object
+// family across rounds — same parts, with prelabels appended and budget
+// re-split between calls; a part whose pool changed is detected by
+// content hash and re-ships cold. Returns the round's result and the
+// round's metrics (cumulative totals via Metrics).
+func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Result, *Metrics, error) {
+	if plan == nil || len(plan.Parts) == 0 {
+		return nil, nil, fmt.Errorf("distrib: empty plan")
+	}
+	totalBudget := 0
+	for i := range plan.Parts {
+		totalBudget += plan.Parts[i].Budget
+	}
+	if totalBudget > 0 && oracle == nil {
+		return nil, nil, fmt.Errorf("distrib: plan carries budget %d but no oracle", totalBudget)
+	}
+	start := time.Now()
+
+	k := len(plan.Parts)
+	workers := s.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	for len(s.slots) < workers {
+		s.slots = append(s.slots, &sessionSlot{holds: make(map[int]uint64)})
+	}
+	retries := s.opts.Retries
+	if retries == 0 {
+		retries = 2
+	} else if retries < 0 {
+		retries = 0
+	}
+
+	// Sticky slot assignment: a shard whose state a connection holds goes
+	// back to that connection; the rest balance across the least-loaded
+	// slots.
+	assign := make([][]int, len(s.slots))
+	for i := range plan.Parts {
+		if st := s.shards[plan.Parts[i].Index]; st != nil && st.home >= 0 && st.home < len(assign) {
+			assign[st.home] = append(assign[st.home], i)
+		}
+	}
+	for i := range plan.Parts {
+		if st := s.shards[plan.Parts[i].Index]; st != nil && st.home >= 0 && st.home < len(assign) {
+			continue
+		}
+		best := 0
+		for sl := 1; sl < len(assign); sl++ {
+			if len(assign[sl]) < len(assign[best]) {
+				best = sl
+			}
+		}
+		assign[best] = append(assign[best], i)
+	}
+
+	rr := &sessionRound{
+		s:       s,
+		plan:    plan,
+		oracle:  oracle,
+		seed:    s.opts.Train.Seed + int64(s.round)*roundSeedStride,
+		retries: retries,
+		results: make([]*shardResult, k),
+		shardMs: make([]ShardMetrics, k),
+		merger:  partition.NewMerger(),
+	}
+	queriesBefore := s.queries.Load()
+
+	var wg sync.WaitGroup
+	for sl := range s.slots {
+		if len(assign[sl]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sl int, shards []int) {
+			defer wg.Done()
+			rr.slotLoop(sl, shards)
+		}(sl, assign[sl])
+	}
+	wg.Wait()
+	if rr.err != nil {
+		return nil, nil, rr.err
+	}
+
+	metrics := &Metrics{Retries: rr.totalRetries}
+	var reports []partition.PartReport
+	for i, sr := range rr.results {
+		if sr == nil {
+			return nil, nil, fmt.Errorf("distrib: shard %d never completed", plan.Parts[i].Index)
+		}
+		reports = append(reports, sr.report)
+		metrics.Shards = append(metrics.Shards, rr.shardMs[i])
+		if rr.shardMs[i].CacheHit {
+			metrics.CacheHits++
+		}
+		metrics.JobBytes += sr.jobBytes
+		metrics.DeltaBytes += sr.refBytes
+		metrics.ResultBytes += sr.readBytes
+	}
+	metrics.CacheMisses = rr.misses
+	metrics.Queries = int(s.queries.Load() - queriesBefore)
+	res := rr.merger.Finish()
+	res.Reports = reports
+	res.Elapsed = time.Since(start)
+	s.cum.add(metrics)
+	s.round++
+	return res, metrics, nil
+}
+
+// sessionRound is one Run's shared state.
+type sessionRound struct {
+	s       *Session
+	plan    *partition.Plan
+	oracle  active.Oracle
+	seed    int64
+	retries int
+
+	mu           sync.Mutex
+	results      []*shardResult
+	shardMs      []ShardMetrics
+	merger       *partition.Merger
+	misses       int
+	totalRetries int
+	err          error
+}
+
+// aborted reports (under mu) whether the round already failed.
+func (rr *sessionRound) aborted() bool {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	return rr.err != nil
+}
+
+// slotLoop runs one connection's shard list sequentially, retrying each
+// shard on a fresh connection until its attempt budget runs out.
+func (rr *sessionRound) slotLoop(sl int, shards []int) {
+	slot := rr.s.slots[sl]
+	for _, i := range shards {
+		attempts := 0
+		for {
+			if rr.aborted() {
+				return
+			}
+			attempts++
+			sr, sm, err := rr.runShard(slot, sl, i)
+			if err == nil {
+				sm.Attempts = attempts
+				rr.commit(i, sr, sm)
+				break
+			}
+			// A failure burns the connection and everything it held warm.
+			rr.dropConn(slot)
+			if attempts > rr.retries {
+				rr.fail(fmt.Errorf("distrib: shard %d failed after %d attempts: %w", rr.plan.Parts[i].Index, attempts, err))
+				return
+			}
+			rr.mu.Lock()
+			rr.totalRetries++
+			rr.mu.Unlock()
+		}
+	}
+}
+
+// dropConn closes a slot's connection and forgets its warm state.
+func (rr *sessionRound) dropConn(slot *sessionSlot) {
+	if slot.conn != nil {
+		slot.conn.Close()
+		slot.conn = nil
+	}
+	rr.s.shardsMu.Lock()
+	for idx := range slot.holds {
+		if st := rr.s.shards[idx]; st != nil {
+			st.home = -1
+		}
+	}
+	rr.s.shardsMu.Unlock()
+	slot.holds = make(map[int]uint64)
+}
+
+// commit streams a completed shard's votes into the merger.
+func (rr *sessionRound) commit(i int, sr *shardResult, sm ShardMetrics) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	for _, v := range sr.votes {
+		rr.merger.Add(v)
+	}
+	sr.votes = nil
+	rr.results[i] = sr
+	rr.shardMs[i] = sm
+}
+
+func (rr *sessionRound) fail(err error) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if rr.err == nil {
+		rr.err = err
+	}
+}
+
+// shardState returns (building if needed) the session cache entry for
+// the plan's i-th part, re-extracting when the part's pool changed since
+// it was cached.
+func (rr *sessionRound) shardState(i int) *sessionShard {
+	part := &rr.plan.Parts[i]
+	sig := partSignature(part)
+	rr.s.shardsMu.Lock()
+	st := rr.s.shards[part.Index]
+	rr.s.shardsMu.Unlock()
+	if st != nil && st.partSig == sig {
+		return st
+	}
+	// Build outside the lock: extraction and encoding are the expensive
+	// one-time costs, and no two slots ever build the same part.
+	sh := buildShard(rr.s.pair, part, rr.s.opts.NoExtract)
+	// The template is the one-time serialization cost: networks encoded
+	// once, per-round copies only swap the round mutables.
+	template := NewJob(sh, rr.s.opts.Train)
+	template.Prelabeled = nil
+	st = &sessionShard{
+		shard:    sh,
+		template: template,
+		fp:       template.ComputeFingerprint(),
+		partSig:  sig,
+		home:     -1,
+	}
+	rr.s.shardsMu.Lock()
+	rr.s.shards[part.Index] = st
+	rr.s.shardsMu.Unlock()
+	return st
+}
+
+// runShard executes the plan's i-th part on the slot's connection,
+// delta-shipped when the connection holds the shard warm and the delta
+// is within bounds, as a full job otherwise.
+func (rr *sessionRound) runShard(slot *sessionSlot, sl, i int) (*shardResult, ShardMetrics, error) {
+	part := &rr.plan.Parts[i]
+	st := rr.shardState(i)
+	sm := ShardMetrics{Shard: part.Index, Extracted: st.shard.Extracted()}
+
+	if slot.conn == nil {
+		conn, err := rr.dial()
+		if err != nil {
+			return nil, sm, err
+		}
+		slot.conn = conn
+	}
+	conn := slot.conn
+	env := &streamEnv{
+		oracle: rr.oracle, oracleMu: &rr.s.oracleMu, queries: &rr.s.queries,
+		onProgress: rr.s.opts.OnProgress,
+	}
+
+	delta := part.Prelabeled[min(st.sent, len(part.Prelabeled)):]
+	deltaCap := rr.s.opts.DeltaMaxLabels
+	if deltaCap == 0 {
+		deltaCap = defaultDeltaMaxLabels
+	}
+	tryDelta := st.home == sl && slot.holds[part.Index] == st.fp &&
+		deltaCap > 0 && len(delta) <= deltaCap
+
+	// One shardResult spans the whole dispatch, so a missed JobRef
+	// attempt's bytes (frame out, CacheAck back) stay in the audit.
+	sr := &shardResult{extracted: st.shard.Extracted()}
+
+	if tryDelta {
+		wireDelta, err := st.shard.RemapLabels(delta)
+		if err != nil {
+			return nil, sm, err
+		}
+		ref := &JobRef{
+			Shard:       part.Index,
+			Fingerprint: st.fp,
+			AddLabels:   WireLabels(wireDelta),
+			Budget:      part.Budget,
+			Seed:        rr.seed,
+		}
+		cw := &countingWriter{w: conn}
+		if err := WriteFrame(cw, FrameJobRef, ref); err != nil {
+			return nil, sm, err
+		}
+		sr.refBytes += cw.n
+		cr := &countingReader{r: conn}
+		var ack CacheAck
+		if err := ReadExpect(cr, FrameCacheAck, &ack); err != nil {
+			return nil, sm, err
+		}
+		sr.readBytes += cr.n
+		if ack.Hit {
+			if err := collectShard(conn, part.Index, env, sr); err != nil {
+				return nil, sm, err
+			}
+			st.sent = len(part.Prelabeled)
+			sm.CacheHit = true
+			sm.DeltaLabels = len(delta)
+			sm.JobBytes = sr.refBytes
+			return sr, sm, nil
+		}
+		// Miss: the worker no longer holds the shard (restart, eviction,
+		// collision defense). Fall through to a full re-ship on the same
+		// connection — the stream is still healthy.
+		rr.mu.Lock()
+		rr.misses++
+		rr.mu.Unlock()
+		st.home = -1
+		delete(slot.holds, part.Index)
+	}
+
+	// Full job: the cached template with this round's mutables.
+	job := *st.template
+	job.Budget = part.Budget
+	job.Seed = rr.seed
+	job.Fingerprint = st.fp
+	pre, err := st.shard.RemapLabels(part.Prelabeled)
+	if err != nil {
+		return nil, sm, err
+	}
+	job.Prelabeled = WireLabels(pre)
+
+	cw := &countingWriter{w: conn}
+	if err := WriteFrame(cw, FrameJob, &job); err != nil {
+		return nil, sm, err
+	}
+	sr.jobBytes = cw.n
+	if err := collectShard(conn, part.Index, env, sr); err != nil {
+		return nil, sm, err
+	}
+	st.home = sl
+	st.sent = len(part.Prelabeled)
+	slot.holds[part.Index] = st.fp
+	sm.JobBytes = sr.jobBytes + sr.refBytes
+	return sr, sm, nil
+}
+
+// dial opens and handshakes a connection (same protocol as the
+// single-shot coordinator).
+func (rr *sessionRound) dial() (io.ReadWriteCloser, error) {
+	conn, err := rr.s.transport.Dial()
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(conn, FrameHello, &Hello{Role: "coordinator"}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := ReadExpect(conn, FrameHello, &Hello{}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// partSignature hashes a part's pool content (TrainPos + Candidates) to
+// detect a plan that drifted between rounds — such a shard re-extracts
+// and re-ships cold rather than reusing stale state.
+func partSignature(part *partition.Part) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(v int) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		h.Write(buf[:4])
+	}
+	write(len(part.TrainPos))
+	for _, a := range part.TrainPos {
+		write(a.I)
+		write(a.J)
+	}
+	for _, c := range part.Candidates {
+		write(c.I)
+		write(c.J)
+	}
+	return h.Sum64()
+}

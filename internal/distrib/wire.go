@@ -28,9 +28,23 @@
 // guess at field semantics.
 //
 // The conversation is strictly request-driven: the coordinator sends
-// Hello then one Job per shard; the worker answers with any number of
-// Progress, Query (oracle round-trips, answered by Answer frames) and
-// Votes frames, terminated by exactly one Done or Error frame.
+// Hello then one Job (or JobRef, see below) per shard; the worker
+// answers with any number of Progress, Query (oracle round-trips,
+// answered by Answer frames) and Votes frames, terminated by exactly one
+// Done or Error frame.
+//
+// # Sticky sessions
+//
+// A multi-round session (active-learning retraining over a stable shard
+// plan) avoids re-shipping unchanged shards: every Job carries a
+// Fingerprint of its shard-stable content, a long-lived worker caches
+// the prepared shard (decoded sub-pair, warmed counter, feature matrix)
+// under that fingerprint, and later rounds send a JobRef — fingerprint
+// plus the round's label delta — instead of the multi-megabyte Job. The
+// worker acknowledges with CacheAck: on a hit it re-runs training on the
+// warm state immediately; on a miss (restarted worker, evicted entry,
+// colliding fingerprint) the coordinator falls back to a full Job. See
+// docs/WIRE.md for the complete frame catalog and session lifecycle.
 package distrib
 
 import (
@@ -46,7 +60,13 @@ import (
 
 // Version is the wire protocol version. Bump it on any change to frame
 // payload shapes; readers reject every other version.
-const Version = 1
+//
+// Version history:
+//
+//	1 — PR 3: Hello/Job/Votes/Progress/Query/Answer/Done/Error.
+//	2 — PR 4: sticky sessions. Job gains Fingerprint and Prelabeled;
+//	    JobRef and CacheAck frames added.
+const Version = 2
 
 // magic guards against feeding a non-distrib stream into the decoder.
 var magic = [2]byte{'A', 'I'}
@@ -76,6 +96,12 @@ const (
 	FrameDone
 	// FrameError aborts a job with a worker-side failure.
 	FrameError
+	// FrameJobRef re-runs a worker-cached shard with a label delta,
+	// coordinator → worker (sessions only).
+	FrameJobRef
+	// FrameCacheAck answers a JobRef with the cache verdict, worker →
+	// coordinator.
+	FrameCacheAck
 )
 
 // ErrVersionMismatch is returned (wrapped, with the versions) when a
@@ -181,6 +207,16 @@ type Job struct {
 	// TrainPos and Candidates are the shard pool in sub-pair indices.
 	TrainPos   []hetnet.Anchor
 	Candidates []hetnet.Anchor
+	// Prelabeled carries oracle labels from earlier session rounds, in
+	// sub-pair indices; the worker trains them as fixed queried labels.
+	// Empty outside sessions (and in every round-1 job).
+	Prelabeled []WireLabel
+	// Fingerprint identifies the shard-stable content (sub-pair, pool,
+	// training configuration — everything except Prelabeled, Budget and
+	// Seed). Non-zero invites the worker to cache the prepared shard so a
+	// later JobRef with the same fingerprint re-runs warm; zero (a PR 3
+	// single-shot coordinator) disables caching.
+	Fingerprint uint64
 	// InvUsers1/InvUsers2 map sub-pair user indices back to original
 	// pair indices.
 	InvUsers1, InvUsers2 []int32
@@ -195,6 +231,45 @@ type Job struct {
 	BatchSize    int
 	Exact        bool
 	Seed         int64 // base seed; the worker applies the per-shard offset
+}
+
+// WireLabel is one oracle-labeled link in the index space of the frame
+// carrying it: sub-pair indices in Job.Prelabeled and JobRef.AddLabels
+// (the coordinator remaps through the shard's forward maps before
+// shipping), original indices never.
+type WireLabel struct {
+	I, J  int32
+	Label float64
+}
+
+// JobRef asks a worker to re-run a shard it already holds: the
+// fingerprint names the cached prepared state, AddLabels is the label
+// delta since the last run of that fingerprint on this connection, and
+// Budget/Seed are this round's training knobs. Everything else — the
+// sub-pair, the pool, the training configuration — is resolved from the
+// worker's cache, which is what makes a delta round cost bytes
+// proportional to the new labels instead of the shard.
+type JobRef struct {
+	Shard       int
+	Fingerprint uint64
+	// AddLabels are the prelabels the cached shard has not seen yet, in
+	// sub-pair indices, canonical (I, J) order.
+	AddLabels []WireLabel
+	// Budget is this round's query budget slice for the shard.
+	Budget int
+	// Seed is this round's base seed (the worker still applies the
+	// per-shard offset, exactly as for a full Job).
+	Seed int64
+}
+
+// CacheAck answers a JobRef before any pipeline output: Hit reports
+// whether the worker holds the fingerprint (with a matching shard
+// index). On a hit the job's frame stream follows immediately; on a miss
+// the worker waits for a full Job re-ship of the same shard.
+type CacheAck struct {
+	Shard       int
+	Fingerprint uint64
+	Hit         bool
 }
 
 // Vote is one pool link's verdict in ORIGINAL pair indices — the wire

@@ -72,7 +72,7 @@ func fixtureJob(t testing.TB) *Job {
 		t.Fatal(err)
 	}
 	half := 0.5
-	return NewJob(shard, TrainConfig{
+	job := NewJob(shard, TrainConfig{
 		FeatureSet: FeaturesFull,
 		Strategy:   StrategyConflict,
 		C:          1,
@@ -80,6 +80,12 @@ func fixtureJob(t testing.TB) *Job {
 		BatchSize:  5,
 		Seed:       2019,
 	})
+	// Session fields ride on the same frame: a prelabel from an earlier
+	// round (a pool candidate the oracle answered) and the shard-stable
+	// fingerprint.
+	job.Prelabeled = []WireLabel{{I: 4, J: 5, Label: 1}}
+	job.Fingerprint = job.ComputeFingerprint()
+	return job
 }
 
 // goldenFrames enumerates every frame type with a representative
@@ -106,6 +112,9 @@ func goldenFrames(t testing.TB) []struct {
 		{"answer", FrameAnswer, &Answer{Seq: 7, Label: 1}},
 		{"done", FrameDone, &Done{Shard: 1, TrainPos: 2, Candidates: 3, Budget: 3, Queries: 3, ElapsedNS: 12345678}},
 		{"error", FrameError, &JobError{Shard: 1, Msg: "boom"}},
+		{"jobref", FrameJobRef, &JobRef{Shard: 1, Fingerprint: 0xfeedc0dedeadbeef,
+			AddLabels: []WireLabel{{I: 4, J: 5, Label: 1}, {I: 5, J: 4, Label: 0}}, Budget: 2, Seed: 2019 + roundSeedStride}},
+		{"cacheack", FrameCacheAck, &CacheAck{Shard: 1, Fingerprint: 0xfeedc0dedeadbeef, Hit: true}},
 	}
 }
 

@@ -10,20 +10,41 @@ import (
 	"github.com/activeiter/activeiter/internal/hetnet"
 	"github.com/activeiter/activeiter/internal/metadiag"
 	"github.com/activeiter/activeiter/internal/partition"
+	"github.com/activeiter/activeiter/internal/schema"
 )
 
 // voteBatchSize caps votes per FrameVotes so one huge pool does not
 // buffer an unbounded frame.
 const voteBatchSize = 4096
 
+// DefaultShardCacheSize is how many prepared shards a worker connection
+// keeps warm for JobRef re-runs. Each entry holds a decoded sub-pair,
+// its counter (with the shared attribute-only count layer) and the
+// pool's feature matrix — megabytes at crawl scale — so the cache is
+// LRU-bounded; a session's shards-per-worker is far below this in any
+// sane plan, and an eviction only costs a full-Job re-ship.
+const DefaultShardCacheSize = 32
+
 // Serve runs the worker side of one connection: handshake, then a loop
 // of job → (progress/query/votes)* → done until the coordinator closes
 // the stream. A job-level failure is reported as an Error frame and the
 // loop continues — the connection only dies on wire-level failures.
-// Workers are stateless between jobs: every job carries its own
-// sub-pair, so a worker can serve shards of different runs back to
-// back.
+//
+// Jobs are self-contained (each carries its own sub-pair), so a worker
+// serves shards of different runs back to back with no setup. What a
+// connection does keep is the shard cache: a fingerprinted job's
+// prepared state (sub-pair, warmed counter, feature matrix, accumulated
+// labels) is retained so a session's later rounds can re-run it via a
+// JobRef frame carrying only the label delta — counting and feature
+// extraction are paid once per shard, not once per round.
 func Serve(conn io.ReadWriter) error {
+	return ServeCache(conn, DefaultShardCacheSize)
+}
+
+// ServeCache is Serve with an explicit shard-cache capacity: 0 disables
+// caching (every JobRef misses), which also exercises the coordinator's
+// full-Job fallback in tests.
+func ServeCache(conn io.ReadWriter, cacheSize int) error {
 	// The coordinator speaks first: over fully synchronous links
 	// (net.Pipe) two sides writing their Hello simultaneously would
 	// deadlock, so the handshake is strictly coordinator-then-worker.
@@ -36,6 +57,7 @@ func Serve(conn io.ReadWriter) error {
 	if err := WriteFrame(conn, FrameHello, &Hello{Role: "worker"}); err != nil {
 		return err
 	}
+	cache := newShardCache(cacheSize)
 	for {
 		typ, body, err := ReadFrame(conn)
 		if err == io.EOF {
@@ -44,18 +66,88 @@ func Serve(conn io.ReadWriter) error {
 		if err != nil {
 			return err
 		}
-		if typ != FrameJob {
-			return fmt.Errorf("distrib: worker expected a job frame, got type %d", typ)
-		}
-		var job Job
-		if err := DecodeBody(body, &job); err != nil {
-			return fmt.Errorf("distrib: decode job: %w", err)
-		}
-		if err := runJob(conn, &job); err != nil {
-			if werr := WriteFrame(conn, FrameError, &JobError{Shard: job.Shard, Msg: err.Error()}); werr != nil {
-				return werr
+		switch typ {
+		case FrameJob:
+			var job Job
+			if err := DecodeBody(body, &job); err != nil {
+				return fmt.Errorf("distrib: decode job: %w", err)
 			}
+			if err := runJob(conn, &job, cache); err != nil {
+				if werr := WriteFrame(conn, FrameError, &JobError{Shard: job.Shard, Msg: err.Error()}); werr != nil {
+					return werr
+				}
+			}
+		case FrameJobRef:
+			var ref JobRef
+			if err := DecodeBody(body, &ref); err != nil {
+				return fmt.Errorf("distrib: decode job ref: %w", err)
+			}
+			if err := runJobRef(conn, &ref, cache); err != nil {
+				if werr := WriteFrame(conn, FrameError, &JobError{Shard: ref.Shard, Msg: err.Error()}); werr != nil {
+					return werr
+				}
+			}
+		default:
+			return fmt.Errorf("distrib: worker expected a job or job-ref frame, got type %d", typ)
 		}
+	}
+}
+
+// preparedShard is one job's reusable pipeline state: everything that is
+// a function of the fingerprint (sub-pair, counter, prepared features)
+// plus the mutable label state that accumulates across a session's
+// rounds.
+type preparedShard struct {
+	job      *Job // carries config + inverse maps; Prelabeled mirrors part.Prelabeled
+	part     *partition.Part
+	prepared *partition.Prepared
+	feats    []schema.Named
+	strategy active.Strategy
+}
+
+// shardCache is a tiny LRU of prepared shards keyed by job fingerprint.
+// Workers are single-threaded per connection, so no locking.
+type shardCache struct {
+	max     int
+	entries map[uint64]*preparedShard
+	order   []uint64 // least recently used first
+}
+
+func newShardCache(max int) *shardCache {
+	return &shardCache{max: max, entries: make(map[uint64]*preparedShard)}
+}
+
+// get returns the cached shard for fp and marks it most recently used.
+func (c *shardCache) get(fp uint64) *preparedShard {
+	ps := c.entries[fp]
+	if ps != nil {
+		c.touch(fp)
+	}
+	return ps
+}
+
+func (c *shardCache) touch(fp uint64) {
+	for k, f := range c.order {
+		if f == fp {
+			c.order = append(append(c.order[:k:k], c.order[k+1:]...), fp)
+			return
+		}
+	}
+	c.order = append(c.order, fp)
+}
+
+// put stores (or replaces) fp, evicting the least recently used entry
+// over capacity.
+func (c *shardCache) put(fp uint64, ps *preparedShard) {
+	if c.max <= 0 || fp == 0 {
+		return
+	}
+	c.entries[fp] = ps
+	c.touch(fp)
+	for len(c.entries) > c.max {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, old)
 	}
 }
 
@@ -92,19 +184,24 @@ func (o *wireOracle) Label(a hetnet.Anchor) float64 {
 	return ans.Label
 }
 
-// runJob executes one shard pipeline and streams the results. It
-// returns the error to report as an Error frame; wire-level failures
-// panic through wireAbort and are rethrown to kill the connection.
-func runJob(conn io.ReadWriter, job *Job) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if wa, ok := r.(wireAbort); ok {
-				err = wa.err
-				return
-			}
-			panic(r)
+// rethrowWire converts a wireAbort panic back into the error that kills
+// the connection; any other panic propagates.
+func rethrowWire(err *error) {
+	if r := recover(); r != nil {
+		if wa, ok := r.(wireAbort); ok {
+			*err = wa.err
+			return
 		}
-	}()
+		panic(r)
+	}
+}
+
+// runJob executes one full shard job — decode, prepare, train, stream —
+// and caches the prepared state under the job's fingerprint. It returns
+// the error to report as an Error frame; wire-level failures panic
+// through wireAbort and are rethrown to kill the connection.
+func runJob(conn io.ReadWriter, job *Job, cache *shardCache) (err error) {
+	defer rethrowWire(&err)
 	t0 := time.Now()
 	pair, part, err := job.DecodeShard()
 	if err != nil {
@@ -118,10 +215,7 @@ func runJob(conn io.ReadWriter, job *Job) (err error) {
 	if err != nil {
 		return err
 	}
-	progress := func(stage string, queries int) error {
-		return WriteFrame(conn, FrameProgress, &Progress{Shard: job.Shard, Stage: stage, Queries: queries})
-	}
-	if err := progress("counting", 0); err != nil {
+	if err := WriteFrame(conn, FrameProgress, &Progress{Shard: job.Shard, Stage: "counting"}); err != nil {
 		return err
 	}
 	counter, err := metadiag.NewCounter(pair)
@@ -129,38 +223,90 @@ func runJob(conn io.ReadWriter, job *Job) (err error) {
 		return err
 	}
 	counter.SetAnchors(part.TrainPos)
+	prepared, err := partition.PreparePart(counter, part, feats)
+	if err != nil {
+		return err
+	}
+	ps := &preparedShard{job: job, part: part, prepared: prepared, feats: feats, strategy: strategy}
+	if err := trainAndStream(conn, ps, job.Budget, job.Seed, t0); err != nil {
+		return err
+	}
+	// Cache only after a full successful round trip: a shard that failed
+	// or died mid-stream retries from scratch anyway.
+	cache.put(job.Fingerprint, ps)
+	return nil
+}
 
+// runJobRef answers a JobRef: ack the cache verdict, and on a hit fold
+// the label delta into the cached shard and re-run training on the warm
+// prepared state. A miss (restart, eviction, collision) is not an error
+// — the coordinator re-ships the full job next.
+func runJobRef(conn io.ReadWriter, ref *JobRef, cache *shardCache) (err error) {
+	defer rethrowWire(&err)
+	ps := cache.get(ref.Fingerprint)
+	// A fingerprint that resolves to a different shard index is a
+	// collision (or a confused coordinator); reusing the state would
+	// train the wrong shard, so it must miss.
+	hit := ps != nil && ps.job.Shard == ref.Shard
+	if err := WriteFrame(conn, FrameCacheAck, &CacheAck{Shard: ref.Shard, Fingerprint: ref.Fingerprint, Hit: hit}); err != nil {
+		panic(wireAbort{err})
+	}
+	if !hit {
+		return nil
+	}
+	t0 := time.Now()
+	if err := WriteFrame(conn, FrameProgress, &Progress{Shard: ref.Shard, Stage: "cached"}); err != nil {
+		panic(wireAbort{err})
+	}
+	n1 := len(ps.job.InvUsers1)
+	n2 := len(ps.job.InvUsers2)
+	for _, l := range ref.AddLabels {
+		if l.I < 0 || int(l.I) >= n1 || l.J < 0 || int(l.J) >= n2 {
+			return fmt.Errorf("distrib: job ref shard %d: label (%d,%d) out of range", ref.Shard, l.I, l.J)
+		}
+	}
+	// The delta folds into the cached label state BEFORE training; a
+	// training error afterwards is fine (the labels are real either way)
+	// and a wire failure kills the connection and the cache with it.
+	ps.part.Prelabeled = append(ps.part.Prelabeled, partLabels(ref.AddLabels)...)
+	ps.job.Prelabeled = append(ps.job.Prelabeled, ref.AddLabels...)
+	ps.part.Budget = ref.Budget
+	return trainAndStream(conn, ps, ref.Budget, ref.Seed, t0)
+}
+
+// trainAndStream runs the training half of a shard pipeline on prepared
+// state and streams progress, votes and the Done report. budget and seed
+// are the round's values (a cached shard's own fields may be stale).
+func trainAndStream(conn io.ReadWriter, ps *preparedShard, budget int, seed int64, t0 time.Time) error {
+	job := ps.job
+	ps.part.Budget = budget
 	cfg := core.Config{
 		C:              job.C,
-		Budget:         job.Budget, // TrainPart re-reads the part's slice; equal by construction
 		BatchSize:      job.BatchSize,
-		Strategy:       strategy,
+		Strategy:       ps.strategy,
 		ExactSelection: job.Exact,
-		Seed:           job.Seed,
+		Seed:           seed,
 	}
 	if job.HasThreshold {
 		th := job.Threshold
 		cfg.Threshold = &th
 	}
 	var oracle active.Oracle
-	if job.Budget > 0 {
+	if budget > 0 {
 		oracle = &wireOracle{conn: conn, shard: job.Shard, inv1: job.InvUsers1, inv2: job.InvUsers2}
 	}
-	if err := progress("training", 0); err != nil {
+	if err := WriteFrame(conn, FrameProgress, &Progress{Shard: job.Shard, Stage: "training"}); err != nil {
 		return err
 	}
-	links, res, err := partition.TrainPart(counter, part, partition.TrainOptions{
-		Features: feats,
-		Core:     cfg,
-	}, oracle)
+	res, err := ps.prepared.Train(ps.part, cfg, oracle)
 	if err != nil {
 		return err
 	}
-	if err := progress("voting", res.QueryCount()); err != nil {
+	if err := WriteFrame(conn, FrameProgress, &Progress{Shard: job.Shard, Stage: "voting", Queries: res.QueryCount()}); err != nil {
 		return err
 	}
 
-	votes := partition.PartVotes(part, links, res)
+	votes := partition.PartVotes(ps.part, ps.prepared.Links, res)
 	batch := make([]Vote, 0, voteBatchSize)
 	flush := func() error {
 		if len(batch) == 0 {
@@ -192,9 +338,9 @@ func runJob(conn io.ReadWriter, job *Job) (err error) {
 	}
 	return WriteFrame(conn, FrameDone, &Done{
 		Shard:      job.Shard,
-		TrainPos:   len(part.TrainPos),
-		Candidates: len(part.Candidates),
-		Budget:     part.Budget,
+		TrainPos:   len(ps.part.TrainPos),
+		Candidates: len(ps.part.Candidates),
+		Budget:     ps.part.Budget,
 		Queries:    res.QueryCount(),
 		ElapsedNS:  time.Since(t0).Nanoseconds(),
 	})

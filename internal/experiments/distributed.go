@@ -16,11 +16,14 @@ import (
 )
 
 // DistributedPoint is one measured execution mode of the same K-shard
-// alignment problem.
+// alignment problem. Session modes ("<transport>/rounds-full",
+// "<transport>/rounds-delta") add the multi-round cache columns and one
+// RoundDetail entry per active-learning round.
 type DistributedPoint struct {
-	Mode       string // "in-process", "loopback", "subprocess"
+	Mode       string // "in-process", "loopback", "subprocess", "<transport>/rounds-*"
 	Partitions int
 	Workers    int
+	Rounds     int
 	F1         float64
 	Precision  float64
 	Recall     float64
@@ -31,7 +34,22 @@ type DistributedPoint struct {
 	// JobBytesFull is the same plan serialized without shard extraction.
 	JobBytes     int64
 	JobBytesFull int64
-	Retries      int
+	// DeltaBytes / CacheHits / CacheMisses audit session delta shipping.
+	DeltaBytes  int64
+	CacheHits   int
+	CacheMisses int
+	Retries     int
+	RoundDetail []DistributedRound
+}
+
+// DistributedRound is one session round's wire audit.
+type DistributedRound struct {
+	Round      int
+	JobBytes   int64 // full-job frame bytes this round
+	DeltaBytes int64 // JobRef frame bytes this round
+	CacheHits  int
+	Queries    int
+	AlignTime  time.Duration
 }
 
 // DistributedConfig parameterizes RunDistributedPoints beyond the
@@ -46,6 +64,11 @@ type DistributedConfig struct {
 	// `activeiter` binary invoked with -worker.
 	WorkerCmd  string
 	WorkerArgs []string
+	// Rounds > 1 adds the sticky-session modes: the budget splits across
+	// this many retrain-after-labels rounds, run once with delta
+	// shipping disabled (every round re-ships full jobs — the PR 3
+	// cost model) and once with JobRef deltas to warm workers.
+	Rounds int
 }
 
 // RunDistributedPoints measures the same single-cell shard plan as
@@ -99,7 +122,23 @@ func RunDistributedPoints(pre Preset, cfg DistributedConfig) ([]DistributedPoint
 		k = 2
 	}
 
-	plan, err := partition.BuildPlan(base, trainPos, candidates, budget, partition.Config{K: k})
+	// Session modes mutate their plan (per-round rebudget + label
+	// appends), so every mode gets a fresh plan; one cached planner keeps
+	// re-planning cheap.
+	var planner *partition.Planner
+	newPlan := func() (*partition.Plan, error) {
+		if k > 1 && len(trainPos) > 1 {
+			if planner == nil {
+				var err error
+				if planner, err = partition.NewPlanner(base); err != nil {
+					return nil, err
+				}
+			}
+			return planner.Plan(trainPos, candidates, budget, partition.Config{K: k})
+		}
+		return partition.BuildPlan(base, trainPos, candidates, budget, partition.Config{K: k})
+	}
+	plan, err := newPlan()
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +219,72 @@ func RunDistributedPoints(pre Preset, cfg DistributedConfig) ([]DistributedPoint
 			return nil, err
 		}
 	}
+
+	// Sticky-session modes: the same problem as a multi-round active
+	// loop, once re-shipping full jobs every round (what PR 3's
+	// single-shot dispatch would cost per retrain) and once shipping
+	// JobRef deltas to warm workers.
+	runSession := func(mode string, transport distrib.Transport, deltaMax int) error {
+		p, err := newPlan()
+		if err != nil {
+			return err
+		}
+		sess, err := distrib.NewSession(transport, pair, distrib.Options{
+			Train: train, Workers: workers, DeltaMaxLabels: deltaMax,
+		})
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		point := DistributedPoint{
+			Mode: mode, Partitions: len(p.Parts), Workers: workers,
+			Rounds: cfg.Rounds, JobBytesFull: fullTotal,
+		}
+		var res *partition.Result
+		start := time.Now()
+		for r := 0; r < cfg.Rounds; r++ {
+			p.Rebudget(partition.RoundBudget(budget, cfg.Rounds, r))
+			t0 := time.Now()
+			var m *distrib.Metrics
+			res, m, err = sess.Run(p, oracle)
+			if err != nil {
+				return fmt.Errorf("distributed: %s round %d: %w", mode, r+1, err)
+			}
+			if r < cfg.Rounds-1 {
+				p.AppendLabels(res.QueriedLabels())
+			}
+			point.RoundDetail = append(point.RoundDetail, DistributedRound{
+				Round: r + 1, JobBytes: m.JobBytes, DeltaBytes: m.DeltaBytes,
+				CacheHits: m.CacheHits, Queries: m.Queries, AlignTime: time.Since(t0),
+			})
+		}
+		cum := sess.Metrics()
+		point.F1, point.Precision, point.Recall = score(res)
+		point.Queries = cum.Queries
+		point.Rejected = res.Rejected
+		point.AlignTime = time.Since(start)
+		point.JobBytes = cum.JobBytes
+		point.DeltaBytes = cum.DeltaBytes
+		point.CacheHits = cum.CacheHits
+		point.CacheMisses = cum.CacheMisses
+		point.Retries = cum.Retries
+		points = append(points, point)
+		return nil
+	}
+	if cfg.Rounds > 1 {
+		if err := runSession("loopback/rounds-full", distrib.Loopback{}, -1); err != nil {
+			return nil, err
+		}
+		if err := runSession("loopback/rounds-delta", distrib.Loopback{}, 0); err != nil {
+			return nil, err
+		}
+		if cfg.WorkerCmd != "" {
+			tr := &distrib.Exec{Cmd: cfg.WorkerCmd, Args: cfg.WorkerArgs, Stderr: os.Stderr}
+			if err := runSession("subprocess/rounds-delta", tr, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return points, nil
 }
 
@@ -193,13 +298,18 @@ func RunDistributedWith(pre Preset, cfg DistributedConfig) (*Table, error) {
 		Title: fmt.Sprintf("Distributed — shard execution modes (θ=%d, γ=%.0f%%, K=%d, workers=%d, preset %q)",
 			pre.FixedTheta, pre.FixedGamma*100, points[0].Partitions, points[0].Workers, pre.Name),
 		ColHeader: "mode",
-		Cols:      []string{"F1", "Precision", "Recall", "queries", "rejected", "align", "job bytes", "job bytes (full pair)", "retries"},
+		Cols:      []string{"F1", "Precision", "Recall", "queries", "rejected", "align", "job bytes", "delta bytes", "cache hit/miss", "job bytes (full pair)", "retries"},
 	}
 	sec := Section{Name: "distributed alignment"}
 	for _, p := range points {
 		jobBytes := "—"
 		if p.JobBytes > 0 {
 			jobBytes = fmt.Sprint(p.JobBytes)
+		}
+		deltaBytes, cache := "—", "—"
+		if p.Rounds > 1 {
+			deltaBytes = fmt.Sprint(p.DeltaBytes)
+			cache = fmt.Sprintf("%d/%d", p.CacheHits, p.CacheMisses)
 		}
 		sec.Rows = append(sec.Rows, TableRow{Label: p.Mode, Cells: []string{
 			fmt.Sprintf("%.4f", p.F1),
@@ -209,11 +319,37 @@ func RunDistributedWith(pre Preset, cfg DistributedConfig) (*Table, error) {
 			fmt.Sprint(p.Rejected),
 			p.AlignTime.Round(time.Millisecond).String(),
 			jobBytes,
+			deltaBytes,
+			cache,
 			fmt.Sprint(p.JobBytesFull),
 			fmt.Sprint(p.Retries),
 		}})
 	}
 	t.Sections = []Section{sec}
+	// Session modes get a per-round breakdown section: what each retrain
+	// round actually shipped.
+	var rounds Section
+	for _, p := range points {
+		for _, r := range p.RoundDetail {
+			rounds.Rows = append(rounds.Rows, TableRow{
+				Label: fmt.Sprintf("%s r%d", p.Mode, r.Round),
+				Cells: []string{
+					"—", "—", "—",
+					fmt.Sprint(r.Queries),
+					"—",
+					r.AlignTime.Round(time.Millisecond).String(),
+					fmt.Sprint(r.JobBytes),
+					fmt.Sprint(r.DeltaBytes),
+					fmt.Sprint(r.CacheHits),
+					"—", "—",
+				},
+			})
+		}
+	}
+	if len(rounds.Rows) > 0 {
+		rounds.Name = "per round"
+		t.Sections = append(t.Sections, rounds)
+	}
 	return t, nil
 }
 

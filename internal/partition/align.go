@@ -9,6 +9,7 @@ import (
 	"github.com/activeiter/activeiter/internal/active"
 	"github.com/activeiter/activeiter/internal/core"
 	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/linalg"
 	"github.com/activeiter/activeiter/internal/metadiag"
 	"github.com/activeiter/activeiter/internal/schema"
 )
@@ -47,15 +48,18 @@ type PartReport struct {
 // read-side contract as core's result (Label / WasQueried / predicted
 // anchors), so evaluation code treats both uniformly.
 type Result struct {
-	anchors []hetnet.Anchor
-	labels  map[int64]float64
-	scores  map[int64]float64
-	queried map[int64]bool
+	anchors      []hetnet.Anchor
+	labels       map[int64]float64
+	scores       map[int64]float64
+	queried      map[int64]bool
+	queriedLinks map[int64]LabeledLink
 
 	// Rejected counts positive predictions dropped by the global
 	// one-to-one reconciliation (cross-partition conflicts).
 	Rejected int
-	// Reports holds one entry per partition, in partition order.
+	// Reports holds one entry per partition, in partition order — and,
+	// for a result returned by a multi-round session driver, one entry
+	// per partition per round, so QueryCount spans the whole session.
 	Reports []PartReport
 	// Elapsed is the wall time of Align: fork, extract, train, merge
 	// (planning time is the caller's, via BuildPlan).
@@ -85,6 +89,20 @@ func (r *Result) Score(i, j int) (float64, bool) {
 // WasQueried reports whether any partition labeled (i, j) by the oracle.
 func (r *Result) WasQueried(i, j int) bool {
 	return r.queried[hetnet.Key(i, j)]
+}
+
+// QueriedLabels returns every oracle-labeled pool link with its answer,
+// in canonical (I, J) order — including prelabels carried in from
+// earlier rounds. A multi-round driver feeds these back into the stable
+// plan (Plan.AppendLabels) so the next round trains on them as fixed
+// labels; AppendLabels dedups, so re-feeding old labels is harmless.
+func (r *Result) QueriedLabels() []LabeledLink {
+	out := make([]LabeledLink, 0, len(r.queriedLinks))
+	for _, l := range r.queriedLinks {
+		out = append(out, l)
+	}
+	sortLabels(out)
+	return out
 }
 
 // QueryCount returns the total oracle queries spent across partitions.
@@ -195,46 +213,93 @@ func runPart(base *metadiag.Counter, part *Part, opts TrainOptions, oracle activ
 // the shard's extracted sub-pair) — any divergence between the two
 // pipelines would break their property-tested equality.
 func TrainPart(counter *metadiag.Counter, part *Part, opts TrainOptions, oracle active.Oracle) ([]hetnet.Anchor, *core.Result, error) {
-	ext := metadiag.NewExtractor(counter, opts.Features, true)
-	if err := ext.Recompute(); err != nil {
+	prep, err := PreparePart(counter, part, opts.Features)
+	if err != nil {
 		return nil, nil, err
+	}
+	res, err := prep.Train(part, opts.Core, oracle)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prep.Links, res, nil
+}
+
+// Prepared is the label-independent half of a shard pipeline: the
+// recomputed features and the assembled pool. Labels — the budget slice,
+// the seed, the prelabeled answers of earlier rounds — only enter at
+// Train time, so a session worker that keeps a shard's Prepared warm
+// across rounds pays counting and feature extraction once and re-runs
+// only the training loop as labels accumulate.
+type Prepared struct {
+	// Links is the deduplicated pool: TrainPos first, then candidates in
+	// order (the contract every vote/label index downstream relies on).
+	Links []hetnet.Anchor
+
+	x        *linalg.Dense
+	poolIdx  map[int64]int
+	trainPos int
+}
+
+// PreparePart runs the counting and feature-extraction half of TrainPart
+// and returns the reusable Prepared state. The counter's anchors must
+// already be restricted to part.TrainPos.
+func PreparePart(counter *metadiag.Counter, part *Part, features []schema.Named) (*Prepared, error) {
+	ext := metadiag.NewExtractor(counter, features, true)
+	if err := ext.Recompute(); err != nil {
+		return nil, err
 	}
 	links := make([]hetnet.Anchor, 0, len(part.TrainPos)+len(part.Candidates))
 	links = append(links, part.TrainPos...)
-	seen := make(map[int64]bool, len(links))
-	for _, l := range part.TrainPos {
-		seen[hetnet.Key(l.I, l.J)] = true
+	seen := make(map[int64]int, len(links))
+	for i, l := range part.TrainPos {
+		seen[hetnet.Key(l.I, l.J)] = i
 	}
 	for _, l := range part.Candidates {
-		if !seen[hetnet.Key(l.I, l.J)] {
-			seen[hetnet.Key(l.I, l.J)] = true
+		if _, ok := seen[hetnet.Key(l.I, l.J)]; !ok {
+			seen[hetnet.Key(l.I, l.J)] = len(links)
 			links = append(links, l)
 		}
 	}
 	x, err := ext.FeatureMatrix(links)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	labeled := make([]int, len(part.TrainPos))
-	for i := range labeled {
-		labeled[i] = i
-	}
-	cfg := opts.Core
+	return &Prepared{Links: links, x: x, poolIdx: seen, trainPos: len(part.TrainPos)}, nil
+}
+
+// Train runs the training half on the prepared pool: the part supplies
+// this round's budget slice and accumulated prelabels, cfg the shared
+// training configuration (cfg.Seed is the base seed, offset by the
+// part's index here). Train may be called repeatedly on one Prepared —
+// nothing in it is mutated.
+func (pp *Prepared) Train(part *Part, cfg core.Config, oracle active.Oracle) (*core.Result, error) {
 	cfg.Budget = part.Budget
 	cfg.Seed += int64(part.Index) * seedStride
 	if cfg.Budget == 0 {
 		cfg.Strategy = nil
 	}
-	res, err := core.Train(core.Problem{
-		Links:      links,
-		X:          x,
-		LabeledPos: labeled,
-		Oracle:     oracle,
-	}, cfg)
-	if err != nil {
-		return nil, nil, err
+	labeled := make([]int, pp.trainPos)
+	for i := range labeled {
+		labeled[i] = i
 	}
-	return links, res, nil
+	var preIdx []int
+	var preY []float64
+	for _, l := range part.Prelabeled {
+		idx, ok := pp.poolIdx[hetnet.Key(l.Link.I, l.Link.J)]
+		if !ok {
+			return nil, fmt.Errorf("partition: prelabeled link (%d,%d) not in part %d's pool", l.Link.I, l.Link.J, part.Index)
+		}
+		preIdx = append(preIdx, idx)
+		preY = append(preY, l.Label)
+	}
+	return core.Train(core.Problem{
+		Links:       pp.Links,
+		X:           pp.x,
+		LabeledPos:  labeled,
+		Prelabeled:  preIdx,
+		PrelabeledY: preY,
+		Oracle:      oracle,
+	}, cfg)
 }
 
 // merge reconciles the per-partition predictions into one globally

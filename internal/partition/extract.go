@@ -24,7 +24,42 @@ type Shard struct {
 	// they are identity maps.
 	InvUsers1, InvUsers2 []int32
 
+	// fwd1/fwd2 are the forward user maps (orig → sub, -1 = dropped);
+	// nil means identity (FullShard). They serve RemapLabels — labels
+	// accumulate in original indices round over round while the shard
+	// stays cached in sub-pair space.
+	fwd1, fwd2 []int
+
 	extracted bool
+}
+
+// RemapLabels translates labels from original pair indices into the
+// shard's sub-pair index space — the per-round companion of the one-time
+// pool remap ExtractShard performs. A label whose endpoint extraction
+// dropped is an error: session labels come from the shard's own pool, so
+// a miss means the caller routed a label to the wrong shard.
+func (s *Shard) RemapLabels(labels []LabeledLink) ([]LabeledLink, error) {
+	if len(labels) == 0 {
+		return nil, nil
+	}
+	out := make([]LabeledLink, len(labels))
+	for k, l := range labels {
+		i, j := l.Link.I, l.Link.J
+		if s.fwd1 != nil {
+			if i < 0 || i >= len(s.fwd1) || s.fwd1[i] < 0 {
+				return nil, fmt.Errorf("partition: label endpoint %d not in shard %d's sub-network 1", i, s.Part.Index)
+			}
+			i = s.fwd1[i]
+		}
+		if s.fwd2 != nil {
+			if j < 0 || j >= len(s.fwd2) || s.fwd2[j] < 0 {
+				return nil, fmt.Errorf("partition: label endpoint %d not in shard %d's sub-network 2", j, s.Part.Index)
+			}
+			j = s.fwd2[j]
+		}
+		out[k] = LabeledLink{Link: hetnet.Anchor{I: i, J: j}, Label: l.Label}
+	}
+	return out, nil
 }
 
 // Extracted reports whether the shard pair went through neighborhood
@@ -51,6 +86,8 @@ func FullShard(pair *hetnet.AlignedPair, part *Part) *Shard {
 	sub.AnchorType = pair.AnchorType
 	sub.Anchors = append([]hetnet.Anchor(nil), part.TrainPos...)
 	return &Shard{Pair: sub, Part: *part, InvUsers1: inv1, InvUsers2: inv2}
+	// Part is copied by value: identity index space, so Prelabeled (and
+	// everything else) carries over untranslated.
 }
 
 // ExtractShard cuts the pair down to the closed neighborhood the part's
@@ -156,7 +193,7 @@ func ExtractShard(pair *hetnet.AlignedPair, part *Part) (*Shard, error) {
 			return nil, fmt.Errorf("partition: remapped anchor: %w", err)
 		}
 	}
-	return &Shard{
+	sh := &Shard{
 		Pair: sub,
 		Part: Part{
 			Index:      part.Index,
@@ -166,8 +203,18 @@ func ExtractShard(pair *hetnet.AlignedPair, part *Part) (*Shard, error) {
 		},
 		InvUsers1: inv1,
 		InvUsers2: inv2,
+		fwd1:      userMap1,
+		fwd2:      userMap2,
 		extracted: true,
-	}, nil
+	}
+	if len(part.Prelabeled) > 0 {
+		pre, err := sh.RemapLabels(part.Prelabeled)
+		if err != nil {
+			return nil, err
+		}
+		sh.Part.Prelabeled = pre
+	}
+	return sh, nil
 }
 
 // linkRole classifies a link type for the closure argument.

@@ -39,23 +39,25 @@ type Vote struct {
 // A Merger is single-use and not safe for concurrent use; serialize
 // Add calls externally.
 type Merger struct {
-	labels     map[int64]float64
-	scores     map[int64]float64
-	queried    map[int64]bool
-	queriedNeg map[int64]bool
-	posScore   map[int64]float64
-	posLink    map[int64]hetnet.Anchor
+	labels      map[int64]float64
+	scores      map[int64]float64
+	queried     map[int64]bool
+	queriedNeg  map[int64]bool
+	queriedLink map[int64]LabeledLink
+	posScore    map[int64]float64
+	posLink     map[int64]hetnet.Anchor
 }
 
 // NewMerger returns an empty vote merger.
 func NewMerger() *Merger {
 	return &Merger{
-		labels:     make(map[int64]float64),
-		scores:     make(map[int64]float64),
-		queried:    make(map[int64]bool),
-		queriedNeg: make(map[int64]bool),
-		posScore:   make(map[int64]float64),
-		posLink:    make(map[int64]hetnet.Anchor),
+		labels:      make(map[int64]float64),
+		scores:      make(map[int64]float64),
+		queried:     make(map[int64]bool),
+		queriedNeg:  make(map[int64]bool),
+		queriedLink: make(map[int64]LabeledLink),
+		posScore:    make(map[int64]float64),
+		posLink:     make(map[int64]hetnet.Anchor),
 	}
 }
 
@@ -72,6 +74,7 @@ func (m *Merger) Add(v Vote) {
 	}
 	if v.Queried {
 		m.queried[key] = true
+		m.queriedLink[key] = LabeledLink{Link: v.Link, Label: v.Label}
 		if v.Label == 0 {
 			m.queriedNeg[key] = true
 		}
@@ -115,10 +118,11 @@ func (m *Merger) Finish() *Result {
 		m.labels[hetnet.Key(a.I, a.J)] = 1
 	}
 	return &Result{
-		anchors:  anchors,
-		labels:   m.labels,
-		scores:   m.scores,
-		queried:  m.queried,
-		Rejected: rejected,
+		anchors:      anchors,
+		labels:       m.labels,
+		scores:       m.scores,
+		queried:      m.queried,
+		queriedLinks: m.queriedLink,
+		Rejected:     rejected,
 	}
 }

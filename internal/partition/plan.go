@@ -27,6 +27,16 @@
 // A candidate whose second-best partition affinity is within
 // Config.Overlap of its best joins both shards — the overlap is what
 // lets reconciliation undo a bad hard assignment at a shard border.
+//
+// A Plan is also the stable substrate of a multi-round active-learning
+// session: the shard assignment is computed once, and between retrain
+// rounds the driver appends the new oracle answers (Plan.AppendLabels —
+// routed to every part whose pool contains the link) and re-splits the
+// budget (Plan.Rebudget). Parts carry those answers as Prelabeled
+// links, which train as fixed queried labels; PreparePart/Prepared
+// split the per-shard pipeline so its label-independent half (counting,
+// feature extraction) is computed once and only training re-runs as the
+// label log grows.
 package partition
 
 import (
@@ -87,6 +97,10 @@ type Part struct {
 	TrainPos   []hetnet.Anchor
 	Candidates []hetnet.Anchor
 	Budget     int
+	// Prelabeled carries oracle labels obtained in earlier rounds of a
+	// multi-round session over a stable plan (see Plan.AppendLabels);
+	// they train as fixed queried labels. Empty on a fresh plan.
+	Prelabeled []LabeledLink
 }
 
 // Plan is a complete sharding of one alignment problem.
