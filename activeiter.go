@@ -22,8 +22,11 @@
 // Aligner, PartitionedAligner shards large candidate spaces across
 // in-process pipelines and DistributedAligner ships those shards to
 // worker processes — multi-round active learning included
-// (Options.Rounds). docs/ARCHITECTURE.md walks the whole design;
-// docs/WIRE.md specifies the worker wire protocol.
+// (Options.Rounds). A trained alignment persists as a serving artifact
+// (BuildSnapshot/WriteSnapshot/OpenSnapshot) that cmd/alignd answers
+// match/candidate/score queries from online. docs/ARCHITECTURE.md
+// walks the whole design; docs/WIRE.md specifies the worker wire
+// protocol; docs/SNAPSHOT.md the artifact format.
 package activeiter
 
 import (

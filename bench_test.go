@@ -6,6 +6,7 @@ package activeiter
 // regenerated artifacts; cmd/experiments produces the full-size runs.
 
 import (
+	"bytes"
 	"math/rand"
 	"sync"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"github.com/activeiter/activeiter/internal/matching"
 	"github.com/activeiter/activeiter/internal/metadiag"
 	"github.com/activeiter/activeiter/internal/schema"
+	"github.com/activeiter/activeiter/internal/snapshot"
 	"github.com/activeiter/activeiter/internal/sparse"
 )
 
@@ -490,3 +492,117 @@ func BenchmarkDistributedSessionRounds(b *testing.B) {
 		run(b, Options{Seed: 9, Partitions: 4, Budget: 30, Rounds: 3})
 	})
 }
+
+// snapshotBenchFixture trains one tiny monolithic alignment and
+// serializes its snapshot, shared across the serving benchmarks.
+var (
+	snapBenchOnce sync.Once
+	snapBenchRaw  []byte
+	snapBenchErr  error
+)
+
+func snapshotBenchBytes(b *testing.B) []byte {
+	b.Helper()
+	snapBenchOnce.Do(func() {
+		pair := tinyPair(b)
+		anchors := pair.Anchors
+		nTrain := len(anchors) / 4
+		trainPos, testPos := anchors[:nTrain], anchors[nTrain:]
+		rng := rand.New(rand.NewSource(11))
+		neg, err := eval.SampleNegatives(pair, 10*len(anchors), rng)
+		if err != nil {
+			snapBenchErr = err
+			return
+		}
+		cands := append(append([]Anchor{}, testPos...), neg...)
+		opts := Options{Seed: 1}
+		a, err := New(pair, opts)
+		if err != nil {
+			snapBenchErr = err
+			return
+		}
+		res, err := a.Align(trainPos, cands, nil)
+		if err != nil {
+			snapBenchErr = err
+			return
+		}
+		snap, err := BuildSnapshot(SnapshotMonolithic, pair, res, opts)
+		if err != nil {
+			snapBenchErr = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := snap.Write(&buf); err != nil {
+			snapBenchErr = err
+			return
+		}
+		snapBenchRaw = buf.Bytes()
+	})
+	if snapBenchErr != nil {
+		b.Fatal(snapBenchErr)
+	}
+	return snapBenchRaw
+}
+
+// BenchmarkSnapshotLoad measures the serving cold-start path: decode a
+// snapshot artifact and build the read-optimized index — the cost of
+// an alignd start or reload.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	raw := snapshotBenchBytes(b)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := snapshot.Read(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := NewServeIndex(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeTopK measures the hot query path — matched-partner
+// lookup plus top-k candidate ranking — single-goroutine and across
+// GOMAXPROCS clients (the index is immutable, so parallel should scale
+// near-linearly).
+func BenchmarkServeTopK(b *testing.B) {
+	raw := snapshotBenchBytes(b)
+	snap, err := snapshot.Read(bytes.NewReader(raw))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := NewServeIndex(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n1 := len(snap.Meta.Users1)
+	// A package-level sink keeps the lookups from being optimized away;
+	// correctness of MatchFor/CandidatesFor belongs to the tests, not
+	// here (b.Fatal is illegal from RunParallel worker goroutines).
+	query := func(u int32) int {
+		m, _ := ix.MatchFor(1, u)
+		return int(m.Index) + len(ix.CandidatesFor(1, u, 5))
+	}
+	b.Run("single", func(b *testing.B) {
+		sum := 0
+		for i := 0; i < b.N; i++ {
+			sum += query(int32(i % n1))
+		}
+		benchSink = sum
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			u := int32(0)
+			sum := 0
+			for pb.Next() {
+				sum += query(u % int32(n1))
+				u++
+			}
+			benchSink = sum
+		})
+	})
+}
+
+// benchSink defeats dead-code elimination in the serving benchmarks.
+var benchSink int

@@ -40,6 +40,7 @@ func main() {
 	showTop := flag.Int("show", 10, "print this many predicted anchors")
 	worker := flag.Bool("worker", false, "run as a distributed-alignment worker on stdin/stdout (all other flags ignored)")
 	workerListen := flag.String("worker-listen", "", "run as a distributed-alignment worker accepting coordinator TCP connections on this address")
+	saveSnapshot := flag.String("save-snapshot", "", "persist the trained alignment as a serving artifact at this path (see docs/SNAPSHOT.md; serve it with alignd)")
 	flag.Parse()
 
 	if *worker {
@@ -111,6 +112,18 @@ func main() {
 	fmt.Printf("queries spent: %d\n", res.QueryCount())
 	fmt.Printf("F1=%.3f  Precision=%.3f  Recall=%.3f  Accuracy=%.3f  (TP=%d FP=%d FN=%d TN=%d)\n",
 		m.F1, m.Precision, m.Recall, m.Accuracy, m.TP, m.FP, m.FN, m.TN)
+
+	if *saveSnapshot != "" {
+		snap, err := activeiter.BuildSnapshot(activeiter.SnapshotMonolithic, pair, res, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := activeiter.WriteSnapshot(snap, *saveSnapshot); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshot: wrote %s (%d matches, %d pool links; serve with: alignd -snapshot %s)\n",
+			*saveSnapshot, len(snap.Matches), len(snap.Pool), *saveSnapshot)
+	}
 
 	pred := res.PredictedAnchors()
 	fmt.Printf("predicted %d anchor links; first %d:\n", len(pred), min(*showTop, len(pred)))

@@ -1,0 +1,141 @@
+// Command alignd serves a trained alignment snapshot over HTTP — the
+// online half of the offline→online bridge. Train with any facade (or
+// `experiments -save-snapshot`), point alignd at the artifact, and ask
+// it who a user is on the other network:
+//
+//	alignd -snapshot align.snap -listen :7600
+//
+//	GET  /v1/match/{net}/{user}          matched partner (net 1 or 2; ID or index)
+//	GET  /v1/candidates/{net}/{user}?k=5 top-k ranked candidates
+//	POST /v1/score                       {"i","j"} pool lookup, or {"features"[,"shard"]} rescore
+//	POST /v1/reload                      atomic snapshot swap ({"path"} optional)
+//	GET  /healthz                        liveness
+//	GET  /statusz                        provenance + per-endpoint QPS/latency
+//
+// Reload is zero-downtime: the new artifact is decoded and indexed off
+// to the side, then swapped in behind an atomic pointer; in-flight
+// requests finish on the generation they started on. SIGINT/SIGTERM
+// drain gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/serve"
+	"github.com/activeiter/activeiter/internal/snapshot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "alignd:", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed command line.
+type config struct {
+	snapshotPath    string
+	listen          string
+	defaultK        int
+	check           bool
+	allowReloadPath bool
+}
+
+// parseFlags validates the command line into a config. Errors are
+// user-facing: they name the flag and the fix.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("alignd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	fs.StringVar(&cfg.snapshotPath, "snapshot", "", "alignment snapshot artifact to serve (required; see docs/SNAPSHOT.md)")
+	fs.StringVar(&cfg.listen, "listen", ":7600", "HTTP listen address")
+	fs.IntVar(&cfg.defaultK, "k", 10, "default candidate-list depth when a request has no ?k=")
+	fs.BoolVar(&cfg.check, "check", false, "load and validate the snapshot, print a summary, and exit without serving")
+	fs.BoolVar(&cfg.allowReloadPath, "allow-reload-path", false, "let /v1/reload bodies name an arbitrary artifact path (off by default: the endpoint is unauthenticated, so only -snapshot's path may be re-opened)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if cfg.snapshotPath == "" {
+		return nil, errors.New("missing -snapshot: alignd serves a trained artifact (write one with experiments -save-snapshot or activeiter.WriteSnapshot)")
+	}
+	if cfg.defaultK < 0 {
+		return nil, fmt.Errorf("negative -k %d", cfg.defaultK)
+	}
+	return cfg, nil
+}
+
+// run is main minus the exit code, for the flag-validation tests.
+func run(args []string, stdout, stderr io.Writer) error {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		return err
+	}
+
+	snap, err := snapshot.OpenFile(cfg.snapshotPath)
+	if err != nil {
+		if errors.Is(err, snapshot.ErrVersionMismatch) {
+			return fmt.Errorf("open %s: %w (the artifact was written by a different release; re-export it or run a matching alignd)", cfg.snapshotPath, err)
+		}
+		return fmt.Errorf("open %s: %w", cfg.snapshotPath, err)
+	}
+	store := &serve.Store{}
+	ix, err := serve.NewIndex(snap)
+	if err != nil {
+		return fmt.Errorf("index %s: %w", cfg.snapshotPath, err)
+	}
+	store.Swap(ix)
+	u1, u2, matches, pool := ix.Counts()
+	fmt.Fprintf(stdout, "alignd: loaded %s: facade=%s nets=%s↔%s users=%d/%d matches=%d pool=%d top-k=%d\n",
+		cfg.snapshotPath, ix.Meta().Facade, ix.Meta().Net1, ix.Meta().Net2, u1, u2, matches, pool, ix.TopK())
+	if cfg.check {
+		return nil
+	}
+
+	handler := serve.NewHandler(store, nil, serve.HandlerOptions{
+		DefaultK:          cfg.defaultK,
+		SnapshotPath:      cfg.snapshotPath,
+		Load:              snapshot.OpenFile,
+		AllowPathOverride: cfg.allowReloadPath,
+	})
+
+	// Bind before declaring readiness so a bad -listen is a clean error,
+	// not a background surprise.
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", cfg.listen, err)
+	}
+	srv := &http.Server{Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "alignd: serving on %s\n", ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(stdout, "alignd: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

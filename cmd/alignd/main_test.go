@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/snapshot"
+)
+
+// writeFixture writes a small valid snapshot and returns its path.
+func writeFixture(t *testing.T, dir string) string {
+	t.Helper()
+	build := func(name string) *hetnet.Network {
+		g := hetnet.NewSocialNetwork(name)
+		for u := 0; u < 4; u++ {
+			g.AddNode(hetnet.User, fmt.Sprintf("%s-u%d", name, u))
+		}
+		return g
+	}
+	pair := hetnet.NewAlignedPair(build("a"), build("b"))
+	s, err := snapshot.Build(pair,
+		snapshot.Meta{Facade: "monolithic", Notation: []string{"BIAS"}, Threshold: 0.5},
+		snapshot.Model{W: []float64{1}},
+		[]snapshot.PoolLink{{I: 0, J: 0, Label: 1, Score: 0.9, HasScore: true}},
+		[]snapshot.Match{{I: 0, J: 0, Score: 0.9, HasScore: true}},
+		nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fixture.snap")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// corrupt copies the artifact and bumps/garbles it.
+func mutateFixture(t *testing.T, src, dst string, mutate func([]byte) []byte) string {
+	t.Helper()
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, mutate(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestFlagValidation is the table-driven command-line contract: every
+// bad invocation must fail with a message naming the problem (and a
+// non-zero exit through main's error path), never serve.
+func TestFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	good := writeFixture(t, dir)
+	versionBumped := mutateFixture(t, good, filepath.Join(dir, "vnext.snap"), func(raw []byte) []byte {
+		out := append([]byte(nil), raw...)
+		out[6] = snapshot.Version + 1 // version byte of the first frame
+		return out
+	})
+	truncated := mutateFixture(t, good, filepath.Join(dir, "truncated.snap"), func(raw []byte) []byte {
+		return raw[:len(raw)/3]
+	})
+	garbage := filepath.Join(dir, "garbage.snap")
+	if err := os.WriteFile(garbage, []byte("definitely not frames"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the returned error
+	}{
+		{"missing snapshot flag", nil, "missing -snapshot"},
+		{"nonexistent artifact", []string{"-snapshot", filepath.Join(dir, "nope.snap"), "-check"}, "no such file"},
+		{"corrupt artifact", []string{"-snapshot", garbage, "-check"}, "snapshot"},
+		{"truncated artifact", []string{"-snapshot", truncated, "-check"}, "truncated"},
+		{"version mismatch", []string{"-snapshot", versionBumped, "-check"}, "version mismatch"},
+		{"bad listen address", []string{"-snapshot", good, "-listen", "256.256.256.256:http"}, "listen"},
+		{"negative k", []string{"-snapshot", good, "-k", "-2", "-check"}, "negative -k"},
+		{"stray arguments", []string{"-snapshot", good, "stray"}, "unexpected arguments"},
+		{"unknown flag", []string{"-snapshot", good, "-frobnicate"}, "not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("args %q accepted; stdout: %s", tc.args, stdout.String())
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("args %q: error %q does not mention %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+
+	// The version-mismatch error must also name the versions and the fix.
+	err := run([]string{"-snapshot", versionBumped, "-check"}, new(bytes.Buffer), new(bytes.Buffer))
+	if !errors.Is(err, snapshot.ErrVersionMismatch) {
+		t.Errorf("version-bumped artifact: %v is not ErrVersionMismatch", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "different release") {
+		t.Errorf("version-mismatch error lacks remediation: %v", err)
+	}
+}
+
+// -check loads, validates, summarizes and exits cleanly without
+// binding a port.
+func TestCheckMode(t *testing.T) {
+	dir := t.TempDir()
+	good := writeFixture(t, dir)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-snapshot", good, "-check", "-listen", "definitely:not:an:addr"}, &stdout, &stderr); err != nil {
+		t.Fatalf("check mode failed: %v", err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"facade=monolithic", "users=4/4", "matches=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("check summary %q missing %q", out, want)
+		}
+	}
+}

@@ -13,9 +13,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
+	activeiter "github.com/activeiter/activeiter"
 	"github.com/activeiter/activeiter/internal/experiments"
 )
 
@@ -85,6 +87,7 @@ func main() {
 	distribWorkers := flag.Int("distrib-workers", 0, "distributed experiment: concurrent shard workers (0 = preset default)")
 	distribWorkerCmd := flag.String("distrib-worker-cmd", "", "distributed experiment: worker binary to spawn per connection (runs with -worker; empty = in-process loopback transport only)")
 	distribRounds := flag.Int("distrib-rounds", 0, "distributed experiment: split the budget across this many sticky-session retrain rounds (≤1 = single-shot dispatch); adds full-reship and delta-shipping session modes")
+	saveSnapshot := flag.String("save-snapshot", "", "train one alignment on the preset (facade chosen by -partitions/-distrib-* flags) and persist it as a serving artifact at this path instead of running experiments (serve it with alignd)")
 	flag.Parse()
 
 	pre, err := presetByName(*preset)
@@ -98,6 +101,13 @@ func main() {
 	}
 	ov.apply(&pre)
 	distribCfg := ov.distributedConfig(*distribWorkerCmd)
+
+	if *saveSnapshot != "" {
+		if err := runSaveSnapshot(pre, distribCfg, *saveSnapshot); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	type runner struct {
 		name string
@@ -164,6 +174,125 @@ func presetByName(name string) (experiments.Preset, error) {
 	default:
 		return experiments.Preset{}, fmt.Errorf("unknown preset %q (want tiny, small, paper, full or xl)", name)
 	}
+}
+
+// snapshotProtocol is the -save-snapshot export's training protocol,
+// resolved from the preset: a fixed 25% train split, the preset's
+// fixed NP-ratio (capped so crawl-scale presets stay exportable in
+// minutes), its largest query budget, and the facade the flags imply.
+type snapshotProtocol struct {
+	TrainFrac float64
+	NPRatio   int
+	Budget    int
+	Facade    string
+}
+
+// snapshotNPRatioCap bounds the sampled negative pool of an export run.
+const snapshotNPRatioCap = 20
+
+// snapshotProtocolFor resolves the export protocol. The facade follows
+// the same flags the experiments obey: any -distrib-* setting means
+// distributed (subprocess workers when a worker command is given,
+// loopback otherwise), -partitions > 1 means partitioned, else the
+// monolithic aligner.
+func snapshotProtocolFor(pre experiments.Preset, cfg experiments.DistributedConfig) snapshotProtocol {
+	p := snapshotProtocol{TrainFrac: 0.25, NPRatio: pre.FixedTheta, Facade: activeiter.SnapshotMonolithic}
+	if p.NPRatio <= 0 || p.NPRatio > snapshotNPRatioCap {
+		p.NPRatio = snapshotNPRatioCap
+	}
+	if len(pre.Budgets) > 0 {
+		p.Budget = pre.Budgets[len(pre.Budgets)-1]
+	}
+	switch {
+	case cfg.WorkerCmd != "" || cfg.Rounds > 1 || cfg.Workers > 0:
+		p.Facade = activeiter.SnapshotDistributed
+	case pre.Partitions > 1:
+		p.Facade = activeiter.SnapshotPartitioned
+	}
+	return p
+}
+
+// runSaveSnapshot trains one alignment on the preset through the
+// flag-selected facade and persists it as a serving artifact.
+func runSaveSnapshot(pre experiments.Preset, cfg experiments.DistributedConfig, path string) error {
+	proto := snapshotProtocolFor(pre, cfg)
+	pair, err := activeiter.GenerateDataset(pre.Data)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(pre.Seed))
+	anchors := append([]activeiter.Anchor{}, pair.Anchors...)
+	rng.Shuffle(len(anchors), func(i, j int) { anchors[i], anchors[j] = anchors[j], anchors[i] })
+	nTrain := int(float64(len(anchors)) * proto.TrainFrac)
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	trainPos, testPos := anchors[:nTrain], anchors[nTrain:]
+	neg, err := activeiter.SampleNegatives(pair, proto.NPRatio*len(anchors), rng)
+	if err != nil {
+		return err
+	}
+	cands := append(append([]activeiter.Anchor{}, testPos...), neg...)
+	opts := activeiter.Options{
+		Budget:     proto.Budget,
+		Seed:       pre.Seed,
+		Partitions: pre.Partitions,
+		Workers:    cfg.Workers,
+		Rounds:     cfg.Rounds,
+	}
+	oracle := activeiter.NewTruthOracle(pair)
+
+	var res activeiter.AlignmentResult
+	start := time.Now()
+	switch proto.Facade {
+	case activeiter.SnapshotMonolithic:
+		a, err := activeiter.New(pair, opts)
+		if err != nil {
+			return err
+		}
+		res, err = a.Align(trainPos, cands, oracle)
+		if err != nil {
+			return err
+		}
+	case activeiter.SnapshotPartitioned:
+		pa, err := activeiter.NewPartitioned(pair, opts)
+		if err != nil {
+			return err
+		}
+		res, err = pa.Align(trainPos, cands, oracle)
+		if err != nil {
+			return err
+		}
+	default:
+		transport := activeiter.NewLoopbackTransport()
+		if cfg.WorkerCmd != "" {
+			transport = activeiter.NewWorkerProcessTransport(cfg.WorkerCmd, cfg.WorkerArgs...)
+		}
+		da, err := activeiter.NewDistributed(pair, opts, transport)
+		if err != nil {
+			return err
+		}
+		res, err = da.Align(trainPos, cands, oracle)
+		if err != nil {
+			return err
+		}
+	}
+	trained := time.Since(start)
+
+	snap, err := activeiter.BuildSnapshot(proto.Facade, pair, res, opts)
+	if err != nil {
+		return err
+	}
+	if err := activeiter.WriteSnapshot(snap, path); err != nil {
+		return err
+	}
+	m := activeiter.EvaluateAlignment(res, testPos, neg)
+	fmt.Printf("snapshot: %s facade on preset %s: trained in %v, F1=%.4f\n",
+		proto.Facade, pre.Name, trained.Round(time.Millisecond), m.F1)
+	fmt.Printf("snapshot: wrote %s (%d matches, %d pool links, %d queried labels)\n",
+		path, len(snap.Matches), len(snap.Pool), len(snap.Labels))
+	fmt.Printf("snapshot: serve with: alignd -snapshot %s\n", path)
+	return nil
 }
 
 func fatal(err error) {

@@ -94,3 +94,42 @@ func TestDistribRoundsFlag(t *testing.T) {
 		t.Errorf("unset -distrib-rounds leaked %d into the config", got)
 	}
 }
+
+// -save-snapshot resolves its facade from the same flags the
+// experiments obey: distributed wins whenever any -distrib-* knob is
+// set, partitioned when the preset shards, monolithic otherwise — and
+// the protocol caps the NP-ratio so crawl presets stay exportable.
+func TestSnapshotProtocolResolution(t *testing.T) {
+	pre := experiments.SmallPreset()
+
+	p := snapshotProtocolFor(pre, experiments.DistributedConfig{})
+	if p.Facade != "monolithic" {
+		t.Errorf("plain preset facade = %q", p.Facade)
+	}
+	if p.Budget != pre.Budgets[len(pre.Budgets)-1] {
+		t.Errorf("budget = %d, want the preset's largest (%d)", p.Budget, pre.Budgets[len(pre.Budgets)-1])
+	}
+	if p.NPRatio != snapshotNPRatioCap {
+		t.Errorf("NP-ratio = %d, want capped at %d (preset theta %d)", p.NPRatio, snapshotNPRatioCap, pre.FixedTheta)
+	}
+
+	pre.Partitions = 4
+	if p := snapshotProtocolFor(pre, experiments.DistributedConfig{}); p.Facade != "partitioned" {
+		t.Errorf("sharded preset facade = %q", p.Facade)
+	}
+	if p := snapshotProtocolFor(pre, experiments.DistributedConfig{WorkerCmd: "/bin/worker"}); p.Facade != "distributed" {
+		t.Errorf("worker-cmd facade = %q", p.Facade)
+	}
+	if p := snapshotProtocolFor(pre, experiments.DistributedConfig{Rounds: 3}); p.Facade != "distributed" {
+		t.Errorf("rounds facade = %q", p.Facade)
+	}
+	if p := snapshotProtocolFor(pre, experiments.DistributedConfig{Workers: 2}); p.Facade != "distributed" {
+		t.Errorf("distrib-workers facade = %q", p.Facade)
+	}
+
+	// A preset with a small theta keeps it.
+	tiny := experiments.TinyPreset()
+	if p := snapshotProtocolFor(tiny, experiments.DistributedConfig{}); p.NPRatio != tiny.FixedTheta && tiny.FixedTheta <= snapshotNPRatioCap {
+		t.Errorf("tiny NP-ratio = %d, want preset theta %d", p.NPRatio, tiny.FixedTheta)
+	}
+}

@@ -21,10 +21,20 @@ func NewPredictor(res *Result, threshold float64) (*Predictor, error) {
 	if res == nil || len(res.W) == 0 {
 		return nil, fmt.Errorf("core: predictor needs a trained result")
 	}
+	return NewPredictorFromWeights(res.W, threshold)
+}
+
+// NewPredictorFromWeights builds a predictor straight from a persisted
+// weight vector — the reload path of a serving process, which holds a
+// snapshot's weights but no Result. threshold ≤ 0 uses the paper's ½.
+func NewPredictorFromWeights(w []float64, threshold float64) (*Predictor, error) {
+	if len(w) == 0 {
+		return nil, fmt.Errorf("core: predictor needs a non-empty weight vector")
+	}
 	if threshold <= 0 {
 		threshold = 0.5
 	}
-	return &Predictor{w: res.W.Clone(), threshold: threshold}, nil
+	return &Predictor{w: linalg.Vector(w).Clone(), threshold: threshold}, nil
 }
 
 // Score returns the raw score ŷ = w·x of a feature vector. It panics on

@@ -127,8 +127,9 @@ func (c *countingReader) Read(p []byte) (int, error) {
 type shardResult struct {
 	votes     []partition.Vote
 	report    partition.PartReport
-	jobBytes  int64 // full Job frame bytes written
-	refBytes  int64 // JobRef frame bytes written (sessions; hit or missed attempt)
+	weights   []float64 // the shard's trained model, from its Done frame
+	jobBytes  int64     // full Job frame bytes written
+	refBytes  int64     // JobRef frame bytes written (sessions; hit or missed attempt)
 	readBytes int64
 	extracted bool
 }
@@ -206,11 +207,13 @@ func (c *Coordinator) Run(pair *hetnet.AlignedPair, plan *partition.Plan, oracle
 
 	metrics := &Metrics{Retries: run.totalRetries}
 	var reports []partition.PartReport
+	weights := make(map[int][]float64, len(run.results))
 	for i, sr := range run.results {
 		if sr == nil {
 			return nil, nil, fmt.Errorf("distrib: shard %d never completed", i)
 		}
 		reports = append(reports, sr.report)
+		weights[plan.Parts[i].Index] = sr.weights
 		metrics.Shards = append(metrics.Shards, ShardMetrics{
 			Shard:     plan.Parts[i].Index,
 			JobBytes:  sr.jobBytes,
@@ -223,6 +226,7 @@ func (c *Coordinator) Run(pair *hetnet.AlignedPair, plan *partition.Plan, oracle
 	metrics.Queries = int(run.queries.Load())
 	res := run.merger.Finish()
 	res.Reports = reports
+	res.ShardWeights = weights
 	res.Elapsed = time.Since(start)
 	return res, metrics, nil
 }
@@ -461,6 +465,7 @@ func collectShard(conn io.ReadWriter, partIndex int, env *streamEnv, sr *shardRe
 				Queries:    d.Queries,
 				Elapsed:    time.Duration(d.ElapsedNS),
 			}
+			sr.weights = d.W
 			return nil
 		case FrameError:
 			var je JobError

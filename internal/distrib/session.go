@@ -218,11 +218,13 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 
 	metrics := &Metrics{Retries: rr.totalRetries}
 	var reports []partition.PartReport
+	weights := make(map[int][]float64, len(rr.results))
 	for i, sr := range rr.results {
 		if sr == nil {
 			return nil, nil, fmt.Errorf("distrib: shard %d never completed", plan.Parts[i].Index)
 		}
 		reports = append(reports, sr.report)
+		weights[plan.Parts[i].Index] = sr.weights
 		metrics.Shards = append(metrics.Shards, rr.shardMs[i])
 		if rr.shardMs[i].CacheHit {
 			metrics.CacheHits++
@@ -235,6 +237,7 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 	metrics.Queries = int(s.queries.Load() - queriesBefore)
 	res := rr.merger.Finish()
 	res.Reports = reports
+	res.ShardWeights = weights
 	res.Elapsed = time.Since(start)
 	s.cum.add(metrics)
 	s.round++

@@ -49,12 +49,11 @@ package distrib
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"io"
 
+	"github.com/activeiter/activeiter/internal/framing"
 	"github.com/activeiter/activeiter/internal/hetnet"
 )
 
@@ -66,15 +65,22 @@ import (
 //	1 — PR 3: Hello/Job/Votes/Progress/Query/Answer/Done/Error.
 //	2 — PR 4: sticky sessions. Job gains Fingerprint and Prelabeled;
 //	    JobRef and CacheAck frames added.
-const Version = 2
-
-// magic guards against feeding a non-distrib stream into the decoder.
-var magic = [2]byte{'A', 'I'}
+//	3 — PR 5: Done gains W, the shard's trained weight vector, so the
+//	    coordinator can persist per-shard models in alignment
+//	    snapshots.
+const Version = 3
 
 // maxFrameSize bounds a frame's declared length so a corrupt or hostile
 // length prefix cannot OOM the reader. Jobs carry whole sub-networks;
 // 1 GiB is far above any realistic shard and far below pathology.
 const maxFrameSize = 1 << 30
+
+// codec is the distrib instance of the shared framing discipline: the
+// 'A','I' magic rejects non-distrib streams, the version byte rides on
+// every frame, and the frame cap guards the reader's allocations. The
+// header layout (and its hostile-input handling) lives in
+// internal/framing, shared with the snapshot artifact format.
+var codec = framing.Codec{Magic: [2]byte{'A', 'I'}, Version: Version, MaxFrame: maxFrameSize}
 
 // FrameType tags a frame payload.
 type FrameType uint8
@@ -105,8 +111,10 @@ const (
 )
 
 // ErrVersionMismatch is returned (wrapped, with the versions) when a
-// frame of a different protocol version arrives.
-var ErrVersionMismatch = errors.New("distrib: wire version mismatch")
+// frame of a different protocol version arrives. It is the shared
+// framing sentinel, re-exported so callers can errors.Is against a
+// distrib-local name.
+var ErrVersionMismatch = framing.ErrVersionMismatch
 
 // Hello is the handshake payload. Role is informational ("coordinator",
 // "worker") — the version check rides in the frame header.
@@ -309,7 +317,8 @@ type Answer struct {
 	Label float64
 }
 
-// Done completes a job; the fields mirror partition.PartReport.
+// Done completes a job; the fields mirror partition.PartReport, plus
+// the shard's trained model.
 type Done struct {
 	Shard      int
 	TrainPos   int
@@ -317,6 +326,11 @@ type Done struct {
 	Budget     int
 	Queries    int
 	ElapsedNS  int64
+	// W is the shard's trained feature weight vector (layout: the job's
+	// feature set followed by the bias term). The coordinator records it
+	// in the merged result's ShardWeights so a snapshot of a distributed
+	// run can serve inductive rescoring, exactly like an in-process one.
+	W []float64
 }
 
 // JobError aborts a job with a worker-side failure description.
@@ -334,71 +348,26 @@ func WriteFrame(w io.Writer, typ FrameType, payload any) error {
 	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
 		return fmt.Errorf("distrib: encode %v frame: %w", typ, err)
 	}
-	body := buf.Bytes()
-	// Reject oversized frames at the writer: shipping gigabytes only for
-	// the reader to refuse the length prefix (and, past 2³²−4, silently
-	// wrapping it into a corrupt stream) wastes the whole transfer once
-	// per retry.
-	if len(body)+4 > maxFrameSize {
-		return fmt.Errorf("distrib: frame type %d is %d bytes, over the %d limit — shard the job smaller", typ, len(body)+4, maxFrameSize)
-	}
-	header := make([]byte, 8)
-	binary.BigEndian.PutUint32(header[0:4], uint32(4+len(body)))
-	header[4], header[5] = magic[0], magic[1]
-	header[6] = Version
-	header[7] = byte(typ)
-	if _, err := w.Write(header); err != nil {
-		return fmt.Errorf("distrib: write frame header: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("distrib: write frame body: %w", err)
+	if err := codec.WriteFrame(w, byte(typ), buf.Bytes()); err != nil {
+		return fmt.Errorf("distrib: %w", err)
 	}
 	return nil
 }
 
 // ReadFrame reads one frame header and returns its type plus the raw
 // gob body for DecodeBody. io.EOF is returned untouched on a clean
-// end-of-stream boundary.
+// end-of-stream boundary. Hostile-input handling (length bounds,
+// magic/version validation before any allocation, body draining on
+// header errors) is the shared framing codec's.
 func ReadFrame(r io.Reader) (FrameType, []byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	typ, body, err := codec.ReadFrame(r)
+	if err != nil {
 		if err == io.EOF {
 			return 0, nil, io.EOF
 		}
-		return 0, nil, fmt.Errorf("distrib: read frame length: %w", err)
+		return 0, nil, fmt.Errorf("distrib: %w", err)
 	}
-	length := binary.BigEndian.Uint32(lenBuf[:])
-	if length < 4 || length > maxFrameSize {
-		return 0, nil, fmt.Errorf("distrib: frame length %d outside [4,%d]", length, maxFrameSize)
-	}
-	// Validate the fixed magic/version/type bytes BEFORE allocating the
-	// declared body size: the length prefix is untrusted input, and an
-	// unauthenticated TCP client must not be able to make a listening
-	// worker allocate a gigabyte with a 4-byte probe. On a header
-	// error the body is still drained (into the void, no allocation) so
-	// the frame is fully consumed either way — a peer mid-Write on a
-	// fully synchronous link (net.Pipe) would otherwise block forever on
-	// the bytes nobody reads.
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, fmt.Errorf("distrib: read frame header: %w", err)
-	}
-	hdrErr := error(nil)
-	switch {
-	case hdr[0] != magic[0] || hdr[1] != magic[1]:
-		hdrErr = fmt.Errorf("distrib: bad frame magic %q", hdr[0:2])
-	case hdr[2] != Version:
-		hdrErr = fmt.Errorf("%w: got %d, want %d", ErrVersionMismatch, hdr[2], Version)
-	}
-	if hdrErr != nil {
-		io.CopyN(io.Discard, r, int64(length-4))
-		return 0, nil, hdrErr
-	}
-	body := make([]byte, length-4)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, fmt.Errorf("distrib: read frame body: %w", err)
-	}
-	return FrameType(hdr[3]), body, nil
+	return FrameType(typ), body, nil
 }
 
 // DecodeBody decodes a frame body returned by ReadFrame into the

@@ -110,7 +110,8 @@ func goldenFrames(t testing.TB) []struct {
 		{"progress", FrameProgress, &Progress{Shard: 1, Stage: "training", Queries: 2}},
 		{"query", FrameQuery, &Query{Shard: 1, Seq: 7, I: 4, J: 5}},
 		{"answer", FrameAnswer, &Answer{Seq: 7, Label: 1}},
-		{"done", FrameDone, &Done{Shard: 1, TrainPos: 2, Candidates: 3, Budget: 3, Queries: 3, ElapsedNS: 12345678}},
+		{"done", FrameDone, &Done{Shard: 1, TrainPos: 2, Candidates: 3, Budget: 3, Queries: 3, ElapsedNS: 12345678,
+			W: []float64{0.25, -0.5, 1.0, 0.0625}}},
 		{"error", FrameError, &JobError{Shard: 1, Msg: "boom"}},
 		{"jobref", FrameJobRef, &JobRef{Shard: 1, Fingerprint: 0xfeedc0dedeadbeef,
 			AddLabels: []WireLabel{{I: 4, J: 5, Label: 1}, {I: 5, J: 4, Label: 0}}, Budget: 2, Seed: 2019 + roundSeedStride}},

@@ -343,5 +343,6 @@ func trainAndStream(conn io.ReadWriter, ps *preparedShard, budget int, seed int6
 		Budget:     ps.part.Budget,
 		Queries:    res.QueryCount(),
 		ElapsedNS:  time.Since(t0).Nanoseconds(),
+		W:          res.W,
 	})
 }

@@ -1,0 +1,113 @@
+// Package framing is the shared length-prefixed frame codec under the
+// repository's binary formats: the distrib wire protocol and the
+// alignment snapshot artifact both speak it with their own magic bytes
+// and version numbers. A frame is
+//
+//	┌─────────────┬─────────┬──────────┬──────────────────┐
+//	│ length u32  │ magic   │ ver  typ │ payload          │
+//	│ big endian  │ 2 bytes │ 1B   1B  │ length − 4 bytes │
+//	└─────────────┴─────────┴──────────┴──────────────────┘
+//
+// The codec owns exactly the header discipline every format needs and
+// nothing else — payload encoding stays with the caller:
+//
+//   - the magic bytes reject foreign streams before any payload work,
+//   - the version byte is an all-or-nothing compatibility statement
+//     (readers reject every other version with ErrVersionMismatch
+//     rather than guess at field semantics),
+//   - the length prefix is treated as hostile input: it is bounded by
+//     MaxFrame and the fixed header bytes are validated BEFORE the
+//     declared body size is allocated, so an unauthenticated peer
+//     cannot make a reader allocate a gigabyte with a 4-byte probe,
+//   - on a header error the body is still drained (into the void, no
+//     allocation) so the frame is fully consumed either way — a peer
+//     mid-Write on a fully synchronous link (net.Pipe) would otherwise
+//     block forever on the bytes nobody reads.
+package framing
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrVersionMismatch is returned (wrapped, with both versions) when a
+// frame of a different format version arrives. Callers re-export it so
+// their users can errors.Is against a package-local name.
+var ErrVersionMismatch = errors.New("framing: version mismatch")
+
+// Codec is one binary format's framing discipline. The zero value is
+// not usable; fill every field.
+type Codec struct {
+	// Magic guards against feeding one format's stream into another's
+	// decoder (or any non-framed stream into either).
+	Magic [2]byte
+	// Version is the format version written on every frame; frames of
+	// any other version are rejected with ErrVersionMismatch.
+	Version byte
+	// MaxFrame bounds a frame's declared length (header + body bytes
+	// after the length prefix) so a corrupt or hostile length prefix
+	// cannot OOM the reader.
+	MaxFrame int
+}
+
+// WriteFrame writes one frame: the 8-byte header followed by body.
+// Oversized bodies are rejected at the writer — shipping gigabytes only
+// for the reader to refuse the length prefix (and, past 2³²−4, silently
+// wrapping it into a corrupt stream) wastes the whole transfer once per
+// retry.
+func (c Codec) WriteFrame(w io.Writer, typ byte, body []byte) error {
+	if len(body)+4 > c.MaxFrame {
+		return fmt.Errorf("framing: frame type %d is %d bytes, over the %d limit", typ, len(body)+4, c.MaxFrame)
+	}
+	header := make([]byte, 8)
+	binary.BigEndian.PutUint32(header[0:4], uint32(4+len(body)))
+	header[4], header[5] = c.Magic[0], c.Magic[1]
+	header[6] = c.Version
+	header[7] = typ
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("framing: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("framing: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame and returns its type byte and raw body.
+// io.EOF is returned untouched on a clean end-of-stream boundary (no
+// bytes read); a stream that dies mid-frame is an error.
+func (c Codec) ReadFrame(r io.Reader) (byte, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("framing: read frame length: %w", err)
+	}
+	length := binary.BigEndian.Uint32(lenBuf[:])
+	if length < 4 || length > uint32(c.MaxFrame) {
+		return 0, nil, fmt.Errorf("framing: frame length %d outside [4,%d]", length, c.MaxFrame)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("framing: read frame header: %w", err)
+	}
+	hdrErr := error(nil)
+	switch {
+	case hdr[0] != c.Magic[0] || hdr[1] != c.Magic[1]:
+		hdrErr = fmt.Errorf("framing: bad frame magic %q, want %q", hdr[0:2], c.Magic[:])
+	case hdr[2] != c.Version:
+		hdrErr = fmt.Errorf("%w: got %d, want %d", ErrVersionMismatch, hdr[2], c.Version)
+	}
+	if hdrErr != nil {
+		io.CopyN(io.Discard, r, int64(length-4))
+		return 0, nil, hdrErr
+	}
+	body := make([]byte, length-4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("framing: read frame body: %w", err)
+	}
+	return hdr[3], body, nil
+}

@@ -3,6 +3,7 @@ package partition
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -57,6 +58,14 @@ type Result struct {
 	// Rejected counts positive predictions dropped by the global
 	// one-to-one reconciliation (cross-partition conflicts).
 	Rejected int
+	// ShardWeights holds each partition's trained feature weight vector,
+	// keyed by Part.Index (layout: the run's feature set followed by the
+	// bias term). There is deliberately no single global weight vector —
+	// each shard trained its own ridge model on its own pool — so
+	// snapshot/serving consumers persist all of them and pick per query.
+	// For a multi-round session result these are the FINAL round's
+	// models.
+	ShardWeights map[int][]float64
 	// Reports holds one entry per partition, in partition order — and,
 	// for a result returned by a multi-round session driver, one entry
 	// per partition per round, so QueryCount spans the whole session.
@@ -102,6 +111,40 @@ func (r *Result) QueriedLabels() []LabeledLink {
 		out = append(out, l)
 	}
 	sortLabels(out)
+	return out
+}
+
+// Entry is one pool link's merged read-side record — the unit a
+// snapshot of a partitioned alignment persists.
+type Entry struct {
+	Link hetnet.Anchor
+	// Label is the merged final label (1 for reconciled positives).
+	Label float64
+	// Score is the best per-partition raw score; HasScore is false for
+	// links every partition scored NaN.
+	Score    float64
+	HasScore bool
+	// Queried reports an oracle-labeled link (including prelabels of
+	// earlier session rounds).
+	Queried bool
+}
+
+// Entries returns every pool link's merged record in canonical (I, J)
+// order — the full read side of the result, for persistence.
+func (r *Result) Entries() []Entry {
+	out := make([]Entry, 0, len(r.labels))
+	for key, label := range r.labels {
+		i, j := hetnet.UnpackKey(key)
+		e := Entry{Link: hetnet.Anchor{I: i, J: j}, Label: label, Queried: r.queried[key]}
+		e.Score, e.HasScore = r.scores[key]
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Link.I != out[b].Link.I {
+			return out[a].Link.I < out[b].Link.I
+		}
+		return out[a].Link.J < out[b].Link.J
+	})
 	return out
 }
 
@@ -308,6 +351,7 @@ func (pp *Prepared) Train(part *Part, cfg core.Config, oracle active.Oracle) (*c
 func merge(outs []partOutput) *Result {
 	m := NewMerger()
 	var reports []PartReport
+	weights := make(map[int][]float64, len(outs))
 	for _, out := range outs {
 		reports = append(reports, PartReport{
 			Index:      out.part.Index,
@@ -317,12 +361,14 @@ func merge(outs []partOutput) *Result {
 			Queries:    out.res.QueryCount(),
 			Elapsed:    out.res.Elapsed,
 		})
+		weights[out.part.Index] = append([]float64(nil), out.res.W...)
 		for _, v := range PartVotes(out.part, out.links, out.res) {
 			m.Add(v)
 		}
 	}
 	res := m.Finish()
 	res.Reports = reports
+	res.ShardWeights = weights
 	return res
 }
 

@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/snapshot"
+)
+
+// HandlerOptions configures the HTTP surface.
+type HandlerOptions struct {
+	// DefaultK is the candidate-list depth when a request has no ?k=;
+	// 0 means the snapshot's precomputed depth.
+	DefaultK int
+	// SnapshotPath is the artifact a parameterless /v1/reload re-opens.
+	SnapshotPath string
+	// Load opens and decodes an artifact for /v1/reload. nil disables
+	// the endpoint (it answers 501).
+	Load func(path string) (*snapshot.Snapshot, error)
+	// AllowPathOverride lets a /v1/reload body name an arbitrary
+	// artifact path. Off by default: the endpoint is unauthenticated,
+	// and a client that can name any filesystem path can swap the
+	// served model (or grind the disk) on a server bound to all
+	// interfaces — so out of the box reload only re-opens SnapshotPath.
+	AllowPathOverride bool
+}
+
+// Handler is the alignd HTTP surface over a Store:
+//
+//	GET  /healthz                      — liveness (503 until a snapshot is loaded)
+//	GET  /statusz                      — snapshot provenance + per-endpoint QPS/latency
+//	GET  /v1/match/{net}/{user}        — O(1) matched-partner lookup
+//	GET  /v1/candidates/{net}/{user}   — top-k ranked candidates (?k= caps the list)
+//	POST /v1/score                     — pool-link lookup {"i","j"} or predictor rescore {"features",["shard"]}
+//	POST /v1/reload                    — atomic snapshot swap {"path"} (optional)
+//
+// {net} is 1 or 2; {user} is an external user ID or a numeric index.
+// Every JSON answer carries the serving generation, and each request
+// resolves the Store pointer exactly once, so a response is wholly one
+// snapshot generation even while a reload swaps underneath.
+type Handler struct {
+	store   *Store
+	metrics *Metrics
+	opts    HandlerOptions
+}
+
+// NewHandler wraps the store. metrics may be nil (a fresh registry is
+// created).
+func NewHandler(store *Store, metrics *Metrics, opts HandlerOptions) *Handler {
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+	return &Handler{store: store, metrics: metrics, opts: opts}
+}
+
+// Metrics exposes the registry (for tests and for recording bench
+// figures).
+func (h *Handler) Metrics() *Metrics { return h.metrics }
+
+// httpError is the uniform JSON error shape.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	endpoint, err := h.route(w, r)
+	isErr := err != nil
+	if err != nil {
+		he, ok := err.(*httpError)
+		if !ok {
+			he = errf(http.StatusInternalServerError, "%v", err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(he.status)
+		json.NewEncoder(w).Encode(map[string]string{"error": he.msg})
+	}
+	h.metrics.Observe(endpoint, time.Since(start), isErr)
+}
+
+// route dispatches one request and returns the endpoint label to
+// account it under. Go 1.21's ServeMux has no method/wildcard patterns,
+// so the two-segment paths parse by hand.
+func (h *Handler) route(w http.ResponseWriter, r *http.Request) (string, error) {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		return "healthz", h.handleHealth(w, r)
+	case path == "/statusz":
+		return "statusz", h.handleStatus(w, r)
+	case path == "/v1/score":
+		return "score", h.handleScore(w, r)
+	case path == "/v1/reload":
+		return "reload", h.handleReload(w, r)
+	case strings.HasPrefix(path, "/v1/match/"):
+		return "match", h.handleLookup(w, r, strings.TrimPrefix(path, "/v1/match/"), false)
+	case strings.HasPrefix(path, "/v1/candidates/"):
+		return "candidates", h.handleLookup(w, r, strings.TrimPrefix(path, "/v1/candidates/"), true)
+	default:
+		return "unknown", errf(http.StatusNotFound, "no such endpoint %q", path)
+	}
+}
+
+// current resolves the served index once per request.
+func (h *Handler) current() (*Index, error) {
+	ix := h.store.Current()
+	if ix == nil {
+		return nil, errf(http.StatusServiceUnavailable, "no snapshot loaded")
+	}
+	return ix, nil
+}
+
+func (h *Handler) writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodGet {
+		return errf(http.StatusMethodNotAllowed, "healthz is GET")
+	}
+	if h.store.Current() == nil {
+		return errf(http.StatusServiceUnavailable, "no snapshot loaded")
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+	return nil
+}
+
+// statusResponse is the statusz JSON shape.
+type statusResponse struct {
+	Generation uint64           `json:"generation"`
+	UptimeSec  float64          `json:"uptime_sec"`
+	Snapshot   *statusSnapshot  `json:"snapshot,omitempty"`
+	Endpoints  []EndpointReport `json:"endpoints"`
+}
+
+type statusSnapshot struct {
+	Facade      string `json:"facade"`
+	CreatedUnix int64  `json:"created_unix"`
+	Net1        string `json:"net1"`
+	Net2        string `json:"net2"`
+	FP1         string `json:"fp1"`
+	FP2         string `json:"fp2"`
+	Users1      int    `json:"users1"`
+	Users2      int    `json:"users2"`
+	Matches     int    `json:"matches"`
+	Pool        int    `json:"pool"`
+	TopK        int    `json:"top_k"`
+	Shards      []int  `json:"shards,omitempty"`
+	Primary     bool   `json:"primary_model"`
+}
+
+func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodGet {
+		return errf(http.StatusMethodNotAllowed, "statusz is GET")
+	}
+	resp := statusResponse{UptimeSec: h.metrics.Uptime().Seconds(), Endpoints: h.metrics.Report()}
+	if ix := h.store.Current(); ix != nil {
+		meta := ix.Meta()
+		u1, u2, matches, pool := ix.Counts()
+		resp.Generation = ix.Generation
+		resp.Snapshot = &statusSnapshot{
+			Facade:      meta.Facade,
+			CreatedUnix: meta.CreatedUnix,
+			Net1:        meta.Net1,
+			Net2:        meta.Net2,
+			FP1:         fmt.Sprintf("%016x", meta.FP1),
+			FP2:         fmt.Sprintf("%016x", meta.FP2),
+			Users1:      u1,
+			Users2:      u2,
+			Matches:     matches,
+			Pool:        pool,
+			TopK:        ix.TopK(),
+			Shards:      ix.Shards(),
+			Primary:     len(ix.snap.Model.W) > 0,
+		}
+	}
+	return h.writeJSON(w, resp)
+}
+
+// parseNetUser splits the "{net}/{user}" tail of a lookup path.
+func parseNetUser(ix *Index, tail string) (int, int32, error) {
+	parts := strings.SplitN(tail, "/", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return 0, 0, errf(http.StatusBadRequest, "path must be /v1/.../{net}/{user}")
+	}
+	net, err := strconv.Atoi(parts[0])
+	if err != nil || (net != 1 && net != 2) {
+		return 0, 0, errf(http.StatusBadRequest, "net must be 1 or 2, got %q", parts[0])
+	}
+	user, ok := ix.ResolveUser(net, parts[1])
+	if !ok {
+		return 0, 0, errf(http.StatusNotFound, "unknown user %q on net %d", parts[1], net)
+	}
+	return net, user, nil
+}
+
+// matchResponse answers /v1/match.
+type matchResponse struct {
+	Generation uint64 `json:"generation"`
+	Net        int    `json:"net"`
+	User       string `json:"user"`
+	Index      int32  `json:"index"`
+	Match      *struct {
+		Index    int32   `json:"index"`
+		ID       string  `json:"id"`
+		Score    float64 `json:"score"`
+		HasScore bool    `json:"has_score"`
+	} `json:"match"`
+}
+
+// candidatesResponse answers /v1/candidates.
+type candidatesResponse struct {
+	Generation uint64      `json:"generation"`
+	Net        int         `json:"net"`
+	User       string      `json:"user"`
+	Index      int32       `json:"index"`
+	K          int         `json:"k"`
+	Candidates []Candidate `json:"candidates"`
+}
+
+func (h *Handler) handleLookup(w http.ResponseWriter, r *http.Request, tail string, candidates bool) error {
+	if r.Method != http.MethodGet {
+		return errf(http.StatusMethodNotAllowed, "lookup endpoints are GET")
+	}
+	ix, err := h.current()
+	if err != nil {
+		return err
+	}
+	net, user, err := parseNetUser(ix, tail)
+	if err != nil {
+		return err
+	}
+	if candidates {
+		k := h.opts.DefaultK
+		if kq := r.URL.Query().Get("k"); kq != "" {
+			k, err = strconv.Atoi(kq)
+			if err != nil || k < 0 {
+				return errf(http.StatusBadRequest, "bad k %q", kq)
+			}
+		}
+		items := ix.CandidatesFor(net, user, k)
+		return h.writeJSON(w, candidatesResponse{
+			Generation: ix.Generation,
+			Net:        net,
+			User:       ix.UserID(net, user),
+			Index:      user,
+			K:          k,
+			Candidates: items,
+		})
+	}
+	m, ok := ix.MatchFor(net, user)
+	if !ok {
+		return errf(http.StatusNotFound, "no matched partner for user %d on net %d (generation %d)", user, net, ix.Generation)
+	}
+	resp := matchResponse{Generation: ix.Generation, Net: net, User: ix.UserID(net, user), Index: user}
+	resp.Match = &struct {
+		Index    int32   `json:"index"`
+		ID       string  `json:"id"`
+		Score    float64 `json:"score"`
+		HasScore bool    `json:"has_score"`
+	}{m.Index, m.ID, m.Score, m.HasScore}
+	return h.writeJSON(w, resp)
+}
+
+// scoreRequest is the /v1/score body: a pool-link lookup when I/J are
+// set, a predictor rescore when Features is set.
+type scoreRequest struct {
+	I        *int32    `json:"i"`
+	J        *int32    `json:"j"`
+	Features []float64 `json:"features"`
+	Shard    *int      `json:"shard"`
+}
+
+// scoreResponse answers both /v1/score forms; Source says which path
+// produced it ("pool" or "predictor").
+type scoreResponse struct {
+	Generation uint64  `json:"generation"`
+	Source     string  `json:"source"`
+	Score      float64 `json:"score"`
+	HasScore   bool    `json:"has_score"`
+	Label      float64 `json:"label"`
+	Queried    bool    `json:"queried,omitempty"`
+	Shard      *int    `json:"shard,omitempty"`
+}
+
+func (h *Handler) handleScore(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodPost {
+		return errf(http.StatusMethodNotAllowed, "score is POST")
+	}
+	ix, err := h.current()
+	if err != nil {
+		return err
+	}
+	var req scoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return errf(http.StatusBadRequest, "bad score request: %v", err)
+	}
+	switch {
+	case req.I != nil && req.J != nil && req.Features == nil:
+		p, ok := ix.PoolScore(*req.I, *req.J)
+		if !ok {
+			return errf(http.StatusNotFound, "link (%d,%d) not in the candidate pool", *req.I, *req.J)
+		}
+		return h.writeJSON(w, scoreResponse{
+			Generation: ix.Generation, Source: "pool",
+			Score: p.Score, HasScore: p.HasScore, Label: p.Label, Queried: p.Queried,
+		})
+	case req.Features != nil && req.I == nil && req.J == nil:
+		shard := -1
+		if req.Shard != nil {
+			shard = *req.Shard
+		}
+		score, label, err := ix.Rescore(shard, req.Features)
+		if err != nil {
+			return errf(http.StatusBadRequest, "%v", err)
+		}
+		resp := scoreResponse{Generation: ix.Generation, Source: "predictor", Score: score, HasScore: true, Label: label}
+		if req.Shard != nil {
+			resp.Shard = req.Shard
+		}
+		return h.writeJSON(w, resp)
+	default:
+		return errf(http.StatusBadRequest, `score wants {"i","j"} (pool lookup) or {"features"[,"shard"]} (rescore), not both`)
+	}
+}
+
+// reloadRequest is the /v1/reload body; an empty body (or empty path)
+// re-opens the handler's configured snapshot path.
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+// reloadResponse reports the freshly served generation.
+type reloadResponse struct {
+	Generation uint64 `json:"generation"`
+	Path       string `json:"path"`
+	Matches    int    `json:"matches"`
+	Pool       int    `json:"pool"`
+}
+
+func (h *Handler) handleReload(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodPost {
+		return errf(http.StatusMethodNotAllowed, "reload is POST")
+	}
+	if h.opts.Load == nil {
+		return errf(http.StatusNotImplemented, "reload is not configured")
+	}
+	var req reloadRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return errf(http.StatusBadRequest, "bad reload request: %v", err)
+		}
+	}
+	path := req.Path
+	if path == "" {
+		path = h.opts.SnapshotPath
+	}
+	if path == "" {
+		return errf(http.StatusBadRequest, "no snapshot path configured or supplied")
+	}
+	if path != h.opts.SnapshotPath && !h.opts.AllowPathOverride {
+		return errf(http.StatusForbidden, "reload path override is disabled (serve with -allow-reload-path to enable)")
+	}
+	snap, err := h.opts.Load(path)
+	if err != nil {
+		return errf(http.StatusUnprocessableEntity, "reload %s: %v", path, err)
+	}
+	ix, err := NewIndex(snap)
+	if err != nil {
+		return errf(http.StatusUnprocessableEntity, "reload %s: %v", path, err)
+	}
+	gen := h.store.Swap(ix)
+	_, _, matches, pool := ix.Counts()
+	return h.writeJSON(w, reloadResponse{Generation: gen, Path: path, Matches: matches, Pool: pool})
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets is the fixed log₂-spaced latency histogram: bucket i
+// counts requests in [2ⁱ µs, 2ⁱ⁺¹ µs); the last bucket is unbounded.
+// 24 buckets span 1 µs to ~16 s, plenty for an in-memory lookup server,
+// and a fixed array keeps observation lock-free-cheap (one mutex-less
+// increment would need atomics per bucket; a short critical section is
+// simpler and still nanoseconds).
+const latencyBuckets = 24
+
+// endpointStats accumulates one endpoint's counters. Guarded by
+// Metrics.mu — the critical sections are a handful of integer ops, far
+// cheaper than the request work around them.
+type endpointStats struct {
+	requests uint64
+	errors   uint64
+	sumNanos uint64
+	buckets  [latencyBuckets]uint64
+}
+
+// Metrics tracks per-endpoint request counts, error counts and latency
+// distributions for the statusz page. Endpoints register lazily on
+// first observation.
+type Metrics struct {
+	start time.Time
+
+	mu  sync.Mutex
+	eps map[string]*endpointStats
+}
+
+// NewMetrics returns an empty metrics registry; the QPS clock starts
+// now.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), eps: make(map[string]*endpointStats)}
+}
+
+// bucketOf maps a duration to its histogram bucket.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < latencyBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// Observe records one request.
+func (m *Metrics) Observe(endpoint string, d time.Duration, isErr bool) {
+	m.mu.Lock()
+	ep := m.eps[endpoint]
+	if ep == nil {
+		ep = &endpointStats{}
+		m.eps[endpoint] = ep
+	}
+	ep.requests++
+	if isErr {
+		ep.errors++
+	}
+	ep.sumNanos += uint64(d.Nanoseconds())
+	ep.buckets[bucketOf(d)]++
+	m.mu.Unlock()
+}
+
+// EndpointReport is one endpoint's statusz row. Percentiles are bucket
+// upper bounds (within 2× of true, by construction of the log₂
+// histogram).
+type EndpointReport struct {
+	Endpoint string        `json:"endpoint"`
+	Requests uint64        `json:"requests"`
+	Errors   uint64        `json:"errors"`
+	QPS      float64       `json:"qps"`
+	Mean     time.Duration `json:"mean_ns"`
+	P50      time.Duration `json:"p50_ns"`
+	P99      time.Duration `json:"p99_ns"`
+}
+
+// percentile returns the upper bound of the bucket containing the q-th
+// quantile request.
+func (ep *endpointStats) percentile(q float64) time.Duration {
+	if ep.requests == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(ep.requests))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for b := 0; b < latencyBuckets; b++ {
+		seen += ep.buckets[b]
+		if seen >= rank {
+			return time.Duration(1<<uint(b+1)) * time.Microsecond
+		}
+	}
+	return time.Duration(1<<latencyBuckets) * time.Microsecond
+}
+
+// Report snapshots every endpoint's counters, sorted by endpoint name.
+func (m *Metrics) Report() []EndpointReport {
+	elapsed := time.Since(m.start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]EndpointReport, 0, len(m.eps))
+	for name, ep := range m.eps {
+		r := EndpointReport{
+			Endpoint: name,
+			Requests: ep.requests,
+			Errors:   ep.errors,
+			QPS:      float64(ep.requests) / elapsed,
+			P50:      ep.percentile(0.50),
+			P99:      ep.percentile(0.99),
+		}
+		if ep.requests > 0 {
+			r.Mean = time.Duration(ep.sumNanos / ep.requests)
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Endpoint < out[b].Endpoint })
+	return out
+}
+
+// Uptime reports how long the metrics clock has been running.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }

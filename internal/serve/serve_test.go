@@ -1,0 +1,401 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/snapshot"
+)
+
+// fixtureUsers is the user-table size of the test snapshots.
+const fixtureUsers = 8
+
+// fixturePair builds a minimal pair whose user tables are what the
+// snapshot records; graph structure beyond users is irrelevant here.
+func fixturePair(t testing.TB) *hetnet.AlignedPair {
+	t.Helper()
+	build := func(name string) *hetnet.Network {
+		g := hetnet.NewSocialNetwork(name)
+		for u := 0; u < fixtureUsers; u++ {
+			g.AddNode(hetnet.User, fmt.Sprintf("%s-u%d", name, u))
+		}
+		return g
+	}
+	return hetnet.NewAlignedPair(build("left"), build("right"))
+}
+
+// fixtureSnapshot builds a deterministic artifact parameterized by a
+// marker: every match score equals marker and user i matches user
+// (i+shift)%n — the shape the reload stress test uses to detect a
+// response mixing two generations.
+func fixtureSnapshot(t testing.TB, marker float64, shift int) *snapshot.Snapshot {
+	t.Helper()
+	pair := fixturePair(t)
+	var pool []snapshot.PoolLink
+	var matches []snapshot.Match
+	for i := 0; i < fixtureUsers; i++ {
+		j := int32((i + shift) % fixtureUsers)
+		pool = append(pool, snapshot.PoolLink{I: int32(i), J: j, Label: 1, Score: marker, HasScore: true})
+		pool = append(pool, snapshot.PoolLink{I: int32(i), J: (j + 1) % fixtureUsers, Label: 0, Score: marker / 2, HasScore: true})
+		matches = append(matches, snapshot.Match{I: int32(i), J: j, Score: marker, HasScore: true})
+	}
+	labels := []snapshot.QueriedLabel{{I: 0, J: int32(shift % fixtureUsers), Label: 1}}
+	pool[0].Queried = true
+	meta := snapshot.Meta{
+		CreatedUnix: 1700000000,
+		Facade:      "monolithic",
+		Notation:    []string{"f0", "f1", "bias"},
+		Threshold:   0.5,
+	}
+	model := snapshot.Model{W: []float64{marker, 0, 1}}
+	s, err := snapshot.Build(pair, meta, model, pool, matches, labels, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newTestIndex(t testing.TB, marker float64, shift int) *Index {
+	t.Helper()
+	ix, err := NewIndex(fixtureSnapshot(t, marker, shift))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestIndexLookups(t *testing.T) {
+	ix := newTestIndex(t, 1.0, 0)
+
+	m, ok := ix.MatchFor(1, 3)
+	if !ok || m.Index != 3 || m.ID != "right-u3" || m.Score != 1.0 {
+		t.Errorf("MatchFor(1,3) = %+v ok=%v", m, ok)
+	}
+	// Reverse direction resolves through match2.
+	m, ok = ix.MatchFor(2, 3)
+	if !ok || m.Index != 3 || m.ID != "left-u3" {
+		t.Errorf("MatchFor(2,3) = %+v ok=%v", m, ok)
+	}
+
+	// Top-k ranking: user 0's best counterpart is its match (score 1.0),
+	// then the decoy (0.5).
+	cands := ix.CandidatesFor(1, 0, 2)
+	if len(cands) != 2 || cands[0].Score < cands[1].Score {
+		t.Errorf("CandidatesFor(1,0,2) = %+v", cands)
+	}
+	if got := ix.CandidatesFor(1, 0, 1); len(got) != 1 {
+		t.Errorf("k=1 returned %d candidates", len(got))
+	}
+
+	p, ok := ix.PoolScore(0, 0)
+	if !ok || p.Label != 1 || !p.Queried {
+		t.Errorf("PoolScore(0,0) = %+v ok=%v", p, ok)
+	}
+	if _, ok := ix.PoolScore(7, 3); ok {
+		t.Error("PoolScore invented a link outside the pool")
+	}
+
+	// AlignmentResult contract.
+	if l, ok := ix.Label(0, 0); !ok || l != 1 {
+		t.Errorf("Label(0,0) = %v ok=%v", l, ok)
+	}
+	if !ix.WasQueried(0, 0) || ix.WasQueried(1, 1) {
+		t.Error("WasQueried wrong")
+	}
+
+	// ID and numeric resolution.
+	if idx, ok := ix.ResolveUser(1, "left-u5"); !ok || idx != 5 {
+		t.Errorf("ResolveUser by ID = %d ok=%v", idx, ok)
+	}
+	if idx, ok := ix.ResolveUser(2, "6"); !ok || idx != 6 {
+		t.Errorf("ResolveUser by index = %d ok=%v", idx, ok)
+	}
+	if _, ok := ix.ResolveUser(1, "nope"); ok {
+		t.Error("unknown user resolved")
+	}
+	if _, ok := ix.ResolveUser(1, "99"); ok {
+		t.Error("out-of-range numeric user resolved")
+	}
+}
+
+func TestIndexRescore(t *testing.T) {
+	ix := newTestIndex(t, 2.0, 0) // W = {2, 0, 1}
+	score, label, err := ix.Rescore(-1, []float64{0.5, 9, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 2.0 { // 2*0.5 + 0*9 + 1*1
+		t.Errorf("score = %v, want 2.0", score)
+	}
+	if label != 1 { // 2.0 > 0.5
+		t.Errorf("label = %v, want 1", label)
+	}
+	if _, _, err := ix.Rescore(-1, []float64{1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, _, err := ix.Rescore(7, []float64{1, 2, 3}); err == nil {
+		t.Error("unknown shard accepted")
+	}
+}
+
+func TestStoreSwapGenerations(t *testing.T) {
+	var st Store
+	if st.Current() != nil {
+		t.Fatal("empty store served an index")
+	}
+	a := newTestIndex(t, 1, 0)
+	if gen := st.Swap(a); gen != 1 || a.Generation != 1 {
+		t.Errorf("first swap gen = %d (index %d)", gen, a.Generation)
+	}
+	b := newTestIndex(t, 2, 1)
+	if gen := st.Swap(b); gen != 2 {
+		t.Errorf("second swap gen = %d", gen)
+	}
+	if st.Current() != b {
+		t.Error("Current is not the last swapped index")
+	}
+}
+
+// newTestServer wires a handler over two on-disk snapshots so reload
+// works end to end.
+func newTestServer(t *testing.T) (*httptest.Server, *Store, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.snap")
+	pathB := filepath.Join(dir, "b.snap")
+	if err := fixtureSnapshot(t, 1.0, 0).WriteFile(pathA); err != nil {
+		t.Fatal(err)
+	}
+	if err := fixtureSnapshot(t, 2.0, 1).WriteFile(pathB); err != nil {
+		t.Fatal(err)
+	}
+	st := &Store{}
+	ixA, err := NewIndex(fixtureSnapshot(t, 1.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Swap(ixA)
+	h := NewHandler(st, nil, HandlerOptions{
+		SnapshotPath:      pathA,
+		Load:              snapshot.OpenFile,
+		AllowPathOverride: true,
+	})
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, st, pathA, pathB
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body string, into any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	srv, _, _, pathB := newTestServer(t)
+
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz = %d", code)
+	}
+
+	var match matchResponse
+	if code := getJSON(t, srv.URL+"/v1/match/1/left-u2", &match); code != http.StatusOK {
+		t.Fatalf("match = %d", code)
+	}
+	if match.Match == nil || match.Match.ID != "right-u2" || match.Match.Score != 1.0 {
+		t.Errorf("match body = %+v", match)
+	}
+	// Numeric user token resolves too.
+	if code := getJSON(t, srv.URL+"/v1/match/2/2", &match); code != http.StatusOK || match.Match.ID != "left-u2" {
+		t.Errorf("numeric match = %d %+v", 0, match)
+	}
+
+	var cands candidatesResponse
+	if code := getJSON(t, srv.URL+"/v1/candidates/1/left-u0?k=1", &cands); code != http.StatusOK {
+		t.Fatalf("candidates = %d", code)
+	}
+	if len(cands.Candidates) != 1 || cands.Candidates[0].ID != "right-u0" {
+		t.Errorf("candidates body = %+v", cands)
+	}
+
+	var score scoreResponse
+	if code := postJSON(t, srv.URL+"/v1/score", `{"i":0,"j":0}`, &score); code != http.StatusOK {
+		t.Fatalf("pool score = %d", code)
+	}
+	if score.Source != "pool" || score.Label != 1 || score.Score != 1.0 {
+		t.Errorf("pool score body = %+v", score)
+	}
+	if code := postJSON(t, srv.URL+"/v1/score", `{"features":[1,0,0]}`, &score); code != http.StatusOK {
+		t.Fatalf("rescore = %d", code)
+	}
+	if score.Source != "predictor" || score.Score != 1.0 {
+		t.Errorf("rescore body = %+v", score)
+	}
+
+	// Error shapes.
+	if code := getJSON(t, srv.URL+"/v1/match/3/left-u0", nil); code != http.StatusBadRequest {
+		t.Errorf("bad net = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/match/1/ghost", nil); code != http.StatusNotFound {
+		t.Errorf("unknown user = %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/score", `{"i":1}`, nil); code != http.StatusBadRequest {
+		t.Errorf("half-pair score = %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/score", `{"i":0,"j":0,"features":[1]}`, nil); code != http.StatusBadRequest {
+		t.Errorf("both-form score = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/nope", nil); code != http.StatusNotFound {
+		t.Errorf("unknown endpoint = %d", code)
+	}
+
+	// Reload onto snapshot B shifts every match by one and bumps the
+	// generation.
+	var rel reloadResponse
+	if code := postJSON(t, srv.URL+"/v1/reload", fmt.Sprintf(`{"path":%q}`, pathB), &rel); code != http.StatusOK {
+		t.Fatalf("reload = %d", code)
+	}
+	if rel.Generation != 2 {
+		t.Errorf("reload generation = %d", rel.Generation)
+	}
+	if code := getJSON(t, srv.URL+"/v1/match/1/left-u2", &match); code != http.StatusOK {
+		t.Fatalf("post-reload match = %d", code)
+	}
+	if match.Generation != 2 || match.Match.ID != "right-u3" || match.Match.Score != 2.0 {
+		t.Errorf("post-reload match body = %+v", match)
+	}
+	// Reload of a missing artifact must not disturb the served model.
+	if code := postJSON(t, srv.URL+"/v1/reload", `{"path":"/nonexistent.snap"}`, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("bad reload = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/match/1/left-u2", &match); code != http.StatusOK || match.Generation != 2 {
+		t.Errorf("serving disturbed by failed reload: %d gen %d", code, match.Generation)
+	}
+
+	var status statusResponse
+	if code := getJSON(t, srv.URL+"/statusz", &status); code != http.StatusOK {
+		t.Fatalf("statusz = %d", code)
+	}
+	if status.Generation != 2 || status.Snapshot == nil || status.Snapshot.Matches != fixtureUsers {
+		t.Errorf("statusz body = %+v", status)
+	}
+	found := false
+	for _, ep := range status.Endpoints {
+		if ep.Endpoint == "match" && ep.Requests > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("statusz endpoints missing match traffic: %+v", status.Endpoints)
+	}
+}
+
+// Without AllowPathOverride a reload body may not point the server at
+// an arbitrary file — the endpoint is unauthenticated.
+func TestHTTPReloadPathOverrideForbidden(t *testing.T) {
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.snap")
+	pathB := filepath.Join(dir, "b.snap")
+	if err := fixtureSnapshot(t, 1.0, 0).WriteFile(pathA); err != nil {
+		t.Fatal(err)
+	}
+	if err := fixtureSnapshot(t, 2.0, 1).WriteFile(pathB); err != nil {
+		t.Fatal(err)
+	}
+	st := &Store{}
+	ix, err := NewIndex(fixtureSnapshot(t, 1.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Swap(ix)
+	srv := httptest.NewServer(NewHandler(st, nil, HandlerOptions{
+		SnapshotPath: pathA,
+		Load:         snapshot.OpenFile,
+	}))
+	defer srv.Close()
+
+	if code := postJSON(t, srv.URL+"/v1/reload", fmt.Sprintf(`{"path":%q}`, pathB), nil); code != http.StatusForbidden {
+		t.Errorf("foreign reload path = %d, want 403", code)
+	}
+	// Re-opening the configured path stays allowed: parameterless and
+	// explicit-same-path both work.
+	var rel reloadResponse
+	if code := postJSON(t, srv.URL+"/v1/reload", "", &rel); code != http.StatusOK || rel.Path != pathA {
+		t.Errorf("parameterless reload = %d %+v", code, rel)
+	}
+	if code := postJSON(t, srv.URL+"/v1/reload", fmt.Sprintf(`{"path":%q}`, pathA), nil); code != http.StatusOK {
+		t.Errorf("same-path reload = %d", code)
+	}
+}
+
+func TestHTTPEmptyStore(t *testing.T) {
+	st := &Store{}
+	srv := httptest.NewServer(NewHandler(st, nil, HandlerOptions{}))
+	defer srv.Close()
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("healthz on empty store = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/match/1/0", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("match on empty store = %d", code)
+	}
+	// Reload unconfigured.
+	if code := postJSON(t, srv.URL+"/v1/reload", "", nil); code != http.StatusNotImplemented {
+		t.Errorf("unconfigured reload = %d", code)
+	}
+}
+
+func TestMetricsPercentiles(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 98; i++ {
+		m.Observe("x", 10*time.Microsecond, false)
+	}
+	// Two slow outliers put the 99th-of-100 request in the slow bucket.
+	m.Observe("x", 5*time.Millisecond, true)
+	m.Observe("x", 5*time.Millisecond, false)
+	rep := m.Report()
+	if len(rep) != 1 || rep[0].Requests != 100 || rep[0].Errors != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// p50 sits in the 10µs bucket (upper bound ≤ 16µs); p99 must reach
+	// the 5ms outlier's bucket (upper bound ≥ 5ms).
+	if rep[0].P50 > 16*time.Microsecond {
+		t.Errorf("p50 = %v", rep[0].P50)
+	}
+	if rep[0].P99 < 5*time.Millisecond {
+		t.Errorf("p99 = %v", rep[0].P99)
+	}
+	if rep[0].QPS <= 0 {
+		t.Errorf("qps = %v", rep[0].QPS)
+	}
+}

@@ -1,0 +1,28 @@
+package serve
+
+import "sync/atomic"
+
+// Store holds the currently served Index behind an atomic pointer. A
+// reload builds the new Index off to the side (seconds of work, no
+// lock held) and Swap publishes it in one pointer store: requests
+// already running keep the generation they loaded, new requests see
+// the new one, and nobody ever observes half of each.
+type Store struct {
+	cur atomic.Pointer[Index]
+	gen atomic.Uint64
+}
+
+// Swap publishes ix as the served index, stamping it with the next
+// generation number, and returns that generation. The first Swap is
+// generation 1.
+func (st *Store) Swap(ix *Index) uint64 {
+	gen := st.gen.Add(1)
+	ix.Generation = gen
+	st.cur.Store(ix)
+	return gen
+}
+
+// Current returns the served index (nil before the first Swap). The
+// caller must use the returned pointer for the whole request — calling
+// Current twice may straddle a reload.
+func (st *Store) Current() *Index { return st.cur.Load() }

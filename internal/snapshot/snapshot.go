@@ -1,0 +1,563 @@
+// Package snapshot persists a trained alignment as a versioned binary
+// artifact — the offline→online bridge between the training pipelines
+// (monolithic, partitioned, distributed) and the alignd query server.
+//
+// A snapshot freezes everything the read side of an alignment needs,
+// detached from the networks and the training machinery:
+//
+//   - provenance: which facade trained it, when, on what data (network
+//     names, user ID tables, structural fingerprints),
+//   - the schema notation set (the feature vector layout) and the
+//     trained feature weights — the primary model for a monolithic run,
+//     one model per shard for partitioned and distributed runs — which
+//     rebuild into core.Predictor for inductive rescoring,
+//   - the reconciled one-to-one matching with scores,
+//   - per-source-user top-k ranked candidates in both directions,
+//   - the full candidate pool with final labels, best scores, and the
+//     oracle audit (enough to re-run EvaluateAlignment bit-identically),
+//   - the queried-label log (what the oracle was asked, and its
+//     answers).
+//
+// # Artifact layout
+//
+// A snapshot is a sequence of length-prefixed frames in the shared
+// internal/framing discipline (magic "AS", one version byte on every
+// frame, 1 GiB frame cap). Sections appear exactly once, in fixed
+// order, each a self-contained gob document:
+//
+//	meta → model → matches → candidates → pool → labels → end
+//
+// The end frame carries the section count and an FNV-64a checksum over
+// every preceding section body, so truncation and bit rot fail loudly
+// at load time instead of serving corrupt answers. A version bump is a
+// compatibility statement: readers reject artifacts of any other
+// version with ErrVersionMismatch (see docs/SNAPSHOT.md for the golden
+// regeneration workflow).
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/activeiter/activeiter/internal/framing"
+	"github.com/activeiter/activeiter/internal/hetnet"
+)
+
+// Version is the artifact format version. Bump it on any change to
+// section payload shapes; readers reject every other version.
+//
+// Version history:
+//
+//	1 — PR 5: meta/model/matches/candidates/pool/labels/end.
+const Version = 1
+
+// maxSectionSize bounds a section's declared length. The pool section
+// scales with the candidate pool (tens of bytes per link); 1 GiB is far
+// above any realistic alignment and far below pathology.
+const maxSectionSize = 1 << 30
+
+// codec is the snapshot instance of the shared framing discipline.
+var codec = framing.Codec{Magic: [2]byte{'A', 'S'}, Version: Version, MaxFrame: maxSectionSize}
+
+// ErrVersionMismatch is returned (wrapped, with both versions) when an
+// artifact of a different format version is opened. It is the shared
+// framing sentinel, re-exported for errors.Is.
+var ErrVersionMismatch = framing.ErrVersionMismatch
+
+// Section types, one per frame.
+const (
+	secMeta byte = iota + 1
+	secModel
+	secMatches
+	secCandidates
+	secPool
+	secLabels
+	secEnd
+)
+
+// sectionOrder is the fixed on-disk sequence (excluding end).
+var sectionOrder = [...]byte{secMeta, secModel, secMatches, secCandidates, secPool, secLabels}
+
+// Meta is the snapshot's provenance and schema header.
+type Meta struct {
+	// CreatedUnix is the build time (Unix seconds).
+	CreatedUnix int64
+	// Facade names the training path: "monolithic", "partitioned" or
+	// "distributed".
+	Facade string
+	// Net1/Net2 are the network names; Users1/Users2 the user ID tables
+	// in index order, so the server resolves external IDs without the
+	// networks.
+	Net1, Net2     string
+	Users1, Users2 []string
+	// FP1/FP2 fingerprint each network's full structure and AnchorsFP
+	// the ground-truth anchor set — recorded so an operator can tell
+	// which dataset build an artifact came from, and so a reload onto
+	// changed data is detectable.
+	FP1, FP2, AnchorsFP uint64
+	// Notation is the feature vector layout: the meta diagram notation
+	// set in extraction order, plus the trailing bias term. Weight
+	// vectors in the model section are parallel to it.
+	Notation []string
+	// Training configuration, recorded for provenance and for
+	// Predictor reconstruction.
+	Features   string // "full", "paths", "extended"
+	Strategy   string // "conflict", "random", "uncertainty"
+	Threshold  float64
+	Seed       int64
+	Budget     int
+	BatchSize  int
+	Partitions int
+	Rounds     int
+}
+
+// ShardModel is one partition's trained weight vector (parallel to
+// Meta.Notation), keyed by its Part.Index.
+type ShardModel struct {
+	Shard int
+	W     []float64
+}
+
+// Model is the model section: the primary weight vector for monolithic
+// runs (Shards empty), or one entry per shard for partitioned and
+// distributed runs (W empty).
+type Model struct {
+	W      []float64
+	Shards []ShardModel
+}
+
+// Match is one reconciled one-to-one matched pair. HasScore is false
+// when every partition scored the link NaN (the matching then came from
+// ground truth or an oracle answer).
+type Match struct {
+	I, J     int32
+	Score    float64
+	HasScore bool
+}
+
+// Candidate is one ranked counterpart suggestion.
+type Candidate struct {
+	Other int32
+	Score float64
+}
+
+// UserCandidates is one source user's top-k ranked candidate list. Net
+// is 1 (user indexes Users1, candidates Users2) or 2 (the reverse).
+type UserCandidates struct {
+	Net   uint8
+	User  int32
+	Items []Candidate
+}
+
+// candidates is the candidates section payload.
+type candidates struct {
+	TopK  int
+	Users []UserCandidates
+}
+
+// PoolLink is one candidate-pool link's final read-side record.
+type PoolLink struct {
+	I, J     int32
+	Label    float64
+	Score    float64
+	HasScore bool
+	Queried  bool
+}
+
+// QueriedLabel is one oracle interaction from the queried-label log.
+type QueriedLabel struct {
+	I, J  int32
+	Label float64
+}
+
+// Snapshot is a fully decoded artifact.
+type Snapshot struct {
+	Meta    Meta
+	Model   Model
+	Matches []Match
+	TopK    int
+	Cands   []UserCandidates
+	Pool    []PoolLink
+	Labels  []QueriedLabel
+}
+
+// NetworkFingerprint hashes a network's full structure — name, node
+// tables in registration order, link tables with every edge — with
+// FNV-64a over length-delimited primitives. Two structurally identical
+// networks fingerprint identically across processes (no gob type IDs,
+// no map iteration).
+func NetworkFingerprint(g *hetnet.Network) uint64 {
+	h := fnv.New64a()
+	var num [8]byte
+	writeInt := func(v int64) {
+		for i := 0; i < 8; i++ {
+			num[i] = byte(v >> (8 * i))
+		}
+		h.Write(num[:])
+	}
+	writeStr := func(s string) {
+		writeInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	writeStr(g.Name())
+	for _, t := range g.NodeTypes() {
+		writeStr(string(t))
+		n := g.NodeCount(t)
+		writeInt(int64(n))
+		for i := 0; i < n; i++ {
+			writeStr(g.NodeID(t, i))
+		}
+	}
+	for _, lt := range g.LinkTypes() {
+		src, dst, _ := g.LinkEndpoints(lt)
+		writeStr(string(lt))
+		writeStr(string(src))
+		writeStr(string(dst))
+		writeInt(int64(g.LinkCount(lt)))
+		g.Links(lt, func(from, to int) {
+			writeInt(int64(from))
+			writeInt(int64(to))
+		})
+	}
+	return h.Sum64()
+}
+
+// AnchorsFingerprint hashes a ground-truth anchor set in order.
+func AnchorsFingerprint(anchors []hetnet.Anchor) uint64 {
+	h := fnv.New64a()
+	var num [8]byte
+	writeInt := func(v int64) {
+		for i := 0; i < 8; i++ {
+			num[i] = byte(v >> (8 * i))
+		}
+		h.Write(num[:])
+	}
+	writeInt(int64(len(anchors)))
+	for _, a := range anchors {
+		writeInt(int64(a.I))
+		writeInt(int64(a.J))
+	}
+	return h.Sum64()
+}
+
+// DefaultTopK is the per-user candidate list depth built when the
+// builder is not told otherwise.
+const DefaultTopK = 10
+
+// Build assembles a snapshot from a trained alignment's read side. The
+// pair supplies provenance (names, user tables, fingerprints); meta's
+// zero-valued provenance fields are filled from it. Pool, matches and
+// labels may arrive in any order — Build canonicalizes: pool and labels
+// sort by (I, J), matches by I, and the per-user top-k candidate lists
+// (topK ≤ 0 means DefaultTopK) are derived from the score-bearing pool
+// links, ranked score-descending with index ties ascending.
+func Build(pair *hetnet.AlignedPair, meta Meta, model Model, pool []PoolLink, matches []Match, labels []QueriedLabel, topK int) (*Snapshot, error) {
+	if pair == nil {
+		return nil, fmt.Errorf("snapshot: nil pair")
+	}
+	if topK <= 0 {
+		topK = DefaultTopK
+	}
+	n1 := pair.G1.NodeCount(hetnet.User)
+	n2 := pair.G2.NodeCount(hetnet.User)
+	meta.Net1 = pair.G1.Name()
+	meta.Net2 = pair.G2.Name()
+	meta.Users1 = make([]string, n1)
+	for i := range meta.Users1 {
+		meta.Users1[i] = pair.G1.NodeID(hetnet.User, i)
+	}
+	meta.Users2 = make([]string, n2)
+	for j := range meta.Users2 {
+		meta.Users2[j] = pair.G2.NodeID(hetnet.User, j)
+	}
+	meta.FP1 = NetworkFingerprint(pair.G1)
+	meta.FP2 = NetworkFingerprint(pair.G2)
+	meta.AnchorsFP = AnchorsFingerprint(pair.Anchors)
+
+	s := &Snapshot{
+		Meta:    meta,
+		Model:   model,
+		Matches: append([]Match(nil), matches...),
+		TopK:    topK,
+		Pool:    append([]PoolLink(nil), pool...),
+		Labels:  append([]QueriedLabel(nil), labels...),
+	}
+	// Scoreless entries get a zero placeholder: the serving layer answers
+	// JSON, and NaN (the natural in-memory "no score") does not marshal.
+	for i := range s.Pool {
+		if !s.Pool[i].HasScore {
+			s.Pool[i].Score = 0
+		}
+	}
+	for i := range s.Matches {
+		if !s.Matches[i].HasScore {
+			s.Matches[i].Score = 0
+		}
+	}
+	sort.Slice(s.Pool, func(a, b int) bool {
+		if s.Pool[a].I != s.Pool[b].I {
+			return s.Pool[a].I < s.Pool[b].I
+		}
+		return s.Pool[a].J < s.Pool[b].J
+	})
+	sort.Slice(s.Matches, func(a, b int) bool { return s.Matches[a].I < s.Matches[b].I })
+	sort.Slice(s.Labels, func(a, b int) bool {
+		if s.Labels[a].I != s.Labels[b].I {
+			return s.Labels[a].I < s.Labels[b].I
+		}
+		return s.Labels[a].J < s.Labels[b].J
+	})
+	sort.Slice(s.Model.Shards, func(a, b int) bool { return s.Model.Shards[a].Shard < s.Model.Shards[b].Shard })
+	s.Cands = buildTopK(s.Pool, topK)
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildTopK derives the per-user ranked candidate lists from the
+// score-bearing pool links, both directions, capped at k each.
+func buildTopK(pool []PoolLink, k int) []UserCandidates {
+	by1 := make(map[int32][]Candidate)
+	by2 := make(map[int32][]Candidate)
+	for _, p := range pool {
+		if !p.HasScore {
+			continue
+		}
+		by1[p.I] = append(by1[p.I], Candidate{Other: p.J, Score: p.Score})
+		by2[p.J] = append(by2[p.J], Candidate{Other: p.I, Score: p.Score})
+	}
+	out := make([]UserCandidates, 0, len(by1)+len(by2))
+	emit := func(net uint8, m map[int32][]Candidate) {
+		users := make([]int32, 0, len(m))
+		for u := range m {
+			users = append(users, u)
+		}
+		sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
+		for _, u := range users {
+			items := m[u]
+			sort.Slice(items, func(a, b int) bool {
+				if items[a].Score != items[b].Score {
+					return items[a].Score > items[b].Score
+				}
+				return items[a].Other < items[b].Other
+			})
+			if len(items) > k {
+				items = items[:k]
+			}
+			out = append(out, UserCandidates{Net: net, User: u, Items: items})
+		}
+	}
+	emit(1, by1)
+	emit(2, by2)
+	return out
+}
+
+// validate checks internal consistency: index bounds against the user
+// tables, notation/weight dimension agreement.
+func (s *Snapshot) validate() error {
+	n1, n2 := int32(len(s.Meta.Users1)), int32(len(s.Meta.Users2))
+	checkPair := func(what string, i, j int32) error {
+		if i < 0 || i >= n1 || j < 0 || j >= n2 {
+			return fmt.Errorf("snapshot: %s (%d,%d) outside the %d×%d user tables", what, i, j, n1, n2)
+		}
+		return nil
+	}
+	for _, m := range s.Matches {
+		if err := checkPair("match", m.I, m.J); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.Pool {
+		if err := checkPair("pool link", p.I, p.J); err != nil {
+			return err
+		}
+	}
+	for _, l := range s.Labels {
+		if err := checkPair("queried label", l.I, l.J); err != nil {
+			return err
+		}
+	}
+	dim := len(s.Meta.Notation)
+	if len(s.Model.W) > 0 && len(s.Model.W) != dim {
+		return fmt.Errorf("snapshot: primary weight vector has %d entries for %d notation terms", len(s.Model.W), dim)
+	}
+	for _, sm := range s.Model.Shards {
+		if len(sm.W) != dim {
+			return fmt.Errorf("snapshot: shard %d weight vector has %d entries for %d notation terms", sm.Shard, len(sm.W), dim)
+		}
+	}
+	return nil
+}
+
+// end is the end-section payload: the artifact's integrity statement.
+type end struct {
+	Sections int
+	Checksum uint64
+}
+
+// Write serializes the snapshot. The byte stream is deterministic for
+// equal snapshots: every section is a slice-only gob document written
+// by a fresh encoder.
+func (s *Snapshot) Write(w io.Writer) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	sum := fnv.New64a()
+	sections := 0
+	writeSection := func(typ byte, payload any) error {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+			return fmt.Errorf("snapshot: encode section %d: %w", typ, err)
+		}
+		sum.Write(buf.Bytes())
+		sections++
+		if err := codec.WriteFrame(w, typ, buf.Bytes()); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		return nil
+	}
+	if err := writeSection(secMeta, &s.Meta); err != nil {
+		return err
+	}
+	if err := writeSection(secModel, &s.Model); err != nil {
+		return err
+	}
+	if err := writeSection(secMatches, &s.Matches); err != nil {
+		return err
+	}
+	if err := writeSection(secCandidates, &candidates{TopK: s.TopK, Users: s.Cands}); err != nil {
+		return err
+	}
+	if err := writeSection(secPool, &s.Pool); err != nil {
+		return err
+	}
+	if err := writeSection(secLabels, &s.Labels); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&end{Sections: sections, Checksum: sum.Sum64()}); err != nil {
+		return fmt.Errorf("snapshot: encode end section: %w", err)
+	}
+	if err := codec.WriteFrame(w, secEnd, buf.Bytes()); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// Read decodes and validates an artifact: sections must appear exactly
+// once in canonical order, the end checksum must match, and the decoded
+// content must pass the same consistency checks Write enforces. A
+// truncated stream (missing end frame) and a version-mismatched
+// artifact both fail with explicit errors.
+func Read(r io.Reader) (*Snapshot, error) {
+	s := &Snapshot{}
+	sum := fnv.New64a()
+	sections := 0
+	for _, want := range sectionOrder {
+		typ, body, err := codec.ReadFrame(r)
+		if err == io.EOF {
+			return nil, fmt.Errorf("snapshot: truncated artifact: stream ended before section %d", want)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		if typ != want {
+			return nil, fmt.Errorf("snapshot: section %d out of order (want %d)", typ, want)
+		}
+		sum.Write(body)
+		sections++
+		var into any
+		switch typ {
+		case secMeta:
+			into = &s.Meta
+		case secModel:
+			into = &s.Model
+		case secMatches:
+			into = &s.Matches
+		case secCandidates:
+			c := &candidates{}
+			if err := gob.NewDecoder(bytes.NewReader(body)).Decode(c); err != nil {
+				return nil, fmt.Errorf("snapshot: decode section %d: %w", typ, err)
+			}
+			s.TopK = c.TopK
+			s.Cands = c.Users
+			continue
+		case secPool:
+			into = &s.Pool
+		case secLabels:
+			into = &s.Labels
+		}
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(into); err != nil {
+			return nil, fmt.Errorf("snapshot: decode section %d: %w", typ, err)
+		}
+	}
+	typ, body, err := codec.ReadFrame(r)
+	if err == io.EOF {
+		return nil, fmt.Errorf("snapshot: truncated artifact: missing end section")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if typ != secEnd {
+		return nil, fmt.Errorf("snapshot: trailing section %d where the end frame belongs", typ)
+	}
+	var e end
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("snapshot: decode end section: %w", err)
+	}
+	if e.Sections != sections {
+		return nil, fmt.Errorf("snapshot: end frame claims %d sections, read %d", e.Sections, sections)
+	}
+	if got := sum.Sum64(); got != e.Checksum {
+		return nil, fmt.Errorf("snapshot: checksum mismatch: artifact is corrupt (got %016x, want %016x)", got, e.Checksum)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteFile writes the artifact to path atomically-enough for a serving
+// reload: the bytes go to a temp file in the same directory first, then
+// rename into place, so a reader never opens a half-written artifact.
+func (s *Snapshot) WriteFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	if err := s.Write(bw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// OpenFile reads and validates the artifact at path.
+func OpenFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}
