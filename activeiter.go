@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/activeiter/activeiter/internal/active"
 	"github.com/activeiter/activeiter/internal/core"
@@ -151,6 +152,26 @@ type Options struct {
 	// labels to the workers already holding the shard warm. ≤ 1 means
 	// the single-shot dispatch. The other aligners ignore it.
 	Rounds int
+	// ShardRetries (DistributedAligner only) is how many times a failed
+	// shard is re-dispatched on a fresh connection — with capped
+	// exponential backoff — before the shard degrades to the in-process
+	// fallback. 0 means the default (2); negative disables retries.
+	ShardRetries int
+	// ShardTimeout (DistributedAligner only) bounds one shard attempt
+	// end to end; a worker hung past it converts into a retryable
+	// failure. 0 means the default (2 minutes); negative disables
+	// per-shard deadlines.
+	ShardTimeout time.Duration
+	// HedgeAfter (DistributedAligner only), when positive, enables
+	// straggler hedging: a shard in flight longer than
+	// max(HedgeAfter, 2×P90 of completed shards) is raced on a second
+	// connection and the first finish wins. Zero disables hedging.
+	HedgeAfter time.Duration
+	// NoFallback (DistributedAligner only) disables graceful
+	// degradation: by default a shard that exhausts its transport
+	// retries runs in-process over a private loopback worker instead of
+	// aborting the run (see DistributedMetrics.Fallbacks).
+	NoFallback bool
 }
 
 // Ptr wraps a value for the pointer-typed option fields (e.g.
@@ -177,6 +198,8 @@ func (o Options) validate() error {
 		return fmt.Errorf("activeiter: negative Workers %d (use 0 for the GOMAXPROCS default)", o.Workers)
 	case o.Rounds < 0:
 		return fmt.Errorf("activeiter: negative Rounds %d (use 0 or 1 for single-shot dispatch)", o.Rounds)
+	case o.HedgeAfter < 0:
+		return fmt.Errorf("activeiter: negative HedgeAfter %v (use 0 to disable hedging)", o.HedgeAfter)
 	}
 	if o.Threshold != nil && (math.IsNaN(*o.Threshold) || math.IsInf(*o.Threshold, 0)) {
 		return fmt.Errorf("activeiter: non-finite Threshold %v", *o.Threshold)

@@ -20,6 +20,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	activeiter "github.com/activeiter/activeiter"
 )
@@ -57,7 +59,20 @@ func main() {
 	}
 	if *workerListen != "" {
 		fmt.Fprintf(os.Stderr, "activeiter: worker listening on %s\n", *workerListen)
-		fatal(activeiter.ListenAndServeWorker(*workerListen))
+		// A long-lived worker dies by operator signal far more often than
+		// by listener failure; turn SIGINT/SIGTERM into a clean exit so
+		// process supervisors see an orderly shutdown, not a crash.
+		errc := make(chan error, 1)
+		go func() { errc <- activeiter.ListenAndServeWorker(*workerListen) }()
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		select {
+		case err := <-errc:
+			fatal(err)
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "activeiter: %v: worker listener shutting down\n", s)
+		}
+		return
 	}
 
 	pair, err := loadPair(*dataFile, *preset)

@@ -9,7 +9,8 @@
 //	GET  /v1/candidates/{net}/{user}?k=5 top-k ranked candidates
 //	POST /v1/score                       {"i","j"} pool lookup, or {"features"[,"shard"]} rescore
 //	POST /v1/reload                      atomic snapshot swap ({"path"} optional)
-//	GET  /healthz                        liveness
+//	GET  /healthz                        liveness (always 200 while the process runs)
+//	GET  /readyz                         readiness (503 until a snapshot serves and the last reload succeeded)
 //	GET  /statusz                        provenance + per-endpoint QPS/latency
 //
 // Reload is zero-downtime: the new artifact is decoded and indexed off
@@ -49,6 +50,9 @@ type config struct {
 	defaultK        int
 	check           bool
 	allowReloadPath bool
+	readTimeout     time.Duration
+	writeTimeout    time.Duration
+	idleTimeout     time.Duration
 }
 
 // parseFlags validates the command line into a config. Errors are
@@ -62,6 +66,9 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.IntVar(&cfg.defaultK, "k", 10, "default candidate-list depth when a request has no ?k=")
 	fs.BoolVar(&cfg.check, "check", false, "load and validate the snapshot, print a summary, and exit without serving")
 	fs.BoolVar(&cfg.allowReloadPath, "allow-reload-path", false, "let /v1/reload bodies name an arbitrary artifact path (off by default: the endpoint is unauthenticated, so only -snapshot's path may be re-opened)")
+	fs.DurationVar(&cfg.readTimeout, "read-timeout", 10*time.Second, "HTTP read timeout per request (headers + body); a slow-loris client cannot pin a connection past it (0 disables)")
+	fs.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "HTTP write timeout per response (0 disables)")
+	fs.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -73,6 +80,13 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	}
 	if cfg.defaultK < 0 {
 		return nil, fmt.Errorf("negative -k %d", cfg.defaultK)
+	}
+	for name, d := range map[string]time.Duration{
+		"read-timeout": cfg.readTimeout, "write-timeout": cfg.writeTimeout, "idle-timeout": cfg.idleTimeout,
+	} {
+		if d < 0 {
+			return nil, fmt.Errorf("negative -%s %v (use 0 to disable)", name, d)
+		}
 	}
 	return cfg, nil
 }
@@ -117,7 +131,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", cfg.listen, err)
 	}
-	srv := &http.Server{Handler: handler}
+	// Server-side timeouts: a serving daemon exposed to arbitrary
+	// clients must not let one slow (or stuck) connection hold resources
+	// forever.
+	srv := &http.Server{
+		Handler:      handler,
+		ReadTimeout:  cfg.readTimeout,
+		WriteTimeout: cfg.writeTimeout,
+		IdleTimeout:  cfg.idleTimeout,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

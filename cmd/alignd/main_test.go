@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/activeiter/activeiter/internal/hetnet"
 	"github.com/activeiter/activeiter/internal/snapshot"
@@ -84,6 +85,9 @@ func TestFlagValidation(t *testing.T) {
 		{"version mismatch", []string{"-snapshot", versionBumped, "-check"}, "version mismatch"},
 		{"bad listen address", []string{"-snapshot", good, "-listen", "256.256.256.256:http"}, "listen"},
 		{"negative k", []string{"-snapshot", good, "-k", "-2", "-check"}, "negative -k"},
+		{"negative read timeout", []string{"-snapshot", good, "-read-timeout", "-1s", "-check"}, "negative -read-timeout"},
+		{"negative write timeout", []string{"-snapshot", good, "-write-timeout", "-5ms", "-check"}, "negative -write-timeout"},
+		{"negative idle timeout", []string{"-snapshot", good, "-idle-timeout", "-1m", "-check"}, "negative -idle-timeout"},
 		{"stray arguments", []string{"-snapshot", good, "stray"}, "unexpected arguments"},
 		{"unknown flag", []string{"-snapshot", good, "-frobnicate"}, "not defined"},
 	}
@@ -107,6 +111,25 @@ func TestFlagValidation(t *testing.T) {
 	}
 	if err == nil || !strings.Contains(err.Error(), "different release") {
 		t.Errorf("version-mismatch error lacks remediation: %v", err)
+	}
+}
+
+// TestTimeoutFlagParsing: the server-timeout flags default on (a public
+// daemon should not ship timeout-less) and 0 explicitly disables.
+func TestTimeoutFlagParsing(t *testing.T) {
+	cfg, err := parseFlags([]string{"-snapshot", "x.snap"}, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.readTimeout != 10*time.Second || cfg.writeTimeout != 30*time.Second || cfg.idleTimeout != 2*time.Minute {
+		t.Errorf("defaults = read %v write %v idle %v", cfg.readTimeout, cfg.writeTimeout, cfg.idleTimeout)
+	}
+	cfg, err = parseFlags([]string{"-snapshot", "x.snap", "-read-timeout", "0", "-write-timeout", "1m", "-idle-timeout", "0"}, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.readTimeout != 0 || cfg.writeTimeout != time.Minute || cfg.idleTimeout != 0 {
+		t.Errorf("overrides = read %v write %v idle %v", cfg.readTimeout, cfg.writeTimeout, cfg.idleTimeout)
 	}
 }
 

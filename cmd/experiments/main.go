@@ -31,6 +31,7 @@ type overrides struct {
 	partitions     int
 	distribWorkers int
 	distribRounds  int
+	distribChaos   int64
 	set            map[string]bool // flag name → explicitly set
 }
 
@@ -71,6 +72,9 @@ func (o overrides) distributedConfig(workerCmd string) experiments.DistributedCo
 	if o.set["distrib-rounds"] {
 		cfg.Rounds = o.distribRounds
 	}
+	if o.set["distrib-chaos"] {
+		cfg.ChaosSeed = o.distribChaos
+	}
 	if workerCmd != "" {
 		cfg.WorkerCmd = workerCmd
 		cfg.WorkerArgs = []string{"-worker"}
@@ -87,6 +91,7 @@ func main() {
 	distribWorkers := flag.Int("distrib-workers", 0, "distributed experiment: concurrent shard workers (0 = preset default)")
 	distribWorkerCmd := flag.String("distrib-worker-cmd", "", "distributed experiment: worker binary to spawn per connection (runs with -worker; empty = in-process loopback transport only)")
 	distribRounds := flag.Int("distrib-rounds", 0, "distributed experiment: split the budget across this many sticky-session retrain rounds (≤1 = single-shot dispatch); adds full-reship and delta-shipping session modes")
+	distribChaos := flag.Int64("distrib-chaos", 0, "distributed experiment: add a fault-injected loopback mode seeded with this value (refused dials, mid-frame drops, corruption, crashes); the alignment must match the healthy modes, with the retries/fallbacks columns showing the recovery work (0 = off)")
 	saveSnapshot := flag.String("save-snapshot", "", "train one alignment on the preset (facade chosen by -partitions/-distrib-* flags) and persist it as a serving artifact at this path instead of running experiments (serve it with alignd)")
 	flag.Parse()
 
@@ -94,7 +99,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ov := overrides{workers: *workers, seed: *seed, partitions: *partitions, distribWorkers: *distribWorkers, distribRounds: *distribRounds, set: map[string]bool{}}
+	ov := overrides{workers: *workers, seed: *seed, partitions: *partitions, distribWorkers: *distribWorkers, distribRounds: *distribRounds, distribChaos: *distribChaos, set: map[string]bool{}}
 	flag.Visit(func(f *flag.Flag) { ov.set[f.Name] = true })
 	if err := ov.validate(); err != nil {
 		fatal(err)

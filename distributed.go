@@ -118,10 +118,7 @@ func (da *DistributedAligner) Align(trainPos, candidates []Anchor, oracle Oracle
 	}
 	coord := &distrib.Coordinator{
 		Transport: da.transport,
-		Opts: distrib.Options{
-			Train:   da.opts.trainConfig(),
-			Workers: da.opts.Workers,
-		},
+		Opts:      da.opts.distribOptions(),
 	}
 	res, metrics, err := coord.Run(da.pair, plan, oracle)
 	if err != nil {
@@ -138,10 +135,7 @@ func (da *DistributedAligner) Align(trainPos, candidates []Anchor, oracle Oracle
 // Reports accumulate one entry per shard per round, so QueryCount spans
 // the whole session's oracle spend, matching the single-shot contract.
 func (da *DistributedAligner) alignSession(plan *partition.Plan, oracle Oracle) (*PartitionedResult, error) {
-	sess, err := distrib.NewSession(da.transport, da.pair, distrib.Options{
-		Train:   da.opts.trainConfig(),
-		Workers: da.opts.Workers,
-	})
+	sess, err := distrib.NewSession(da.transport, da.pair, da.opts.distribOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -168,6 +162,20 @@ func (da *DistributedAligner) alignSession(plan *partition.Plan, oracle Oracle) 
 // Metrics returns the transport audit of the last Align call (nil
 // before the first).
 func (da *DistributedAligner) Metrics() *DistributedMetrics { return da.metrics }
+
+// distribOptions maps the facade options onto the coordinator's,
+// carrying the fault-tolerance knobs (retries, deadlines, hedging,
+// degradation) alongside the training configuration.
+func (o Options) distribOptions() distrib.Options {
+	return distrib.Options{
+		Train:        o.trainConfig(),
+		Workers:      o.Workers,
+		Retries:      o.ShardRetries,
+		ShardTimeout: o.ShardTimeout,
+		HedgeAfter:   o.HedgeAfter,
+		NoFallback:   o.NoFallback,
+	}
+}
 
 // trainConfig flattens the options into the wire-safe training
 // configuration workers receive.

@@ -204,4 +204,58 @@ func TestOptionsRoundsValidation(t *testing.T) {
 	if _, err := NewDistributed(pair, Options{Rounds: -1}, NewLoopbackTransport()); err == nil {
 		t.Error("negative Rounds accepted")
 	}
+	if _, err := NewDistributed(pair, Options{HedgeAfter: -1}, NewLoopbackTransport()); err == nil {
+		t.Error("negative HedgeAfter accepted")
+	}
+}
+
+// unreachableTransport models a fully-down fabric at the facade level.
+type unreachableTransport struct{}
+
+func (unreachableTransport) Dial() (io.ReadWriteCloser, error) {
+	return nil, fmt.Errorf("dial: network unreachable")
+}
+
+// TestDistributedFallbackKnobs: with the transport fully down, the
+// default options degrade every shard to the in-process path and still
+// produce the partitioned reference alignment — and NoFallback turns
+// the same situation into a hard error.
+func TestDistributedFallbackKnobs(t *testing.T) {
+	pair, trainPos, testPos, neg := testFixture(t)
+	candidates := append(append([]Anchor{}, testPos...), neg...)
+	pool := append(append([]Anchor{}, trainPos...), candidates...)
+	opts := Options{Budget: 10, Seed: 3, Partitions: 3, Workers: 2, ShardRetries: -1}
+	oracle := NewTruthOracle(pair)
+
+	ref, err := NewPartitioned(pair, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Align(trainPos, candidates, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	da, err := NewDistributed(pair, opts, unreachableTransport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := da.Align(trainPos, candidates, oracle)
+	if err != nil {
+		t.Fatalf("dead transport should degrade, not fail: %v", err)
+	}
+	assertSameAsPartitioned(t, got, want, pool)
+	m := da.Metrics()
+	if m == nil || m.Fallbacks != opts.Partitions {
+		t.Errorf("Fallbacks = %+v, want %d degraded shards", m, opts.Partitions)
+	}
+
+	opts.NoFallback = true
+	da, err = NewDistributed(pair, opts, unreachableTransport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := da.Align(trainPos, candidates, oracle); err == nil {
+		t.Error("NoFallback over a dead transport should fail the run")
+	}
 }

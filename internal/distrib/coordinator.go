@@ -3,7 +3,9 @@ package distrib
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,9 +23,31 @@ type Options struct {
 	// min(shards, GOMAXPROCS).
 	Workers int
 	// Retries is how many times a failed shard is re-dispatched on a
-	// fresh connection before the run aborts; default 2. Negative
-	// disables retries.
+	// fresh connection before the run degrades (or aborts, with
+	// NoFallback); default 2. Negative disables retries.
 	Retries int
+	// ShardTimeout bounds one shard attempt end to end — job write,
+	// oracle round-trips, Done frame. A hung worker converts into a
+	// retryable error instead of stalling the run forever: conns with
+	// deadline support (TCP, loopback pipes) get read/write deadlines,
+	// anything else (subprocess stdio) gets a watchdog timer that
+	// force-closes the conn. Zero means defaultShardTimeout; negative
+	// disables deadlines.
+	ShardTimeout time.Duration
+	// HedgeAfter, when positive, enables straggler hedging: a shard
+	// in flight longer than max(HedgeAfter, 2×P90 of completed shard
+	// durations) is re-dispatched to a second connection, the first Done
+	// wins, and the loser is cancelled (Cancel frame, then close). Zero
+	// disables hedging.
+	HedgeAfter time.Duration
+	// NoFallback disables graceful degradation. By default a shard whose
+	// retry budget is exhausted — or that can never dispatch because the
+	// transport is down — runs in-process over a private loopback worker
+	// instead of aborting the run; the fallback shows up in
+	// Metrics.Fallbacks and the per-shard Fallback flag. Bit-parity is
+	// by construction: the loopback worker runs the identical
+	// partition.PreparePart+Train path as a remote one.
+	NoFallback bool
 	// NoExtract ships every shard with the full pair (identity maps)
 	// instead of its extracted neighborhood — the bytes-on-wire baseline
 	// and the fallback for schemas ExtractShard refuses.
@@ -54,6 +78,12 @@ type ShardMetrics struct {
 	// JobRef attempt it includes both the JobRef and the fallback Job.
 	CacheHit    bool
 	DeltaLabels int
+	// Fallback reports the shard's result came from the in-process
+	// degradation path, not the transport.
+	Fallback bool
+	// Hedged reports a straggler hedge was dispatched for this shard
+	// (whether or not the hedge won).
+	Hedged bool
 }
 
 // Metrics is a run's transport audit: what crossed the wire. For a
@@ -76,6 +106,12 @@ type Metrics struct {
 	// re-ship.
 	CacheHits   int
 	CacheMisses int
+	// Fallbacks counts shards that degraded to the in-process loopback
+	// path after exhausting their transport retry budget.
+	Fallbacks int
+	// Hedges counts straggler hedge dispatches (duplicate attempts, not
+	// necessarily winners).
+	Hedges int
 }
 
 // add folds a per-shard or per-round tally into the receiver (used for
@@ -89,6 +125,8 @@ func (m *Metrics) add(o *Metrics) {
 	m.Retries += o.Retries
 	m.CacheHits += o.CacheHits
 	m.CacheMisses += o.CacheMisses
+	m.Fallbacks += o.Fallbacks
+	m.Hedges += o.Hedges
 }
 
 // Coordinator dispatches shard jobs over a transport and reconciles the
@@ -132,6 +170,47 @@ type shardResult struct {
 	refBytes  int64     // JobRef frame bytes written (sessions; hit or missed attempt)
 	readBytes int64
 	extracted bool
+	fallback  bool // produced by the in-process degradation path
+}
+
+// Retry/deadline defaults shared by Coordinator and Session.
+const (
+	// defaultShardTimeout is the per-attempt deadline when
+	// Options.ShardTimeout is zero — generous against real shard
+	// training, tight against a genuinely hung worker.
+	defaultShardTimeout = 2 * time.Minute
+	// retryBackoffBase/retryBackoffCap shape the capped exponential
+	// backoff between a shard's attempts: base×2ⁿ, jittered ±50%, capped.
+	// Backoff sleeps happen in the retrying worker slot, which is the
+	// point — a flapping transport must not be hammered full-speed by
+	// every slot at once.
+	retryBackoffBase = 10 * time.Millisecond
+	retryBackoffCap  = 1 * time.Second
+)
+
+// armDeadline bounds every I/O on conn for the next d: conns with real
+// deadline support (net.Conn — TCP, loopback pipes) get read/write
+// deadlines, which surface as timeout errors at the blocked call;
+// everything else (subprocess stdio) gets a watchdog timer that
+// force-closes the conn, which surfaces as a closed-pipe error. Either
+// way a hung worker becomes a retryable shard failure instead of a
+// stalled run. The returned disarm must be called when the attempt
+// finishes; d ≤ 0 disables.
+func armDeadline(conn io.ReadWriteCloser, d time.Duration) (disarm func()) {
+	if d <= 0 {
+		return func() {}
+	}
+	if dc, can := conn.(deadlineConn); can {
+		t := time.Now().Add(d)
+		if dc.SetReadDeadline(t) == nil && dc.SetWriteDeadline(t) == nil {
+			return func() {
+				dc.SetReadDeadline(time.Time{})
+				dc.SetWriteDeadline(time.Time{})
+			}
+		}
+	}
+	timer := time.AfterFunc(d, func() { conn.Close() })
+	return func() { timer.Stop() }
 }
 
 // Run executes every shard of the plan on remote workers and merges
@@ -175,22 +254,45 @@ func (c *Coordinator) Run(pair *hetnet.AlignedPair, plan *partition.Plan, oracle
 	} else if retries < 0 {
 		retries = 0
 	}
+	shardTimeout := c.Opts.ShardTimeout
+	if shardTimeout == 0 {
+		shardTimeout = defaultShardTimeout
+	} else if shardTimeout < 0 {
+		shardTimeout = 0
+	}
 
 	run := &runState{
-		coord:    c,
-		pair:     pair,
-		plan:     plan,
-		oracle:   oracle,
-		jobs:     make(chan int, k*(retries+1)),
-		attempts: make([]int, k),
-		retries:  retries,
-		results:  make([]*shardResult, k),
-		merger:   partition.NewMerger(),
+		coord: c,
+		pair:  pair,
+		plan:  plan,
+		// Worst-case enqueues per shard: the initial dispatch, one
+		// requeue per retry, one hedge duplicate, one fallback dispatch —
+		// sized so no enqueue under the state mutex can ever block.
+		oracle:       oracle,
+		jobs:         make(chan int, k*(retries+4)),
+		attempts:     make([]int, k),
+		inflight:     make([]int, k),
+		started:      make([]time.Time, k),
+		done:         make([]bool, k),
+		hedged:       make([]bool, k),
+		fellBack:     make([]bool, k),
+		active:       make(map[int][]io.ReadWriteCloser, k),
+		retries:      retries,
+		shardTimeout: shardTimeout,
+		results:      make([]*shardResult, k),
+		merger:       partition.NewMerger(),
+		sleep:        time.Sleep,
+		jitter:       rand.New(rand.NewSource(c.Opts.Train.Seed ^ 0x5DEECE66D)),
 	}
 	for i := 0; i < k; i++ {
 		run.jobs <- i
 	}
 	run.outstanding = k
+
+	if c.Opts.HedgeAfter > 0 {
+		run.stopHedge = make(chan struct{})
+		go run.hedgeMonitor(c.Opts.HedgeAfter)
+	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -201,34 +303,55 @@ func (c *Coordinator) Run(pair *hetnet.AlignedPair, plan *partition.Plan, oracle
 		}()
 	}
 	wg.Wait()
-	if run.err != nil {
-		return nil, nil, run.err
-	}
 
-	metrics := &Metrics{Retries: run.totalRetries}
+	metrics := run.buildMetrics()
+	if run.err != nil {
+		// The error still carries metrics: a caller diagnosing an aborted
+		// run needs the attempt counts and retry totals of the shards
+		// that failed, not just the ones that made it.
+		return nil, metrics, run.err
+	}
 	var reports []partition.PartReport
 	weights := make(map[int][]float64, len(run.results))
 	for i, sr := range run.results {
 		if sr == nil {
-			return nil, nil, fmt.Errorf("distrib: shard %d never completed", i)
+			return nil, metrics, fmt.Errorf("distrib: shard %d never completed", i)
 		}
 		reports = append(reports, sr.report)
 		weights[plan.Parts[i].Index] = sr.weights
-		metrics.Shards = append(metrics.Shards, ShardMetrics{
-			Shard:     plan.Parts[i].Index,
-			JobBytes:  sr.jobBytes,
-			Attempts:  run.attempts[i],
-			Extracted: sr.extracted,
-		})
-		metrics.JobBytes += sr.jobBytes
-		metrics.ResultBytes += sr.readBytes
 	}
-	metrics.Queries = int(run.queries.Load())
 	res := run.merger.Finish()
 	res.Reports = reports
 	res.ShardWeights = weights
 	res.Elapsed = time.Since(start)
 	return res, metrics, nil
+}
+
+// buildMetrics assembles the run's transport audit. Safe to call after
+// the worker loops exit (no concurrent mutation); on an aborted run the
+// per-shard entries of failed shards carry their final attempt counts
+// with zero byte tallies.
+func (r *runState) buildMetrics() *Metrics {
+	m := &Metrics{Retries: r.totalRetries, Fallbacks: r.totalFallbacks, Hedges: r.totalHedges}
+	for i, sr := range r.results {
+		sm := ShardMetrics{
+			Shard:    r.plan.Parts[i].Index,
+			Attempts: r.attempts[i],
+			Hedged:   r.hedged[i],
+		}
+		if sr != nil {
+			sm.JobBytes = sr.jobBytes
+			sm.Extracted = sr.extracted
+			sm.Fallback = sr.fallback
+			m.JobBytes += sr.jobBytes
+			m.ResultBytes += sr.readBytes
+		} else {
+			sm.Fallback = r.fellBack[i]
+		}
+		m.Shards = append(m.Shards, sm)
+	}
+	m.Queries = int(r.queries.Load())
+	return m
 }
 
 // runState is the shared dispatch state of one Run.
@@ -238,8 +361,11 @@ type runState struct {
 	plan   *partition.Plan
 	oracle active.Oracle
 
-	jobs    chan int
-	retries int
+	jobs         chan int
+	retries      int
+	shardTimeout time.Duration
+	stopHedge    chan struct{} // non-nil when hedging; closed by finish
+	sleep        func(time.Duration)
 
 	oracleMu sync.Mutex // serializes oracle access across connections
 	// queries counts every oracle round-trip actually answered —
@@ -248,28 +374,45 @@ type runState struct {
 	// really consulted.
 	queries atomic.Int64
 
-	mu           sync.Mutex
-	attempts     []int
-	results      []*shardResult
-	merger       *partition.Merger // commits stream in as shards finish
-	outstanding  int
-	totalRetries int
-	err          error
-	closed       bool
+	mu       sync.Mutex
+	attempts []int
+	inflight []int       // concurrent attempts per shard (hedging)
+	started  []time.Time // earliest running attempt's start, zero when idle
+	done     []bool      // committed — late duplicates are discarded
+	hedged   []bool      // a hedge was dispatched (one per shard, ever)
+	fellBack []bool      // the in-process fallback was dispatched
+	// active tracks every live attempt's connection per shard so the
+	// winning attempt can cancel the losers.
+	active         map[int][]io.ReadWriteCloser
+	durations      []time.Duration // committed shard durations, for the hedge percentile
+	results        []*shardResult
+	merger         *partition.Merger // commits stream in as shards finish
+	outstanding    int
+	totalRetries   int
+	totalFallbacks int
+	totalHedges    int
+	jitter         *rand.Rand // seeded backoff jitter, guarded by mu
+	err            error
+	closed         bool
 }
 
-// finish closes the job channel exactly once so worker loops drain.
+// finish closes the job channel exactly once so worker loops drain, and
+// stops the hedge monitor. Callers hold r.mu.
 func (r *runState) finish() {
 	if !r.closed {
 		r.closed = true
 		close(r.jobs)
+		if r.stopHedge != nil {
+			close(r.stopHedge)
+		}
 	}
 }
 
 // workerLoop owns one (lazily dialed) connection and executes queued
 // shards on it until the queue closes. A shard failure burns the
-// connection — the next shard dials fresh — and requeues the shard
-// until its attempt budget runs out, which aborts the whole run.
+// connection — the next shard dials fresh — and requeues the shard with
+// backoff until its attempt budget runs out, which degrades the shard
+// to the in-process fallback (or aborts the run under NoFallback).
 func (r *runState) workerLoop() {
 	var conn io.ReadWriteCloser
 	defer func() {
@@ -279,48 +422,210 @@ func (r *runState) workerLoop() {
 	}()
 	for shard := range r.jobs {
 		r.mu.Lock()
-		if r.err != nil {
+		if r.err != nil || r.done[shard] {
+			// Aborted run, or a hedged duplicate whose twin already
+			// committed: drain without executing.
 			r.mu.Unlock()
-			continue // aborted: drain the queue without executing
+			continue
 		}
 		r.attempts[shard]++
+		attempt := r.attempts[shard]
+		isFallback := r.fellBack[shard]
+		// A duplicate picked up while its twin is still running is a
+		// hedge — dispatch immediately; a retry of a dead attempt backs
+		// off first (capped exponential + jitter) so a flapping transport
+		// is probed, not hammered.
+		var delay time.Duration
+		if r.inflight[shard] == 0 && attempt > 1 && !isFallback {
+			delay = r.backoff(attempt - 1)
+		}
+		if r.inflight[shard] == 0 {
+			r.started[shard] = time.Now()
+		}
+		r.inflight[shard]++
 		r.mu.Unlock()
 
-		if conn == nil {
-			var err error
-			conn, err = r.dial()
-			if err != nil {
-				r.fail(shard, err)
-				continue
+		if delay > 0 {
+			r.sleep(delay)
+		}
+
+		var sr *shardResult
+		var err error
+		if isFallback {
+			sr, err = r.runInProcess(shard)
+		} else {
+			if conn == nil {
+				conn, err = r.dialVia(r.coord.Transport)
+			}
+			if err == nil {
+				r.track(shard, conn)
+				sr, err = r.runShard(conn, shard)
+				r.untrack(shard, conn)
+				r.reportHealth(conn, err == nil)
+				if err != nil {
+					conn.Close()
+					conn = nil
+				}
 			}
 		}
-		sr, err := r.runShard(conn, shard)
+
+		r.mu.Lock()
+		r.inflight[shard]--
+		if r.inflight[shard] == 0 {
+			r.started[shard] = time.Time{}
+		}
+		r.mu.Unlock()
 		if err != nil {
-			conn.Close()
-			conn = nil
 			r.fail(shard, err)
 			continue
 		}
-		r.mu.Lock()
-		// Commit is transactional per shard: the votes only reach the
-		// merger once the Done frame proved the stream complete, so a
-		// retried shard never double-votes.
-		for _, v := range sr.votes {
-			r.merger.Add(v)
+		r.commit(shard, sr)
+	}
+}
+
+// track registers an attempt's connection so a winning hedge twin can
+// cancel it; untrack removes it when the attempt ends on its own.
+func (r *runState) track(shard int, conn io.ReadWriteCloser) {
+	r.mu.Lock()
+	r.active[shard] = append(r.active[shard], conn)
+	r.mu.Unlock()
+}
+
+func (r *runState) untrack(shard int, conn io.ReadWriteCloser) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	live := r.active[shard][:0]
+	for _, c := range r.active[shard] {
+		if c != conn {
+			live = append(live, c)
 		}
-		sr.votes = nil
-		r.results[shard] = sr
-		r.outstanding--
-		if r.outstanding == 0 {
-			r.finish()
+	}
+	r.active[shard] = live
+}
+
+// reportHealth attributes an attempt's outcome to its worker when both
+// the conn and the transport support identification — the TCP
+// transport's quarantine feed. Optional-interface probing keeps the
+// Transport contract at one method.
+func (r *runState) reportHealth(conn io.ReadWriteCloser, ok bool) {
+	wc, canID := conn.(interface{ WorkerID() string })
+	hr, canReport := r.coord.Transport.(interface{ ReportWorker(string, bool) })
+	if canID && canReport {
+		if id := wc.WorkerID(); id != "" {
+			hr.ReportWorker(id, ok)
+		}
+	}
+}
+
+// backoff returns the retry delay before attempt n+1; callers hold r.mu
+// (which also guards the RNG).
+func (r *runState) backoff(n int) time.Duration {
+	return backoffDelay(r.jitter, n)
+}
+
+// backoffDelay is the jittered, capped exponential delay before retry n
+// (n ≥ 1): base×2ⁿ⁻¹ scaled by a uniform [0.5, 1.5) factor from the
+// seeded RNG — retries spread out deterministically for a fixed seed.
+// The caller guards the RNG.
+func backoffDelay(rng *rand.Rand, n int) time.Duration {
+	d := retryBackoffBase << uint(n-1)
+	if d > retryBackoffCap || d <= 0 {
+		d = retryBackoffCap
+	}
+	return time.Duration(float64(d) * (0.5 + rng.Float64()))
+}
+
+// commit folds a completed attempt into the merged result. Commit is
+// transactional per shard: the votes only reach the merger once the
+// Done frame proved the stream complete, so a retried shard never
+// double-votes — and with hedging, only the FIRST completed attempt
+// commits; the loser's result is discarded and its connection cancelled.
+func (r *runState) commit(shard int, sr *shardResult) {
+	r.mu.Lock()
+	if r.done[shard] {
+		r.mu.Unlock()
+		return
+	}
+	r.done[shard] = true
+	for _, v := range sr.votes {
+		r.merger.Add(v)
+	}
+	sr.votes = nil
+	r.results[shard] = sr
+	if t0 := r.started[shard]; !t0.IsZero() {
+		r.durations = append(r.durations, time.Since(t0))
+	}
+	// Losing twins (the attempt registry minus nobody — the winner
+	// untracked itself before committing) get a Cancel frame and a
+	// close, off-lock: a worker blocked on an oracle answer aborts
+	// promptly, one deep in training notices at its next write.
+	losers := append([]io.ReadWriteCloser(nil), r.active[shard]...)
+	r.outstanding--
+	if r.outstanding == 0 {
+		r.finish()
+	}
+	partIndex := r.plan.Parts[shard].Index
+	r.mu.Unlock()
+	for _, c := range losers {
+		go func(c io.ReadWriteCloser) {
+			_ = WriteFrame(c, FrameCancel, &Cancel{Shard: partIndex})
+			c.Close()
+		}(c)
+	}
+}
+
+// hedgeMonitor watches for stragglers: a shard whose sole attempt has
+// been in flight longer than the hedge threshold is re-enqueued once,
+// so a second worker races it. The threshold adapts — twice the P90 of
+// completed shard durations, floored at hedgeAfter — because "straggler"
+// only means something relative to how long shards actually take.
+func (r *runState) hedgeMonitor(hedgeAfter time.Duration) {
+	period := hedgeAfter / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stopHedge:
+			return
+		case <-tick.C:
+		}
+		r.mu.Lock()
+		threshold := hedgeAfter
+		if n := len(r.durations); n >= 3 {
+			sorted := append([]time.Duration(nil), r.durations...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			if p90 := 2 * sorted[n*9/10]; p90 > threshold {
+				threshold = p90
+			}
+		}
+		for shard, t0 := range r.started {
+			if t0.IsZero() || r.done[shard] || r.hedged[shard] || r.inflight[shard] != 1 || r.closed {
+				continue
+			}
+			if time.Since(t0) >= threshold {
+				r.hedged[shard] = true
+				r.totalHedges++
+				r.jobs <- shard
+			}
 		}
 		r.mu.Unlock()
 	}
 }
 
-// dial opens and handshakes a connection.
-func (r *runState) dial() (io.ReadWriteCloser, error) {
-	conn, err := r.coord.Transport.Dial()
+// dialVia opens and handshakes a connection over the given transport
+// (the run's own, or the private loopback of the fallback path).
+func (r *runState) dialVia(t Transport) (io.ReadWriteCloser, error) {
+	return dialWorker(t)
+}
+
+// dialWorker opens and handshakes a worker connection — the shared
+// coordinator-speaks-first protocol of single-shot runs, sessions, and
+// the fallback path.
+func dialWorker(t Transport) (io.ReadWriteCloser, error) {
+	conn, err := t.Dial()
 	if err != nil {
 		return nil, err
 	}
@@ -335,12 +640,15 @@ func (r *runState) dial() (io.ReadWriteCloser, error) {
 	return conn, nil
 }
 
-// fail requeues the shard or aborts the run when its attempts are
-// spent.
+// fail requeues the shard, degrades it to the in-process fallback when
+// its transport attempts are spent, or aborts the run when even the
+// fallback failed (or NoFallback forbids it).
 func (r *runState) fail(shard int, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed {
+	if r.closed || r.done[shard] {
+		// Run already over, or a cancelled hedge loser reporting the
+		// conn its winner closed — nothing to recover.
 		return
 	}
 	if r.attempts[shard] <= r.retries {
@@ -348,16 +656,46 @@ func (r *runState) fail(shard int, err error) {
 		r.jobs <- shard
 		return
 	}
+	if !r.coord.Opts.NoFallback && !r.fellBack[shard] {
+		// Degradation ladder's last rung: the transport gave up on this
+		// shard, so run it in-process over a private loopback worker —
+		// the identical partition.PreparePart+Train path, so the merged
+		// result is bit-identical to a healthy run's.
+		r.fellBack[shard] = true
+		r.totalFallbacks++
+		r.jobs <- shard
+		return
+	}
 	r.err = fmt.Errorf("distrib: shard %d failed after %d attempts: %w", shard, r.attempts[shard], err)
 	r.finish()
 }
 
-// runShard ships one job and consumes its frame stream to completion.
+// runInProcess executes the shard over a private loopback transport —
+// graceful degradation when the real transport is down or the shard
+// exhausted its retries.
+func (r *runState) runInProcess(shard int) (*shardResult, error) {
+	conn, err := r.dialVia(Loopback{})
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	sr, err := r.runShard(conn, shard)
+	if err != nil {
+		return nil, err
+	}
+	sr.fallback = true
+	return sr, nil
+}
+
+// runShard ships one job and consumes its frame stream to completion,
+// bounded by the per-shard deadline.
 func (r *runState) runShard(conn io.ReadWriteCloser, shard int) (*shardResult, error) {
 	part := &r.plan.Parts[shard]
 	sh := buildShard(r.pair, part, r.coord.Opts.NoExtract)
 	job := NewJob(sh, r.coord.Opts.Train)
 
+	disarm := armDeadline(conn, r.shardTimeout)
+	defer disarm()
 	cw := &countingWriter{w: conn}
 	if err := WriteFrame(cw, FrameJob, job); err != nil {
 		return nil, err

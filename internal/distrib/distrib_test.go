@@ -26,7 +26,18 @@ import (
 // without needing a prebuilt binary on disk.
 const workerEnv = "ACTIVEITER_TEST_WORKER"
 
+// hangEnv re-executes this test binary as a worker that IGNORES the
+// shutdown protocol: it drains stdin until close and then sleeps
+// forever instead of exiting — the pathological child that Exec's
+// kill-after-grace reap exists for.
+const hangEnv = "ACTIVEITER_TEST_HANG"
+
 func TestMain(m *testing.M) {
+	if os.Getenv(hangEnv) == "1" {
+		io.Copy(io.Discard, os.Stdin)
+		time.Sleep(time.Hour)
+		os.Exit(0)
+	}
 	if os.Getenv(workerEnv) == "1" {
 		err := Serve(struct {
 			io.Reader

@@ -1,0 +1,556 @@
+package distrib
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/partition"
+)
+
+// ---------------------------------------------------------------------
+// Keystone chaos property: under injected refusals, mid-frame drops,
+// byte corruption, crashes and artificial stalls, the distributed
+// result is bit-identical to the fault-free in-process reference and
+// the run terminates instead of hanging.
+// ---------------------------------------------------------------------
+
+func TestChaosRunIsBitIdentical(t *testing.T) {
+	fx := newDistFixture(t, 3, 12)
+	seeds := []int64{1, 7, 42}
+	var injected, recovered int64
+	for _, seed := range seeds {
+		chaos := &ChaosTransport{Inner: Loopback{}, Opts: ChaosOptions{
+			Seed:       seed,
+			RefuseRate: 0.15,
+			// ≥30% of connections die mid-frame, per the acceptance
+			// criterion; corruption and crashes ride on top.
+			DropRate:    0.30,
+			CorruptRate: 0.15,
+			CrashRate:   0.10,
+			MaxDelay:    time.Millisecond,
+		}}
+		coord := &Coordinator{Transport: chaos, Opts: Options{
+			Train: fx.train, Workers: 2, Retries: 4, ShardTimeout: 2 * time.Second,
+		}}
+		res, m, err := coord.Run(fx.pair, fx.plan, fx.oracle)
+		if err != nil {
+			t.Fatalf("seed %d: chaos run failed: %v", seed, err)
+		}
+		assertSameAlignment(t, res, fx.ref, fx.plan)
+		s := chaos.Stats()
+		injected += s.Refused + s.Dropped + s.Corrupted + s.Crashed
+		recovered += int64(m.Retries + m.Fallbacks)
+		if s.Dials < int64(fx.k) {
+			t.Errorf("seed %d: only %d dials for %d shards", seed, s.Dials, fx.k)
+		}
+	}
+	// Individual seeds may draw lucky fault plans; across three seeds the
+	// transport must have actually injected something, and the
+	// coordinator must have actually recovered from it.
+	if injected == 0 {
+		t.Fatal("chaos transport injected no faults across all seeds")
+	}
+	if recovered == 0 {
+		t.Fatal("no retries or fallbacks recorded despite injected faults")
+	}
+}
+
+// TestChaosDeterministicReplay: equal seeds inject equal faults and
+// produce equal results. Workers is pinned to 1 so the dial sequence —
+// which keys the per-connection fault plans — is scheduler-independent.
+func TestChaosDeterministicReplay(t *testing.T) {
+	fx := newDistFixture(t, 3, 12)
+	run := func() (ChaosStats, []hetnet.Anchor) {
+		chaos := &ChaosTransport{Inner: Loopback{}, Opts: ChaosOptions{
+			Seed: 99, RefuseRate: 0.2, DropRate: 0.3, CorruptRate: 0.15, CrashRate: 0.1,
+		}}
+		coord := &Coordinator{Transport: chaos, Opts: Options{
+			Train: fx.train, Workers: 1, Retries: 4, ShardTimeout: 2 * time.Second,
+		}}
+		res, _, err := coord.Run(fx.pair, fx.plan, fx.oracle)
+		if err != nil {
+			t.Fatalf("replay run failed: %v", err)
+		}
+		return chaos.Stats(), res.PredictedAnchors()
+	}
+	s1, a1 := run()
+	s2, a2 := run()
+	if s1 != s2 {
+		t.Errorf("same seed, different injections: %+v vs %+v", s1, s2)
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("same seed, different anchor counts: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed, different anchor %d: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Deadlines: a worker that handshakes and then goes silent must convert
+// into a retryable failure — on both deadline plumbing paths.
+// ---------------------------------------------------------------------
+
+// silentTransport dials fake workers that complete the handshake, read
+// the job, and then never respond — the canonical hung worker. With
+// stripDeadlines the conn hides its net.Pipe deadline support, forcing
+// the coordinator onto the watchdog-timer path.
+type silentTransport struct {
+	stripDeadlines bool
+}
+
+func (tr silentTransport) Dial() (io.ReadWriteCloser, error) {
+	here, there := net.Pipe()
+	go func() {
+		defer there.Close()
+		if err := ReadExpect(there, FrameHello, &Hello{}); err != nil {
+			return
+		}
+		if err := WriteFrame(there, FrameHello, &Hello{Role: "worker"}); err != nil {
+			return
+		}
+		if _, _, err := ReadFrame(there); err != nil { // swallow the job
+			return
+		}
+		// Hang: keep the read side open so the coordinator blocks on its
+		// response until the deadline (or watchdog) kills the conn.
+		io.Copy(io.Discard, there)
+	}()
+	if tr.stripDeadlines {
+		return noDeadlineConn{inner: here}, nil
+	}
+	return here, nil
+}
+
+// noDeadlineConn hides the inner conn's deadline methods, modeling a
+// stdio-pipe transport.
+type noDeadlineConn struct {
+	inner io.ReadWriteCloser
+}
+
+func (c noDeadlineConn) Read(p []byte) (int, error)  { return c.inner.Read(p) }
+func (c noDeadlineConn) Write(p []byte) (int, error) { return c.inner.Write(p) }
+func (c noDeadlineConn) Close() error                { return c.inner.Close() }
+
+func TestHungWorkerHitsDeadlineAndFallsBack(t *testing.T) {
+	fx := newDistFixture(t, 2, 0)
+	for _, tc := range []struct {
+		name  string
+		strip bool
+	}{
+		{"conn-deadlines", false},
+		{"watchdog", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			coord := &Coordinator{Transport: silentTransport{stripDeadlines: tc.strip}, Opts: Options{
+				Train: fx.train, Workers: 2, Retries: -1, ShardTimeout: 150 * time.Millisecond,
+			}}
+			start := time.Now()
+			res, m, err := coord.Run(fx.pair, fx.plan, fx.oracle)
+			if err != nil {
+				t.Fatalf("run failed instead of degrading: %v", err)
+			}
+			assertSameAlignment(t, res, fx.ref, fx.plan)
+			if m.Fallbacks != fx.k {
+				t.Errorf("Fallbacks = %d, want %d (every shard hung)", m.Fallbacks, fx.k)
+			}
+			for _, sm := range m.Shards {
+				if !sm.Fallback {
+					t.Errorf("shard %d not marked Fallback: %+v", sm.Shard, sm)
+				}
+			}
+			// The whole point: the run completed on the deadline's clock,
+			// not the test timeout's.
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Errorf("run took %v; deadline did not fire promptly", elapsed)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Graceful degradation: transport fully down.
+// ---------------------------------------------------------------------
+
+// downTransport refuses every dial — the transport-fully-unavailable
+// scenario.
+type downTransport struct{}
+
+func (downTransport) Dial() (io.ReadWriteCloser, error) {
+	return nil, errors.New("dial: network unreachable")
+}
+
+func TestFallbackWhenTransportDown(t *testing.T) {
+	fx := newDistFixture(t, 3, 12)
+	coord := &Coordinator{Transport: downTransport{}, Opts: Options{
+		Train: fx.train, Workers: 2,
+	}}
+	res, m, err := coord.Run(fx.pair, fx.plan, fx.oracle)
+	if err != nil {
+		t.Fatalf("run failed instead of degrading: %v", err)
+	}
+	assertSameAlignment(t, res, fx.ref, fx.plan)
+	if m.Fallbacks != fx.k {
+		t.Errorf("Fallbacks = %d, want %d", m.Fallbacks, fx.k)
+	}
+	if m.Retries == 0 {
+		t.Error("expected retries before degradation")
+	}
+	for _, sm := range m.Shards {
+		if !sm.Fallback {
+			t.Errorf("shard %d not marked Fallback: %+v", sm.Shard, sm)
+		}
+		// Default retry budget is 2: three transport attempts, then the
+		// fallback dispatch.
+		if sm.Attempts != 4 {
+			t.Errorf("shard %d Attempts = %d, want 4", sm.Shard, sm.Attempts)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// fail-path coverage: exhausted retries under NoFallback, and the
+// negative-Retries (disabled) semantics. Both must return non-nil
+// Metrics carrying the final attempt counts.
+// ---------------------------------------------------------------------
+
+func TestNoFallbackAbortsWithMetrics(t *testing.T) {
+	fx := newDistFixture(t, 2, 0)
+	coord := &Coordinator{Transport: downTransport{}, Opts: Options{
+		Train: fx.train, Workers: 1, Retries: 1, NoFallback: true,
+	}}
+	res, m, err := coord.Run(fx.pair, fx.plan, fx.oracle)
+	if err == nil {
+		t.Fatal("expected an error with the transport down and NoFallback set")
+	}
+	if res != nil {
+		t.Error("aborted run returned a non-nil result")
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Errorf("error %q does not carry the attempt count", err)
+	}
+	if m == nil {
+		t.Fatal("aborted run returned nil metrics")
+	}
+	failed := 0
+	for _, sm := range m.Shards {
+		if sm.Attempts == 2 { // retries+1 on the shard that exhausted its budget
+			failed++
+		}
+		if sm.Fallback {
+			t.Errorf("shard %d marked Fallback under NoFallback", sm.Shard)
+		}
+	}
+	if failed == 0 {
+		t.Errorf("no shard shows the exhausted attempt count: %+v", m.Shards)
+	}
+}
+
+func TestNegativeRetriesDisablesRetry(t *testing.T) {
+	fx := newDistFixture(t, 2, 0)
+	coord := &Coordinator{Transport: downTransport{}, Opts: Options{
+		Train: fx.train, Workers: 1, Retries: -1, NoFallback: true,
+	}}
+	_, m, err := coord.Run(fx.pair, fx.plan, fx.oracle)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !strings.Contains(err.Error(), "after 1 attempts") {
+		t.Errorf("error %q should report a single attempt", err)
+	}
+	if m.Retries != 0 {
+		t.Errorf("Retries = %d with retries disabled", m.Retries)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Hedging: a straggling connection gets a duplicate dispatch; the first
+// Done wins and the result is unchanged.
+// ---------------------------------------------------------------------
+
+// slowFirstTransport delays every read on the FIRST dialed connection,
+// manufacturing exactly one straggler.
+type slowFirstTransport struct {
+	inner Transport
+	delay time.Duration
+	mu    sync.Mutex
+	dials int
+}
+
+func (tr *slowFirstTransport) Dial() (io.ReadWriteCloser, error) {
+	conn, err := tr.inner.Dial()
+	if err != nil {
+		return nil, err
+	}
+	tr.mu.Lock()
+	first := tr.dials == 0
+	tr.dials++
+	tr.mu.Unlock()
+	if first {
+		return &slowConn{ReadWriteCloser: conn, delay: tr.delay}, nil
+	}
+	return conn, nil
+}
+
+// slowConn sleeps before every read. It deliberately hides deadline
+// methods so the straggler is not rescued by a timeout first.
+type slowConn struct {
+	io.ReadWriteCloser
+	delay time.Duration
+}
+
+func (c *slowConn) Read(p []byte) (int, error) {
+	time.Sleep(c.delay)
+	return c.ReadWriteCloser.Read(p)
+}
+
+func TestHedgingRacesStragglers(t *testing.T) {
+	fx := newDistFixture(t, 2, 0)
+	tr := &slowFirstTransport{inner: Loopback{}, delay: 30 * time.Millisecond}
+	coord := &Coordinator{Transport: tr, Opts: Options{
+		Train: fx.train, Workers: 2, HedgeAfter: 20 * time.Millisecond,
+	}}
+	res, m, err := coord.Run(fx.pair, fx.plan, fx.oracle)
+	if err != nil {
+		t.Fatalf("hedged run failed: %v", err)
+	}
+	assertSameAlignment(t, res, fx.ref, fx.plan)
+	if m.Hedges == 0 {
+		t.Fatal("no hedge dispatched for the straggling connection")
+	}
+	hedged := 0
+	for _, sm := range m.Shards {
+		if sm.Hedged {
+			hedged++
+		}
+	}
+	if hedged == 0 {
+		t.Error("Hedges counted but no shard marked Hedged")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Worker-side Cancel: a cancel landing while the worker waits on an
+// oracle answer abandons the job silently — no Error frame — and the
+// connection keeps serving.
+// ---------------------------------------------------------------------
+
+func TestWorkerCancelMidQueryKeepsServing(t *testing.T) {
+	fx := newDistFixture(t, 2, 6)
+	here, there := net.Pipe()
+	served := make(chan error, 1)
+	go func() { served <- Serve(there) }()
+	defer here.Close()
+
+	if err := WriteFrame(here, FrameHello, &Hello{Role: "coordinator"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadExpect(here, FrameHello, &Hello{}); err != nil {
+		t.Fatal(err)
+	}
+	part := &fx.plan.Parts[0]
+	if part.Budget == 0 {
+		t.Fatal("fixture shard carries no budget; the worker would never query")
+	}
+	job := NewJob(buildShard(fx.pair, part, false), fx.train)
+	if err := WriteFrame(here, FrameJob, job); err != nil {
+		t.Fatal(err)
+	}
+	// Consume frames until the worker blocks on its first oracle query,
+	// then cancel the job out from under it.
+	for {
+		typ, _, err := ReadFrame(here)
+		if err != nil {
+			t.Fatalf("waiting for query: %v", err)
+		}
+		if typ == FrameError {
+			t.Fatal("worker errored before querying")
+		}
+		if typ == FrameQuery {
+			break
+		}
+	}
+	if err := WriteFrame(here, FrameCancel, &Cancel{Shard: job.Shard}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The connection must survive the abandon: a second, budget-free job
+	// on the same conn runs to Done with no Error frame in between.
+	job2 := *job
+	job2.Budget = 0
+	if err := WriteFrame(here, FrameJob, &job2); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		typ, _, err := ReadFrame(here)
+		if err != nil {
+			t.Fatalf("after cancel: %v", err)
+		}
+		switch typ {
+		case FrameError:
+			t.Fatal("worker sent an Error frame for a cancelled job")
+		case FrameQuery:
+			t.Fatal("budget-free job queried the oracle")
+		case FrameDone:
+			here.Close()
+			if err := <-served; err != nil && err != io.EOF && !strings.Contains(err.Error(), "closed pipe") {
+				t.Errorf("serve loop ended badly: %v", err)
+			}
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Health scoring: streaks bench a worker, cooldowns expire, success
+// forgives; the TCP transport routes dials around benched addresses.
+// ---------------------------------------------------------------------
+
+func TestHealthBoardQuarantine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newHealthBoard(2, time.Minute, func() time.Time { return now })
+
+	b.report("w1", false)
+	if b.quarantined("w1") {
+		t.Error("benched after a single failure (threshold 2)")
+	}
+	b.report("w1", false)
+	if !b.quarantined("w1") {
+		t.Error("not benched after reaching the streak threshold")
+	}
+	if b.quarantined("w2") {
+		t.Error("unknown worker reported quarantined")
+	}
+
+	now = now.Add(61 * time.Second)
+	if b.quarantined("w1") {
+		t.Error("still benched after the cooldown expired")
+	}
+	// The streak survives an expired bench: one more failure re-benches
+	// immediately.
+	b.report("w1", false)
+	if !b.quarantined("w1") {
+		t.Error("post-cooldown failure did not re-bench the streaky worker")
+	}
+
+	// One success forgives everything.
+	b.report("w1", true)
+	if b.quarantined("w1") {
+		t.Error("benched after a success")
+	}
+	b.report("w1", false)
+	if b.quarantined("w1") {
+		t.Error("streak was not reset by the success")
+	}
+}
+
+func TestTCPDialSkipsQuarantined(t *testing.T) {
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln1.Close()
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	bad, good := ln1.Addr().String(), ln2.Addr().String()
+
+	tr := &TCP{Addrs: []string{bad, good}, QuarantineAfter: 1}
+	tr.ReportWorker(bad, false)
+	for i := 0; i < 3; i++ {
+		conn, err := tr.Dial()
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		id := conn.(interface{ WorkerID() string }).WorkerID()
+		conn.Close()
+		if id != good {
+			t.Errorf("dial %d routed to quarantined worker %s", i, id)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Exec kill-after-grace: a child that ignores stdin-close is reaped
+// within the shutdown grace instead of hanging Close forever.
+// ---------------------------------------------------------------------
+
+func TestExecCloseReapsHungWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess transport in -short mode")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skip("cannot locate test binary:", err)
+	}
+	tr := &Exec{
+		Cmd:           exe,
+		Env:           append(os.Environ(), hangEnv+"=1"),
+		ShutdownGrace: 100 * time.Millisecond,
+	}
+	conn, err := tr.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = conn.Close()
+	elapsed := time.Since(start)
+	if err == nil || !strings.Contains(err.Error(), "killed after") {
+		t.Errorf("Close() = %v, want a kill-after-grace error", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("Close took %v with a 100ms grace; the reap did not bound shutdown", elapsed)
+	}
+	if st := conn.(*execConn).cmd.ProcessState; st == nil {
+		t.Error("hung worker process was not reaped")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Sessions under chaos: the sticky-connection path must recover from
+// injected faults mid-round — redial, replay the cache handshake or
+// re-ship full jobs — and still match the fault-free reference.
+// ---------------------------------------------------------------------
+
+func TestSessionSurvivesChaos(t *testing.T) {
+	fx := newDistFixture(t, 3, 12)
+	full, _, _ := runRoundsOnPlan(t, fx, Loopback{}, -1, 2, 12, 2)
+
+	chaos := &ChaosTransport{Inner: Loopback{}, Opts: ChaosOptions{
+		Seed: 5, RefuseRate: 0.1, DropRate: 0.25, CorruptRate: 0.1, CrashRate: 0.1,
+	}}
+	plan := fx.freshPlan(t, 12)
+	sess, err := NewSession(chaos, fx.pair, Options{
+		Train: fx.train, Workers: 2, Retries: 4, ShardTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	var res *partition.Result
+	for r := 0; r < 2; r++ {
+		plan.Rebudget(partition.RoundBudget(12, 2, r))
+		got, _, err := sess.Run(plan, fx.oracle)
+		if err != nil {
+			t.Fatalf("round %d under chaos: %v", r+1, err)
+		}
+		res = got
+		if r < 1 {
+			plan.AppendLabels(got.QueriedLabels())
+		}
+	}
+	assertSameAlignment(t, res, full, fx.plan)
+	s := chaos.Stats()
+	t.Logf("session chaos: %+v, cumulative %+v", s, sess.Metrics())
+}

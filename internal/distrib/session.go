@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -165,6 +166,12 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 	} else if retries < 0 {
 		retries = 0
 	}
+	shardTimeout := s.opts.ShardTimeout
+	if shardTimeout == 0 {
+		shardTimeout = defaultShardTimeout
+	} else if shardTimeout < 0 {
+		shardTimeout = 0
+	}
 
 	// Sticky slot assignment: a shard whose state a connection holds goes
 	// back to that connection; the rest balance across the least-loaded
@@ -189,14 +196,17 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 	}
 
 	rr := &sessionRound{
-		s:       s,
-		plan:    plan,
-		oracle:  oracle,
-		seed:    s.opts.Train.Seed + int64(s.round)*roundSeedStride,
-		retries: retries,
-		results: make([]*shardResult, k),
-		shardMs: make([]ShardMetrics, k),
-		merger:  partition.NewMerger(),
+		s:            s,
+		plan:         plan,
+		oracle:       oracle,
+		seed:         s.opts.Train.Seed + int64(s.round)*roundSeedStride,
+		retries:      retries,
+		shardTimeout: shardTimeout,
+		sleep:        time.Sleep,
+		jitter:       rand.New(rand.NewSource(s.opts.Train.Seed ^ 0x5DEECE66D ^ int64(s.round))),
+		results:      make([]*shardResult, k),
+		shardMs:      make([]ShardMetrics, k),
+		merger:       partition.NewMerger(),
 	}
 	queriesBefore := s.queries.Load()
 
@@ -212,16 +222,28 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 		}(sl, assign[sl])
 	}
 	wg.Wait()
+
+	metrics := &Metrics{Retries: rr.totalRetries, Fallbacks: rr.totalFallbacks}
+	metrics.Queries = int(s.queries.Load() - queriesBefore)
+	metrics.CacheMisses = rr.misses
 	if rr.err != nil {
-		return nil, nil, rr.err
+		// Failed rounds still surface their audit — attempt counts and
+		// retry totals are exactly what a caller needs to diagnose the
+		// abort. Per-shard entries carry whatever was recorded before the
+		// round died.
+		for i := range rr.shardMs {
+			if rr.shardMs[i].Attempts > 0 {
+				metrics.Shards = append(metrics.Shards, rr.shardMs[i])
+			}
+		}
+		return nil, metrics, rr.err
 	}
 
-	metrics := &Metrics{Retries: rr.totalRetries}
 	var reports []partition.PartReport
 	weights := make(map[int][]float64, len(rr.results))
 	for i, sr := range rr.results {
 		if sr == nil {
-			return nil, nil, fmt.Errorf("distrib: shard %d never completed", plan.Parts[i].Index)
+			return nil, metrics, fmt.Errorf("distrib: shard %d never completed", plan.Parts[i].Index)
 		}
 		reports = append(reports, sr.report)
 		weights[plan.Parts[i].Index] = sr.weights
@@ -233,8 +255,6 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 		metrics.DeltaBytes += sr.refBytes
 		metrics.ResultBytes += sr.readBytes
 	}
-	metrics.CacheMisses = rr.misses
-	metrics.Queries = int(s.queries.Load() - queriesBefore)
 	res := rr.merger.Finish()
 	res.Reports = reports
 	res.ShardWeights = weights
@@ -246,19 +266,23 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 
 // sessionRound is one Run's shared state.
 type sessionRound struct {
-	s       *Session
-	plan    *partition.Plan
-	oracle  active.Oracle
-	seed    int64
-	retries int
+	s            *Session
+	plan         *partition.Plan
+	oracle       active.Oracle
+	seed         int64
+	retries      int
+	shardTimeout time.Duration
+	sleep        func(time.Duration)
 
-	mu           sync.Mutex
-	results      []*shardResult
-	shardMs      []ShardMetrics
-	merger       *partition.Merger
-	misses       int
-	totalRetries int
-	err          error
+	mu             sync.Mutex
+	results        []*shardResult
+	shardMs        []ShardMetrics
+	merger         *partition.Merger
+	misses         int
+	totalRetries   int
+	totalFallbacks int
+	jitter         *rand.Rand // guarded by mu
+	err            error
 }
 
 // aborted reports (under mu) whether the round already failed.
@@ -269,7 +293,13 @@ func (rr *sessionRound) aborted() bool {
 }
 
 // slotLoop runs one connection's shard list sequentially, retrying each
-// shard on a fresh connection until its attempt budget runs out.
+// shard on a fresh connection (with capped exponential backoff) until
+// its attempt budget runs out, then degrading to the in-process
+// fallback before giving up on the round. Reconnect hardening is built
+// into the retry itself: a dropped sticky connection burns its warm
+// state, so the retry redials, replays the handshake, and re-ships the
+// shard cold — the fallback ladder from JobRef to full Job to fresh
+// connection.
 func (rr *sessionRound) slotLoop(sl int, shards []int) {
 	slot := rr.s.slots[sl]
 	for _, i := range shards {
@@ -279,6 +309,12 @@ func (rr *sessionRound) slotLoop(sl int, shards []int) {
 				return
 			}
 			attempts++
+			if attempts > 1 {
+				rr.mu.Lock()
+				delay := backoffDelay(rr.jitter, attempts-1)
+				rr.mu.Unlock()
+				rr.sleep(delay)
+			}
 			sr, sm, err := rr.runShard(slot, sl, i)
 			if err == nil {
 				sm.Attempts = attempts
@@ -288,6 +324,25 @@ func (rr *sessionRound) slotLoop(sl int, shards []int) {
 			// A failure burns the connection and everything it held warm.
 			rr.dropConn(slot)
 			if attempts > rr.retries {
+				if !rr.s.opts.NoFallback {
+					// Transport attempts are spent: degrade to the in-process
+					// loopback path rather than aborting the whole round.
+					attempts++
+					fsr, fsm, ferr := rr.runFallback(i)
+					if ferr == nil {
+						fsm.Attempts = attempts
+						rr.mu.Lock()
+						rr.totalFallbacks++
+						rr.mu.Unlock()
+						rr.commit(i, fsr, fsm)
+						break
+					}
+					err = ferr
+				}
+				rr.mu.Lock()
+				rr.shardMs[i].Shard = rr.plan.Parts[i].Index
+				rr.shardMs[i].Attempts = attempts
+				rr.mu.Unlock()
 				rr.fail(fmt.Errorf("distrib: shard %d failed after %d attempts: %w", rr.plan.Parts[i].Index, attempts, err))
 				return
 			}
@@ -296,6 +351,52 @@ func (rr *sessionRound) slotLoop(sl int, shards []int) {
 			rr.mu.Unlock()
 		}
 	}
+}
+
+// runFallback executes the plan's i-th part in-process over a private
+// loopback worker — the same degradation rung as the single-shot
+// coordinator's. The job ships with its full prelabel log and a zero
+// fingerprint (the private connection dies immediately, so caching
+// would be waste); the loopback worker runs the identical
+// partition.PreparePart+Train path, so the votes are bit-identical to a
+// healthy remote run's.
+func (rr *sessionRound) runFallback(i int) (*shardResult, ShardMetrics, error) {
+	part := &rr.plan.Parts[i]
+	st := rr.shardState(i)
+	sm := ShardMetrics{Shard: part.Index, Extracted: st.shard.Extracted(), Fallback: true}
+	conn, err := dialWorker(Loopback{})
+	if err != nil {
+		return nil, sm, err
+	}
+	defer conn.Close()
+	disarm := armDeadline(conn, rr.shardTimeout)
+	defer disarm()
+
+	job := *st.template
+	job.Budget = part.Budget
+	job.Seed = rr.seed
+	job.Fingerprint = 0
+	pre, err := st.shard.RemapLabels(part.Prelabeled)
+	if err != nil {
+		return nil, sm, err
+	}
+	job.Prelabeled = WireLabels(pre)
+
+	sr := &shardResult{extracted: st.shard.Extracted(), fallback: true}
+	cw := &countingWriter{w: conn}
+	if err := WriteFrame(cw, FrameJob, &job); err != nil {
+		return nil, sm, err
+	}
+	sr.jobBytes = cw.n
+	env := &streamEnv{
+		oracle: rr.oracle, oracleMu: &rr.s.oracleMu, queries: &rr.s.queries,
+		onProgress: rr.s.opts.OnProgress,
+	}
+	if err := collectShard(conn, part.Index, env, sr); err != nil {
+		return nil, sm, err
+	}
+	sm.JobBytes = sr.jobBytes
+	return sr, sm, nil
 }
 
 // dropConn closes a slot's connection and forgets its warm state.
@@ -375,13 +476,18 @@ func (rr *sessionRound) runShard(slot *sessionSlot, sl, i int) (*shardResult, Sh
 	sm := ShardMetrics{Shard: part.Index, Extracted: st.shard.Extracted()}
 
 	if slot.conn == nil {
-		conn, err := rr.dial()
+		conn, err := dialWorker(rr.s.transport)
 		if err != nil {
 			return nil, sm, err
 		}
 		slot.conn = conn
 	}
 	conn := slot.conn
+	// The per-shard deadline spans the whole dispatch — JobRef, CacheAck,
+	// any full-Job fallback, the response stream — and is disarmed before
+	// the (persistent) connection moves on to its next shard.
+	disarm := armDeadline(conn, rr.shardTimeout)
+	defer disarm()
 	env := &streamEnv{
 		oracle: rr.oracle, oracleMu: &rr.s.oracleMu, queries: &rr.s.queries,
 		onProgress: rr.s.opts.OnProgress,
@@ -466,24 +572,6 @@ func (rr *sessionRound) runShard(slot *sessionSlot, sl, i int) (*shardResult, Sh
 	slot.holds[part.Index] = st.fp
 	sm.JobBytes = sr.jobBytes + sr.refBytes
 	return sr, sm, nil
-}
-
-// dial opens and handshakes a connection (same protocol as the
-// single-shot coordinator).
-func (rr *sessionRound) dial() (io.ReadWriteCloser, error) {
-	conn, err := rr.s.transport.Dial()
-	if err != nil {
-		return nil, err
-	}
-	if err := WriteFrame(conn, FrameHello, &Hello{Role: "coordinator"}); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if err := ReadExpect(conn, FrameHello, &Hello{}); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return conn, nil
 }
 
 // partSignature hashes a part's pool content (TrainPos + Candidates) to

@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -67,6 +68,11 @@ type Exec struct {
 	Env []string
 	// Stderr receives the worker's stderr; nil discards it.
 	Stderr io.Writer
+	// ShutdownGrace overrides how long Close waits for the worker to
+	// exit after stdin closes before killing it; zero means
+	// execShutdownGrace. Tests shrink it to prove the reap path without
+	// waiting out the production grace.
+	ShutdownGrace time.Duration
 }
 
 // execConn bundles the child's pipes; Close tears the process down.
@@ -74,6 +80,7 @@ type execConn struct {
 	io.WriteCloser // child stdin
 	io.Reader      // child stdout
 	cmd            *exec.Cmd
+	grace          time.Duration
 }
 
 // execShutdownGrace is how long Close waits for a worker process to
@@ -96,10 +103,10 @@ func (c *execConn) Close() error {
 			return fmt.Errorf("distrib: worker process: %w", err)
 		}
 		return nil
-	case <-time.After(execShutdownGrace):
+	case <-time.After(c.grace):
 		c.cmd.Process.Kill()
 		<-done
-		return fmt.Errorf("distrib: worker process killed after %v shutdown grace", execShutdownGrace)
+		return fmt.Errorf("distrib: worker process killed after %v shutdown grace", c.grace)
 	}
 }
 
@@ -119,16 +126,37 @@ func (t *Exec) Dial() (io.ReadWriteCloser, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("distrib: start worker %q: %w", t.Cmd, err)
 	}
-	return &execConn{WriteCloser: stdin, Reader: stdout, cmd: cmd}, nil
+	grace := t.ShutdownGrace
+	if grace <= 0 {
+		grace = execShutdownGrace
+	}
+	return &execConn{WriteCloser: stdin, Reader: stdout, cmd: cmd, grace: grace}, nil
 }
 
 // TCP dials remote workers round-robin across the given addresses. Each
 // address should run ListenAndServe (cmd/activeiter -worker-listen).
+//
+// The transport scores worker health: the coordinator reports every
+// shard attempt's outcome through ReportWorker, and an address whose
+// consecutive-failure streak reaches QuarantineAfter is skipped by Dial
+// for Cooldown — a flapping worker stops eating retries while the
+// healthy ones carry the run. Quarantine yields to availability: when
+// every address is benched, Dial proceeds with the scheduled one anyway
+// rather than deadlocking the run.
 type TCP struct {
 	Addrs []string
+	// QuarantineAfter is the consecutive-failure streak that benches a
+	// worker; zero means defaultQuarantineAfter.
+	QuarantineAfter int
+	// Cooldown is how long a benched worker sits out; zero means
+	// defaultQuarantineCooldown.
+	Cooldown time.Duration
 
-	mu   sync.Mutex
-	next int
+	mu     sync.Mutex
+	next   int
+	health *healthBoard
+	// now is the quarantine clock, injectable by tests.
+	now func() time.Time
 }
 
 // NewTCP builds a TCP transport over the worker addresses.
@@ -136,26 +164,68 @@ func NewTCP(addrs ...string) *TCP {
 	return &TCP{Addrs: addrs}
 }
 
-// Dial implements Transport.
+// board lazily builds the health scoreboard under t.mu.
+func (t *TCP) board() *healthBoard {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.health == nil {
+		t.health = newHealthBoard(t.QuarantineAfter, t.Cooldown, t.now)
+	}
+	return t.health
+}
+
+// ReportWorker records a shard attempt's outcome against the worker's
+// address. The coordinator calls it through a transport interface probe
+// after every attempt on a conn that exposes WorkerID.
+func (t *TCP) ReportWorker(id string, ok bool) {
+	t.board().report(id, ok)
+}
+
+// tcpConn tags a worker connection with its address so the coordinator
+// can attribute outcomes to the right worker.
+type tcpConn struct {
+	net.Conn
+	addr string
+}
+
+// WorkerID returns the worker's address for health attribution.
+func (c *tcpConn) WorkerID() string { return c.addr }
+
+// Dial implements Transport: round-robin over the addresses, skipping
+// quarantined workers unless every address is benched.
 func (t *TCP) Dial() (io.ReadWriteCloser, error) {
 	if len(t.Addrs) == 0 {
 		return nil, fmt.Errorf("distrib: TCP transport has no worker addresses")
 	}
+	board := t.board()
 	t.mu.Lock()
 	addr := t.Addrs[t.next%len(t.Addrs)]
 	t.next++
+	for skipped := 0; board.quarantined(addr) && skipped < len(t.Addrs)-1; skipped++ {
+		addr = t.Addrs[t.next%len(t.Addrs)]
+		t.next++
+	}
 	t.mu.Unlock()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
+		// A refused dial is itself a health signal — without it a downed
+		// worker is never benched because no conn exists to attribute
+		// failures to.
+		board.report(addr, false)
 		return nil, fmt.Errorf("distrib: dial worker %s: %w", addr, err)
 	}
-	return conn, nil
+	return &tcpConn{Conn: conn, addr: addr}, nil
 }
 
 // ListenAndServe accepts worker connections on addr and serves each in
 // its own goroutine until the listener fails. ready (optional) receives
 // the bound address once listening — callers binding ":0" learn the
 // port.
+//
+// The accept loop is hardened for long-lived workers: transient accept
+// errors (EMFILE, ECONNABORTED) back off exponentially instead of
+// killing the listener, and a panicking connection handler takes down
+// only its own connection.
 func ListenAndServe(addr string, ready chan<- string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -164,13 +234,33 @@ func ListenAndServe(addr string, ready chan<- string) error {
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
+	backoff := 5 * time.Millisecond
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// Transient accept failure: one bad accept must not kill a
+				// worker serving other coordinators. Sleep and retry, capped.
+				fmt.Fprintf(os.Stderr, "distrib: accept: %v; retrying in %v\n", err, backoff)
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				continue
+			}
 			return err
 		}
+		backoff = 5 * time.Millisecond
 		go func() {
 			defer conn.Close()
+			defer func() {
+				// A malformed job must not take the whole worker process
+				// down with it: contain the panic to this connection.
+				if r := recover(); r != nil {
+					fmt.Fprintf(os.Stderr, "distrib: worker connection panic: %v\n", r)
+				}
+			}()
 			if err := Serve(conn); err != nil && err != io.EOF {
 				fmt.Fprintf(os.Stderr, "distrib: worker connection: %v\n", err)
 			}

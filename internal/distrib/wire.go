@@ -11,13 +11,13 @@
 //
 // # Wire format
 //
-// The protocol is a stream of length-prefixed, versioned frames in both
-// directions:
+// The protocol is a stream of length-prefixed, versioned, checksummed
+// frames in both directions:
 //
-//	┌─────────────┬─────────┬──────────┬──────────────────┐
-//	│ length u32  │ magic   │ ver  typ │ gob payload      │
-//	│ big endian  │ 2 bytes │ 1B   1B  │ length − 4 bytes │
-//	└─────────────┴─────────┴──────────┴──────────────────┘
+//	┌─────────────┬─────────┬──────────┬──────────────────┬─────────┐
+//	│ length u32  │ magic   │ ver  typ │ gob payload      │ crc32c  │
+//	│ big endian  │ 2 bytes │ 1B   1B  │ length − 8 bytes │ 4 bytes │
+//	└─────────────┴─────────┴──────────┴──────────────────┴─────────┘
 //
 // Every frame is a self-contained gob document (a fresh encoder per
 // frame), so frames survive reordering across connections, a reader can
@@ -25,7 +25,10 @@
 // streams fail fast on the magic/version check instead of deep inside a
 // decoder. A version bump is a wire-compatibility statement: readers
 // reject frames of any other version (ErrVersionMismatch) rather than
-// guess at field semantics.
+// guess at field semantics. The CRC-32C trailer covers the type byte
+// and payload: a byte flipped in transit is a detected ErrChecksum —
+// the coordinator burns the connection and retries the shard — never
+// silently different votes.
 //
 // The conversation is strictly request-driven: the coordinator sends
 // Hello then one Job (or JobRef, see below) per shard; the worker
@@ -68,7 +71,12 @@ import (
 //	3 — PR 5: Done gains W, the shard's trained weight vector, so the
 //	    coordinator can persist per-shard models in alignment
 //	    snapshots.
-const Version = 3
+//	4 — PR 6: fault tolerance. Every frame gains a CRC-32C trailer
+//	    (corruption in transit becomes a detected, retryable transport
+//	    failure instead of silently different votes); Cancel frame
+//	    added so a coordinator can abandon a hedged or abandoned shard
+//	    mid-stream.
+const Version = 4
 
 // maxFrameSize bounds a frame's declared length so a corrupt or hostile
 // length prefix cannot OOM the reader. Jobs carry whole sub-networks;
@@ -80,7 +88,7 @@ const maxFrameSize = 1 << 30
 // every frame, and the frame cap guards the reader's allocations. The
 // header layout (and its hostile-input handling) lives in
 // internal/framing, shared with the snapshot artifact format.
-var codec = framing.Codec{Magic: [2]byte{'A', 'I'}, Version: Version, MaxFrame: maxFrameSize}
+var codec = framing.Codec{Magic: [2]byte{'A', 'I'}, Version: Version, MaxFrame: maxFrameSize, Checksum: true}
 
 // FrameType tags a frame payload.
 type FrameType uint8
@@ -108,6 +116,9 @@ const (
 	// FrameCacheAck answers a JobRef with the cache verdict, worker →
 	// coordinator.
 	FrameCacheAck
+	// FrameCancel abandons an in-flight shard, coordinator → worker: the
+	// losing side of a hedged dispatch, or a shard whose deadline fired.
+	FrameCancel
 )
 
 // ErrVersionMismatch is returned (wrapped, with the versions) when a
@@ -115,6 +126,12 @@ const (
 // framing sentinel, re-exported so callers can errors.Is against a
 // distrib-local name.
 var ErrVersionMismatch = framing.ErrVersionMismatch
+
+// ErrChecksum is returned (wrapped) when a frame's CRC-32C trailer does
+// not match its body — the stream was corrupted in transit. The
+// connection cannot be trusted past the corrupt frame; the coordinator
+// burns it and retries the shard on a fresh dial.
+var ErrChecksum = framing.ErrChecksum
 
 // Hello is the handshake payload. Role is informational ("coordinator",
 // "worker") — the version check rides in the frame header.
@@ -278,6 +295,18 @@ type CacheAck struct {
 	Shard       int
 	Fingerprint uint64
 	Hit         bool
+}
+
+// Cancel tells the worker the coordinator no longer wants the named
+// shard's stream: another (hedged) attempt already won, or the shard's
+// deadline fired. Delivery is advisory — a worker deep in training
+// without oracle round-trips only notices at its next read — so the
+// coordinator follows it by closing the connection; the frame exists so
+// a worker blocked waiting for an Answer aborts the job promptly (and a
+// long-lived TCP worker returns to its serve loop) instead of dying on
+// a closed stream mid-write.
+type Cancel struct {
+	Shard int
 }
 
 // Vote is one pool link's verdict in ORIGINAL pair indices — the wire

@@ -116,6 +116,7 @@ func goldenFrames(t testing.TB) []struct {
 		{"jobref", FrameJobRef, &JobRef{Shard: 1, Fingerprint: 0xfeedc0dedeadbeef,
 			AddLabels: []WireLabel{{I: 4, J: 5, Label: 1}, {I: 5, J: 4, Label: 0}}, Budget: 2, Seed: 2019 + roundSeedStride}},
 		{"cacheack", FrameCacheAck, &CacheAck{Shard: 1, Fingerprint: 0xfeedc0dedeadbeef, Hit: true}},
+		{"cancel", FrameCancel, &Cancel{Shard: 1}},
 	}
 }
 
@@ -248,6 +249,33 @@ func TestWireVersionMismatch(t *testing.T) {
 	_, _, err := ReadFrame(bytes.NewReader(raw))
 	if !errors.Is(err, ErrVersionMismatch) {
 		t.Fatalf("got %v, want ErrVersionMismatch", err)
+	}
+}
+
+// TestWireDetectsCorruption is the integrity contract behind the chaos
+// tolerance story: flipping ANY payload byte of a frame must surface as
+// ErrChecksum, never as a silently different decoded value. Without the
+// CRC-32C trailer a flipped byte inside a gob-encoded vote score would
+// decode cleanly and poison the merged alignment.
+func TestWireDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameVotes, &Votes{Shard: 1, Votes: []Vote{{I: 4, J: 5, Label: 1, Score: 0.91}}}); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// Every body byte (between the 8-byte header and the 4-byte trailer),
+	// and every trailer byte, must trip the check when flipped.
+	for off := 8; off < len(good); off++ {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x40
+		_, _, err := ReadFrame(bytes.NewReader(bad))
+		if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flipped byte %d: got %v, want ErrChecksum", off, err)
+		}
+	}
+	// The pristine frame still reads.
+	if _, _, err := ReadFrame(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
 	}
 }
 

@@ -39,6 +39,10 @@ type DistributedPoint struct {
 	CacheHits   int
 	CacheMisses int
 	Retries     int
+	// Fallbacks counts shards that degraded to the in-process loopback
+	// path — non-zero only when the transport misbehaved (see the chaos
+	// mode).
+	Fallbacks   int
 	RoundDetail []DistributedRound
 }
 
@@ -69,6 +73,13 @@ type DistributedConfig struct {
 	// shipping disabled (every round re-ships full jobs — the PR 3
 	// cost model) and once with JobRef deltas to warm workers.
 	Rounds int
+	// ChaosSeed, when non-zero, adds a fault-injected loopback mode: the
+	// same plan dispatched through a seeded ChaosTransport (refused
+	// dials, mid-frame drops, byte corruption, worker crashes). The
+	// alignment quality columns must match the healthy modes exactly —
+	// the retries and fallbacks columns show what the fault-tolerance
+	// layer absorbed to get there.
+	ChaosSeed int64
 }
 
 // RunDistributedPoints measures the same single-cell shard plan as
@@ -193,8 +204,8 @@ func RunDistributedPoints(pre Preset, cfg DistributedConfig) ([]DistributedPoint
 		AlignTime: inproc.Elapsed, JobBytesFull: fullTotal,
 	})
 
-	runCoord := func(mode string, transport distrib.Transport) error {
-		coord := &distrib.Coordinator{Transport: transport, Opts: distrib.Options{Train: train, Workers: workers}}
+	runCoord := func(mode string, transport distrib.Transport, opts distrib.Options) error {
+		coord := &distrib.Coordinator{Transport: transport, Opts: opts}
 		res, metrics, err := coord.Run(pair, plan, oracle)
 		if err != nil {
 			return fmt.Errorf("distributed: %s: %w", mode, err)
@@ -206,18 +217,43 @@ func RunDistributedPoints(pre Preset, cfg DistributedConfig) ([]DistributedPoint
 			Queries: res.QueryCount(), Rejected: res.Rejected,
 			AlignTime: res.Elapsed,
 			JobBytes:  metrics.JobBytes, JobBytesFull: fullTotal,
-			Retries: metrics.Retries,
+			Retries: metrics.Retries, Fallbacks: metrics.Fallbacks,
 		})
 		return nil
 	}
-	if err := runCoord("loopback", distrib.Loopback{}); err != nil {
+	baseOpts := distrib.Options{Train: train, Workers: workers}
+	if err := runCoord("loopback", distrib.Loopback{}, baseOpts); err != nil {
 		return nil, err
 	}
 	if cfg.WorkerCmd != "" {
 		tr := &distrib.Exec{Cmd: cfg.WorkerCmd, Args: cfg.WorkerArgs, Stderr: os.Stderr}
-		if err := runCoord("subprocess", tr); err != nil {
+		if err := runCoord("subprocess", tr, baseOpts); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.ChaosSeed != 0 {
+		// Fault-inject the most realistic transport available: genuine
+		// subprocess workers when a worker command is configured, the
+		// in-process loopback otherwise.
+		inner := distrib.Transport(distrib.Loopback{})
+		mode := "loopback/chaos"
+		if cfg.WorkerCmd != "" {
+			inner = &distrib.Exec{Cmd: cfg.WorkerCmd, Args: cfg.WorkerArgs, Stderr: os.Stderr}
+			mode = "subprocess/chaos"
+		}
+		chaos := &distrib.ChaosTransport{Inner: inner, Opts: distrib.ChaosOptions{
+			Seed:       cfg.ChaosSeed,
+			RefuseRate: 0.10, DropRate: 0.30, CorruptRate: 0.10, CrashRate: 0.10,
+		}}
+		chaosOpts := baseOpts
+		chaosOpts.Retries = 4
+		chaosOpts.ShardTimeout = 10 * time.Second
+		if err := runCoord(mode, chaos, chaosOpts); err != nil {
+			return nil, err
+		}
+		s := chaos.Stats()
+		fmt.Fprintf(os.Stderr, "chaos: dials=%d refused=%d dropped=%d corrupted=%d crashed=%d\n",
+			s.Dials, s.Refused, s.Dropped, s.Corrupted, s.Crashed)
 	}
 
 	// Sticky-session modes: the same problem as a multi-round active
@@ -268,6 +304,7 @@ func RunDistributedPoints(pre Preset, cfg DistributedConfig) ([]DistributedPoint
 		point.CacheHits = cum.CacheHits
 		point.CacheMisses = cum.CacheMisses
 		point.Retries = cum.Retries
+		point.Fallbacks = cum.Fallbacks
 		points = append(points, point)
 		return nil
 	}
@@ -298,7 +335,7 @@ func RunDistributedWith(pre Preset, cfg DistributedConfig) (*Table, error) {
 		Title: fmt.Sprintf("Distributed — shard execution modes (θ=%d, γ=%.0f%%, K=%d, workers=%d, preset %q)",
 			pre.FixedTheta, pre.FixedGamma*100, points[0].Partitions, points[0].Workers, pre.Name),
 		ColHeader: "mode",
-		Cols:      []string{"F1", "Precision", "Recall", "queries", "rejected", "align", "job bytes", "delta bytes", "cache hit/miss", "job bytes (full pair)", "retries"},
+		Cols:      []string{"F1", "Precision", "Recall", "queries", "rejected", "align", "job bytes", "delta bytes", "cache hit/miss", "job bytes (full pair)", "retries", "fallbacks"},
 	}
 	sec := Section{Name: "distributed alignment"}
 	for _, p := range points {
@@ -323,6 +360,7 @@ func RunDistributedWith(pre Preset, cfg DistributedConfig) (*Table, error) {
 			cache,
 			fmt.Sprint(p.JobBytesFull),
 			fmt.Sprint(p.Retries),
+			fmt.Sprint(p.Fallbacks),
 		}})
 	}
 	t.Sections = []Section{sec}
@@ -341,7 +379,7 @@ func RunDistributedWith(pre Preset, cfg DistributedConfig) (*Table, error) {
 					fmt.Sprint(r.JobBytes),
 					fmt.Sprint(r.DeltaBytes),
 					fmt.Sprint(r.CacheHits),
-					"—", "—",
+					"—", "—", "—",
 				},
 			})
 		}

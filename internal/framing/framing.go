@@ -22,13 +22,18 @@
 //   - on a header error the body is still drained (into the void, no
 //     allocation) so the frame is fully consumed either way — a peer
 //     mid-Write on a fully synchronous link (net.Pipe) would otherwise
-//     block forever on the bytes nobody reads.
+//     block forever on the bytes nobody reads,
+//   - a codec with Checksum set appends a CRC-32C of the type byte and
+//     body as a 4-byte trailer (inside the length prefix), so payload
+//     corruption in transit is a detected, retryable error instead of
+//     silently different data.
 package framing
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -36,6 +41,18 @@ import (
 // frame of a different format version arrives. Callers re-export it so
 // their users can errors.Is against a package-local name.
 var ErrVersionMismatch = errors.New("framing: version mismatch")
+
+// ErrChecksum is returned (wrapped, with both sums) when a checksummed
+// frame's body does not hash to its trailer — the stream was corrupted
+// in transit. The frame was fully consumed, but a reader cannot trust
+// anything after an undetected desync, so callers should treat the
+// connection as dead and retry on a fresh one.
+var ErrChecksum = errors.New("framing: checksum mismatch")
+
+// castagnoli is the CRC-32C table shared by every checksummed codec.
+// Castagnoli rather than IEEE for its better burst-error detection (and
+// hardware support on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Codec is one binary format's framing discipline. The zero value is
 // not usable; fill every field.
@@ -50,6 +67,32 @@ type Codec struct {
 	// after the length prefix) so a corrupt or hostile length prefix
 	// cannot OOM the reader.
 	MaxFrame int
+	// Checksum appends a CRC-32C of the type byte and body to every
+	// frame (4 trailer bytes, included in the length prefix) and makes
+	// the reader verify it, returning ErrChecksum on mismatch. Without
+	// it a single flipped payload byte decodes as silently different
+	// data; with it corruption downgrades to a detected, retryable
+	// transport failure. Both sides of a format must agree — enabling it
+	// is a wire-version bump.
+	Checksum bool
+}
+
+// trailerLen is the per-frame overhead beyond the 4 header bytes when
+// Checksum is on.
+func (c Codec) trailerLen() int {
+	if c.Checksum {
+		return 4
+	}
+	return 0
+}
+
+// sum hashes what the trailer covers: the type byte, then the body. The
+// magic/version bytes are validated structurally and the length prefix
+// is validated by ReadFull, so the sum covers exactly the bytes whose
+// corruption would otherwise go unnoticed.
+func (c Codec) sum(typ byte, body []byte) uint32 {
+	crc := crc32.Update(0, castagnoli, []byte{typ})
+	return crc32.Update(crc, castagnoli, body)
 }
 
 // WriteFrame writes one frame: the 8-byte header followed by body.
@@ -58,11 +101,11 @@ type Codec struct {
 // wrapping it into a corrupt stream) wastes the whole transfer once per
 // retry.
 func (c Codec) WriteFrame(w io.Writer, typ byte, body []byte) error {
-	if len(body)+4 > c.MaxFrame {
-		return fmt.Errorf("framing: frame type %d is %d bytes, over the %d limit", typ, len(body)+4, c.MaxFrame)
+	if len(body)+4+c.trailerLen() > c.MaxFrame {
+		return fmt.Errorf("framing: frame type %d is %d bytes, over the %d limit", typ, len(body)+4+c.trailerLen(), c.MaxFrame)
 	}
 	header := make([]byte, 8)
-	binary.BigEndian.PutUint32(header[0:4], uint32(4+len(body)))
+	binary.BigEndian.PutUint32(header[0:4], uint32(4+len(body)+c.trailerLen()))
 	header[4], header[5] = c.Magic[0], c.Magic[1]
 	header[6] = c.Version
 	header[7] = typ
@@ -71,6 +114,13 @@ func (c Codec) WriteFrame(w io.Writer, typ byte, body []byte) error {
 	}
 	if _, err := w.Write(body); err != nil {
 		return fmt.Errorf("framing: write frame body: %w", err)
+	}
+	if c.Checksum {
+		var trailer [4]byte
+		binary.BigEndian.PutUint32(trailer[:], c.sum(typ, body))
+		if _, err := w.Write(trailer[:]); err != nil {
+			return fmt.Errorf("framing: write frame checksum: %w", err)
+		}
 	}
 	return nil
 }
@@ -87,8 +137,9 @@ func (c Codec) ReadFrame(r io.Reader) (byte, []byte, error) {
 		return 0, nil, fmt.Errorf("framing: read frame length: %w", err)
 	}
 	length := binary.BigEndian.Uint32(lenBuf[:])
-	if length < 4 || length > uint32(c.MaxFrame) {
-		return 0, nil, fmt.Errorf("framing: frame length %d outside [4,%d]", length, c.MaxFrame)
+	minLen := uint32(4 + c.trailerLen())
+	if length < minLen || length > uint32(c.MaxFrame) {
+		return 0, nil, fmt.Errorf("framing: frame length %d outside [%d,%d]", length, minLen, c.MaxFrame)
 	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -108,6 +159,14 @@ func (c Codec) ReadFrame(r io.Reader) (byte, []byte, error) {
 	body := make([]byte, length-4)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return 0, nil, fmt.Errorf("framing: read frame body: %w", err)
+	}
+	if c.Checksum {
+		body, trailer := body[:len(body)-4], body[len(body)-4:]
+		want := binary.BigEndian.Uint32(trailer)
+		if got := c.sum(hdr[3], body); got != want {
+			return 0, nil, fmt.Errorf("%w: frame type %d sums to %08x, trailer says %08x", ErrChecksum, hdr[3], got, want)
+		}
+		return hdr[3], body, nil
 	}
 	return hdr[3], body, nil
 }

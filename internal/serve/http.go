@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/activeiter/activeiter/internal/snapshot"
@@ -31,7 +32,8 @@ type HandlerOptions struct {
 
 // Handler is the alignd HTTP surface over a Store:
 //
-//	GET  /healthz                      — liveness (503 until a snapshot is loaded)
+//	GET  /healthz                      — liveness (always 200: the process is up)
+//	GET  /readyz                       — readiness (503 until a snapshot is loaded, or after a failed reload)
 //	GET  /statusz                      — snapshot provenance + per-endpoint QPS/latency
 //	GET  /v1/match/{net}/{user}        — O(1) matched-partner lookup
 //	GET  /v1/candidates/{net}/{user}   — top-k ranked candidates (?k= caps the list)
@@ -46,6 +48,14 @@ type Handler struct {
 	store   *Store
 	metrics *Metrics
 	opts    HandlerOptions
+
+	// Last reload outcome, for /readyz and /statusz: a failed reload
+	// keeps the old generation serving (the swap never happens) but
+	// flips readiness so orchestrators stop routing new traffic to a
+	// replica whose artifact on disk is bad.
+	reloadMu       sync.Mutex
+	lastReloadErr  string
+	lastReloadUnix int64
 }
 
 // NewHandler wraps the store. metrics may be nil (a fresh registry is
@@ -97,6 +107,8 @@ func (h *Handler) route(w http.ResponseWriter, r *http.Request) (string, error) 
 	switch {
 	case path == "/healthz":
 		return "healthz", h.handleHealth(w, r)
+	case path == "/readyz":
+		return "readyz", h.handleReady(w, r)
 	case path == "/statusz":
 		return "statusz", h.handleStatus(w, r)
 	case path == "/v1/score":
@@ -126,24 +138,62 @@ func (h *Handler) writeJSON(w http.ResponseWriter, v any) error {
 	return json.NewEncoder(w).Encode(v)
 }
 
+// handleHealth is pure liveness: it answers 200 whenever the process
+// can serve HTTP at all. Restart-on-unhealthy orchestration keys off
+// this; a replica that is up but not yet (or no longer) serviceable is
+// readyz's business, not a reason to kill the process.
 func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) error {
 	if r.Method != http.MethodGet {
 		return errf(http.StatusMethodNotAllowed, "healthz is GET")
-	}
-	if h.store.Current() == nil {
-		return errf(http.StatusServiceUnavailable, "no snapshot loaded")
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 	return nil
 }
 
+// handleReady is readiness: a snapshot is loaded AND the last reload
+// (if any) succeeded. Load balancers key traffic off this.
+func (h *Handler) handleReady(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodGet {
+		return errf(http.StatusMethodNotAllowed, "readyz is GET")
+	}
+	if h.store.Current() == nil {
+		return errf(http.StatusServiceUnavailable, "no snapshot loaded")
+	}
+	h.reloadMu.Lock()
+	reloadErr := h.lastReloadErr
+	h.reloadMu.Unlock()
+	if reloadErr != "" {
+		return errf(http.StatusServiceUnavailable, "last reload failed: %s", reloadErr)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+	return nil
+}
+
+// recordReload notes a reload outcome for readyz/statusz.
+func (h *Handler) recordReload(err error) {
+	h.reloadMu.Lock()
+	defer h.reloadMu.Unlock()
+	h.lastReloadUnix = time.Now().Unix()
+	if err != nil {
+		h.lastReloadErr = err.Error()
+	} else {
+		h.lastReloadErr = ""
+	}
+}
+
 // statusResponse is the statusz JSON shape.
 type statusResponse struct {
-	Generation uint64           `json:"generation"`
-	UptimeSec  float64          `json:"uptime_sec"`
-	Snapshot   *statusSnapshot  `json:"snapshot,omitempty"`
-	Endpoints  []EndpointReport `json:"endpoints"`
+	Generation uint64          `json:"generation"`
+	UptimeSec  float64         `json:"uptime_sec"`
+	Snapshot   *statusSnapshot `json:"snapshot,omitempty"`
+	// LastReloadError is the most recent /v1/reload failure (empty after
+	// a success); LastReloadUnix stamps the most recent attempt either
+	// way.
+	LastReloadError string           `json:"last_reload_error,omitempty"`
+	LastReloadUnix  int64            `json:"last_reload_unix,omitempty"`
+	Endpoints       []EndpointReport `json:"endpoints"`
 }
 
 type statusSnapshot struct {
@@ -167,6 +217,10 @@ func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) error {
 		return errf(http.StatusMethodNotAllowed, "statusz is GET")
 	}
 	resp := statusResponse{UptimeSec: h.metrics.Uptime().Seconds(), Endpoints: h.metrics.Report()}
+	h.reloadMu.Lock()
+	resp.LastReloadError = h.lastReloadErr
+	resp.LastReloadUnix = h.lastReloadUnix
+	h.reloadMu.Unlock()
 	if ix := h.store.Current(); ix != nil {
 		meta := ix.Meta()
 		u1, u2, matches, pool := ix.Counts()
@@ -376,12 +430,20 @@ func (h *Handler) handleReload(w http.ResponseWriter, r *http.Request) error {
 	}
 	snap, err := h.opts.Load(path)
 	if err != nil {
-		return errf(http.StatusUnprocessableEntity, "reload %s: %v", path, err)
+		he := errf(http.StatusUnprocessableEntity, "reload %s: %v", path, err)
+		h.recordReload(he)
+		return he
 	}
 	ix, err := NewIndex(snap)
 	if err != nil {
-		return errf(http.StatusUnprocessableEntity, "reload %s: %v", path, err)
+		// A corrupt or unindexable artifact never reaches the store: the
+		// old generation keeps serving, and the failure is visible on
+		// /readyz and /statusz until a reload succeeds.
+		he := errf(http.StatusUnprocessableEntity, "reload %s: %v", path, err)
+		h.recordReload(he)
+		return he
 	}
+	h.recordReload(nil)
 	gen := h.store.Swap(ix)
 	_, _, matches, pool := ix.Counts()
 	return h.writeJSON(w, reloadResponse{Generation: gen, Path: path, Matches: matches, Pool: pool})

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -228,6 +229,9 @@ func TestHTTPEndpoints(t *testing.T) {
 	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
 		t.Errorf("healthz = %d", code)
 	}
+	if code := getJSON(t, srv.URL+"/readyz", nil); code != http.StatusOK {
+		t.Errorf("readyz = %d", code)
+	}
 
 	var match matchResponse
 	if code := getJSON(t, srv.URL+"/v1/match/1/left-u2", &match); code != http.StatusOK {
@@ -295,12 +299,20 @@ func TestHTTPEndpoints(t *testing.T) {
 	if match.Generation != 2 || match.Match.ID != "right-u3" || match.Match.Score != 2.0 {
 		t.Errorf("post-reload match body = %+v", match)
 	}
-	// Reload of a missing artifact must not disturb the served model.
+	// Reload of a missing artifact must not disturb the served model —
+	// but it flips readiness (liveness stays green: the process is fine)
+	// and surfaces on statusz until a reload succeeds.
 	if code := postJSON(t, srv.URL+"/v1/reload", `{"path":"/nonexistent.snap"}`, nil); code != http.StatusUnprocessableEntity {
 		t.Errorf("bad reload = %d", code)
 	}
 	if code := getJSON(t, srv.URL+"/v1/match/1/left-u2", &match); code != http.StatusOK || match.Generation != 2 {
 		t.Errorf("serving disturbed by failed reload: %d gen %d", code, match.Generation)
+	}
+	if code := getJSON(t, srv.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz after failed reload = %d, want 503", code)
+	}
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz after failed reload = %d, want 200", code)
 	}
 
 	var status statusResponse
@@ -309,6 +321,17 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 	if status.Generation != 2 || status.Snapshot == nil || status.Snapshot.Matches != fixtureUsers {
 		t.Errorf("statusz body = %+v", status)
+	}
+	if status.LastReloadError == "" || !strings.Contains(status.LastReloadError, "nonexistent") {
+		t.Errorf("statusz last_reload_error = %q, want the failed reload's error", status.LastReloadError)
+	}
+
+	// A successful reload clears the readiness latch.
+	if code := postJSON(t, srv.URL+"/v1/reload", fmt.Sprintf(`{"path":%q}`, pathB), nil); code != http.StatusOK {
+		t.Fatalf("recovery reload = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/readyz", nil); code != http.StatusOK {
+		t.Errorf("readyz after recovery reload = %d", code)
 	}
 	found := false
 	for _, ep := range status.Endpoints {
@@ -359,12 +382,47 @@ func TestHTTPReloadPathOverrideForbidden(t *testing.T) {
 	}
 }
 
+// TestHTTPReloadCorruptArtifact: a reload pointed at a corrupt artifact
+// keeps the old generation serving, answers 422, drops readiness, and
+// surfaces the decode error on statusz.
+func TestHTTPReloadCorruptArtifact(t *testing.T) {
+	srv, _, pathA, _ := newTestServer(t)
+	if err := os.WriteFile(pathA, []byte("not a snapshot artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := postJSON(t, srv.URL+"/v1/reload", "", nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("corrupt reload = %d, want 422", code)
+	}
+	var match matchResponse
+	if code := getJSON(t, srv.URL+"/v1/match/1/left-u2", &match); code != http.StatusOK || match.Generation != 1 {
+		t.Errorf("old generation not serving after corrupt reload: %d gen %d", code, match.Generation)
+	}
+	if code := getJSON(t, srv.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz after corrupt reload = %d, want 503", code)
+	}
+	var status statusResponse
+	if code := getJSON(t, srv.URL+"/statusz", &status); code != http.StatusOK {
+		t.Fatalf("statusz = %d", code)
+	}
+	if status.LastReloadError == "" {
+		t.Error("statusz does not surface the corrupt-reload error")
+	}
+	if status.Generation != 1 {
+		t.Errorf("statusz generation = %d, want the surviving 1", status.Generation)
+	}
+}
+
 func TestHTTPEmptyStore(t *testing.T) {
 	st := &Store{}
 	srv := httptest.NewServer(NewHandler(st, nil, HandlerOptions{}))
 	defer srv.Close()
-	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
-		t.Errorf("healthz on empty store = %d", code)
+	// Liveness is about the process, readiness about the model: an empty
+	// store is alive but not ready.
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz on empty store = %d, want 200 (liveness)", code)
+	}
+	if code := getJSON(t, srv.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz on empty store = %d, want 503", code)
 	}
 	if code := getJSON(t, srv.URL+"/v1/match/1/0", nil); code != http.StatusServiceUnavailable {
 		t.Errorf("match on empty store = %d", code)
