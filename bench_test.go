@@ -441,7 +441,10 @@ func BenchmarkDistributedLoopback(b *testing.B) {
 			if al.Metrics().JobBytes == 0 {
 				b.Fatal("no bytes crossed the wire")
 			}
-			b.ReportMetric(float64(al.Metrics().JobBytes), "job-bytes")
+			m := al.Metrics()
+			b.ReportMetric(float64(m.JobBytes), "job-bytes")
+			b.ReportMetric(float64(m.JobBytes)/float64(len(m.Shards)), "job-bytes/shard")
+			b.ReportMetric(float64(m.SeedBytes), "seed-bytes")
 		}
 	})
 }

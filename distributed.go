@@ -50,11 +50,12 @@ func ServeWorker(conn io.ReadWriter) error { return distrib.Serve(conn) }
 func ListenAndServeWorker(addr string) error { return distrib.ListenAndServe(addr, nil) }
 
 // DistributedAligner fans shard alignment out across processes: it
-// plans candidate-space shards exactly like PartitionedAligner, cuts
-// each shard's networks down to the closed neighborhood its pipeline
-// reads (shrinking bytes on the wire and per-worker memory), ships the
-// jobs over a ShardTransport, answers the workers' oracle queries, and
-// reconciles the returned vote streams into one globally one-to-one
+// plans candidate-space shards exactly like PartitionedAligner, ships
+// its warm anchor-free count cache once per worker connection so jobs
+// reduce to a few kilobytes of pool indices (workers fork the seeded
+// counter instead of re-counting; shard extraction remains the
+// fallback when seeding is off), answers the workers' oracle queries,
+// and reconciles the returned vote streams into one globally one-to-one
 // result.
 //
 // For the same Options (seed, partitions, budget) a distributed run
@@ -116,9 +117,13 @@ func (da *DistributedAligner) Align(trainPos, candidates []Anchor, oracle Oracle
 	if da.opts.Rounds > 1 {
 		return da.alignSession(plan, oracle)
 	}
+	dopts := da.opts.distribOptions()
+	// The facade's base counter is already warm from planning; exporting
+	// the seed from it costs matrix reads, not recounts.
+	dopts.Base = da.base
 	coord := &distrib.Coordinator{
 		Transport: da.transport,
-		Opts:      da.opts.distribOptions(),
+		Opts:      dopts,
 	}
 	res, metrics, err := coord.Run(da.pair, plan, oracle)
 	if err != nil {
@@ -135,7 +140,9 @@ func (da *DistributedAligner) Align(trainPos, candidates []Anchor, oracle Oracle
 // Reports accumulate one entry per shard per round, so QueryCount spans
 // the whole session's oracle spend, matching the single-shot contract.
 func (da *DistributedAligner) alignSession(plan *partition.Plan, oracle Oracle) (*PartitionedResult, error) {
-	sess, err := distrib.NewSession(da.transport, da.pair, da.opts.distribOptions())
+	dopts := da.opts.distribOptions()
+	dopts.Base = da.base
+	sess, err := distrib.NewSession(da.transport, da.pair, dopts)
 	if err != nil {
 		return nil, err
 	}

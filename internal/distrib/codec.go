@@ -1,0 +1,335 @@
+// Columnar wire codec for the hot frames. Gob's self-describing streams
+// cost a type descriptor plus per-field framing on every frame; the
+// frames that dominate a run's bytes — Job (networks, pools, inverse
+// maps), Votes (the whole candidate pool back), Done (weight vectors),
+// JobRef (label deltas) and the warm-counter Seed — encode here as flat
+// struct-of-arrays columns over internal/framing primitives instead.
+// Index slices become varint columns, float payloads pack as raw
+// little-endian runs, and parallel arrays (I/J/Label) are written column
+// by column so the varints of like-valued fields sit together.
+//
+// The layouts are part of the wire contract (Version history in
+// wire.go, field tables in docs/WIRE.md): any change to an appendBody /
+// decodeBody pair is a protocol version bump. Decoders follow the
+// hostile-input discipline of internal/framing — every declared count is
+// bounded by the bytes remaining (at the element's minimum encoded
+// size) before allocation, parallel columns share one length, and
+// trailing bytes fail the decode.
+package distrib
+
+import (
+	"fmt"
+
+	"github.com/activeiter/activeiter/internal/framing"
+	"github.com/activeiter/activeiter/internal/hetnet"
+)
+
+// appendAnchors writes an anchor list as an I column then a J column.
+func appendAnchors(b []byte, as []hetnet.Anchor) []byte {
+	b = framing.AppendUvarint(b, uint64(len(as)))
+	for _, a := range as {
+		b = framing.AppendVarint(b, int64(a.I))
+	}
+	for _, a := range as {
+		b = framing.AppendVarint(b, int64(a.J))
+	}
+	return b
+}
+
+func decodeAnchors(d *framing.Dec) []hetnet.Anchor {
+	n := d.Uvarint()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	// Two varint columns: each anchor costs at least 2 bytes.
+	if n > uint64(d.Remaining())/2 {
+		d.Fail("anchor count")
+		return nil
+	}
+	as := make([]hetnet.Anchor, n)
+	for i := range as {
+		as[i].I = d.Int()
+	}
+	for i := range as {
+		as[i].J = d.Int()
+	}
+	return as
+}
+
+// appendWireLabels writes a label list as I, J and Label columns.
+func appendWireLabels(b []byte, ls []WireLabel) []byte {
+	b = framing.AppendUvarint(b, uint64(len(ls)))
+	for _, l := range ls {
+		b = framing.AppendVarint(b, int64(l.I))
+	}
+	for _, l := range ls {
+		b = framing.AppendVarint(b, int64(l.J))
+	}
+	for _, l := range ls {
+		b = framing.AppendFloat64(b, l.Label)
+	}
+	return b
+}
+
+func decodeWireLabels(d *framing.Dec) []WireLabel {
+	n := d.Uvarint()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	// Two varint columns plus a packed float64 column: ≥ 10 bytes each.
+	if n > uint64(d.Remaining())/10 {
+		d.Fail("label count")
+		return nil
+	}
+	ls := make([]WireLabel, n)
+	for i := range ls {
+		ls[i].I = int32(d.Varint())
+	}
+	for i := range ls {
+		ls[i].J = int32(d.Varint())
+	}
+	for i := range ls {
+		ls[i].Label = d.Float64()
+	}
+	return ls
+}
+
+// appendTo writes the network in its canonical order: name, node tables
+// (type name + ID column each), link tables (type/src/dst names + from
+// and to index columns each).
+func (w *WireNetwork) appendTo(b []byte) []byte {
+	b = framing.AppendString(b, w.Name)
+	b = framing.AppendUvarint(b, uint64(len(w.NodeTypes)))
+	for k := range w.NodeTypes {
+		b = framing.AppendString(b, w.NodeTypes[k])
+		b = framing.AppendStrings(b, w.NodeIDs[k])
+	}
+	b = framing.AppendUvarint(b, uint64(len(w.LinkTypes)))
+	for k := range w.LinkTypes {
+		b = framing.AppendString(b, w.LinkTypes[k])
+		b = framing.AppendString(b, w.LinkSrc[k])
+		b = framing.AppendString(b, w.LinkDst[k])
+		b = framing.AppendInt32s(b, w.LinkFrom[k])
+		b = framing.AppendInt32s(b, w.LinkTo[k])
+	}
+	return b
+}
+
+// decodeFrom reads the network tables, reporting failures through the
+// cursor's sticky error. Structural validation beyond shape (duplicate
+// IDs, link endpoints) stays in WireNetwork.Decode.
+func (w *WireNetwork) decodeFrom(d *framing.Dec) {
+	w.Name = d.String()
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return
+	}
+	// Each node table costs ≥ 2 bytes (two counts); same for link
+	// tables below at ≥ 5.
+	if n > uint64(d.Remaining())/2 {
+		d.Fail("node type count")
+		return
+	}
+	for k := uint64(0); k < n && d.Err() == nil; k++ {
+		w.NodeTypes = append(w.NodeTypes, d.String())
+		w.NodeIDs = append(w.NodeIDs, d.Strings())
+	}
+	m := d.Uvarint()
+	if d.Err() != nil {
+		return
+	}
+	if m > uint64(d.Remaining())/5 {
+		d.Fail("link type count")
+		return
+	}
+	for k := uint64(0); k < m && d.Err() == nil; k++ {
+		w.LinkTypes = append(w.LinkTypes, d.String())
+		w.LinkSrc = append(w.LinkSrc, d.String())
+		w.LinkDst = append(w.LinkDst, d.String())
+		w.LinkFrom = append(w.LinkFrom, d.Int32s())
+		w.LinkTo = append(w.LinkTo, d.Int32s())
+	}
+}
+
+// Job body: scalars, then (for unseeded jobs only) the two networks,
+// then the pool and label columns, then the training configuration.
+// A job with a non-zero SeedFP never carries networks or inverse maps —
+// the flag byte after SeedFP records which shape was written.
+func (j *Job) appendBody(b []byte) []byte {
+	b = framing.AppendVarint(b, int64(j.Shard))
+	b = framing.AppendUvarint(b, j.Fingerprint)
+	b = framing.AppendUvarint(b, j.SeedFP)
+	b = framing.AppendBool(b, j.SeedFP == 0)
+	if j.SeedFP == 0 {
+		b = j.G1.appendTo(b)
+		b = j.G2.appendTo(b)
+	}
+	b = framing.AppendString(b, j.AnchorType)
+	b = appendAnchors(b, j.TrainPos)
+	b = appendAnchors(b, j.Candidates)
+	b = appendWireLabels(b, j.Prelabeled)
+	b = framing.AppendInt32s(b, j.InvUsers1)
+	b = framing.AppendInt32s(b, j.InvUsers2)
+	b = framing.AppendString(b, j.FeatureSet)
+	b = framing.AppendString(b, j.Strategy)
+	b = framing.AppendFloat64(b, j.C)
+	b = framing.AppendFloat64(b, j.Threshold)
+	b = framing.AppendBool(b, j.HasThreshold)
+	b = framing.AppendVarint(b, int64(j.Budget))
+	b = framing.AppendVarint(b, int64(j.BatchSize))
+	b = framing.AppendBool(b, j.Exact)
+	b = framing.AppendVarint(b, j.Seed)
+	return b
+}
+
+func (j *Job) decodeBody(body []byte) error {
+	d := framing.NewDec(body)
+	j.Shard = d.Int()
+	j.Fingerprint = d.Uvarint()
+	j.SeedFP = d.Uvarint()
+	if d.Bool() {
+		j.G1.decodeFrom(d)
+		j.G2.decodeFrom(d)
+	}
+	j.AnchorType = d.String()
+	j.TrainPos = decodeAnchors(d)
+	j.Candidates = decodeAnchors(d)
+	j.Prelabeled = decodeWireLabels(d)
+	j.InvUsers1 = d.Int32s()
+	j.InvUsers2 = d.Int32s()
+	j.FeatureSet = d.String()
+	j.Strategy = d.String()
+	j.C = d.Float64()
+	j.Threshold = d.Float64()
+	j.HasThreshold = d.Bool()
+	j.Budget = d.Int()
+	j.BatchSize = d.Int()
+	j.Exact = d.Bool()
+	j.Seed = d.Varint()
+	if err := d.Done(); err != nil {
+		return fmt.Errorf("distrib: job frame: %w", err)
+	}
+	return nil
+}
+
+// JobRef body: scalars plus the label-delta columns.
+func (r *JobRef) appendBody(b []byte) []byte {
+	b = framing.AppendVarint(b, int64(r.Shard))
+	b = framing.AppendUvarint(b, r.Fingerprint)
+	b = appendWireLabels(b, r.AddLabels)
+	b = framing.AppendVarint(b, int64(r.Budget))
+	b = framing.AppendVarint(b, r.Seed)
+	return b
+}
+
+func (r *JobRef) decodeBody(body []byte) error {
+	d := framing.NewDec(body)
+	r.Shard = d.Int()
+	r.Fingerprint = d.Uvarint()
+	r.AddLabels = decodeWireLabels(d)
+	r.Budget = d.Int()
+	r.Seed = d.Varint()
+	if err := d.Done(); err != nil {
+		return fmt.Errorf("distrib: job-ref frame: %w", err)
+	}
+	return nil
+}
+
+// Votes body: shard, then I/J varint columns, Label/Score packed
+// float64 columns, and a one-byte flag column (bit 0 Queried, bit 1
+// Fixed).
+func (v *Votes) appendBody(b []byte) []byte {
+	b = framing.AppendVarint(b, int64(v.Shard))
+	b = framing.AppendUvarint(b, uint64(len(v.Votes)))
+	for _, x := range v.Votes {
+		b = framing.AppendVarint(b, int64(x.I))
+	}
+	for _, x := range v.Votes {
+		b = framing.AppendVarint(b, int64(x.J))
+	}
+	for _, x := range v.Votes {
+		b = framing.AppendFloat64(b, x.Label)
+	}
+	for _, x := range v.Votes {
+		b = framing.AppendFloat64(b, x.Score)
+	}
+	for _, x := range v.Votes {
+		var f byte
+		if x.Queried {
+			f |= 1
+		}
+		if x.Fixed {
+			f |= 2
+		}
+		b = append(b, f)
+	}
+	return b
+}
+
+func (v *Votes) decodeBody(body []byte) error {
+	d := framing.NewDec(body)
+	v.Shard = d.Int()
+	n := d.Uvarint()
+	if d.Err() == nil && n > 0 {
+		// Two varint columns, two packed float64 columns, one flag byte:
+		// ≥ 19 bytes per vote.
+		if n > uint64(d.Remaining())/19 {
+			d.Fail("vote count")
+		} else {
+			vs := make([]Vote, n)
+			for i := range vs {
+				vs[i].I = int32(d.Varint())
+			}
+			for i := range vs {
+				vs[i].J = int32(d.Varint())
+			}
+			for i := range vs {
+				vs[i].Label = d.Float64()
+			}
+			for i := range vs {
+				vs[i].Score = d.Float64()
+			}
+			for i := range vs {
+				f := d.Byte()
+				if d.Err() == nil && f > 3 {
+					d.Fail("vote flags")
+					break
+				}
+				vs[i].Queried = f&1 != 0
+				vs[i].Fixed = f&2 != 0
+			}
+			v.Votes = vs
+		}
+	}
+	if err := d.Done(); err != nil {
+		return fmt.Errorf("distrib: votes frame: %w", err)
+	}
+	return nil
+}
+
+// Done body: report scalars plus the packed weight vector.
+func (dn *Done) appendBody(b []byte) []byte {
+	b = framing.AppendVarint(b, int64(dn.Shard))
+	b = framing.AppendVarint(b, int64(dn.TrainPos))
+	b = framing.AppendVarint(b, int64(dn.Candidates))
+	b = framing.AppendVarint(b, int64(dn.Budget))
+	b = framing.AppendVarint(b, int64(dn.Queries))
+	b = framing.AppendVarint(b, dn.ElapsedNS)
+	b = framing.AppendFloat64s(b, dn.W)
+	return b
+}
+
+func (dn *Done) decodeBody(body []byte) error {
+	d := framing.NewDec(body)
+	dn.Shard = d.Int()
+	dn.TrainPos = d.Int()
+	dn.Candidates = d.Int()
+	dn.Budget = d.Int()
+	dn.Queries = d.Int()
+	dn.ElapsedNS = d.Varint()
+	dn.W = d.Float64s()
+	if err := d.Done(); err != nil {
+		return fmt.Errorf("distrib: done frame: %w", err)
+	}
+	return nil
+}

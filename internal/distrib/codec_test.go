@@ -1,0 +1,224 @@
+package distrib
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/framing"
+	"github.com/activeiter/activeiter/internal/metadiag"
+)
+
+// TestColumnarEmptyRoundTrip pins the degenerate shapes the columnar
+// codec must distinguish from corruption: empty vote batches, a Done
+// with no weights, a seeded job whose optional columns are all empty.
+func TestColumnarEmptyRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		enc  interface{ appendBody([]byte) []byte }
+		dec  frameDecoder
+	}{
+		{"votes", &Votes{Shard: 3}, &Votes{}},
+		{"done", &Done{Shard: 2}, &Done{}},
+		{"jobref", &JobRef{Shard: 1, Fingerprint: 7}, &JobRef{}},
+		{"seeded-job", &Job{Shard: 0, SeedFP: 9, Budget: 1}, &Job{}},
+	} {
+		body := tc.enc.appendBody(nil)
+		if err := tc.dec.decodeBody(body); err != nil {
+			t.Errorf("%s: empty round-trip rejected: %v", tc.name, err)
+		}
+	}
+}
+
+// TestColumnarRejectsTrailingBytes: every hot-frame decoder must reject
+// a body with unconsumed bytes — a length desync must not pass as a
+// shorter valid frame.
+func TestColumnarRejectsTrailingBytes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		enc  interface{ appendBody([]byte) []byte }
+		dec  func() frameDecoder
+	}{
+		{"job", fixtureJob(t), func() frameDecoder { return &Job{} }},
+		{"votes", &Votes{Shard: 1, Votes: []Vote{{I: 1, J: 2, Label: 1, Score: 0.5}}}, func() frameDecoder { return &Votes{} }},
+		{"done", &Done{Shard: 1, W: []float64{1, 2}}, func() frameDecoder { return &Done{} }},
+		{"jobref", &JobRef{Shard: 1, Fingerprint: 7}, func() frameDecoder { return &JobRef{} }},
+		{"seed", fixtureSeed(t), func() frameDecoder { return &WireSeed{} }},
+	} {
+		body := tc.enc.appendBody(nil)
+		if err := tc.dec().decodeBody(body); err != nil {
+			t.Fatalf("%s: pristine body rejected: %v", tc.name, err)
+		}
+		if err := tc.dec().decodeBody(append(body, 0)); err == nil {
+			t.Errorf("%s: trailing byte accepted", tc.name)
+		}
+	}
+}
+
+// TestColumnarTruncationNeverPanics walks every prefix of each hot
+// frame's body through its decoder: truncation must surface as an
+// error, never a panic or a silent success.
+func TestColumnarTruncationNeverPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		enc  interface{ appendBody([]byte) []byte }
+		dec  func() frameDecoder
+	}{
+		{"job", fixtureJob(t), func() frameDecoder { return &Job{} }},
+		{"votes", &Votes{Shard: 1, Votes: []Vote{{I: 4, J: 5, Label: 1, Score: 0.91, Queried: true}}}, func() frameDecoder { return &Votes{} }},
+		{"done", &Done{Shard: 1, Queries: 3, W: []float64{0.25, -1}}, func() frameDecoder { return &Done{} }},
+		{"seed", fixtureSeed(t), func() frameDecoder { return &WireSeed{} }},
+	} {
+		body := tc.enc.appendBody(nil)
+		for cut := 0; cut < len(body); cut++ {
+			if err := tc.dec().decodeBody(body[:cut:cut]); err == nil {
+				t.Errorf("%s: truncation at %d/%d accepted", tc.name, cut, len(body))
+			}
+		}
+	}
+}
+
+// TestVotesRejectsUnknownFlags: the vote flag byte has two defined bits
+// (Queried, Fixed); any other bit set must be rejected, reserving the
+// space for future versions instead of silently dropping it.
+func TestVotesRejectsUnknownFlags(t *testing.T) {
+	body := (&Votes{Shard: 1, Votes: []Vote{{I: 1, J: 2, Label: 1, Score: 0.5}}}).appendBody(nil)
+	// The flag column is the last byte of a one-vote body.
+	body[len(body)-1] = 4
+	var v Votes
+	if err := v.decodeBody(body); err == nil || !strings.Contains(err.Error(), "vote flags") {
+		t.Fatalf("flag byte 4: got %v, want vote-flags error", err)
+	}
+}
+
+// TestSeedEntryRejectsHugeCounts: claimed row counts far beyond the
+// actual bytes must fail on the bound check, before any allocation
+// sized by the claim.
+func TestSeedEntryRejectsHugeCounts(t *testing.T) {
+	var b []byte
+	b = framing.AppendString(b, "k")
+	b = framing.AppendVarint(b, 1<<40) // rows
+	b = framing.AppendVarint(b, 1)     // cols
+	if _, err := decodeSeedEntry(b); err == nil {
+		t.Fatal("absurd row count accepted")
+	}
+	b = nil
+	b = framing.AppendString(b, "k")
+	b = framing.AppendVarint(b, 1) // rows
+	b = framing.AppendVarint(b, 1) // cols
+	b = framing.AppendUvarint(b, 1<<40)
+	if _, err := decodeSeedEntry(b); err == nil {
+		t.Fatal("absurd row length accepted")
+	}
+}
+
+// TestSeedShipsNothingInSharedProcess: loopback workers share the
+// coordinator's process, and buildSeed pre-installs the warm counter
+// into that process's seed cache — so every connection's SeedRef must
+// hit and the run must ship zero seed copies, exactly like the
+// in-process facade's fork.
+func TestSeedShipsNothingInSharedProcess(t *testing.T) {
+	seedMu.Lock()
+	seedCache = map[uint64]*seedEntry{}
+	seedLRU = nil
+	seedMu.Unlock()
+	fx := newDistFixture(t, 3, 0)
+	coord := &Coordinator{Transport: Loopback{}, Opts: Options{Train: fx.train, Workers: 3}}
+	res, m, err := coord.Run(fx.pair, fx.plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAlignment(t, res, fx.ref, fx.plan)
+	if m.SeedShips != 0 {
+		t.Errorf("seed shipped %d times across 3 loopback connections, want 0 (pre-installed)", m.SeedShips)
+	}
+	if m.SeedBytes <= 0 {
+		t.Errorf("no seed negotiation bytes audited: %+v", m)
+	}
+}
+
+// TestSeedShipInstallAck drives the miss path by hand: a fresh worker
+// process (simulated by evicting the cache after buildSeed's
+// pre-install) must receive the shipped seed and confirm the completed
+// install with a CacheAck before negotiateSeed returns; a second
+// connection into the same process must then hit without a ship.
+func TestSeedShipInstallAck(t *testing.T) {
+	pair := fixturePair(t)
+	fp, body, err := buildSeed(pair, nil, TrainConfig{FeatureSet: FeaturesFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedMu.Lock()
+	seedCache = map[uint64]*seedEntry{}
+	seedLRU = nil
+	seedMu.Unlock()
+	dial := func() net.Conn {
+		c, w := net.Pipe()
+		go Serve(w)
+		if err := WriteFrame(c, FrameHello, &Hello{Role: "coordinator"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ReadExpect(c, FrameHello, &Hello{}); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c1 := dial()
+	defer c1.Close()
+	n, shipped, err := negotiateSeed(c1, fp, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shipped || n < int64(len(body)) {
+		t.Fatalf("fresh cache: shipped=%v n=%d, want a full ship of >= %d bytes", shipped, n, len(body))
+	}
+	c2 := dial()
+	defer c2.Close()
+	n2, shipped2, err := negotiateSeed(c2, fp, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shipped2 || n2 >= int64(len(body)) {
+		t.Fatalf("warm cache: shipped=%v n=%d, want a ref-hit", shipped2, n2)
+	}
+}
+
+// TestSeedEntryRoundTrip: CSR content survives the delta/uvarint
+// packing exactly, for both the integer fast path and the float
+// fallback.
+func TestSeedEntryRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		e    metadiag.SeedEntry
+	}{
+		{"ints", metadiag.SeedEntry{Key: "u->p", Rows: 3, Cols: 4,
+			RowPtr: []int{0, 2, 2, 3}, ColIdx: []int{0, 3, 1}, Val: []float64{1, 5, 1 << 40}}},
+		{"floats", metadiag.SeedEntry{Key: "u->p", Rows: 1, Cols: 2,
+			RowPtr: []int{0, 2}, ColIdx: []int{0, 1}, Val: []float64{0.5, -3}}},
+		{"empty", metadiag.SeedEntry{Key: "", Rows: 2, Cols: 2,
+			RowPtr: []int{0, 0, 0}, ColIdx: nil, Val: nil}},
+	} {
+		got, err := decodeSeedEntry(appendSeedEntry(nil, &tc.e))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got.Key != tc.e.Key || got.Rows != tc.e.Rows || got.Cols != tc.e.Cols {
+			t.Errorf("%s: header mangled: %+v", tc.name, got)
+		}
+		for i, v := range tc.e.Val {
+			if got.Val[i] != v {
+				t.Errorf("%s: val[%d] = %v, want %v", tc.name, i, got.Val[i], v)
+			}
+		}
+		for i, c := range tc.e.ColIdx {
+			if got.ColIdx[i] != c {
+				t.Errorf("%s: colIdx[%d] = %d, want %d", tc.name, i, got.ColIdx[i], c)
+			}
+		}
+		for i, p := range tc.e.RowPtr {
+			if got.RowPtr[i] != p {
+				t.Errorf("%s: rowPtr[%d] = %d, want %d", tc.name, i, got.RowPtr[i], p)
+			}
+		}
+	}
+}

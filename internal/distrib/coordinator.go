@@ -12,6 +12,7 @@ import (
 
 	"github.com/activeiter/activeiter/internal/active"
 	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/metadiag"
 	"github.com/activeiter/activeiter/internal/partition"
 )
 
@@ -50,8 +51,20 @@ type Options struct {
 	NoFallback bool
 	// NoExtract ships every shard with the full pair (identity maps)
 	// instead of its extracted neighborhood — the bytes-on-wire baseline
-	// and the fallback for schemas ExtractShard refuses.
+	// and the fallback for schemas ExtractShard refuses. Ignored when
+	// seed shipping is active (seeded jobs carry no networks at all).
 	NoExtract bool
+	// Base, when set, is a warm counter over the run's pair whose
+	// anchor-free count layer becomes the warm-counter seed (the facade
+	// passes its planning counter, so the export is a cache read). Nil
+	// derives the seed by cold-counting — still once per run, not once
+	// per shard × worker. Ignored under NoSeed.
+	Base *metadiag.Counter
+	// NoSeed disables warm-counter seed shipping: every job carries its
+	// extracted (or full) networks and cold-counts on the worker — the
+	// v4 wire behavior, the bytes/wall-clock baseline, and the mode for
+	// tests that exercise extraction itself.
+	NoSeed bool
 	// DeltaMaxLabels (sessions only) caps the label delta a JobRef may
 	// carry: a shard whose accumulated unsent labels exceed it re-ships
 	// as a full Job instead (an oversized delta plus a warm re-train can
@@ -112,6 +125,12 @@ type Metrics struct {
 	// Hedges counts straggler hedge dispatches (duplicate attempts, not
 	// necessarily winners).
 	Hedges int
+	// SeedBytes counts warm-counter seed negotiation bytes written
+	// (SeedRef frames plus shipped Seed bodies); SeedShips counts the
+	// connections that actually received the body — a ref-hit connection
+	// costs only its few-byte SeedRef.
+	SeedBytes int64
+	SeedShips int
 }
 
 // add folds a per-shard or per-round tally into the receiver (used for
@@ -127,6 +146,8 @@ func (m *Metrics) add(o *Metrics) {
 	m.CacheMisses += o.CacheMisses
 	m.Fallbacks += o.Fallbacks
 	m.Hedges += o.Hedges
+	m.SeedBytes += o.SeedBytes
+	m.SeedShips += o.SeedShips
 }
 
 // Coordinator dispatches shard jobs over a transport and reconciles the
@@ -284,6 +305,15 @@ func (c *Coordinator) Run(pair *hetnet.AlignedPair, plan *partition.Plan, oracle
 		sleep:        time.Sleep,
 		jitter:       rand.New(rand.NewSource(c.Opts.Train.Seed ^ 0x5DEECE66D)),
 	}
+	if !c.Opts.NoSeed {
+		// Built eagerly, once, before the worker loops: every connection
+		// ships (or ref-hits) the same pre-encoded body. A seed that
+		// fails to build degrades the run to unseeded v4-style shipping
+		// rather than aborting — the jobs are self-contained either way.
+		if fp, body, err := buildSeed(pair, c.Opts.Base, c.Opts.Train); err == nil {
+			run.seedFP, run.seedBody = fp, body
+		}
+	}
 	for i := 0; i < k; i++ {
 		run.jobs <- i
 	}
@@ -351,6 +381,8 @@ func (r *runState) buildMetrics() *Metrics {
 		m.Shards = append(m.Shards, sm)
 	}
 	m.Queries = int(r.queries.Load())
+	m.SeedBytes = r.seedBytes.Load()
+	m.SeedShips = int(r.seedShips.Load())
 	return m
 }
 
@@ -366,6 +398,15 @@ type runState struct {
 	shardTimeout time.Duration
 	stopHedge    chan struct{} // non-nil when hedging; closed by finish
 	sleep        func(time.Duration)
+
+	// seedFP/seedBody are the run's pre-encoded warm-counter seed; a nil
+	// body means the run ships unseeded (NoSeed, or the seed failed to
+	// build). seedBytes/seedShips audit the negotiations.
+	seedFP    uint64
+	seedBody  []byte
+	seedGate  seedGate
+	seedBytes atomic.Int64
+	seedShips atomic.Int64
 
 	oracleMu sync.Mutex // serializes oracle access across connections
 	// queries counts every oracle round-trip actually answered —
@@ -415,6 +456,7 @@ func (r *runState) finish() {
 // to the in-process fallback (or aborts the run under NoFallback).
 func (r *runState) workerLoop() {
 	var conn io.ReadWriteCloser
+	var connSeeded bool // the current conn completed seed negotiation
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -456,10 +498,23 @@ func (r *runState) workerLoop() {
 		} else {
 			if conn == nil {
 				conn, err = r.dialVia(r.coord.Transport)
+				connSeeded = false
+			}
+			if err == nil && r.seedBody != nil && !connSeeded {
+				// Seed negotiation happens once per connection, before its
+				// first job, under the shard deadline. A failed negotiation
+				// burns the conn like any shard failure — the retry redials
+				// and renegotiates.
+				err = r.seedConn(conn)
+				connSeeded = err == nil
+				if err != nil {
+					conn.Close()
+					conn = nil
+				}
 			}
 			if err == nil {
 				r.track(shard, conn)
-				sr, err = r.runShard(conn, shard)
+				sr, err = r.runShard(conn, shard, connSeeded)
 				r.untrack(shard, conn)
 				r.reportHealth(conn, err == nil)
 				if err != nil {
@@ -670,16 +725,43 @@ func (r *runState) fail(shard int, err error) {
 	r.finish()
 }
 
+// seedConn negotiates the run's warm-counter seed on a fresh
+// connection, under the shard deadline, and folds the bytes into the
+// run's audit. The first negotiation is gated so concurrent dials into
+// a shared worker process ship one seed, not one per connection.
+func (r *runState) seedConn(conn io.ReadWriteCloser) error {
+	if release := r.seedGate.wait(); release != nil {
+		defer release()
+	}
+	disarm := armDeadline(conn, r.shardTimeout)
+	defer disarm()
+	n, shipped, err := negotiateSeed(conn, r.seedFP, r.seedBody)
+	r.seedBytes.Add(n)
+	if shipped && err == nil {
+		r.seedShips.Add(1)
+	}
+	return err
+}
+
 // runInProcess executes the shard over a private loopback transport —
 // graceful degradation when the real transport is down or the shard
-// exhausted its retries.
+// exhausted its retries. The private connection negotiates the seed
+// like any other (the loopback worker shares the process-wide seed
+// cache, so at most the first fallback ships it).
 func (r *runState) runInProcess(shard int) (*shardResult, error) {
 	conn, err := r.dialVia(Loopback{})
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	sr, err := r.runShard(conn, shard)
+	seeded := false
+	if r.seedBody != nil {
+		if err := r.seedConn(conn); err != nil {
+			return nil, err
+		}
+		seeded = true
+	}
+	sr, err := r.runShard(conn, shard, seeded)
 	if err != nil {
 		return nil, err
 	}
@@ -688,11 +770,20 @@ func (r *runState) runInProcess(shard int) (*shardResult, error) {
 }
 
 // runShard ships one job and consumes its frame stream to completion,
-// bounded by the per-shard deadline.
-func (r *runState) runShard(conn io.ReadWriteCloser, shard int) (*shardResult, error) {
+// bounded by the per-shard deadline. On a seeded connection the job is
+// a seeded one — original indices, no networks; otherwise the v4-style
+// extracted (or full) self-contained job.
+func (r *runState) runShard(conn io.ReadWriteCloser, shard int, seeded bool) (*shardResult, error) {
 	part := &r.plan.Parts[shard]
-	sh := buildShard(r.pair, part, r.coord.Opts.NoExtract)
-	job := NewJob(sh, r.coord.Opts.Train)
+	var job *Job
+	var extracted bool
+	if seeded {
+		job = NewSeededJob(r.pair, part, r.coord.Opts.Train, r.seedFP)
+	} else {
+		sh := buildShard(r.pair, part, r.coord.Opts.NoExtract)
+		job = NewJob(sh, r.coord.Opts.Train)
+		extracted = sh.Extracted()
+	}
 
 	disarm := armDeadline(conn, r.shardTimeout)
 	defer disarm()
@@ -700,7 +791,7 @@ func (r *runState) runShard(conn io.ReadWriteCloser, shard int) (*shardResult, e
 	if err := WriteFrame(cw, FrameJob, job); err != nil {
 		return nil, err
 	}
-	sr := &shardResult{jobBytes: cw.n, extracted: sh.Extracted()}
+	sr := &shardResult{jobBytes: cw.n, extracted: extracted}
 	env := &streamEnv{
 		oracle: r.oracle, oracleMu: &r.oracleMu, queries: &r.queries,
 		onProgress: r.coord.Opts.OnProgress,

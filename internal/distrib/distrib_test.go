@@ -188,15 +188,17 @@ func TestLoopbackMatchesInProcess(t *testing.T) {
 
 // TestNoExtractMatchesToo checks the full-pair (NoExtract) path merges
 // identically — and costs measurably more bytes on the wire than the
-// extracted path, which is the point of shard extraction.
+// extracted path, which is the point of shard extraction. NoSeed keeps
+// the unseeded job paths under test: with seed shipping on, both modes
+// collapse to identical network-free seeded jobs.
 func TestNoExtractMatchesToo(t *testing.T) {
 	fx := newDistFixture(t, 3, 0)
-	extracted := &Coordinator{Transport: Loopback{}, Opts: Options{Train: fx.train, Workers: 2}}
+	extracted := &Coordinator{Transport: Loopback{}, Opts: Options{Train: fx.train, Workers: 2, NoSeed: true}}
 	resE, mE, err := extracted.Run(fx.pair, fx.plan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	full := &Coordinator{Transport: Loopback{}, Opts: Options{Train: fx.train, Workers: 2, NoExtract: true}}
+	full := &Coordinator{Transport: Loopback{}, Opts: Options{Train: fx.train, Workers: 2, NoExtract: true, NoSeed: true}}
 	resF, mF, err := full.Run(fx.pair, fx.plan, nil)
 	if err != nil {
 		t.Fatal(err)

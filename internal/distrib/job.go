@@ -186,8 +186,9 @@ func (f *fingerprintHasher) network(w *WireNetwork) {
 }
 
 // ComputeFingerprint hashes the job's shard-stable content: the sub-pair
-// networks, the pool, the inverse maps, and the training configuration.
-// Budget, Seed and Prelabeled — the per-round mutables — stay out, so
+// networks (or the seed fingerprint standing in for them), the pool,
+// the inverse maps, and the training configuration. Budget, Seed and
+// Prelabeled — the per-round mutables — stay out, so
 // every round of a stable plan hashes identically, which is the whole
 // point. The result keys the worker-side shard cache; it is a cache key,
 // not an authenticator. Never returns 0 (the "no caching" sentinel).
@@ -201,6 +202,7 @@ func (j *Job) ComputeFingerprint() uint64 {
 	f.anchors(j.Candidates)
 	f.ints(j.InvUsers1)
 	f.ints(j.InvUsers2)
+	f.u64(j.SeedFP)
 	f.str(j.FeatureSet)
 	f.str(j.Strategy)
 	f.u64(math.Float64bits(j.C))

@@ -59,6 +59,14 @@ type Session struct {
 	shards   map[int]*sessionShard
 	cum      Metrics
 
+	// seedFP/seedBody are built once on the first Run (nil body =
+	// unseeded session); slots negotiate per connection and renegotiate
+	// after a drop.
+	seedOnce sync.Once
+	seedFP   uint64
+	seedBody []byte
+	seedGate seedGate
+
 	oracleMu sync.Mutex
 	queries  atomic.Int64
 }
@@ -66,20 +74,38 @@ type Session struct {
 // sessionSlot is one persistent worker connection and the shard states
 // it holds warm.
 type sessionSlot struct {
-	conn  io.ReadWriteCloser
-	holds map[int]uint64 // part index → fingerprint run warm on this connection
+	conn   io.ReadWriteCloser
+	seeded bool           // this connection completed seed negotiation
+	holds  map[int]uint64 // part index → fingerprint run warm on this connection
 }
 
 // sessionShard is the coordinator-side cache of one shard: the one-time
-// extraction, its fingerprint, and how much of the label log has been
-// shipped to the current holder.
+// extraction (unseeded sessions only), its fingerprint, and how much of
+// the label log has been shipped to the current holder.
 type sessionShard struct {
-	shard    *partition.Shard
-	template *Job // fully encoded job with zero prelabels; per-round copies override the mutables
+	shard    *partition.Shard // nil when seeded — no extraction, indices stay global
+	seeded   bool
+	template *Job // job with zero prelabels; per-round copies override the mutables
 	fp       uint64
 	partSig  uint64 // TrainPos/Candidates content hash: detects plan drift between rounds
 	sent     int    // prelabels already held by the home connection
 	home     int    // slot index holding fp, -1 when none
+}
+
+// extracted reports whether the shard shipped as an extracted sub-pair
+// (never for seeded shards, which ship no networks at all).
+func (st *sessionShard) extracted() bool {
+	return st.shard != nil && st.shard.Extracted()
+}
+
+// labels maps a slice of the part's (global-index) label log into the
+// template's index space: identity for seeded shards, the extraction
+// forward maps otherwise.
+func (st *sessionShard) labels(log []partition.LabeledLink) ([]partition.LabeledLink, error) {
+	if st.seeded {
+		return log, nil
+	}
+	return st.shard.RemapLabels(log)
 }
 
 // NewSession opens a sticky shard session for the pair over the
@@ -120,6 +146,7 @@ func (s *Session) Close() error {
 				first = err
 			}
 			slot.conn = nil
+			slot.seeded = false
 			slot.holds = make(map[int]uint64)
 		}
 	}
@@ -148,6 +175,18 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 		return nil, nil, fmt.Errorf("distrib: plan carries budget %d but no oracle", totalBudget)
 	}
 	start := time.Now()
+
+	// The seed is a property of the pair and training config, both fixed
+	// for the session's lifetime — build (and encode) it exactly once. A
+	// failed build degrades every round to unseeded shipping.
+	s.seedOnce.Do(func() {
+		if s.opts.NoSeed {
+			return
+		}
+		if fp, body, err := buildSeed(s.pair, s.opts.Base, s.opts.Train); err == nil {
+			s.seedFP, s.seedBody = fp, body
+		}
+	})
 
 	k := len(plan.Parts)
 	workers := s.opts.Workers
@@ -226,6 +265,8 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 	metrics := &Metrics{Retries: rr.totalRetries, Fallbacks: rr.totalFallbacks}
 	metrics.Queries = int(s.queries.Load() - queriesBefore)
 	metrics.CacheMisses = rr.misses
+	metrics.SeedBytes = rr.seedBytes.Load()
+	metrics.SeedShips = int(rr.seedShips.Load())
 	if rr.err != nil {
 		// Failed rounds still surface their audit — attempt counts and
 		// retry totals are exactly what a caller needs to diagnose the
@@ -274,6 +315,9 @@ type sessionRound struct {
 	shardTimeout time.Duration
 	sleep        func(time.Duration)
 
+	seedBytes atomic.Int64
+	seedShips atomic.Int64
+
 	mu             sync.Mutex
 	results        []*shardResult
 	shardMs        []ShardMetrics
@@ -283,6 +327,24 @@ type sessionRound struct {
 	totalFallbacks int
 	jitter         *rand.Rand // guarded by mu
 	err            error
+}
+
+// seedConn negotiates the session's seed on a fresh connection, under
+// the shard deadline, folding the bytes into the round's audit. The
+// session's first negotiation is gated so the initial burst of dials
+// into a shared worker process ships one seed, not one per connection.
+func (rr *sessionRound) seedConn(conn io.ReadWriteCloser) error {
+	if release := rr.s.seedGate.wait(); release != nil {
+		defer release()
+	}
+	disarm := armDeadline(conn, rr.shardTimeout)
+	defer disarm()
+	n, shipped, err := negotiateSeed(conn, rr.s.seedFP, rr.s.seedBody)
+	rr.seedBytes.Add(n)
+	if shipped && err == nil {
+		rr.seedShips.Add(1)
+	}
+	return err
 }
 
 // aborted reports (under mu) whether the round already failed.
@@ -363,12 +425,20 @@ func (rr *sessionRound) slotLoop(sl int, shards []int) {
 func (rr *sessionRound) runFallback(i int) (*shardResult, ShardMetrics, error) {
 	part := &rr.plan.Parts[i]
 	st := rr.shardState(i)
-	sm := ShardMetrics{Shard: part.Index, Extracted: st.shard.Extracted(), Fallback: true}
+	sm := ShardMetrics{Shard: part.Index, Extracted: st.extracted(), Fallback: true}
 	conn, err := dialWorker(Loopback{})
 	if err != nil {
 		return nil, sm, err
 	}
 	defer conn.Close()
+	if st.seeded {
+		// The template references the seed, so the private loopback conn
+		// must negotiate it too (the in-process worker shares the global
+		// seed cache — after the first ship this is a few-byte ref-hit).
+		if err := rr.seedConn(conn); err != nil {
+			return nil, sm, err
+		}
+	}
 	disarm := armDeadline(conn, rr.shardTimeout)
 	defer disarm()
 
@@ -376,13 +446,13 @@ func (rr *sessionRound) runFallback(i int) (*shardResult, ShardMetrics, error) {
 	job.Budget = part.Budget
 	job.Seed = rr.seed
 	job.Fingerprint = 0
-	pre, err := st.shard.RemapLabels(part.Prelabeled)
+	pre, err := st.labels(part.Prelabeled)
 	if err != nil {
 		return nil, sm, err
 	}
 	job.Prelabeled = WireLabels(pre)
 
-	sr := &shardResult{extracted: st.shard.Extracted(), fallback: true}
+	sr := &shardResult{extracted: st.extracted(), fallback: true}
 	cw := &countingWriter{w: conn}
 	if err := WriteFrame(cw, FrameJob, &job); err != nil {
 		return nil, sm, err
@@ -405,6 +475,7 @@ func (rr *sessionRound) dropConn(slot *sessionSlot) {
 		slot.conn.Close()
 		slot.conn = nil
 	}
+	slot.seeded = false
 	rr.s.shardsMu.Lock()
 	for idx := range slot.holds {
 		if st := rr.s.shards[idx]; st != nil {
@@ -449,6 +520,23 @@ func (rr *sessionRound) shardState(i int) *sessionShard {
 	}
 	// Build outside the lock: extraction and encoding are the expensive
 	// one-time costs, and no two slots ever build the same part.
+	if rr.s.seedBody != nil {
+		// Seeded session: no extraction, no networks — the template is a
+		// few columns of pool indices against the connection's seed.
+		template := NewSeededJob(rr.s.pair, part, rr.s.opts.Train, rr.s.seedFP)
+		template.Prelabeled = nil
+		st = &sessionShard{
+			seeded:   true,
+			template: template,
+			fp:       template.ComputeFingerprint(),
+			partSig:  sig,
+			home:     -1,
+		}
+		rr.s.shardsMu.Lock()
+		rr.s.shards[part.Index] = st
+		rr.s.shardsMu.Unlock()
+		return st
+	}
 	sh := buildShard(rr.s.pair, part, rr.s.opts.NoExtract)
 	// The template is the one-time serialization cost: networks encoded
 	// once, per-round copies only swap the round mutables.
@@ -473,7 +561,7 @@ func (rr *sessionRound) shardState(i int) *sessionShard {
 func (rr *sessionRound) runShard(slot *sessionSlot, sl, i int) (*shardResult, ShardMetrics, error) {
 	part := &rr.plan.Parts[i]
 	st := rr.shardState(i)
-	sm := ShardMetrics{Shard: part.Index, Extracted: st.shard.Extracted()}
+	sm := ShardMetrics{Shard: part.Index, Extracted: st.extracted()}
 
 	if slot.conn == nil {
 		conn, err := dialWorker(rr.s.transport)
@@ -481,6 +569,15 @@ func (rr *sessionRound) runShard(slot *sessionSlot, sl, i int) (*shardResult, Sh
 			return nil, sm, err
 		}
 		slot.conn = conn
+	}
+	if rr.s.seedBody != nil && !slot.seeded {
+		// One negotiation per (re)dialed connection; a failure burns the
+		// conn via the caller's retry ladder, which redials and
+		// renegotiates.
+		if err := rr.seedConn(slot.conn); err != nil {
+			return nil, sm, err
+		}
+		slot.seeded = true
 	}
 	conn := slot.conn
 	// The per-shard deadline spans the whole dispatch — JobRef, CacheAck,
@@ -503,10 +600,10 @@ func (rr *sessionRound) runShard(slot *sessionSlot, sl, i int) (*shardResult, Sh
 
 	// One shardResult spans the whole dispatch, so a missed JobRef
 	// attempt's bytes (frame out, CacheAck back) stay in the audit.
-	sr := &shardResult{extracted: st.shard.Extracted()}
+	sr := &shardResult{extracted: st.extracted()}
 
 	if tryDelta {
-		wireDelta, err := st.shard.RemapLabels(delta)
+		wireDelta, err := st.labels(delta)
 		if err != nil {
 			return nil, sm, err
 		}
@@ -553,7 +650,7 @@ func (rr *sessionRound) runShard(slot *sessionSlot, sl, i int) (*shardResult, Sh
 	job.Budget = part.Budget
 	job.Seed = rr.seed
 	job.Fingerprint = st.fp
-	pre, err := st.shard.RemapLabels(part.Prelabeled)
+	pre, err := st.labels(part.Prelabeled)
 	if err != nil {
 		return nil, sm, err
 	}

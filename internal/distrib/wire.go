@@ -15,20 +15,26 @@
 // frames in both directions:
 //
 //	┌─────────────┬─────────┬──────────┬──────────────────┬─────────┐
-//	│ length u32  │ magic   │ ver  typ │ gob payload      │ crc32c  │
+//	│ length u32  │ magic   │ ver  typ │ payload          │ crc32c  │
 //	│ big endian  │ 2 bytes │ 1B   1B  │ length − 8 bytes │ 4 bytes │
 //	└─────────────┴─────────┴──────────┴──────────────────┴─────────┘
 //
-// Every frame is a self-contained gob document (a fresh encoder per
-// frame), so frames survive reordering across connections, a reader can
-// skip unknown frame types of its version, and corrupt or foreign
-// streams fail fast on the magic/version check instead of deep inside a
-// decoder. A version bump is a wire-compatibility statement: readers
-// reject frames of any other version (ErrVersionMismatch) rather than
-// guess at field semantics. The CRC-32C trailer covers the type byte
-// and payload: a byte flipped in transit is a detected ErrChecksum —
-// the coordinator burns the connection and retries the shard — never
-// silently different votes.
+// Payloads come in two flavors. The hot frames — Job, JobRef, Votes,
+// Done, and the warm-counter Seed — are hand-rolled flat columnar
+// layouts (internal/framing put/get primitives: varint scalars, packed
+// float64 runs, struct-of-arrays columns; see codec.go and docs/WIRE.md
+// for the field tables). The cold control frames — Hello, Progress,
+// Query, Answer, CacheAck, Error, Cancel, SeedRef — stay self-contained
+// gob documents (a fresh encoder per frame), where gob's self-describing
+// overhead is noise. Either way a frame decodes independently of every
+// other frame, so frames survive reordering across connections, and
+// corrupt or foreign streams fail fast on the magic/version check
+// instead of deep inside a decoder. A version bump is a
+// wire-compatibility statement: readers reject frames of any other
+// version (ErrVersionMismatch) rather than guess at field semantics.
+// The CRC-32C trailer covers the type byte and payload: a byte flipped
+// in transit is a detected ErrChecksum — the coordinator burns the
+// connection and retries the shard — never silently different votes.
 //
 // The conversation is strictly request-driven: the coordinator sends
 // Hello then one Job (or JobRef, see below) per shard; the worker
@@ -76,7 +82,12 @@ import (
 //	    failure instead of silently different votes); Cancel frame
 //	    added so a coordinator can abandon a hedged or abandoned shard
 //	    mid-stream.
-const Version = 4
+//	5 — PR 7: columnar hot frames + warm-counter seed shipping. Job,
+//	    JobRef, Votes and Done switch from gob to hand-rolled columnar
+//	    bodies; Job gains SeedFP; SeedRef/Seed frames ship the
+//	    coordinator's anchor-free count cache once per connection, so
+//	    seeded jobs omit their networks and inverse maps entirely.
+const Version = 5
 
 // maxFrameSize bounds a frame's declared length so a corrupt or hostile
 // length prefix cannot OOM the reader. Jobs carry whole sub-networks;
@@ -119,6 +130,14 @@ const (
 	// FrameCancel abandons an in-flight shard, coordinator → worker: the
 	// losing side of a hedged dispatch, or a shard whose deadline fired.
 	FrameCancel
+	// FrameSeedRef offers the run's warm-counter seed to a freshly
+	// dialed worker, coordinator → worker; answered by a CacheAck with
+	// Shard −1.
+	FrameSeedRef
+	// FrameSeed ships the warm-counter seed body (networks plus the
+	// anchor-free count cache), coordinator → worker, after a missed
+	// SeedRef.
+	FrameSeed
 )
 
 // ErrVersionMismatch is returned (wrapped, with the versions) when a
@@ -229,6 +248,13 @@ type Job struct {
 	// G1, G2 and AnchorType describe the (extracted) sub-pair.
 	G1, G2     WireNetwork
 	AnchorType string
+	// SeedFP, when non-zero, names the warm-counter seed (shipped per
+	// connection via SeedRef/Seed) this job's indices are relative to:
+	// the job omits G1/G2 and the inverse maps, every index is an
+	// ORIGINAL pair index, and the worker forks the seeded counter
+	// instead of decoding networks and cold-counting. Zero is a
+	// self-contained v4-style job.
+	SeedFP uint64
 	// TrainPos and Candidates are the shard pool in sub-pair indices.
 	TrainPos   []hetnet.Anchor
 	Candidates []hetnet.Anchor
@@ -368,16 +394,33 @@ type JobError struct {
 	Msg   string
 }
 
+// frameAppender is implemented by hot-frame payloads that hand-roll
+// their bodies as flat columnar layouts (codec.go); everything else
+// falls back to gob. WriteFrame probes it so call sites stay payload-
+// agnostic.
+type frameAppender interface{ appendBody(b []byte) []byte }
+
+// frameDecoder is the decode half of frameAppender, probed by
+// DecodeBody.
+type frameDecoder interface{ decodeBody(body []byte) error }
+
 // WriteFrame encodes payload as one length-prefixed frame. The payload
-// must be one of the frame payload structs above.
+// must be one of the frame payload structs above (pass hot-frame
+// payloads by pointer so their columnar codec is picked up).
 func WriteFrame(w io.Writer, typ FrameType, payload any) error {
-	// Frames are self-contained gob documents: a fresh encoder per
-	// frame keeps them independently decodable.
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
-		return fmt.Errorf("distrib: encode %v frame: %w", typ, err)
+	var body []byte
+	if fa, ok := payload.(frameAppender); ok {
+		body = fa.appendBody(nil)
+	} else {
+		// Cold frames are self-contained gob documents: a fresh encoder
+		// per frame keeps them independently decodable.
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+			return fmt.Errorf("distrib: encode %v frame: %w", typ, err)
+		}
+		body = buf.Bytes()
 	}
-	if err := codec.WriteFrame(w, byte(typ), buf.Bytes()); err != nil {
+	if err := codec.WriteFrame(w, byte(typ), body); err != nil {
 		return fmt.Errorf("distrib: %w", err)
 	}
 	return nil
@@ -400,8 +443,13 @@ func ReadFrame(r io.Reader) (FrameType, []byte, error) {
 }
 
 // DecodeBody decodes a frame body returned by ReadFrame into the
-// payload struct matching its type.
+// payload struct matching its type (columnar for the hot frames, gob
+// otherwise). Decode into a zero value: the columnar decoders assign
+// every field but do not clear stale state.
 func DecodeBody(body []byte, into any) error {
+	if fd, ok := into.(frameDecoder); ok {
+		return fd.decodeBody(body)
+	}
 	return gob.NewDecoder(bytes.NewReader(body)).Decode(into)
 }
 

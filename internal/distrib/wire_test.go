@@ -2,6 +2,7 @@ package distrib
 
 import (
 	"bytes"
+	"encoding/gob"
 	"errors"
 	"flag"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"reflect"
 	"testing"
 
+	"github.com/activeiter/activeiter/internal/framing"
 	"github.com/activeiter/activeiter/internal/hetnet"
 	"github.com/activeiter/activeiter/internal/partition"
 )
@@ -88,6 +90,22 @@ func fixtureJob(t testing.TB) *Job {
 	return job
 }
 
+// fixtureSeed builds the fixture pair's warm-counter seed through the
+// real coordinator path (cold count, export, encode) and decodes it
+// back, so the golden pins exactly what a run would ship.
+func fixtureSeed(t testing.TB) *WireSeed {
+	t.Helper()
+	_, body, err := buildSeed(fixturePair(t), nil, TrainConfig{FeatureSet: FeaturesFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws WireSeed
+	if err := ws.decodeBody(body); err != nil {
+		t.Fatal(err)
+	}
+	return &ws
+}
+
 // goldenFrames enumerates every frame type with a representative
 // payload, the corpus the golden files pin.
 func goldenFrames(t testing.TB) []struct {
@@ -117,6 +135,8 @@ func goldenFrames(t testing.TB) []struct {
 			AddLabels: []WireLabel{{I: 4, J: 5, Label: 1}, {I: 5, J: 4, Label: 0}}, Budget: 2, Seed: 2019 + roundSeedStride}},
 		{"cacheack", FrameCacheAck, &CacheAck{Shard: 1, Fingerprint: 0xfeedc0dedeadbeef, Hit: true}},
 		{"cancel", FrameCancel, &Cancel{Shard: 1}},
+		{"seedref", FrameSeedRef, &SeedRef{Fingerprint: 0x1badd00dcafef00d}},
+		{"seed", FrameSeed, fixtureSeed(t)},
 	}
 }
 
@@ -249,6 +269,39 @@ func TestWireVersionMismatch(t *testing.T) {
 	_, _, err := ReadFrame(bytes.NewReader(raw))
 	if !errors.Is(err, ErrVersionMismatch) {
 		t.Fatalf("got %v, want ErrVersionMismatch", err)
+	}
+}
+
+// TestWireV4Skew pins the cross-version contract the v5 codec bump
+// leans on: a well-formed v4 frame — gob body, valid CRC, only the
+// version byte differs — must fail with ErrVersionMismatch before any
+// payload decoding. A v4 Job body is gob where v5 expects columnar
+// bytes; without the version gate it would be fed to the columnar
+// decoder and mis-decode instead of failing loudly.
+func TestWireV4Skew(t *testing.T) {
+	v4 := framing.Codec{Magic: [2]byte{'A', 'I'}, Version: 4, MaxFrame: maxFrameSize, Checksum: true}
+	for _, tc := range []struct {
+		name string
+		typ  FrameType
+		body any
+	}{
+		{"hello", FrameHello, &Hello{Role: "worker"}},
+		{"job", FrameJob, fixtureJob(t)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var body bytes.Buffer
+			if err := gob.NewEncoder(&body).Encode(tc.body); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := v4.WriteFrame(&buf, byte(tc.typ), body.Bytes()); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err := ReadFrame(&buf)
+			if !errors.Is(err, ErrVersionMismatch) {
+				t.Fatalf("v4 frame: got %v, want ErrVersionMismatch", err)
+			}
+		})
 	}
 }
 

@@ -104,6 +104,35 @@ func ServeCache(conn io.ReadWriter, cacheSize int) error {
 			if err := DecodeBody(body, &c); err != nil {
 				return fmt.Errorf("distrib: decode cancel: %w", err)
 			}
+		case FrameSeedRef:
+			var ref SeedRef
+			if err := DecodeBody(body, &ref); err != nil {
+				return fmt.Errorf("distrib: decode seed ref: %w", err)
+			}
+			hit := seedCacheGet(ref.Fingerprint) != nil
+			if err := WriteFrame(conn, FrameCacheAck, &CacheAck{Shard: -1, Fingerprint: ref.Fingerprint, Hit: hit}); err != nil {
+				return err
+			}
+		case FrameSeed:
+			// A decode failure here means a codec bug, not a bad seed —
+			// the CRC already vouched for the bytes — so it kills the
+			// connection. A successful install is confirmed with a
+			// CacheAck (the coordinator blocks on it, keeping its seed
+			// gate closed until the seed is actually resident); an install
+			// failure (hostile entries) is reported as an Error frame with
+			// the no-shard sentinel, which the coordinator's negotiation
+			// read converts into a retried (self-healing) connection.
+			var ws WireSeed
+			if err := DecodeBody(body, &ws); err != nil {
+				return fmt.Errorf("distrib: decode seed: %w", err)
+			}
+			if err := installSeed(&ws); err != nil {
+				if werr := WriteFrame(conn, FrameError, &JobError{Shard: -1, Msg: err.Error()}); werr != nil {
+					return werr
+				}
+			} else if err := WriteFrame(conn, FrameCacheAck, &CacheAck{Shard: -1, Fingerprint: ws.Fingerprint, Hit: true}); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("distrib: worker expected a job or job-ref frame, got type %d", typ)
 		}
@@ -120,6 +149,7 @@ type preparedShard struct {
 	prepared *partition.Prepared
 	feats    []schema.Named
 	strategy active.Strategy
+	n1, n2   int // the job's index space bounds (sub-pair, or pair when seeded)
 }
 
 // shardCache is a tiny LRU of prepared shards keyed by job fingerprint.
@@ -191,9 +221,19 @@ type wireOracle struct {
 // the connection for the next job.
 var errCancelled = errors.New("distrib: job cancelled by coordinator")
 
+// translate maps a job-space index through an inverse user map; an
+// empty map is the identity — seeded jobs already speak original
+// indices and ship no maps at all.
+func translate(inv []int32, v int) int32 {
+	if len(inv) == 0 {
+		return int32(v)
+	}
+	return inv[v]
+}
+
 func (o *wireOracle) Label(a hetnet.Anchor) float64 {
 	o.seq++
-	q := &Query{Shard: o.shard, Seq: o.seq, I: o.inv1[a.I], J: o.inv2[a.J]}
+	q := &Query{Shard: o.shard, Seq: o.seq, I: translate(o.inv1, a.I), J: translate(o.inv2, a.J)}
 	if err := WriteFrame(o.conn, FrameQuery, q); err != nil {
 		panic(wireAbort{err})
 	}
@@ -238,15 +278,31 @@ func rethrowWire(err *error) {
 	}
 }
 
-// runJob executes one full shard job — decode, prepare, train, stream —
-// and caches the prepared state under the job's fingerprint. It returns
-// the error to report as an Error frame; wire-level failures panic
-// through wireAbort and are rethrown to kill the connection.
+// runJob executes one shard job — decode (or seed-fork), prepare,
+// train, stream — and caches the prepared state under the job's
+// fingerprint. It returns the error to report as an Error frame;
+// wire-level failures panic through wireAbort and are rethrown to kill
+// the connection.
 func runJob(conn io.ReadWriter, job *Job, cache *shardCache) (err error) {
 	defer rethrowWire(&err)
 	t0 := time.Now()
-	pair, part, err := job.DecodeShard()
-	if err != nil {
+	var pair *hetnet.AlignedPair
+	var part *partition.Part
+	var seed *seedEntry
+	if job.SeedFP != 0 {
+		// Seeded job: the pair and the warm counter come from the
+		// connection-negotiated seed; the job is just a pool in original
+		// indices. A missing seed means the coordinator and worker
+		// disagree about this connection's state — fail the shard, and
+		// the retry redial renegotiates.
+		if seed = seedCacheGet(job.SeedFP); seed == nil {
+			return fmt.Errorf("distrib: job shard %d references seed %016x, not installed here", job.Shard, job.SeedFP)
+		}
+		pair = seed.pair
+		if part, err = job.seededPart(pair); err != nil {
+			return err
+		}
+	} else if pair, part, err = job.DecodeShard(); err != nil {
 		return err
 	}
 	feats, err := ResolveFeatures(job.FeatureSet)
@@ -260,8 +316,13 @@ func runJob(conn io.ReadWriter, job *Job, cache *shardCache) (err error) {
 	if err := WriteFrame(conn, FrameProgress, &Progress{Shard: job.Shard, Stage: "counting"}); err != nil {
 		return err
 	}
-	counter, err := metadiag.NewCounter(pair)
-	if err != nil {
+	var counter *metadiag.Counter
+	if seed != nil {
+		// Fork shares the seeded anchor-free layer — literally the
+		// in-process PartitionedAligner path, which is what makes seeded
+		// votes bit-identical by construction.
+		counter = seed.counter.Fork()
+	} else if counter, err = metadiag.NewCounter(pair); err != nil {
 		return err
 	}
 	counter.SetAnchors(part.TrainPos)
@@ -269,7 +330,10 @@ func runJob(conn io.ReadWriter, job *Job, cache *shardCache) (err error) {
 	if err != nil {
 		return err
 	}
-	ps := &preparedShard{job: job, part: part, prepared: prepared, feats: feats, strategy: strategy}
+	ps := &preparedShard{
+		job: job, part: part, prepared: prepared, feats: feats, strategy: strategy,
+		n1: pair.G1.NodeCount(pair.AnchorType), n2: pair.G2.NodeCount(pair.AnchorType),
+	}
 	if err := trainAndStream(conn, ps, job.Budget, job.Seed, t0); err != nil {
 		return err
 	}
@@ -300,10 +364,8 @@ func runJobRef(conn io.ReadWriter, ref *JobRef, cache *shardCache) (err error) {
 	if err := WriteFrame(conn, FrameProgress, &Progress{Shard: ref.Shard, Stage: "cached"}); err != nil {
 		panic(wireAbort{err})
 	}
-	n1 := len(ps.job.InvUsers1)
-	n2 := len(ps.job.InvUsers2)
 	for _, l := range ref.AddLabels {
-		if l.I < 0 || int(l.I) >= n1 || l.J < 0 || int(l.J) >= n2 {
+		if l.I < 0 || int(l.I) >= ps.n1 || l.J < 0 || int(l.J) >= ps.n2 {
 			return fmt.Errorf("distrib: job ref shard %d: label (%d,%d) out of range", ref.Shard, l.I, l.J)
 		}
 	}
@@ -362,8 +424,8 @@ func trainAndStream(conn io.ReadWriter, ps *preparedShard, budget int, seed int6
 	}
 	for _, v := range votes {
 		batch = append(batch, Vote{
-			I:       job.InvUsers1[v.Link.I],
-			J:       job.InvUsers2[v.Link.J],
+			I:       translate(job.InvUsers1, v.Link.I),
+			J:       translate(job.InvUsers2, v.Link.J),
 			Label:   v.Label,
 			Score:   v.Score,
 			Queried: v.Queried,

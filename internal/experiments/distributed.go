@@ -34,6 +34,10 @@ type DistributedPoint struct {
 	// JobBytesFull is the same plan serialized without shard extraction.
 	JobBytes     int64
 	JobBytesFull int64
+	// SeedBytes / SeedShips audit warm-counter seed shipping: the
+	// one-time per-connection cost that lets every job drop its networks.
+	SeedBytes int64
+	SeedShips int
 	// DeltaBytes / CacheHits / CacheMisses audit session delta shipping.
 	DeltaBytes  int64
 	CacheHits   int
@@ -217,12 +221,22 @@ func RunDistributedPoints(pre Preset, cfg DistributedConfig) ([]DistributedPoint
 			Queries: res.QueryCount(), Rejected: res.Rejected,
 			AlignTime: res.Elapsed,
 			JobBytes:  metrics.JobBytes, JobBytesFull: fullTotal,
+			SeedBytes: metrics.SeedBytes, SeedShips: metrics.SeedShips,
 			Retries: metrics.Retries, Fallbacks: metrics.Fallbacks,
 		})
 		return nil
 	}
-	baseOpts := distrib.Options{Train: train, Workers: workers}
+	// The base counter is already warm from planning; the distributed
+	// modes export their worker seed from it rather than recounting.
+	baseOpts := distrib.Options{Train: train, Workers: workers, Base: base}
 	if err := runCoord("loopback", distrib.Loopback{}, baseOpts); err != nil {
+		return nil, err
+	}
+	// Unseeded baseline: the v4 cost model — every job ships its
+	// extracted sub-networks and every worker counts from scratch.
+	noseed := baseOpts
+	noseed.NoSeed = true
+	if err := runCoord("loopback/noseed", distrib.Loopback{}, noseed); err != nil {
 		return nil, err
 	}
 	if cfg.WorkerCmd != "" {
@@ -266,7 +280,7 @@ func RunDistributedPoints(pre Preset, cfg DistributedConfig) ([]DistributedPoint
 			return err
 		}
 		sess, err := distrib.NewSession(transport, pair, distrib.Options{
-			Train: train, Workers: workers, DeltaMaxLabels: deltaMax,
+			Train: train, Workers: workers, DeltaMaxLabels: deltaMax, Base: base,
 		})
 		if err != nil {
 			return err
@@ -300,6 +314,8 @@ func RunDistributedPoints(pre Preset, cfg DistributedConfig) ([]DistributedPoint
 		point.Rejected = res.Rejected
 		point.AlignTime = time.Since(start)
 		point.JobBytes = cum.JobBytes
+		point.SeedBytes = cum.SeedBytes
+		point.SeedShips = cum.SeedShips
 		point.DeltaBytes = cum.DeltaBytes
 		point.CacheHits = cum.CacheHits
 		point.CacheMisses = cum.CacheMisses
@@ -335,13 +351,17 @@ func RunDistributedWith(pre Preset, cfg DistributedConfig) (*Table, error) {
 		Title: fmt.Sprintf("Distributed — shard execution modes (θ=%d, γ=%.0f%%, K=%d, workers=%d, preset %q)",
 			pre.FixedTheta, pre.FixedGamma*100, points[0].Partitions, points[0].Workers, pre.Name),
 		ColHeader: "mode",
-		Cols:      []string{"F1", "Precision", "Recall", "queries", "rejected", "align", "job bytes", "delta bytes", "cache hit/miss", "job bytes (full pair)", "retries", "fallbacks"},
+		Cols:      []string{"F1", "Precision", "Recall", "queries", "rejected", "align", "job bytes", "seed bytes", "delta bytes", "cache hit/miss", "job bytes (full pair)", "retries", "fallbacks"},
 	}
 	sec := Section{Name: "distributed alignment"}
 	for _, p := range points {
 		jobBytes := "—"
 		if p.JobBytes > 0 {
 			jobBytes = fmt.Sprint(p.JobBytes)
+		}
+		seedBytes := "—"
+		if p.SeedBytes > 0 {
+			seedBytes = fmt.Sprintf("%d (%d ships)", p.SeedBytes, p.SeedShips)
 		}
 		deltaBytes, cache := "—", "—"
 		if p.Rounds > 1 {
@@ -356,6 +376,7 @@ func RunDistributedWith(pre Preset, cfg DistributedConfig) (*Table, error) {
 			fmt.Sprint(p.Rejected),
 			p.AlignTime.Round(time.Millisecond).String(),
 			jobBytes,
+			seedBytes,
 			deltaBytes,
 			cache,
 			fmt.Sprint(p.JobBytesFull),
@@ -377,6 +398,7 @@ func RunDistributedWith(pre Preset, cfg DistributedConfig) (*Table, error) {
 					"—",
 					r.AlignTime.Round(time.Millisecond).String(),
 					fmt.Sprint(r.JobBytes),
+					"—",
 					fmt.Sprint(r.DeltaBytes),
 					fmt.Sprint(r.CacheHits),
 					"—", "—", "—",

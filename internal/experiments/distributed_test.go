@@ -5,8 +5,9 @@ import (
 )
 
 // The distributed experiment's whole point: every execution mode of the
-// same shard plan produces the same alignment, and extraction ships
-// fewer bytes than the full pair would.
+// same shard plan produces the same alignment, seeded jobs ship far
+// fewer bytes than the unseeded baseline, and extraction still beats
+// the full pair when seeding is off.
 func TestRunDistributedModesAgree(t *testing.T) {
 	pre := TinyPreset()
 	pre.Partitions = 2
@@ -14,14 +15,16 @@ func TestRunDistributedModesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 2 {
-		t.Fatalf("got %d points, want in-process + loopback", len(points))
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want in-process + loopback + loopback/noseed", len(points))
 	}
 	ref := points[0]
 	if ref.Mode != "in-process" {
 		t.Fatalf("first point is %q, want in-process", ref.Mode)
 	}
+	byMode := map[string]DistributedPoint{}
 	for _, p := range points[1:] {
+		byMode[p.Mode] = p
 		if p.F1 != ref.F1 || p.Precision != ref.Precision || p.Recall != ref.Recall {
 			t.Errorf("%s diverged from in-process: F1 %v vs %v", p.Mode, p.F1, ref.F1)
 		}
@@ -32,14 +35,27 @@ func TestRunDistributedModesAgree(t *testing.T) {
 			t.Errorf("%s shipped no job bytes", p.Mode)
 		}
 		if p.JobBytes >= p.JobBytesFull {
-			t.Errorf("%s: extraction did not reduce job size (%d ≥ %d)", p.Mode, p.JobBytes, p.JobBytesFull)
+			t.Errorf("%s: jobs not smaller than the full pair (%d ≥ %d)", p.Mode, p.JobBytes, p.JobBytesFull)
 		}
+	}
+	seeded, noseed := byMode["loopback"], byMode["loopback/noseed"]
+	// Loopback workers share the coordinator's process, so the
+	// pre-installed warm counter answers every SeedRef: negotiation
+	// bytes flow, but no seed body ships.
+	if seeded.SeedShips != 0 || seeded.SeedBytes <= 0 {
+		t.Errorf("seeded loopback: want 0 ships with non-zero negotiation bytes, got %+v", seeded)
+	}
+	if noseed.SeedShips != 0 || noseed.SeedBytes != 0 {
+		t.Errorf("noseed loopback shipped a seed: %+v", noseed)
+	}
+	if seeded.JobBytes >= noseed.JobBytes {
+		t.Errorf("seeding did not shrink jobs: seeded %d bytes, unseeded %d bytes", seeded.JobBytes, noseed.JobBytes)
 	}
 	tab, err := RunDistributedWith(pre, DistributedConfig{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Sections) != 1 || len(tab.Sections[0].Rows) != 2 {
+	if len(tab.Sections) != 1 || len(tab.Sections[0].Rows) != 3 {
 		t.Fatalf("unexpected table shape: %+v", tab)
 	}
 }

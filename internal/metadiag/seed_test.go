@@ -1,0 +1,130 @@
+package metadiag
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/datagen"
+	"github.com/activeiter/activeiter/internal/schema"
+)
+
+// A counter seeded from another counter's export must count every
+// feature bit-identically to a cold one — the property the distributed
+// warm-fork path rests on — while evaluating strictly fewer
+// sub-diagrams (the shared attribute-only layer arrives precomputed).
+func TestSeedBitIdenticalAndWarm(t *testing.T) {
+	pair, err := datagen.Generate(datagen.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := schema.StandardLibrary().All()
+	exporter, err := NewCounter(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := exporter.ExportSeed(feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seed.Entries) == 0 || seed.NNZ() == 0 {
+		t.Fatalf("empty seed: %d entries, %d nnz", len(seed.Entries), seed.NNZ())
+	}
+
+	cold, err := NewCounter(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewCounter(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.SeedInto(seed); err != nil {
+		t.Fatal(err)
+	}
+	anchors := pair.Anchors[:len(pair.Anchors)/2]
+	cold.SetAnchors(anchors)
+	warm.SetAnchors(anchors)
+	for _, f := range feats {
+		a, err := cold.Count(f.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := warm.Count(f.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("feature %s: seeded count differs from cold count", f.ID)
+		}
+	}
+	if we, ce := warm.Stats().Evaluations, cold.Stats().Evaluations; we >= ce {
+		t.Errorf("seeded counter evaluated %d sub-diagrams, cold %d — seed did not warm anything", we, ce)
+	}
+}
+
+// The same counter must export byte-identical seeds (sorted keys,
+// cached matrices) — the wire fingerprint and golden frames rely on it.
+func TestSeedDeterministic(t *testing.T) {
+	pair, err := datagen.Generate(datagen.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCounter(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := schema.StandardLibrary().All()
+	s1, err := c.ExportSeed(feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.ExportSeed(feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Entries) != len(s2.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(s1.Entries), len(s2.Entries))
+	}
+	for i := range s1.Entries {
+		a, b := &s1.Entries[i], &s2.Entries[i]
+		if a.Key != b.Key || a.Rows != b.Rows || a.Cols != b.Cols || len(a.Val) != len(b.Val) {
+			t.Fatalf("entry %d differs: %q vs %q", i, a.Key, b.Key)
+		}
+	}
+	// Every exported subtree must be anchor-free: exporting from a
+	// counter with a different anchor set yields identical entries.
+	c.SetAnchors(pair.Anchors[:len(pair.Anchors)/3])
+	s3, err := c.ExportSeed(feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s3.Entries) != len(s1.Entries) {
+		t.Fatalf("anchor set changed the seed: %d vs %d entries", len(s3.Entries), len(s1.Entries))
+	}
+	for i := range s1.Entries {
+		if s1.Entries[i].Key != s3.Entries[i].Key || len(s1.Entries[i].Val) != len(s3.Entries[i].Val) {
+			t.Fatalf("anchor set changed seed entry %d (%q)", i, s1.Entries[i].Key)
+		}
+	}
+}
+
+// SeedInto treats entries as hostile: structural corruption fails the
+// install instead of poisoning the cache.
+func TestSeedIntoRejectsCorruptEntry(t *testing.T) {
+	pair, err := datagen.Generate(datagen.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCounter(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Seed{Entries: []SeedEntry{{
+		Key: "X", Rows: 2, Cols: 2,
+		RowPtr: []int{0, 1, 2}, ColIdx: []int{0, 5}, Val: []float64{1, 1},
+	}}}
+	err = c.SeedInto(bad)
+	if err == nil || !strings.Contains(err.Error(), `seed entry "X"`) {
+		t.Fatalf("corrupt entry accepted: %v", err)
+	}
+}

@@ -26,9 +26,9 @@ func TestAppendLabelsRoutesDedupsAndSorts(t *testing.T) {
 		},
 	}}
 	labels := []LabeledLink{
-		{Link: hetnet.Anchor{I: 9, J: 9}, Label: 1},  // both pools
-		{Link: hetnet.Anchor{I: 3, J: 4}, Label: 0},  // part 0 only
-		{Link: hetnet.Anchor{I: 1, J: 1}, Label: 1},  // part 1's anchor: skipped there
+		{Link: hetnet.Anchor{I: 9, J: 9}, Label: 1},   // both pools
+		{Link: hetnet.Anchor{I: 3, J: 4}, Label: 0},   // part 0 only
+		{Link: hetnet.Anchor{I: 1, J: 1}, Label: 1},   // part 1's anchor: skipped there
 		{Link: hetnet.Anchor{I: 42, J: 42}, Label: 1}, // nobody's pool
 	}
 	if got := plan.AppendLabels(labels); got != 3 {
