@@ -24,6 +24,7 @@ import (
 	"syscall"
 
 	activeiter "github.com/activeiter/activeiter"
+	"github.com/activeiter/activeiter/internal/telemetry"
 )
 
 func main() {
@@ -43,7 +44,30 @@ func main() {
 	worker := flag.Bool("worker", false, "run as a distributed-alignment worker on stdin/stdout (all other flags ignored)")
 	workerListen := flag.String("worker-listen", "", "run as a distributed-alignment worker accepting coordinator TCP connections on this address")
 	saveSnapshot := flag.String("save-snapshot", "", "persist the trained alignment as a serving artifact at this path (see docs/SNAPSHOT.md; serve it with alignd)")
+	metricsListen := flag.String("metrics-listen", "", "serve Prometheus text metrics on this address at /metricsz (worker modes: shard/seed/cache counters; empty = off)")
+	pprofListen := flag.String("pprof-listen", "", "serve net/http/pprof profiles on this address at /debug/pprof/ (off by default; never exposed on the wire-protocol port)")
+	logLevel := flag.String("log-level", "", "structured log level: debug, info, warn, error (empty = info)")
 	flag.Parse()
+
+	if *logLevel != "" {
+		if err := telemetry.SetLogLevel(*logLevel); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsListen != "" {
+		addr, err := telemetry.ListenAndServeDebug(*metricsListen, telemetry.MetricsMux(telemetry.Default))
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "activeiter: metrics on http://%s/metricsz\n", addr)
+	}
+	if *pprofListen != "" {
+		addr, err := telemetry.ListenAndServeDebug(*pprofListen, telemetry.PprofMux())
+		if err != nil {
+			fatal(fmt.Errorf("pprof listener: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "activeiter: pprof on http://%s/debug/pprof/\n", addr)
+	}
 
 	if *worker {
 		// Stdout belongs to the wire protocol in worker mode; anything

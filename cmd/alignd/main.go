@@ -34,6 +34,7 @@ import (
 
 	"github.com/activeiter/activeiter/internal/serve"
 	"github.com/activeiter/activeiter/internal/snapshot"
+	"github.com/activeiter/activeiter/internal/telemetry"
 )
 
 func main() {
@@ -47,6 +48,7 @@ func main() {
 type config struct {
 	snapshotPath    string
 	listen          string
+	pprofListen     string
 	defaultK        int
 	check           bool
 	allowReloadPath bool
@@ -63,6 +65,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	cfg := &config{}
 	fs.StringVar(&cfg.snapshotPath, "snapshot", "", "alignment snapshot artifact to serve (required; see docs/SNAPSHOT.md)")
 	fs.StringVar(&cfg.listen, "listen", ":7600", "HTTP listen address")
+	fs.StringVar(&cfg.pprofListen, "pprof-listen", "", "serve net/http/pprof profiles on this separate address at /debug/pprof/ (off by default; keep it off the serving port so profiles are never exposed to query clients)")
 	fs.IntVar(&cfg.defaultK, "k", 10, "default candidate-list depth when a request has no ?k=")
 	fs.BoolVar(&cfg.check, "check", false, "load and validate the snapshot, print a summary, and exit without serving")
 	fs.BoolVar(&cfg.allowReloadPath, "allow-reload-path", false, "let /v1/reload bodies name an arbitrary artifact path (off by default: the endpoint is unauthenticated, so only -snapshot's path may be re-opened)")
@@ -124,6 +127,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Load:              snapshot.OpenFile,
 		AllowPathOverride: cfg.allowReloadPath,
 	})
+
+	if cfg.pprofListen != "" {
+		addr, err := telemetry.ListenAndServeDebug(cfg.pprofListen, telemetry.PprofMux())
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		fmt.Fprintf(stdout, "alignd: pprof on http://%s/debug/pprof/\n", addr)
+	}
 
 	// Bind before declaring readiness so a bad -listen is a clean error,
 	// not a background surprise.

@@ -19,6 +19,7 @@ import (
 
 	activeiter "github.com/activeiter/activeiter"
 	"github.com/activeiter/activeiter/internal/experiments"
+	"github.com/activeiter/activeiter/internal/telemetry"
 )
 
 // overrides carries the flag values that may replace preset fields. Each
@@ -93,7 +94,23 @@ func main() {
 	distribRounds := flag.Int("distrib-rounds", 0, "distributed experiment: split the budget across this many sticky-session retrain rounds (≤1 = single-shot dispatch); adds full-reship and delta-shipping session modes")
 	distribChaos := flag.Int64("distrib-chaos", 0, "distributed experiment: add a fault-injected loopback mode seeded with this value (refused dials, mid-frame drops, corruption, crashes); the alignment must match the healthy modes, with the retries/fallbacks columns showing the recovery work (0 = off)")
 	saveSnapshot := flag.String("save-snapshot", "", "train one alignment on the preset (facade chosen by -partitions/-distrib-* flags) and persist it as a serving artifact at this path instead of running experiments (serve it with alignd)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the distributed experiment's shard spans (coordinator + workers, stitched across processes) to this path; open it at chrome://tracing or ui.perfetto.dev")
+	metricsListen := flag.String("metrics-listen", "", "serve Prometheus text metrics on this address at /metricsz while experiments run (empty = off)")
+	logLevel := flag.String("log-level", "", "structured log level: debug, info, warn, error (empty = info)")
 	flag.Parse()
+
+	if *logLevel != "" {
+		if err := telemetry.SetLogLevel(*logLevel); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsListen != "" {
+		addr, err := telemetry.ListenAndServeDebug(*metricsListen, telemetry.MetricsMux(telemetry.Default))
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "experiments: metrics on http://%s/metricsz\n", addr)
+	}
 
 	pre, err := presetByName(*preset)
 	if err != nil {
@@ -106,6 +123,9 @@ func main() {
 	}
 	ov.apply(&pre)
 	distribCfg := ov.distributedConfig(*distribWorkerCmd)
+	if *traceOut != "" {
+		distribCfg.Tracer = telemetry.NewTracer("coordinator")
+	}
 
 	if *saveSnapshot != "" {
 		if err := runSaveSnapshot(pre, distribCfg, *saveSnapshot); err != nil {
@@ -161,6 +181,12 @@ func main() {
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	if *traceOut != "" {
+		if err := distribCfg.Tracer.WriteChromeFile(*traceOut); err != nil {
+			fatal(fmt.Errorf("write trace: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %d spans to %s\n", len(distribCfg.Tracer.Spans()), *traceOut)
 	}
 }
 

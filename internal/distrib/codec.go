@@ -179,6 +179,9 @@ func (j *Job) appendBody(b []byte) []byte {
 	b = framing.AppendVarint(b, int64(j.BatchSize))
 	b = framing.AppendBool(b, j.Exact)
 	b = framing.AppendVarint(b, j.Seed)
+	// v6 trace-context tail: two uvarints, two bytes total when zero.
+	b = framing.AppendUvarint(b, j.TraceID)
+	b = framing.AppendUvarint(b, j.SpanID)
 	return b
 }
 
@@ -206,6 +209,8 @@ func (j *Job) decodeBody(body []byte) error {
 	j.BatchSize = d.Int()
 	j.Exact = d.Bool()
 	j.Seed = d.Varint()
+	j.TraceID = d.Uvarint()
+	j.SpanID = d.Uvarint()
 	if err := d.Done(); err != nil {
 		return fmt.Errorf("distrib: job frame: %w", err)
 	}
@@ -219,6 +224,8 @@ func (r *JobRef) appendBody(b []byte) []byte {
 	b = appendWireLabels(b, r.AddLabels)
 	b = framing.AppendVarint(b, int64(r.Budget))
 	b = framing.AppendVarint(b, r.Seed)
+	b = framing.AppendUvarint(b, r.TraceID)
+	b = framing.AppendUvarint(b, r.SpanID)
 	return b
 }
 
@@ -229,6 +236,8 @@ func (r *JobRef) decodeBody(body []byte) error {
 	r.AddLabels = decodeWireLabels(d)
 	r.Budget = d.Int()
 	r.Seed = d.Varint()
+	r.TraceID = d.Uvarint()
+	r.SpanID = d.Uvarint()
 	if err := d.Done(); err != nil {
 		return fmt.Errorf("distrib: job-ref frame: %w", err)
 	}
@@ -307,7 +316,10 @@ func (v *Votes) decodeBody(body []byte) error {
 	return nil
 }
 
-// Done body: report scalars plus the packed weight vector.
+// Done body: report scalars, the packed weight vector, then the v6
+// worker-span column (count, then per-span ID, Parent, Name, StartNS,
+// EndNS — one varint/string group per span; an untraced job writes a
+// single zero byte).
 func (dn *Done) appendBody(b []byte) []byte {
 	b = framing.AppendVarint(b, int64(dn.Shard))
 	b = framing.AppendVarint(b, int64(dn.TrainPos))
@@ -316,6 +328,15 @@ func (dn *Done) appendBody(b []byte) []byte {
 	b = framing.AppendVarint(b, int64(dn.Queries))
 	b = framing.AppendVarint(b, dn.ElapsedNS)
 	b = framing.AppendFloat64s(b, dn.W)
+	b = framing.AppendUvarint(b, uint64(len(dn.Spans)))
+	for i := range dn.Spans {
+		sp := &dn.Spans[i]
+		b = framing.AppendUvarint(b, sp.ID)
+		b = framing.AppendUvarint(b, sp.Parent)
+		b = framing.AppendString(b, sp.Name)
+		b = framing.AppendVarint(b, sp.StartNS)
+		b = framing.AppendVarint(b, sp.EndNS)
+	}
 	return b
 }
 
@@ -328,6 +349,23 @@ func (dn *Done) decodeBody(body []byte) error {
 	dn.Queries = d.Int()
 	dn.ElapsedNS = d.Varint()
 	dn.W = d.Float64s()
+	n := d.Uvarint()
+	if d.Err() == nil && n > 0 {
+		// Two uvarints, a string length, two varints: ≥ 5 bytes per span.
+		if n > uint64(d.Remaining())/5 {
+			d.Fail("span count")
+		} else {
+			spans := make([]WireSpan, n)
+			for i := range spans {
+				spans[i].ID = d.Uvarint()
+				spans[i].Parent = d.Uvarint()
+				spans[i].Name = d.String()
+				spans[i].StartNS = d.Varint()
+				spans[i].EndNS = d.Varint()
+			}
+			dn.Spans = spans
+		}
+	}
 	if err := d.Done(); err != nil {
 		return fmt.Errorf("distrib: done frame: %w", err)
 	}

@@ -14,6 +14,7 @@ import (
 	"github.com/activeiter/activeiter/internal/hetnet"
 	"github.com/activeiter/activeiter/internal/metadiag"
 	"github.com/activeiter/activeiter/internal/partition"
+	"github.com/activeiter/activeiter/internal/telemetry"
 )
 
 // Options configures a coordinator run.
@@ -76,6 +77,13 @@ type Options struct {
 	// OnProgress, when set, receives worker progress frames (from
 	// concurrent goroutines; the callback must be thread-safe).
 	OnProgress func(Progress)
+	// Tracer, when set, records the run's span tree: a root span per run
+	// (or session round), per-attempt shard spans on their own tracks —
+	// hedges and fallbacks included — and the worker-side prepare/train/
+	// votes spans shipped back on Done frames, stitched under their
+	// coordinator parents. Nil (the default) disables tracing; jobs then
+	// carry zero trace IDs and workers record nothing.
+	Tracer *telemetry.Tracer
 }
 
 // ShardMetrics records one shard's wire cost; attempts > 1 means the
@@ -191,7 +199,8 @@ type shardResult struct {
 	refBytes  int64     // JobRef frame bytes written (sessions; hit or missed attempt)
 	readBytes int64
 	extracted bool
-	fallback  bool // produced by the in-process degradation path
+	fallback  bool       // produced by the in-process degradation path
+	spans     []WireSpan // worker-side spans off the Done frame (tracing only)
 }
 
 // Retry/deadline defaults shared by Coordinator and Session.
@@ -282,10 +291,16 @@ func (c *Coordinator) Run(pair *hetnet.AlignedPair, plan *partition.Plan, oracle
 		shardTimeout = 0
 	}
 
+	tr := c.Opts.Tracer
+	runSpan := tr.Start("run", 0)
+	runSpan.Annotate("shards", fmt.Sprintf("%d", k))
+
 	run := &runState{
-		coord: c,
-		pair:  pair,
-		plan:  plan,
+		coord:   c,
+		pair:    pair,
+		plan:    plan,
+		tracer:  tr,
+		runSpan: runSpan.ID(),
 		// Worst-case enqueues per shard: the initial dispatch, one
 		// requeue per retry, one hedge duplicate, one fallback dispatch —
 		// sized so no enqueue under the state mutex can ever block.
@@ -310,7 +325,7 @@ func (c *Coordinator) Run(pair *hetnet.AlignedPair, plan *partition.Plan, oracle
 		// ships (or ref-hits) the same pre-encoded body. A seed that
 		// fails to build degrades the run to unseeded v4-style shipping
 		// rather than aborting — the jobs are self-contained either way.
-		if fp, body, err := buildSeed(pair, c.Opts.Base, c.Opts.Train); err == nil {
+		if fp, body, err := buildSeed(pair, c.Opts.Base, c.Opts.Train, tr.TraceID()); err == nil {
 			run.seedFP, run.seedBody = fp, body
 		}
 	}
@@ -335,25 +350,31 @@ func (c *Coordinator) Run(pair *hetnet.AlignedPair, plan *partition.Plan, oracle
 	wg.Wait()
 
 	metrics := run.buildMetrics()
+	metrics.publish()
 	if run.err != nil {
 		// The error still carries metrics: a caller diagnosing an aborted
 		// run needs the attempt counts and retry totals of the shards
 		// that failed, not just the ones that made it.
+		runSpan.End()
 		return nil, metrics, run.err
 	}
 	var reports []partition.PartReport
 	weights := make(map[int][]float64, len(run.results))
 	for i, sr := range run.results {
 		if sr == nil {
+			runSpan.End()
 			return nil, metrics, fmt.Errorf("distrib: shard %d never completed", i)
 		}
 		reports = append(reports, sr.report)
 		weights[plan.Parts[i].Index] = sr.weights
 	}
+	rec := tr.Start("reconcile", runSpan.ID())
 	res := run.merger.Finish()
+	rec.End()
 	res.Reports = reports
 	res.ShardWeights = weights
 	res.Elapsed = time.Since(start)
+	runSpan.End()
 	return res, metrics, nil
 }
 
@@ -398,6 +419,12 @@ type runState struct {
 	shardTimeout time.Duration
 	stopHedge    chan struct{} // non-nil when hedging; closed by finish
 	sleep        func(time.Duration)
+
+	// tracer/runSpan carry the run's trace context; a nil tracer (the
+	// default) makes every span call a no-op and keeps wire trace IDs
+	// zero.
+	tracer  *telemetry.Tracer
+	runSpan uint64
 
 	// seedFP/seedBody are the run's pre-encoded warm-counter seed; a nil
 	// body means the run ships unseeded (NoSeed, or the seed failed to
@@ -473,12 +500,15 @@ func (r *runState) workerLoop() {
 		r.attempts[shard]++
 		attempt := r.attempts[shard]
 		isFallback := r.fellBack[shard]
-		// A duplicate picked up while its twin is still running is a
-		// hedge — dispatch immediately; a retry of a dead attempt backs
+		// A duplicate picked up while the first attempt is still in
+		// flight is a hedge — the monitor enqueued it while inflight was
+		// nonzero, and only hedges dispatch that way.
+		isHedge := r.inflight[shard] > 0
+		// A hedge dispatches immediately; a retry of a dead attempt backs
 		// off first (capped exponential + jitter) so a flapping transport
 		// is probed, not hammered.
 		var delay time.Duration
-		if r.inflight[shard] == 0 && attempt > 1 && !isFallback {
+		if !isHedge && attempt > 1 && !isFallback {
 			delay = r.backoff(attempt - 1)
 		}
 		if r.inflight[shard] == 0 {
@@ -491,10 +521,21 @@ func (r *runState) workerLoop() {
 			r.sleep(delay)
 		}
 
+		// Each attempt renders on its own trace track — hedges and
+		// fallbacks get suffixed tracks so concurrent twins never overlap
+		// on one row.
+		track := fmt.Sprintf("shard %d", r.plan.Parts[shard].Index)
+		if isHedge {
+			track += " (hedge)"
+		}
+		if isFallback {
+			track += " (fallback)"
+		}
+
 		var sr *shardResult
 		var err error
 		if isFallback {
-			sr, err = r.runInProcess(shard)
+			sr, err = r.runInProcess(shard, track, attempt)
 		} else {
 			if conn == nil {
 				conn, err = r.dialVia(r.coord.Transport)
@@ -514,7 +555,7 @@ func (r *runState) workerLoop() {
 			}
 			if err == nil {
 				r.track(shard, conn)
-				sr, err = r.runShard(conn, shard, connSeeded)
+				sr, err = r.runShard(conn, shard, connSeeded, track, attempt)
 				r.untrack(shard, conn)
 				r.reportHealth(conn, err == nil)
 				if err != nil {
@@ -708,6 +749,8 @@ func (r *runState) fail(shard int, err error) {
 	}
 	if r.attempts[shard] <= r.retries {
 		r.totalRetries++
+		logger.Debug("shard attempt failed, retrying",
+			"shard", r.plan.Parts[shard].Index, "attempt", r.attempts[shard], "err", err)
 		r.jobs <- shard
 		return
 	}
@@ -748,7 +791,9 @@ func (r *runState) seedConn(conn io.ReadWriteCloser) error {
 // exhausted its retries. The private connection negotiates the seed
 // like any other (the loopback worker shares the process-wide seed
 // cache, so at most the first fallback ships it).
-func (r *runState) runInProcess(shard int) (*shardResult, error) {
+func (r *runState) runInProcess(shard int, track string, attempt int) (*shardResult, error) {
+	logger.Warn("shard degraded to in-process fallback",
+		"shard", r.plan.Parts[shard].Index, "attempt", attempt)
 	conn, err := r.dialVia(Loopback{})
 	if err != nil {
 		return nil, err
@@ -761,7 +806,7 @@ func (r *runState) runInProcess(shard int) (*shardResult, error) {
 		}
 		seeded = true
 	}
-	sr, err := r.runShard(conn, shard, seeded)
+	sr, err := r.runShard(conn, shard, seeded, track, attempt)
 	if err != nil {
 		return nil, err
 	}
@@ -773,24 +818,40 @@ func (r *runState) runInProcess(shard int) (*shardResult, error) {
 // bounded by the per-shard deadline. On a seeded connection the job is
 // a seeded one — original indices, no networks; otherwise the v4-style
 // extracted (or full) self-contained job.
-func (r *runState) runShard(conn io.ReadWriteCloser, shard int, seeded bool) (*shardResult, error) {
+func (r *runState) runShard(conn io.ReadWriteCloser, shard int, seeded bool, track string, attempt int) (*shardResult, error) {
 	part := &r.plan.Parts[shard]
+	sp := r.tracer.Start(fmt.Sprintf("shard %d", part.Index), r.runSpan)
+	sp.SetTrack(track)
+	sp.Annotate("attempt", fmt.Sprintf("%d", attempt))
+	defer sp.End()
 	var job *Job
 	var extracted bool
 	if seeded {
 		job = NewSeededJob(r.pair, part, r.coord.Opts.Train, r.seedFP)
 	} else {
+		ex := r.tracer.Start("extract", sp.ID())
+		ex.SetTrack(track)
 		sh := buildShard(r.pair, part, r.coord.Opts.NoExtract)
 		job = NewJob(sh, r.coord.Opts.Train)
 		extracted = sh.Extracted()
+		ex.End()
 	}
+	// The attempt span is the wire-propagated parent: the worker's
+	// prepare/train/votes spans hang under it, so a hedge twin's worker
+	// spans land under the hedge attempt, not the original.
+	job.TraceID = r.tracer.TraceID()
+	job.SpanID = sp.ID()
 
 	disarm := armDeadline(conn, r.shardTimeout)
 	defer disarm()
+	ship := r.tracer.Start("ship", sp.ID())
+	ship.SetTrack(track)
 	cw := &countingWriter{w: conn}
 	if err := WriteFrame(cw, FrameJob, job); err != nil {
 		return nil, err
 	}
+	ship.Annotate("bytes", fmt.Sprintf("%d", cw.n))
+	ship.End()
 	sr := &shardResult{jobBytes: cw.n, extracted: extracted}
 	env := &streamEnv{
 		oracle: r.oracle, oracleMu: &r.oracleMu, queries: &r.queries,
@@ -799,6 +860,7 @@ func (r *runState) runShard(conn io.ReadWriteCloser, shard int, seeded bool) (*s
 	if err := collectShard(conn, part.Index, env, sr); err != nil {
 		return nil, err
 	}
+	ingestWorkerSpans(r.tracer, track, sr.spans)
 	return sr, nil
 }
 
@@ -895,6 +957,7 @@ func collectShard(conn io.ReadWriter, partIndex int, env *streamEnv, sr *shardRe
 				Elapsed:    time.Duration(d.ElapsedNS),
 			}
 			sr.weights = d.W
+			sr.spans = d.Spans
 			return nil
 		case FrameError:
 			var je JobError

@@ -72,6 +72,12 @@ func (b *healthBoard) report(id string, ok bool) {
 	}
 	w.streak++
 	if w.streak >= b.threshold {
+		if w.streak == b.threshold {
+			// Counted once per quarantine event, not per failure while
+			// benched.
+			mQuarantines.Inc()
+			logger.Warn("worker quarantined", "worker", id, "streak", w.streak, "cooldown", b.cooldown)
+		}
 		w.benchUntil = b.now().Add(b.cooldown)
 	}
 }

@@ -48,6 +48,11 @@ type WireSeed struct {
 	AnchorType  string
 	G1, G2      WireNetwork
 	Entries     []metadiag.SeedEntry
+	// TraceID/SpanID (v6 tail) carry the coordinator's trace context for
+	// the negotiation: the worker logs its install keyed by the trace ID
+	// so a cross-process trace correlates with worker-side logs.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // seedFingerprint names a seed by its replay-relevant content: the
@@ -73,7 +78,7 @@ func seedFingerprint(g1, g2 *WireNetwork, anchorType, featureSet string) uint64 
 // frame body once per run. base, when non-nil, must be a counter over
 // pair (the facade hands over its own, already warm from planning); nil
 // cold-counts — still once per run, not once per shard×worker.
-func buildSeed(pair *hetnet.AlignedPair, base *metadiag.Counter, cfg TrainConfig) (fp uint64, body []byte, err error) {
+func buildSeed(pair *hetnet.AlignedPair, base *metadiag.Counter, cfg TrainConfig, traceID uint64) (fp uint64, body []byte, err error) {
 	feats, err := ResolveFeatures(cfg.FeatureSet)
 	if err != nil {
 		return 0, nil, err
@@ -92,6 +97,10 @@ func buildSeed(pair *hetnet.AlignedPair, base *metadiag.Counter, cfg TrainConfig
 		G1:         EncodeNetwork(pair.G1),
 		G2:         EncodeNetwork(pair.G2),
 		Entries:    seed.Entries,
+		// The body is encoded once per run, before any connection exists,
+		// so the seed carries the run's trace ID with no per-negotiation
+		// span: the worker correlates its install log by trace ID.
+		TraceID: traceID,
 	}
 	ws.Fingerprint = seedFingerprint(&ws.G1, &ws.G2, ws.AnchorType, cfg.FeatureSet)
 	// Pre-install the warm counter into this process's seed cache:
@@ -332,6 +341,8 @@ func installSeed(ws *WireSeed) error {
 		return err
 	}
 	seedCachePut(ws.Fingerprint, &seedEntry{pair: pair, counter: counter})
+	logger.Debug("installed warm-counter seed",
+		"fingerprint", fmt.Sprintf("%016x", ws.Fingerprint), "trace", fmt.Sprintf("%#x", ws.TraceID))
 	return nil
 }
 
@@ -478,6 +489,8 @@ func (ws *WireSeed) appendBody(b []byte) []byte {
 	for _, seg := range segs {
 		b = framing.AppendBytes(b, seg)
 	}
+	b = framing.AppendUvarint(b, ws.TraceID)
+	b = framing.AppendUvarint(b, ws.SpanID)
 	return b
 }
 
@@ -501,6 +514,8 @@ func (ws *WireSeed) decodeBody(body []byte) error {
 	for i := range segs {
 		segs[i] = d.Raw()
 	}
+	ws.TraceID = d.Uvarint()
+	ws.SpanID = d.Uvarint()
 	if err := d.Done(); err != nil {
 		return fmt.Errorf("distrib: seed frame: %w", err)
 	}

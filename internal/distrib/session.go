@@ -13,6 +13,7 @@ import (
 	"github.com/activeiter/activeiter/internal/active"
 	"github.com/activeiter/activeiter/internal/hetnet"
 	"github.com/activeiter/activeiter/internal/partition"
+	"github.com/activeiter/activeiter/internal/telemetry"
 )
 
 // roundSeedStride separates the per-round training seeds of a session,
@@ -183,7 +184,7 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 		if s.opts.NoSeed {
 			return
 		}
-		if fp, body, err := buildSeed(s.pair, s.opts.Base, s.opts.Train); err == nil {
+		if fp, body, err := buildSeed(s.pair, s.opts.Base, s.opts.Train, s.opts.Tracer.TraceID()); err == nil {
 			s.seedFP, s.seedBody = fp, body
 		}
 	})
@@ -234,6 +235,10 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 		assign[best] = append(assign[best], i)
 	}
 
+	tr := s.opts.Tracer
+	roundSpan := tr.Start(fmt.Sprintf("round %d", s.round), 0)
+	roundSpan.Annotate("shards", fmt.Sprintf("%d", k))
+
 	rr := &sessionRound{
 		s:            s,
 		plan:         plan,
@@ -246,6 +251,8 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 		results:      make([]*shardResult, k),
 		shardMs:      make([]ShardMetrics, k),
 		merger:       partition.NewMerger(),
+		tracer:       tr,
+		roundSpan:    roundSpan.ID(),
 	}
 	queriesBefore := s.queries.Load()
 
@@ -268,6 +275,8 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 	metrics.SeedBytes = rr.seedBytes.Load()
 	metrics.SeedShips = int(rr.seedShips.Load())
 	if rr.err != nil {
+		roundSpan.End()
+		metrics.publish()
 		// Failed rounds still surface their audit — attempt counts and
 		// retry totals are exactly what a caller needs to diagnose the
 		// abort. Per-shard entries carry whatever was recorded before the
@@ -284,6 +293,8 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 	weights := make(map[int][]float64, len(rr.results))
 	for i, sr := range rr.results {
 		if sr == nil {
+			roundSpan.End()
+			metrics.publish()
 			return nil, metrics, fmt.Errorf("distrib: shard %d never completed", plan.Parts[i].Index)
 		}
 		reports = append(reports, sr.report)
@@ -296,10 +307,14 @@ func (s *Session) Run(plan *partition.Plan, oracle active.Oracle) (*partition.Re
 		metrics.DeltaBytes += sr.refBytes
 		metrics.ResultBytes += sr.readBytes
 	}
+	rec := tr.Start("reconcile", roundSpan.ID())
 	res := rr.merger.Finish()
+	rec.End()
 	res.Reports = reports
 	res.ShardWeights = weights
 	res.Elapsed = time.Since(start)
+	roundSpan.End()
+	metrics.publish()
 	s.cum.add(metrics)
 	s.round++
 	return res, metrics, nil
@@ -317,6 +332,11 @@ type sessionRound struct {
 
 	seedBytes atomic.Int64
 	seedShips atomic.Int64
+
+	// tracer/roundSpan carry the round's trace context (nil tracer =
+	// tracing off, zero wire IDs).
+	tracer    *telemetry.Tracer
+	roundSpan uint64
 
 	mu             sync.Mutex
 	results        []*shardResult
@@ -426,6 +446,11 @@ func (rr *sessionRound) runFallback(i int) (*shardResult, ShardMetrics, error) {
 	part := &rr.plan.Parts[i]
 	st := rr.shardState(i)
 	sm := ShardMetrics{Shard: part.Index, Extracted: st.extracted(), Fallback: true}
+	logger.Warn("session shard degraded to in-process fallback", "shard", part.Index)
+	track := fmt.Sprintf("shard %d (fallback)", part.Index)
+	sp := rr.tracer.Start(fmt.Sprintf("shard %d", part.Index), rr.roundSpan)
+	sp.SetTrack(track)
+	defer sp.End()
 	conn, err := dialWorker(Loopback{})
 	if err != nil {
 		return nil, sm, err
@@ -446,6 +471,8 @@ func (rr *sessionRound) runFallback(i int) (*shardResult, ShardMetrics, error) {
 	job.Budget = part.Budget
 	job.Seed = rr.seed
 	job.Fingerprint = 0
+	job.TraceID = rr.tracer.TraceID()
+	job.SpanID = sp.ID()
 	pre, err := st.labels(part.Prelabeled)
 	if err != nil {
 		return nil, sm, err
@@ -465,6 +492,7 @@ func (rr *sessionRound) runFallback(i int) (*shardResult, ShardMetrics, error) {
 	if err := collectShard(conn, part.Index, env, sr); err != nil {
 		return nil, sm, err
 	}
+	ingestWorkerSpans(rr.tracer, track, sr.spans)
 	sm.JobBytes = sr.jobBytes
 	return sr, sm, nil
 }
@@ -562,6 +590,10 @@ func (rr *sessionRound) runShard(slot *sessionSlot, sl, i int) (*shardResult, Sh
 	part := &rr.plan.Parts[i]
 	st := rr.shardState(i)
 	sm := ShardMetrics{Shard: part.Index, Extracted: st.extracted()}
+	track := fmt.Sprintf("shard %d", part.Index)
+	sp := rr.tracer.Start(fmt.Sprintf("shard %d", part.Index), rr.roundSpan)
+	sp.SetTrack(track)
+	defer sp.End()
 
 	if slot.conn == nil {
 		conn, err := dialWorker(rr.s.transport)
@@ -613,6 +645,8 @@ func (rr *sessionRound) runShard(slot *sessionSlot, sl, i int) (*shardResult, Sh
 			AddLabels:   WireLabels(wireDelta),
 			Budget:      part.Budget,
 			Seed:        rr.seed,
+			TraceID:     rr.tracer.TraceID(),
+			SpanID:      sp.ID(),
 		}
 		cw := &countingWriter{w: conn}
 		if err := WriteFrame(cw, FrameJobRef, ref); err != nil {
@@ -629,6 +663,7 @@ func (rr *sessionRound) runShard(slot *sessionSlot, sl, i int) (*shardResult, Sh
 			if err := collectShard(conn, part.Index, env, sr); err != nil {
 				return nil, sm, err
 			}
+			ingestWorkerSpans(rr.tracer, track, sr.spans)
 			st.sent = len(part.Prelabeled)
 			sm.CacheHit = true
 			sm.DeltaLabels = len(delta)
@@ -650,6 +685,8 @@ func (rr *sessionRound) runShard(slot *sessionSlot, sl, i int) (*shardResult, Sh
 	job.Budget = part.Budget
 	job.Seed = rr.seed
 	job.Fingerprint = st.fp
+	job.TraceID = rr.tracer.TraceID()
+	job.SpanID = sp.ID()
 	pre, err := st.labels(part.Prelabeled)
 	if err != nil {
 		return nil, sm, err
@@ -664,6 +701,7 @@ func (rr *sessionRound) runShard(slot *sessionSlot, sl, i int) (*shardResult, Sh
 	if err := collectShard(conn, part.Index, env, sr); err != nil {
 		return nil, sm, err
 	}
+	ingestWorkerSpans(rr.tracer, track, sr.spans)
 	st.home = sl
 	st.sent = len(part.Prelabeled)
 	slot.holds[part.Index] = st.fp

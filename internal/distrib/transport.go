@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"os"
 	"os/exec"
 	"sync"
 	"time"
@@ -242,7 +241,7 @@ func ListenAndServe(addr string, ready chan<- string) error {
 			if errors.As(err, &ne) && ne.Timeout() {
 				// Transient accept failure: one bad accept must not kill a
 				// worker serving other coordinators. Sleep and retry, capped.
-				fmt.Fprintf(os.Stderr, "distrib: accept: %v; retrying in %v\n", err, backoff)
+				logger.Warn("accept failed, retrying", "err", err, "backoff", backoff)
 				time.Sleep(backoff)
 				if backoff *= 2; backoff > time.Second {
 					backoff = time.Second
@@ -258,11 +257,11 @@ func ListenAndServe(addr string, ready chan<- string) error {
 				// A malformed job must not take the whole worker process
 				// down with it: contain the panic to this connection.
 				if r := recover(); r != nil {
-					fmt.Fprintf(os.Stderr, "distrib: worker connection panic: %v\n", r)
+					logger.Error("worker connection panic", "panic", fmt.Sprint(r))
 				}
 			}()
 			if err := Serve(conn); err != nil && err != io.EOF {
-				fmt.Fprintf(os.Stderr, "distrib: worker connection: %v\n", err)
+				logger.Warn("worker connection failed", "err", err)
 			}
 		}()
 	}

@@ -87,7 +87,12 @@ import (
 //	    bodies; Job gains SeedFP; SeedRef/Seed frames ship the
 //	    coordinator's anchor-free count cache once per connection, so
 //	    seeded jobs omit their networks and inverse maps entirely.
-const Version = 5
+//	6 — PR 8: cross-process tracing. Job, JobRef and Seed grow a
+//	    TraceID/SpanID columnar tail (zero = tracing off) so worker-side
+//	    spans parent under the coordinator's per-attempt spans; Done
+//	    grows a span column carrying the worker's prepare/train/votes
+//	    spans back to the coordinator's trace file.
+const Version = 6
 
 // maxFrameSize bounds a frame's declared length so a corrupt or hostile
 // length prefix cannot OOM the reader. Jobs carry whole sub-networks;
@@ -282,6 +287,14 @@ type Job struct {
 	BatchSize    int
 	Exact        bool
 	Seed         int64 // base seed; the worker applies the per-shard offset
+	// TraceID/SpanID are the coordinator's trace context for this
+	// dispatch attempt: a non-zero TraceID asks the worker to record
+	// prepare/train/votes spans parented under SpanID and ship them back
+	// on the Done frame. Zero (tracing off) costs two bytes on the wire
+	// and nothing on the worker. Excluded from ComputeFingerprint like
+	// every other per-attempt mutable.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // WireLabel is one oracle-labeled link in the index space of the frame
@@ -311,6 +324,9 @@ type JobRef struct {
 	// Seed is this round's base seed (the worker still applies the
 	// per-shard offset, exactly as for a full Job).
 	Seed int64
+	// TraceID/SpanID carry the round's trace context, exactly as on Job.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // CacheAck answers a JobRef before any pipeline output: Hit reports
@@ -386,6 +402,21 @@ type Done struct {
 	// in the merged result's ShardWeights so a snapshot of a distributed
 	// run can serve inductive rescoring, exactly like an in-process one.
 	W []float64
+	// Spans are the worker-side spans of this job's pipeline (prepare,
+	// train, votes), recorded only when the request carried a non-zero
+	// TraceID. Their Parent IDs are coordinator span IDs propagated on
+	// the request frame, which is how a worker span in another process
+	// nests under the coordinator's attempt span in one trace file.
+	Spans []WireSpan
+}
+
+// WireSpan is one finished worker-side span riding a Done frame back to
+// the coordinator. Times are unix nanoseconds — coordinator and worker
+// share the host clock in every supported transport.
+type WireSpan struct {
+	ID, Parent     uint64
+	Name           string
+	StartNS, EndNS int64
 }
 
 // JobError aborts a job with a worker-side failure description.

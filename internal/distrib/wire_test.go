@@ -87,6 +87,10 @@ func fixtureJob(t testing.TB) *Job {
 	// fingerprint.
 	job.Prelabeled = []WireLabel{{I: 4, J: 5, Label: 1}}
 	job.Fingerprint = job.ComputeFingerprint()
+	// Trace context rides the v6 tail; it is per-attempt state, so it
+	// must not perturb the fingerprint computed above.
+	job.TraceID = 0x1122334455667788
+	job.SpanID = 0x99aabbcc
 	return job
 }
 
@@ -95,7 +99,7 @@ func fixtureJob(t testing.TB) *Job {
 // back, so the golden pins exactly what a run would ship.
 func fixtureSeed(t testing.TB) *WireSeed {
 	t.Helper()
-	_, body, err := buildSeed(fixturePair(t), nil, TrainConfig{FeatureSet: FeaturesFull})
+	_, body, err := buildSeed(fixturePair(t), nil, TrainConfig{FeatureSet: FeaturesFull}, 0x1122334455667788)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,10 +133,15 @@ func goldenFrames(t testing.TB) []struct {
 		{"query", FrameQuery, &Query{Shard: 1, Seq: 7, I: 4, J: 5}},
 		{"answer", FrameAnswer, &Answer{Seq: 7, Label: 1}},
 		{"done", FrameDone, &Done{Shard: 1, TrainPos: 2, Candidates: 3, Budget: 3, Queries: 3, ElapsedNS: 12345678,
-			W: []float64{0.25, -0.5, 1.0, 0.0625}}},
+			W: []float64{0.25, -0.5, 1.0, 0.0625},
+			Spans: []WireSpan{
+				{ID: 0xdead0001, Parent: 0x99aabbcc, Name: "prepare", StartNS: 1700000000_000000000, EndNS: 1700000000_001000000},
+				{ID: 0xdead0002, Parent: 0x99aabbcc, Name: "train", StartNS: 1700000000_001000000, EndNS: 1700000000_009000000},
+			}}},
 		{"error", FrameError, &JobError{Shard: 1, Msg: "boom"}},
 		{"jobref", FrameJobRef, &JobRef{Shard: 1, Fingerprint: 0xfeedc0dedeadbeef,
-			AddLabels: []WireLabel{{I: 4, J: 5, Label: 1}, {I: 5, J: 4, Label: 0}}, Budget: 2, Seed: 2019 + roundSeedStride}},
+			AddLabels: []WireLabel{{I: 4, J: 5, Label: 1}, {I: 5, J: 4, Label: 0}}, Budget: 2, Seed: 2019 + roundSeedStride,
+			TraceID: 0x1122334455667788, SpanID: 0x99aabbcd}},
 		{"cacheack", FrameCacheAck, &CacheAck{Shard: 1, Fingerprint: 0xfeedc0dedeadbeef, Hit: true}},
 		{"cancel", FrameCancel, &Cancel{Shard: 1}},
 		{"seedref", FrameSeedRef, &SeedRef{Fingerprint: 0x1badd00dcafef00d}},
@@ -302,6 +311,42 @@ func TestWireV4Skew(t *testing.T) {
 				t.Fatalf("v4 frame: got %v, want ErrVersionMismatch", err)
 			}
 		})
+	}
+}
+
+// TestWireV5Skew pins the v6 bump's cross-version contract: a
+// well-formed v5 frame — same columnar body layout minus the trace
+// tail, valid CRC — must fail with ErrVersionMismatch before payload
+// decoding. Without the version gate a v5 Job body would reach the v6
+// decoder, which demands the TraceID/SpanID tail and would mis-read the
+// frame (or, worse, accept a truncated interpretation) instead of
+// failing loudly.
+func TestWireV5Skew(t *testing.T) {
+	v5 := framing.Codec{Magic: [2]byte{'A', 'I'}, Version: 5, MaxFrame: maxFrameSize, Checksum: true}
+	job := fixtureJob(t)
+	// A v5 writer had no trace fields; its body ended where the v6 tail
+	// begins. Encode with zero trace context and drop the two 1-byte
+	// zero uvarints to reproduce the exact v5 body.
+	job.TraceID, job.SpanID = 0, 0
+	v5Body := job.appendBody(nil)
+	v5Body = v5Body[:len(v5Body)-2]
+	var buf bytes.Buffer
+	if err := v5.WriteFrame(&buf, byte(FrameJob), v5Body); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := ReadFrame(&buf)
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("v5 frame: got %v, want ErrVersionMismatch", err)
+	}
+
+	// And the inverse skew: a v6 frame offered to a v5 reader is refused
+	// the same way — the gate cuts both directions.
+	var v6buf bytes.Buffer
+	if err := WriteFrame(&v6buf, FrameHello, &Hello{Role: "worker"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v5.ReadFrame(&v6buf); !errors.Is(err, framing.ErrVersionMismatch) {
+		t.Fatalf("v6 frame at v5 reader: got %v, want ErrVersionMismatch", err)
 	}
 }
 

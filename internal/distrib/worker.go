@@ -12,6 +12,7 @@ import (
 	"github.com/activeiter/activeiter/internal/metadiag"
 	"github.com/activeiter/activeiter/internal/partition"
 	"github.com/activeiter/activeiter/internal/schema"
+	"github.com/activeiter/activeiter/internal/telemetry"
 )
 
 // voteBatchSize caps votes per FrameVotes so one huge pool does not
@@ -286,6 +287,8 @@ func rethrowWire(err *error) {
 func runJob(conn io.ReadWriter, job *Job, cache *shardCache) (err error) {
 	defer rethrowWire(&err)
 	t0 := time.Now()
+	tr := childTracer(job.TraceID, job.SpanID)
+	prep := tr.Start("prepare", job.SpanID)
 	var pair *hetnet.AlignedPair
 	var part *partition.Part
 	var seed *seedEntry
@@ -334,7 +337,9 @@ func runJob(conn io.ReadWriter, job *Job, cache *shardCache) (err error) {
 		job: job, part: part, prepared: prepared, feats: feats, strategy: strategy,
 		n1: pair.G1.NodeCount(pair.AnchorType), n2: pair.G2.NodeCount(pair.AnchorType),
 	}
-	if err := trainAndStream(conn, ps, job.Budget, job.Seed, t0); err != nil {
+	prep.Annotate("seeded", fmt.Sprintf("%v", seed != nil))
+	prep.End()
+	if err := trainAndStream(conn, ps, job.Budget, job.Seed, t0, tr, job.SpanID); err != nil {
 		return err
 	}
 	// Cache only after a full successful round trip: a shard that failed
@@ -375,13 +380,16 @@ func runJobRef(conn io.ReadWriter, ref *JobRef, cache *shardCache) (err error) {
 	ps.part.Prelabeled = append(ps.part.Prelabeled, partLabels(ref.AddLabels)...)
 	ps.job.Prelabeled = append(ps.job.Prelabeled, ref.AddLabels...)
 	ps.part.Budget = ref.Budget
-	return trainAndStream(conn, ps, ref.Budget, ref.Seed, t0)
+	return trainAndStream(conn, ps, ref.Budget, ref.Seed, t0, childTracer(ref.TraceID, ref.SpanID), ref.SpanID)
 }
 
 // trainAndStream runs the training half of a shard pipeline on prepared
 // state and streams progress, votes and the Done report. budget and seed
 // are the round's values (a cached shard's own fields may be stale).
-func trainAndStream(conn io.ReadWriter, ps *preparedShard, budget int, seed int64, t0 time.Time) error {
+// tr (nil when the coordinator isn't tracing) records train/votes spans
+// under parent — the coordinator's wire-propagated attempt span — and
+// ships everything recorded this job back on the Done frame.
+func trainAndStream(conn io.ReadWriter, ps *preparedShard, budget int, seed int64, t0 time.Time, tr *telemetry.Tracer, parent uint64) error {
 	job := ps.job
 	ps.part.Budget = budget
 	cfg := core.Config{
@@ -402,14 +410,18 @@ func trainAndStream(conn io.ReadWriter, ps *preparedShard, budget int, seed int6
 	if err := WriteFrame(conn, FrameProgress, &Progress{Shard: job.Shard, Stage: "training"}); err != nil {
 		return err
 	}
+	train := tr.Start("train", parent)
 	res, err := ps.prepared.Train(ps.part, cfg, oracle)
 	if err != nil {
 		return err
 	}
+	train.Annotate("queries", fmt.Sprintf("%d", res.QueryCount()))
+	train.End()
 	if err := WriteFrame(conn, FrameProgress, &Progress{Shard: job.Shard, Stage: "voting", Queries: res.QueryCount()}); err != nil {
 		return err
 	}
 
+	vs := tr.Start("votes", parent)
 	votes := partition.PartVotes(ps.part, ps.prepared.Links, res)
 	batch := make([]Vote, 0, voteBatchSize)
 	flush := func() error {
@@ -440,6 +452,7 @@ func trainAndStream(conn io.ReadWriter, ps *preparedShard, budget int, seed int6
 	if err := flush(); err != nil {
 		return err
 	}
+	vs.End()
 	return WriteFrame(conn, FrameDone, &Done{
 		Shard:      job.Shard,
 		TrainPos:   len(ps.part.TrainPos),
@@ -448,5 +461,6 @@ func trainAndStream(conn io.ReadWriter, ps *preparedShard, budget int, seed int6
 		Queries:    res.QueryCount(),
 		ElapsedNS:  time.Since(t0).Nanoseconds(),
 		W:          res.W,
+		Spans:      wireSpans(tr),
 	})
 }

@@ -13,6 +13,7 @@ import (
 	"github.com/activeiter/activeiter/internal/hetnet"
 	"github.com/activeiter/activeiter/internal/partition"
 	"github.com/activeiter/activeiter/internal/schema"
+	"github.com/activeiter/activeiter/internal/telemetry"
 )
 
 // DistributedPoint is one measured execution mode of the same K-shard
@@ -45,8 +46,16 @@ type DistributedPoint struct {
 	Retries     int
 	// Fallbacks counts shards that degraded to the in-process loopback
 	// path — non-zero only when the transport misbehaved (see the chaos
-	// mode).
-	Fallbacks   int
+	// mode). Hedges counts straggler hedge dispatches.
+	Fallbacks int
+	Hedges    int
+	// Shards is the per-shard attempt audit (attempts, hedged, fallback)
+	// straight from the run metrics; sessions accumulate one entry per
+	// shard per round.
+	Shards []distrib.ShardMetrics
+	// Chaos holds the fault injector's totals for the chaos modes, nil
+	// elsewhere.
+	Chaos       *distrib.ChaosStats
 	RoundDetail []DistributedRound
 }
 
@@ -84,6 +93,10 @@ type DistributedConfig struct {
 	// the retries and fallbacks columns show what the fault-tolerance
 	// layer absorbed to get there.
 	ChaosSeed int64
+	// Tracer, when non-nil, records coordinator/session shard spans for
+	// every distributed mode (and, over the wire, the workers' spans) —
+	// dump it with Tracer.WriteChrome after the run.
+	Tracer *telemetry.Tracer
 }
 
 // RunDistributedPoints measures the same single-cell shard plan as
@@ -223,12 +236,13 @@ func RunDistributedPoints(pre Preset, cfg DistributedConfig) ([]DistributedPoint
 			JobBytes:  metrics.JobBytes, JobBytesFull: fullTotal,
 			SeedBytes: metrics.SeedBytes, SeedShips: metrics.SeedShips,
 			Retries: metrics.Retries, Fallbacks: metrics.Fallbacks,
+			Hedges: metrics.Hedges, Shards: metrics.Shards,
 		})
 		return nil
 	}
 	// The base counter is already warm from planning; the distributed
 	// modes export their worker seed from it rather than recounting.
-	baseOpts := distrib.Options{Train: train, Workers: workers, Base: base}
+	baseOpts := distrib.Options{Train: train, Workers: workers, Base: base, Tracer: cfg.Tracer}
 	if err := runCoord("loopback", distrib.Loopback{}, baseOpts); err != nil {
 		return nil, err
 	}
@@ -265,9 +279,10 @@ func RunDistributedPoints(pre Preset, cfg DistributedConfig) ([]DistributedPoint
 		if err := runCoord(mode, chaos, chaosOpts); err != nil {
 			return nil, err
 		}
+		// The injector's totals ride on the point (tabulated as a table
+		// note) rather than a stderr side channel.
 		s := chaos.Stats()
-		fmt.Fprintf(os.Stderr, "chaos: dials=%d refused=%d dropped=%d corrupted=%d crashed=%d\n",
-			s.Dials, s.Refused, s.Dropped, s.Corrupted, s.Crashed)
+		points[len(points)-1].Chaos = &s
 	}
 
 	// Sticky-session modes: the same problem as a multi-round active
@@ -280,7 +295,7 @@ func RunDistributedPoints(pre Preset, cfg DistributedConfig) ([]DistributedPoint
 			return err
 		}
 		sess, err := distrib.NewSession(transport, pair, distrib.Options{
-			Train: train, Workers: workers, DeltaMaxLabels: deltaMax, Base: base,
+			Train: train, Workers: workers, DeltaMaxLabels: deltaMax, Base: base, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return err
@@ -321,6 +336,8 @@ func RunDistributedPoints(pre Preset, cfg DistributedConfig) ([]DistributedPoint
 		point.CacheMisses = cum.CacheMisses
 		point.Retries = cum.Retries
 		point.Fallbacks = cum.Fallbacks
+		point.Hedges = cum.Hedges
+		point.Shards = cum.Shards
 		points = append(points, point)
 		return nil
 	}
@@ -351,7 +368,7 @@ func RunDistributedWith(pre Preset, cfg DistributedConfig) (*Table, error) {
 		Title: fmt.Sprintf("Distributed — shard execution modes (θ=%d, γ=%.0f%%, K=%d, workers=%d, preset %q)",
 			pre.FixedTheta, pre.FixedGamma*100, points[0].Partitions, points[0].Workers, pre.Name),
 		ColHeader: "mode",
-		Cols:      []string{"F1", "Precision", "Recall", "queries", "rejected", "align", "job bytes", "seed bytes", "delta bytes", "cache hit/miss", "job bytes (full pair)", "retries", "fallbacks"},
+		Cols:      []string{"F1", "Precision", "Recall", "queries", "rejected", "align", "job bytes", "seed bytes", "delta bytes", "cache hit/miss", "job bytes (full pair)", "attempts", "hedges", "retries", "fallbacks"},
 	}
 	sec := Section{Name: "distributed alignment"}
 	for _, p := range points {
@@ -368,6 +385,14 @@ func RunDistributedWith(pre Preset, cfg DistributedConfig) (*Table, error) {
 			deltaBytes = fmt.Sprint(p.DeltaBytes)
 			cache = fmt.Sprintf("%d/%d", p.CacheHits, p.CacheMisses)
 		}
+		attempts := "—"
+		if len(p.Shards) > 0 {
+			n := 0
+			for _, sm := range p.Shards {
+				n += sm.Attempts
+			}
+			attempts = fmt.Sprint(n)
+		}
 		sec.Rows = append(sec.Rows, TableRow{Label: p.Mode, Cells: []string{
 			fmt.Sprintf("%.4f", p.F1),
 			fmt.Sprintf("%.4f", p.Precision),
@@ -380,11 +405,50 @@ func RunDistributedWith(pre Preset, cfg DistributedConfig) (*Table, error) {
 			deltaBytes,
 			cache,
 			fmt.Sprint(p.JobBytesFull),
+			attempts,
+			fmt.Sprint(p.Hedges),
 			fmt.Sprint(p.Retries),
 			fmt.Sprint(p.Fallbacks),
 		}})
+		if p.Chaos != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("chaos: dials=%d refused=%d dropped=%d corrupted=%d crashed=%d (%s)",
+				p.Chaos.Dials, p.Chaos.Refused, p.Chaos.Dropped, p.Chaos.Corrupted, p.Chaos.Crashed, p.Mode))
+		}
 	}
 	t.Sections = []Section{sec}
+	// Modes where the fault-tolerance layer actually worked get a
+	// per-shard attempt breakdown. Labels use "#s<idx>" (no space) so the
+	// summary rows stay uniquely matchable as "<mode> ".
+	var shards Section
+	for _, p := range points {
+		if p.Rounds > 1 || p.Retries+p.Hedges+p.Fallbacks == 0 {
+			continue
+		}
+		for _, sm := range p.Shards {
+			yes := func(b bool) string {
+				if b {
+					return "yes"
+				}
+				return "—"
+			}
+			shards.Rows = append(shards.Rows, TableRow{
+				Label: fmt.Sprintf("%s#s%d", p.Mode, sm.Shard),
+				Cells: []string{
+					"—", "—", "—", "—", "—", "—",
+					fmt.Sprint(sm.JobBytes),
+					"—", "—", "—", "—",
+					fmt.Sprint(sm.Attempts),
+					yes(sm.Hedged),
+					"—",
+					yes(sm.Fallback),
+				},
+			})
+		}
+	}
+	if len(shards.Rows) > 0 {
+		shards.Name = "per shard (attempts / hedges / fallbacks)"
+		t.Sections = append(t.Sections, shards)
+	}
 	// Session modes get a per-round breakdown section: what each retrain
 	// round actually shipped.
 	var rounds Section
@@ -401,7 +465,7 @@ func RunDistributedWith(pre Preset, cfg DistributedConfig) (*Table, error) {
 					"—",
 					fmt.Sprint(r.DeltaBytes),
 					fmt.Sprint(r.CacheHits),
-					"—", "—", "—",
+					"—", "—", "—", "—", "—",
 				},
 			})
 		}

@@ -20,6 +20,10 @@ type Table struct {
 	ColHeader string
 	Cols      []string
 	Sections  []Section
+	// Notes are free-form footnote lines rendered after the last
+	// section — run-level facts that belong to the artifact but fit no
+	// column (e.g. the chaos injector's fault totals).
+	Notes []string
 }
 
 // Section groups rows under a metric name (F1, Precision, ...).
@@ -77,6 +81,9 @@ func (t *Table) Render(w io.Writer) {
 		}
 	}
 	fmt.Fprintln(w, sep)
+	for _, n := range t.Notes {
+		fmt.Fprintln(w, n)
+	}
 }
 
 // String renders the table to a string.

@@ -384,6 +384,7 @@ func (c *Counter) evalIn(d schema.Diagram, key string, mu *sync.Mutex, counts ma
 	if m, ok := counts[key]; ok {
 		mu.Unlock()
 		c.hits.Add(1)
+		mCacheHits.Inc()
 		return m, nil
 	}
 	if f, ok := flights[key]; ok {
@@ -393,6 +394,7 @@ func (c *Counter) evalIn(d schema.Diagram, key string, mu *sync.Mutex, counts ma
 			return nil, f.err
 		}
 		c.hits.Add(1)
+		mCacheHits.Inc()
 		return f.m, nil
 	}
 	startGen := 0
@@ -404,6 +406,7 @@ func (c *Counter) evalIn(d schema.Diagram, key string, mu *sync.Mutex, counts ma
 	mu.Unlock()
 
 	c.evals.Add(1)
+	mCacheMisses.Inc()
 	f.m, f.err = c.compute(d)
 
 	mu.Lock()

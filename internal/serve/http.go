@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/activeiter/activeiter/internal/snapshot"
+	"github.com/activeiter/activeiter/internal/telemetry"
 )
 
 // HandlerOptions configures the HTTP surface.
@@ -111,6 +112,8 @@ func (h *Handler) route(w http.ResponseWriter, r *http.Request) (string, error) 
 		return "readyz", h.handleReady(w, r)
 	case path == "/statusz":
 		return "statusz", h.handleStatus(w, r)
+	case path == "/metricsz":
+		return "metricsz", h.handleMetrics(w, r)
 	case path == "/v1/score":
 		return "score", h.handleScore(w, r)
 	case path == "/v1/reload":
@@ -210,6 +213,16 @@ type statusSnapshot struct {
 	TopK        int    `json:"top_k"`
 	Shards      []int  `json:"shards,omitempty"`
 	Primary     bool   `json:"primary_model"`
+}
+
+// handleMetrics serves the Prometheus text exposition: this server's
+// per-endpoint counters plus the process-wide telemetry registry.
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodGet {
+		return errf(http.StatusMethodNotAllowed, "metricsz is GET")
+	}
+	w.Header().Set("Content-Type", telemetry.PromContentType)
+	return h.metrics.WriteProm(w)
 }
 
 func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) error {

@@ -1,76 +1,117 @@
 package serve
 
 import (
+	"io"
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/activeiter/activeiter/internal/telemetry"
 )
 
-// latencyBuckets is the fixed log₂-spaced latency histogram: bucket i
-// counts requests in [2ⁱ µs, 2ⁱ⁺¹ µs); the last bucket is unbounded.
-// 24 buckets span 1 µs to ~16 s, plenty for an in-memory lookup server,
-// and a fixed array keeps observation lock-free-cheap (one mutex-less
-// increment would need atomics per bucket; a short critical section is
-// simpler and still nanoseconds).
-const latencyBuckets = 24
+// qpsWindowSecs is the sliding window Report computes QPS over. A
+// fixed one-minute window means a server that sat idle overnight still
+// reports its current load, not requests-since-boot divided by the
+// night (the old behavior, which decayed toward zero forever).
+const qpsWindowSecs = 60
 
-// endpointStats accumulates one endpoint's counters. Guarded by
-// Metrics.mu — the critical sections are a handful of integer ops, far
-// cheaper than the request work around them.
+// endpointStats is one endpoint's telemetry handles plus its QPS ring.
+// The counters and histogram live in the per-Metrics telemetry
+// registry (atomic hot paths, Prometheus-expositable); the ring is a
+// lazy-advancing per-second circular buffer guarded by Metrics.mu.
 type endpointStats struct {
-	requests uint64
-	errors   uint64
-	sumNanos uint64
-	buckets  [latencyBuckets]uint64
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	latency  *telemetry.Histogram // microseconds, log₂ buckets
+
+	ring     [qpsWindowSecs]uint64
+	ringTick int64 // unix second the ring head corresponds to
 }
 
 // Metrics tracks per-endpoint request counts, error counts and latency
-// distributions for the statusz page. Endpoints register lazily on
-// first observation.
+// distributions for the statusz page, backed by a telemetry registry
+// so the same numbers serve /metricsz in Prometheus exposition format.
+// Endpoints register lazily on first observation.
 type Metrics struct {
 	start time.Time
+	now   func() time.Time // injectable for the QPS window tests
+	reg   *telemetry.Registry
 
 	mu  sync.Mutex
 	eps map[string]*endpointStats
 }
 
 // NewMetrics returns an empty metrics registry; the QPS clock starts
-// now.
+// now. Each Metrics owns a private telemetry registry so separate
+// servers in one process (tests, embedding) don't cross-count.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), eps: make(map[string]*endpointStats)}
+	m := &Metrics{
+		start: time.Now(),
+		now:   time.Now,
+		reg:   telemetry.NewRegistry(),
+		eps:   make(map[string]*endpointStats),
+	}
+	m.reg.Func("activeiter_serve_uptime_seconds", "Seconds since the server's metrics clock started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	return m
 }
 
-// bucketOf maps a duration to its histogram bucket.
-func bucketOf(d time.Duration) int {
-	us := d.Microseconds()
-	b := 0
-	for us > 1 && b < latencyBuckets-1 {
-		us >>= 1
-		b++
+// Registry exposes the backing telemetry registry (the /metricsz
+// handler writes it out).
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
+
+func (m *Metrics) endpoint(name string) *endpointStats {
+	ep := m.eps[name]
+	if ep == nil {
+		lab := telemetry.L("endpoint", name)
+		ep = &endpointStats{
+			requests: m.reg.Counter("activeiter_serve_requests_total", "Requests served, by endpoint.", lab),
+			errors:   m.reg.Counter("activeiter_serve_errors_total", "Requests that failed, by endpoint.", lab),
+			latency:  m.reg.Histogram("activeiter_serve_latency_microseconds", "Request latency in microseconds (log2 buckets).", lab),
+		}
+		m.eps[name] = ep
 	}
-	return b
+	return ep
+}
+
+// advance rotates the QPS ring forward to second sec, zeroing slots
+// for the seconds that passed with no traffic.
+func (ep *endpointStats) advance(sec int64) {
+	if ep.ringTick == 0 {
+		ep.ringTick = sec
+		return
+	}
+	if gap := sec - ep.ringTick; gap >= qpsWindowSecs {
+		ep.ring = [qpsWindowSecs]uint64{}
+	} else {
+		for s := ep.ringTick + 1; s <= sec; s++ {
+			ep.ring[s%qpsWindowSecs] = 0
+		}
+	}
+	if sec > ep.ringTick {
+		ep.ringTick = sec
+	}
 }
 
 // Observe records one request.
 func (m *Metrics) Observe(endpoint string, d time.Duration, isErr bool) {
 	m.mu.Lock()
-	ep := m.eps[endpoint]
-	if ep == nil {
-		ep = &endpointStats{}
-		m.eps[endpoint] = ep
-	}
-	ep.requests++
-	if isErr {
-		ep.errors++
-	}
-	ep.sumNanos += uint64(d.Nanoseconds())
-	ep.buckets[bucketOf(d)]++
+	ep := m.endpoint(endpoint)
+	sec := m.now().Unix()
+	ep.advance(sec)
+	ep.ring[sec%qpsWindowSecs]++
 	m.mu.Unlock()
+
+	ep.requests.Inc()
+	if isErr {
+		ep.errors.Inc()
+	}
+	ep.latency.Observe(d.Microseconds())
 }
 
 // EndpointReport is one endpoint's statusz row. Percentiles are bucket
 // upper bounds (within 2× of true, by construction of the log₂
-// histogram).
+// histogram). QPS is measured over the trailing one-minute window.
 type EndpointReport struct {
 	Endpoint string        `json:"endpoint"`
 	Requests uint64        `json:"requests"`
@@ -81,46 +122,47 @@ type EndpointReport struct {
 	P99      time.Duration `json:"p99_ns"`
 }
 
-// percentile returns the upper bound of the bucket containing the q-th
-// quantile request.
-func (ep *endpointStats) percentile(q float64) time.Duration {
-	if ep.requests == 0 {
+// quantileDuration converts a histogram-of-microseconds quantile to a
+// duration.
+func quantileDuration(s telemetry.HistSnapshot, q float64) time.Duration {
+	if s.Count == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(ep.requests))
-	if rank == 0 {
-		rank = 1
-	}
-	var seen uint64
-	for b := 0; b < latencyBuckets; b++ {
-		seen += ep.buckets[b]
-		if seen >= rank {
-			return time.Duration(1<<uint(b+1)) * time.Microsecond
-		}
-	}
-	return time.Duration(1<<latencyBuckets) * time.Microsecond
+	return time.Duration(s.Quantile(q)) * time.Microsecond
 }
 
 // Report snapshots every endpoint's counters, sorted by endpoint name.
 func (m *Metrics) Report() []EndpointReport {
-	elapsed := time.Since(m.start).Seconds()
-	if elapsed <= 0 {
-		elapsed = 1e-9
+	now := m.now()
+	windowSecs := float64(qpsWindowSecs)
+	if up := now.Sub(m.start).Seconds(); up < windowSecs {
+		// Young server: don't dilute QPS by window seconds that never
+		// existed.
+		if windowSecs = up; windowSecs < 1 {
+			windowSecs = 1
+		}
 	}
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]EndpointReport, 0, len(m.eps))
 	for name, ep := range m.eps {
+		ep.advance(now.Unix())
+		var windowed uint64
+		for _, n := range ep.ring {
+			windowed += n
+		}
+		snap := ep.latency.Snapshot()
 		r := EndpointReport{
 			Endpoint: name,
-			Requests: ep.requests,
-			Errors:   ep.errors,
-			QPS:      float64(ep.requests) / elapsed,
-			P50:      ep.percentile(0.50),
-			P99:      ep.percentile(0.99),
+			Requests: uint64(ep.requests.Value()),
+			Errors:   uint64(ep.errors.Value()),
+			QPS:      float64(windowed) / windowSecs,
+			P50:      quantileDuration(snap, 0.50),
+			P99:      quantileDuration(snap, 0.99),
 		}
-		if ep.requests > 0 {
-			r.Mean = time.Duration(ep.sumNanos / ep.requests)
+		if snap.Count > 0 {
+			r.Mean = time.Duration(snap.Sum/int64(snap.Count)) * time.Microsecond
 		}
 		out = append(out, r)
 	}
@@ -130,3 +172,13 @@ func (m *Metrics) Report() []EndpointReport {
 
 // Uptime reports how long the metrics clock has been running.
 func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+// WriteProm writes this server's metrics followed by the process-wide
+// telemetry.Default registry (distrib, metadiag, sparse counters when
+// those layers ran in-process) in Prometheus text exposition format.
+func (m *Metrics) WriteProm(w io.Writer) error {
+	if err := m.reg.WriteProm(w); err != nil {
+		return err
+	}
+	return telemetry.Default.WriteProm(w)
+}

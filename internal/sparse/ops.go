@@ -221,6 +221,10 @@ func Chain(ms ...*CSR) *CSR {
 				best, bestCost = i, c
 			}
 		}
+		// The chosen product's flop count was already computed for the
+		// association scan — folding it into the process counter costs
+		// one atomic add, no extra matrix pass.
+		mSpgemmFlops.Add(int64(bestCost))
 		prod := MatMulParallel(work[best], work[best+1])
 		work[best] = prod
 		work = append(work[:best+1], work[best+2:]...)

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// logLevel is the process-wide level gate shared by every component
+// logger; SetLogLevel (driven by -log-level flags) moves it at runtime.
+var logLevel slog.LevelVar
+
+// logHandler is swappable so cmds can redirect (a stdio worker owns
+// stderr conventions) and tests can capture output.
+var logHandler atomic.Pointer[slog.Handler]
+
+func init() {
+	logLevel.Set(slog.LevelInfo)
+	h := slog.Handler(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: &logLevel}))
+	logHandler.Store(&h)
+}
+
+// SetLogLevel parses "debug" / "info" / "warn" / "error" and moves the
+// shared level gate.
+func SetLogLevel(s string) error {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		logLevel.Set(slog.LevelDebug)
+	case "info", "":
+		logLevel.Set(slog.LevelInfo)
+	case "warn", "warning":
+		logLevel.Set(slog.LevelWarn)
+	case "error":
+		logLevel.Set(slog.LevelError)
+	default:
+		return fmt.Errorf("telemetry: unknown log level %q (want debug|info|warn|error)", s)
+	}
+	return nil
+}
+
+// SetLogOutput redirects all component loggers to w.
+func SetLogOutput(w io.Writer) {
+	h := slog.Handler(slog.NewTextHandler(w, &slog.HandlerOptions{Level: &logLevel}))
+	logHandler.Store(&h)
+}
+
+// Logger returns a component-keyed structured logger (component=name
+// on every record). Safe to keep in a package-level var: the handler
+// is resolved at log time, so later SetLogOutput/SetLogLevel calls
+// still apply.
+func Logger(component string) *slog.Logger {
+	return slog.New(&lateHandler{attrs: []slog.Attr{slog.String("component", component)}})
+}
+
+// lateHandler resolves the current process handler on every record.
+type lateHandler struct {
+	attrs  []slog.Attr
+	groups []string
+}
+
+func (h *lateHandler) resolve() slog.Handler {
+	cur := *logHandler.Load()
+	for _, g := range h.groups {
+		cur = cur.WithGroup(g)
+	}
+	if len(h.attrs) > 0 {
+		cur = cur.WithAttrs(h.attrs)
+	}
+	return cur
+}
+
+func (h *lateHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= logLevel.Level()
+}
+
+func (h *lateHandler) Handle(ctx context.Context, r slog.Record) error {
+	return h.resolve().Handle(ctx, r)
+}
+
+func (h *lateHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	n := &lateHandler{groups: h.groups}
+	n.attrs = append(append([]slog.Attr{}, h.attrs...), attrs...)
+	return n
+}
+
+func (h *lateHandler) WithGroup(name string) slog.Handler {
+	n := &lateHandler{attrs: h.attrs}
+	n.groups = append(append([]string{}, h.groups...), name)
+	return n
+}
+
+// PprofMux returns a mux exposing the standard /debug/pprof/ handlers.
+// pprof is opt-in (-pprof-listen): nothing is mounted on any serving
+// mux unless a cmd asks for it.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// MetricsMux returns a mux exposing reg at /metricsz (and nothing
+// else) for -metrics-listen sidecar listeners.
+func MetricsMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metricsz", MetricsHandler(reg))
+	return mux
+}
+
+// ListenAndServeDebug binds addr and serves mux in a goroutine,
+// returning the bound address (so ":0" works in tests and smoke runs).
+func ListenAndServeDebug(addr string, mux *http.ServeMux) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

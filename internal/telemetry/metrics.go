@@ -1,0 +1,460 @@
+// Package telemetry is the shared observability substrate for the
+// whole stack: a metrics registry (counters, gauges, log₂ histograms)
+// with Prometheus text exposition, a span tracer that dumps Chrome
+// trace-event JSON, and runtime hooks (slog setup, pprof muxes).
+//
+// The package is dependency-free (stdlib only) so every layer — sparse
+// kernels, metadiag counting, the distributed fabric, the serving tier
+// — can report into it without import cycles. Hot paths are atomic:
+// holding a *Counter / *Histogram and observing into it never takes a
+// lock; locks guard registration and exposition only.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// uintptr_ converts a stack-local's address for stripe picking; it is
+// the only unsafe use in the package and never dereferences.
+func uintptr_(p *byte) uintptr { return uintptr(unsafe.Pointer(p)) }
+
+// Label is one key="value" pair attached to a metric series.
+type Label struct{ Key, Value string }
+
+// L builds a Label; registry call sites read better with it inline.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// counterStripes is the number of cache-line-padded shards a Counter
+// spreads its adds over. Power of two so the stripe pick is a mask.
+const counterStripes = 8
+
+type stripe struct {
+	n atomic.Int64
+	_ [56]byte // pad to a cache line so stripes don't false-share
+}
+
+// Counter is a monotonically increasing metric. Adds are striped
+// across padded atomics so a hot counter shared by many goroutines
+// does not serialize on one cache line; Value folds the stripes.
+type Counter struct {
+	stripes [counterStripes]stripe
+}
+
+// Add increments the counter by n (n must be >= 0; negative adds are
+// ignored to keep the counter monotone under buggy callers).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	// Stripe by the address of a stack local: distinct goroutines run
+	// on distinct stacks, so this spreads concurrent writers without
+	// needing a goroutine ID. The shift skips the always-aligned low
+	// bits.
+	var pin byte
+	i := (uint(uintptr_(&pin)) >> 9) & (counterStripes - 1)
+	c.stripes[i].n.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value folds all stripes into the current total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.stripes {
+		total += c.stripes[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistBuckets is the number of log₂ buckets a Histogram keeps. Bucket
+// i counts observations v with 2^i <= v < 2^(i+1) (bucket 0 also takes
+// v < 2). 44 buckets cover nanosecond latencies up to ~4.9 hours
+// before clamping into the last bucket.
+const HistBuckets = 44
+
+// Histogram counts int64 observations into log₂ buckets. All fields
+// are atomics; Observe never locks.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+}
+
+// HistBucketOf returns the bucket index observation v lands in.
+func HistBucketOf(v int64) int {
+	if v < 2 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) - 1
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// HistBucketUpper returns the exclusive upper bound of bucket i
+// (inclusive in Prometheus "le" terms: le = 2^(i+1) - 1 rounded up to
+// 2^(i+1) for readability; we report le = 2^(i+1)).
+func HistBucketUpper(i int) int64 { return int64(1) << uint(i+1) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[HistBucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     int64
+}
+
+// Snapshot copies the histogram counters. Buckets are read without a
+// barrier against concurrent Observe calls, so the snapshot is only
+// approximately consistent — fine for monitoring.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Quantile returns the upper bound of the bucket containing quantile q
+// (0 < q <= 1) of the snapshot, or 0 if empty. Like any bucketed
+// quantile it overestimates by at most one bucket width.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= rank {
+			return HistBucketUpper(i)
+		}
+	}
+	return HistBucketUpper(HistBuckets - 1)
+}
+
+// metricKind discriminates family types for exposition.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindFunc
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labeled instance within a family.
+type series struct {
+	labels string // rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// Registry holds named metric families. The zero value is not usable;
+// call NewRegistry. A nil *Registry is safe: lookups return nil
+// metrics whose methods no-op.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry. Library packages (distrib,
+// metadiag, serve) register into it so one /metricsz scrape sees the
+// whole process.
+var Default = NewRegistry()
+
+func (r *Registry) family(name, help string, kind metricKind) *family {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+func (f *family) get(labels []Label) *series {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: key}
+		switch f.kind {
+		case kindCounter:
+			s.c = new(Counter)
+		case kindGauge:
+			s.g = new(Gauge)
+		case kindHistogram:
+			s.h = new(Histogram)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns (registering if needed) the counter series name{labels}.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.family(name, help, kindCounter)
+	if f == nil {
+		return nil
+	}
+	return f.get(labels).c
+}
+
+// Gauge returns (registering if needed) the gauge series name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.family(name, help, kindGauge)
+	if f == nil {
+		return nil
+	}
+	return f.get(labels).g
+}
+
+// Histogram returns (registering if needed) the histogram series
+// name{labels}.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	f := r.family(name, help, kindHistogram)
+	if f == nil {
+		return nil
+	}
+	return f.get(labels).h
+}
+
+// Func registers a derived gauge evaluated at scrape time. Re-registering
+// the same name+labels replaces the function.
+func (r *Registry) Func(name, help string, fn func() float64, labels ...Label) {
+	f := r.family(name, help, kindFunc)
+	if f == nil {
+		return
+	}
+	s := f.get(labels)
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
+// renderLabels renders sorted k="v" pairs; empty for no labels.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// mergeLabels splices extra labels into an already-rendered label set
+// (used for histogram le labels).
+func spliceLabel(rendered, key, value string) string {
+	pair := key + `="` + escapeLabel(value) + `"`
+	if rendered == "" {
+		return "{" + pair + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + pair + "}"
+}
+
+// WriteProm writes the registry in Prometheus text exposition format
+// (version 0.0.4). Families and series are emitted in sorted order so
+// output is deterministic for golden tests.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, strconv.FormatInt(s.c.Value(), 10))
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, strconv.FormatInt(s.g.Value(), 10))
+			case kindFunc:
+				v := 0.0
+				if s.fn != nil {
+					v = s.fn()
+				}
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, strconv.FormatFloat(v, 'g', -1, 64))
+			case kindHistogram:
+				snap := s.h.Snapshot()
+				var cum uint64
+				for i, n := range snap.Buckets {
+					cum += n
+					le := strconv.FormatInt(HistBucketUpper(i), 10)
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, spliceLabel(s.labels, "le", le), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, spliceLabel(s.labels, "le", "+Inf"), snap.Count)
+				fmt.Fprintf(&b, "%s_sum%s %d\n", f.name, s.labels, snap.Sum)
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.labels, snap.Count)
+			}
+		}
+		f.mu.Unlock()
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// PromContentType is the Content-Type for text exposition responses.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// MetricsHandler serves the registry in exposition format; mount it at
+// /metricsz.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		_ = r.WriteProm(w)
+	})
+}

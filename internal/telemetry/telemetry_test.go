@@ -1,0 +1,279 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterStriping(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // ignored: counters are monotone
+	if got := c.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+}
+
+func TestNilMetricsNoop(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		r *Registry
+	)
+	c.Add(1)
+	c.Inc()
+	g.Set(5)
+	g.Add(1)
+	h.Observe(9)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if r.Counter("x", "") != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	if err := r.WriteProm(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{{-3, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9}, {1024, 10}, {1 << 50, HistBuckets - 1}}
+	for _, c := range cases {
+		if got := HistBucketOf(c.v); got != c.want {
+			t.Errorf("HistBucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Sum != 500500 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	// Median of 1..1000 is ~500, bucket [256,512) → upper bound 512.
+	if q := s.Quantile(0.5); q != 512 {
+		t.Errorf("p50 = %d, want 512", q)
+	}
+	if q := s.Quantile(0.99); q != 1024 {
+		t.Errorf("p99 = %d, want 1024", q)
+	}
+	if (HistSnapshot{}).Quantile(0.5) != 0 {
+		t.Error("empty snapshot quantile must be 0")
+	}
+}
+
+func TestRegistryReusesSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("k", "v"))
+	b := r.Counter("x_total", "help", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c := r.Counter("x_total", "help", L("k", "w"))
+	if a == c {
+		t.Fatal("different labels must be a different series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x_total", "help")
+}
+
+// TestRegistryRace hammers registration and observation from many
+// goroutines; run under -race this is the concurrency stress test for
+// the registry hot paths.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			lab := L("w", string(rune('a'+w%4)))
+			for i := 0; i < 2000; i++ {
+				r.Counter("race_total", "h", lab).Inc()
+				r.Gauge("race_gauge", "h").Set(int64(i))
+				r.Histogram("race_hist", "h").Observe(int64(i % 4096))
+				if i%500 == 0 {
+					var buf bytes.Buffer
+					if err := r.WriteProm(&buf); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	var total int64
+	for _, s := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("race_total", "h", L("w", s)).Value()
+	}
+	if want := int64(workers * 2000); total != want {
+		t.Fatalf("race_total = %d, want %d", total, want)
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -update` to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestPromExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("activeiter_requests_total", "Requests served.", L("endpoint", "match")).Add(42)
+	r.Counter("activeiter_requests_total", "Requests served.", L("endpoint", "score")).Add(7)
+	r.Gauge("activeiter_inflight", "In-flight requests.").Set(3)
+	r.Func("activeiter_uptime_seconds", "Process uptime.", func() float64 { return 12.5 })
+	h := r.Histogram("activeiter_latency_ns", "Latency.", L("endpoint", "match"))
+	h.Observe(900)
+	h.Observe(1500)
+	h.Observe(3000)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity on the exposition grammar before golden-pinning it.
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE activeiter_requests_total counter",
+		`activeiter_requests_total{endpoint="match"} 42`,
+		"# TYPE activeiter_latency_ns histogram",
+		`activeiter_latency_ns_bucket{endpoint="match",le="+Inf"} 3`,
+		`activeiter_latency_ns_sum{endpoint="match"} 5400`,
+		"activeiter_uptime_seconds 12.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	checkGolden(t, "exposition.prom", buf.Bytes())
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewTracer("coordinator")
+	// Deterministic spans via the ingestion path (the same path worker
+	// spans arrive through), with fixed IDs and times.
+	base := int64(1700000000_000000000)
+	tr.Add(SpanData{ID: 0x10, Name: "run", Proc: "align", Track: "run", Start: base, End: base + 10e6})
+	tr.Add(SpanData{ID: 0x11, Parent: 0x10, Name: "shard 0 attempt 1", Proc: "align", Track: "shard 0", Start: base + 1e6, End: base + 9e6})
+	tr.Add(SpanData{ID: 0x900, Parent: 0x11, Name: "train", Proc: "align", Track: "shard 0", Start: base + 2e6, End: base + 8e6,
+		Args: []Label{L("origin", "worker")}})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"traceEvents"`, `"ph": "X"`, `"ph": "M"`, `"origin": "worker"`, `"parent": "0x11"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q in:\n%s", want, out)
+		}
+	}
+	checkGolden(t, "trace.json", buf.Bytes())
+}
+
+func TestTracerDisabledIsFree(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x", 0)
+	if sp != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	sp.SetTrack("t")
+	sp.Annotate("k", "v")
+	sp.End()
+	if sp.ID() != 0 || tr.TraceID() != 0 {
+		t.Fatal("nil tracer IDs must be zero")
+	}
+	tr.Add(SpanData{})
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer has no spans")
+	}
+}
+
+func TestTracerSpanLifecycle(t *testing.T) {
+	tr := NewTracer("test")
+	if tr.TraceID() == 0 {
+		t.Fatal("trace ID must be nonzero")
+	}
+	root := tr.Start("root", 0)
+	child := tr.Start("child", root.ID())
+	child.SetTrack("shard 1")
+	child.Annotate("attempt", "1")
+	child.End()
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "root" || spans[1].Parent != spans[0].ID {
+		t.Fatalf("bad lineage: %+v", spans)
+	}
+	if spans[1].End < spans[1].Start {
+		t.Fatal("span end before start")
+	}
+}
+
+func TestSetLogLevel(t *testing.T) {
+	defer SetLogLevel("info")
+	for _, ok := range []string{"debug", "info", "WARN", "error", ""} {
+		if err := SetLogLevel(ok); err != nil {
+			t.Errorf("SetLogLevel(%q) = %v", ok, err)
+		}
+	}
+	if err := SetLogLevel("loud"); err == nil {
+		t.Error("bogus level must error")
+	}
+}
+
+func TestComponentLoggerHonorsOutputSwap(t *testing.T) {
+	logger := Logger("testcomp")
+	var buf bytes.Buffer
+	SetLogOutput(&buf)
+	defer SetLogOutput(os.Stderr)
+	logger.Info("hello", "k", 1)
+	out := buf.String()
+	if !strings.Contains(out, "component=testcomp") || !strings.Contains(out, "hello") {
+		t.Fatalf("log output = %q", out)
+	}
+	SetLogLevel("error")
+	defer SetLogLevel("info")
+	buf.Reset()
+	logger.Info("suppressed")
+	if buf.Len() != 0 {
+		t.Fatalf("info record leaked past error level: %q", buf.String())
+	}
+}

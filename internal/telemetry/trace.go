@@ -1,0 +1,254 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanData is one finished span. Times are absolute unix nanoseconds
+// so spans recorded in a worker process line up with coordinator spans
+// on the same host clock. Proc/Track choose the Chrome trace
+// process/thread rows the span renders on; Parent records explicit
+// lineage across processes (Chrome "X" events nest by time within a
+// track, the parent ID is kept in args for tooling).
+type SpanData struct {
+	ID     uint64
+	Parent uint64
+	Name   string
+	Proc   string
+	Track  string
+	Start  int64 // unix nanos
+	End    int64 // unix nanos
+	Args   []Label
+}
+
+// Tracer collects spans. A nil *Tracer is the disabled tracer: Start
+// returns nil, (*Span).End no-ops, and the hot path is one pointer
+// compare — distributed runs pay nothing unless -trace is set.
+type Tracer struct {
+	traceID uint64
+	nextID  atomic.Uint64
+	proc    string
+
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// splitmix64 mixes a seed into a well-distributed 64-bit value; used
+// to derive trace and span-ID bases without a randomness dependency.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewTracer starts a trace rooted in this process. proc labels the
+// Chrome process row spans default to (e.g. "coordinator").
+func NewTracer(proc string) *Tracer {
+	t := &Tracer{
+		traceID: splitmix64(uint64(os.Getpid())<<32 ^ uint64(time.Now().UnixNano())),
+		proc:    proc,
+	}
+	t.nextID.Store(t.traceID)
+	return t
+}
+
+// NewChildTracer continues a trace propagated from another process:
+// traceID is the incoming trace ID, base seeds this process's span-ID
+// space away from the parent's so IDs don't collide across processes.
+func NewChildTracer(proc string, traceID, base uint64) *Tracer {
+	t := &Tracer{traceID: traceID, proc: proc}
+	t.nextID.Store(splitmix64(base ^ uint64(os.Getpid())<<20 ^ uint64(time.Now().UnixNano())))
+	return t
+}
+
+// TraceID identifies the trace; zero on a nil tracer means "tracing
+// off" on the wire.
+func (t *Tracer) TraceID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.traceID
+}
+
+// Span is an in-flight span; nil when tracing is disabled.
+type Span struct {
+	t *Tracer
+	d SpanData
+}
+
+// Start opens a span under parent (0 for a root span). The span is
+// recorded when End is called.
+func (t *Tracer) Start(name string, parent uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, d: SpanData{
+		ID:     t.nextID.Add(1),
+		Parent: parent,
+		Name:   name,
+		Proc:   t.proc,
+		Start:  time.Now().UnixNano(),
+	}}
+}
+
+// ID returns the span's ID (0 when disabled) for propagation to
+// children, including across the wire.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.d.ID
+}
+
+// SetTrack assigns the Chrome thread row (e.g. "shard 3"). Spans with
+// no track render on a per-process default row.
+func (s *Span) SetTrack(track string) {
+	if s != nil {
+		s.d.Track = track
+	}
+}
+
+// Annotate attaches a key=value arg shown in trace viewers.
+func (s *Span) Annotate(key, value string) {
+	if s != nil {
+		s.d.Args = append(s.d.Args, Label{Key: key, Value: value})
+	}
+}
+
+// End closes and records the span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.d.End = time.Now().UnixNano()
+	s.t.Add(s.d)
+}
+
+// Add records an already-finished span — the ingestion path for spans
+// shipped back from workers, and the deterministic path for tests.
+func (t *Tracer) Add(d SpanData) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, d)
+	t.mu.Unlock()
+}
+
+// Spans copies the recorded spans (sorted by start time, then ID).
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanData, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// chromeEvent is one entry in the Chrome trace-event JSON array.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`            // microseconds
+	Dur  float64           `json:"dur,omitempty"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome dumps the trace as Chrome trace-event JSON (the
+// {"traceEvents": [...]} object form), loadable in Perfetto and
+// chrome://tracing. Process and thread rows are named with metadata
+// events; timestamps are rebased to the earliest span so the numbers
+// stay small. Output is deterministic for a fixed span set.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+	var t0 int64
+	if len(spans) > 0 {
+		t0 = spans[0].Start
+	}
+
+	// Assign pid/tid numbers in first-appearance order of the sorted
+	// spans so the mapping is stable.
+	pids := map[string]int{}
+	tids := map[string]int{} // keyed proc+"\x00"+track
+	var events []chromeEvent
+	for _, sp := range spans {
+		pid, ok := pids[sp.Proc]
+		if !ok {
+			pid = len(pids) + 1
+			pids[sp.Proc] = pid
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]string{"name": sp.Proc},
+			})
+		}
+		track := sp.Track
+		if track == "" {
+			track = "main"
+		}
+		tkey := sp.Proc + "\x00" + track
+		tid, ok := tids[tkey]
+		if !ok {
+			tid = len(tids) + 1
+			tids[tkey] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]string{"name": track},
+			})
+		}
+		args := map[string]string{
+			"span":   fmt.Sprintf("%#x", sp.ID),
+			"parent": fmt.Sprintf("%#x", sp.Parent),
+		}
+		for _, a := range sp.Args {
+			args[a.Key] = a.Value
+		}
+		end := sp.End
+		if end < sp.Start {
+			end = sp.Start
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name, Ph: "X",
+			Ts:  float64(sp.Start-t0) / 1e3,
+			Dur: float64(end-sp.Start) / 1e3,
+			Pid: pid, Tid: tid, Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		Unit        string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, Unit: "ms"})
+}
+
+// WriteChromeFile writes the trace to path (0644).
+func (t *Tracer) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
