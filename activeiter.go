@@ -172,6 +172,16 @@ type Options struct {
 	// retries runs in-process over a private loopback worker instead of
 	// aborting the run (see DistributedMetrics.Fallbacks).
 	NoFallback bool
+	// OracleConfig, when set, interposes a simulated labeler panel
+	// between the training loop and the oracle passed to Align: every
+	// query is replicated across OracleConfig.Replicas labelers drawn
+	// from the configured pool (honest / noisy / adversarial /
+	// colluding, all backed by the caller's oracle as ground truth) and
+	// resolved by majority vote, with contradiction tracking and
+	// per-labeler trust scores. Inspect the last run's ledger through
+	// the aligner's Panel() accessor. Nil (the default) queries the
+	// caller's oracle directly.
+	OracleConfig *OracleConfig
 }
 
 // Ptr wraps a value for the pointer-typed option fields (e.g.
@@ -204,6 +214,11 @@ func (o Options) validate() error {
 	if o.Threshold != nil && (math.IsNaN(*o.Threshold) || math.IsInf(*o.Threshold, 0)) {
 		return fmt.Errorf("activeiter: non-finite Threshold %v", *o.Threshold)
 	}
+	if o.OracleConfig != nil {
+		if err := o.OracleConfig.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -228,6 +243,7 @@ type Aligner struct {
 	counter   *metadiag.Counter
 	extractor *metadiag.Extractor
 	opts      Options
+	panel     *OraclePanel
 }
 
 // New builds an aligner over the pair.
@@ -345,9 +361,19 @@ func (r *Result) Predictor(threshold float64) (*Predictor, error) {
 // pool (test positives and sampled negatives); trainPos links are added
 // to the pool automatically. The oracle may be nil when Budget is 0.
 func (a *Aligner) Align(trainPos []Anchor, candidates []Anchor, oracle Oracle) (*Result, error) {
+	return a.align(trainPos, candidates, oracle, nil)
+}
+
+// align is the shared core of Align and AlignPrelabeled.
+func (a *Aligner) align(trainPos []Anchor, candidates []Anchor, oracle Oracle, pre []WeightedLabel) (*Result, error) {
 	if len(trainPos) == 0 {
 		return nil, core.ErrNoPositives
 	}
+	oracle, panel, err := a.opts.wrapOracle(oracle)
+	if err != nil {
+		return nil, err
+	}
+	a.panel = panel
 	// The meta paths may only traverse *known* anchors: restrict the
 	// counter to the training positives and recompute features.
 	a.counter.SetAnchors(trainPos)
@@ -364,6 +390,12 @@ func (a *Aligner) Align(trainPos []Anchor, candidates []Anchor, oracle Oracle) (
 		if !seen[hetnet.Key(l.I, l.J)] {
 			seen[hetnet.Key(l.I, l.J)] = true
 			links = append(links, l)
+		}
+	}
+	for _, wl := range pre {
+		if !seen[hetnet.Key(wl.Link.I, wl.Link.J)] {
+			seen[hetnet.Key(wl.Link.I, wl.Link.J)] = true
+			links = append(links, wl.Link)
 		}
 	}
 	x, err := a.extractor.FeatureMatrix(links)
@@ -390,11 +422,14 @@ func (a *Aligner) Align(trainPos []Anchor, candidates []Anchor, oracle Oracle) (
 	if a.opts.Budget == 0 {
 		cfg.Strategy = nil
 	}
+	preIdx, preY := mapPrelabels(links, len(trainPos), pre)
 	res, err := core.Train(core.Problem{
-		Links:      links,
-		X:          x,
-		LabeledPos: labeled,
-		Oracle:     oracle,
+		Links:       links,
+		X:           x,
+		LabeledPos:  labeled,
+		Prelabeled:  preIdx,
+		PrelabeledY: preY,
+		Oracle:      oracle,
 	}, cfg)
 	if err != nil {
 		return nil, err

@@ -84,7 +84,7 @@ func (o overrides) distributedConfig(workerCmd string) experiments.DistributedCo
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, table3, table4, fig3, fig4, fig5, ablation-features, ablation-query, ablation-matching, ablation-noise, ablation-words, unsupervised, stability, scalability, distributed, all")
+	exp := flag.String("exp", "all", "experiment: table2, table3, table4, fig3, fig4, fig5, ablation-features, ablation-query, ablation-matching, ablation-noise, ablation-words, oracle-noise, unsupervised, stability, scalability, distributed, all")
 	preset := flag.String("preset", "small", "protocol preset: tiny, small, paper, full, xl")
 	workers := flag.Int("workers", 0, "override parallel cell workers (0 = serial)")
 	seed := flag.Int64("seed", 0, "override the preset seed")
@@ -156,6 +156,7 @@ func main() {
 		{"ablation-matching", experiments.RunMatchingAblation},
 		{"ablation-noise", experiments.RunOracleNoiseAblation},
 		{"ablation-words", experiments.RunWordFeatureAblation},
+		{"oracle-noise", experiments.RunOracleNoiseMatrix},
 		{"unsupervised", experiments.RunUnsupervisedComparison},
 		{"stability", func(p experiments.Preset) (*experiments.Table, error) {
 			return experiments.RunStability(p, 3)

@@ -70,6 +70,7 @@ type DistributedAligner struct {
 	opts      Options
 	transport ShardTransport
 	planner   *partition.Planner
+	panel     *OraclePanel
 
 	metrics *DistributedMetrics
 }
@@ -110,6 +111,15 @@ func (da *DistributedAligner) Align(trainPos, candidates []Anchor, oracle Oracle
 	if len(trainPos) == 0 {
 		return nil, core.ErrNoPositives
 	}
+	// The panel stays coordinator-side: workers' label round-trip frames
+	// are answered with panel verdicts, and because verdicts are pure
+	// per-link functions, session label deltas carry them unchanged
+	// across rounds and retries.
+	oracle, panel, err := da.opts.wrapOracle(oracle)
+	if err != nil {
+		return nil, err
+	}
+	da.panel = panel
 	plan, err := planShards(da.base, &da.planner, da.opts, trainPos, candidates)
 	if err != nil {
 		return nil, err

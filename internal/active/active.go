@@ -13,6 +13,7 @@ package active
 import (
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"github.com/activeiter/activeiter/internal/hetnet"
 )
@@ -43,15 +44,22 @@ func (o *TruthOracle) Label(a hetnet.Anchor) float64 {
 }
 
 // CountingOracle wraps an oracle and counts queries, for budget audits.
+// Safe for concurrent use: the partitioned and distributed paths share
+// one oracle across per-shard training pipelines.
 type CountingOracle struct {
 	Inner   Oracle
-	Queries int
+	queries atomic.Int64
 }
 
 // Label implements Oracle.
 func (o *CountingOracle) Label(a hetnet.Anchor) float64 {
-	o.Queries++
+	o.queries.Add(1)
 	return o.Inner.Label(a)
+}
+
+// Queries returns the number of Label calls so far.
+func (o *CountingOracle) Queries() int {
+	return int(o.queries.Load())
 }
 
 // NoisyOracle wraps an oracle and flips each answer independently with

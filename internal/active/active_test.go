@@ -2,6 +2,7 @@ package active
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"github.com/activeiter/activeiter/internal/hetnet"
@@ -47,8 +48,29 @@ func TestTruthOracle(t *testing.T) {
 	counting := &CountingOracle{Inner: o}
 	counting.Label(hetnet.Anchor{I: 0, J: 1})
 	counting.Label(hetnet.Anchor{I: 1, J: 1})
-	if counting.Queries != 2 {
-		t.Errorf("Queries = %d", counting.Queries)
+	if counting.Queries() != 2 {
+		t.Errorf("Queries = %d", counting.Queries())
+	}
+}
+
+// CountingOracle is shared across concurrent per-partition training
+// pipelines; its counter must not race. Run under -race.
+func TestCountingOracleConcurrent(t *testing.T) {
+	o := &CountingOracle{Inner: constOracle(0)}
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				o.Label(hetnet.Anchor{I: i, J: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Queries(); got != goroutines*per {
+		t.Errorf("Queries = %d, want %d", got, goroutines*per)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/oracle"
 	"github.com/activeiter/activeiter/internal/partition"
 )
 
@@ -553,4 +554,69 @@ func TestSessionSurvivesChaos(t *testing.T) {
 	assertSameAlignment(t, res, full, fx.plan)
 	s := chaos.Stats()
 	t.Logf("session chaos: %+v, cumulative %+v", s, sess.Metrics())
+}
+
+// TestChaosSessionWithNoisyPanel puts an unreliable labeler panel in
+// the oracle seat of a 2-round session and demands the chaos run still
+// reproduce the fault-free loopback run bit-for-bit under ≥30% frame
+// loss. This is the contract that lets panels front distributed
+// coordinators at all: verdicts are pure per-link functions, so shard
+// retries and label-delta replays re-observe identical answers, and the
+// two independent panels (one per driver) accumulate identical ledgers.
+func TestChaosSessionWithNoisyPanel(t *testing.T) {
+	fx := newDistFixture(t, 3, 12)
+	cfg := oracle.Config{Honest: 2, Noisy: 2, FlipProb: 0.3, Adversarial: 1, Replicas: 3, Seed: 99}
+	newPanel := func() *oracle.Panel {
+		p, err := cfg.Build(fx.oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	drive := func(transport Transport, panel *oracle.Panel) *partition.Result {
+		t.Helper()
+		plan := fx.freshPlan(t, 12)
+		sess, err := NewSession(transport, fx.pair, Options{
+			Train: fx.train, Workers: 2, Retries: 4, ShardTimeout: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		var res *partition.Result
+		for r := 0; r < 2; r++ {
+			plan.Rebudget(partition.RoundBudget(12, 2, r))
+			got, _, err := sess.Run(plan, panel)
+			if err != nil {
+				t.Fatalf("round %d: %v", r+1, err)
+			}
+			res = got
+			if r < 1 {
+				plan.AppendLabels(got.QueriedLabels())
+			}
+		}
+		return res
+	}
+
+	refPanel := newPanel()
+	full := drive(Loopback{}, refPanel)
+
+	chaos := &ChaosTransport{Inner: Loopback{}, Opts: ChaosOptions{
+		Seed: 5, RefuseRate: 0.1, DropRate: 0.30, CorruptRate: 0.1, CrashRate: 0.1,
+	}}
+	chaosPanel := newPanel()
+	res := drive(chaos, chaosPanel)
+
+	assertSameAlignment(t, res, full, fx.plan)
+	s := chaos.Stats()
+	if s.Refused+s.Dropped+s.Corrupted+s.Crashed == 0 {
+		t.Fatal("chaos transport injected no faults; the property was not exercised")
+	}
+	// Retries must not leak extra evidence into the panel: both ledgers
+	// summarize the same query stream.
+	fr, cr := refPanel.Report(), chaosPanel.Report()
+	if cr.Queries != fr.Queries || cr.Contradictions != fr.Contradictions || len(cr.Distrusted) != len(fr.Distrusted) {
+		t.Fatalf("panel ledgers diverge under chaos: %+v vs %+v", cr, fr)
+	}
+	t.Logf("noisy-panel session chaos: %+v, panel %d queries %d contradictions", s, cr.Queries, cr.Contradictions)
 }

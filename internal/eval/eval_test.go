@@ -26,6 +26,28 @@ func TestConfusionMetrics(t *testing.T) {
 	if c.Total() != 100 {
 		t.Errorf("Total = %d", c.Total())
 	}
+	if got := c.TPR(); got != c.Recall() {
+		t.Errorf("TPR = %v, want Recall %v", got, c.Recall())
+	}
+	if got := c.FPR(); math.Abs(got-2.0/92.0) > 1e-12 {
+		t.Errorf("FPR = %v, want 2/92", got)
+	}
+}
+
+func TestRatesDegenerate(t *testing.T) {
+	// No negatives at all: FPR must be 0, not NaN.
+	c := Confusion{TP: 3, FN: 1}
+	if got := c.FPR(); got != 0 {
+		t.Errorf("FPR with no negatives = %v, want 0", got)
+	}
+	// No positives: TPR 0, FPR counts the false alarms.
+	c = Confusion{FP: 1, TN: 3}
+	if got := c.TPR(); got != 0 {
+		t.Errorf("TPR with no positives = %v, want 0", got)
+	}
+	if got := c.FPR(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("FPR = %v, want 0.25", got)
+	}
 }
 
 func TestConfusionDegenerate(t *testing.T) {

@@ -71,6 +71,19 @@ func (c Confusion) F1() float64 {
 	return 2 * p * r / (p + r)
 }
 
+// TPR returns the true positive rate TP/(TP+FN) — identical to Recall,
+// named for ROC-style reporting (the oracle-noise matrix).
+func (c Confusion) TPR() float64 { return c.Recall() }
+
+// FPR returns the false positive rate FP/(FP+TN), 0 when there are no
+// negatives.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
 // Accuracy returns (TP+TN)/total, 0 on empty input.
 func (c Confusion) Accuracy() float64 {
 	if c.Total() == 0 {

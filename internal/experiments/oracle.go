@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/activeiter/activeiter/internal/active"
+	"github.com/activeiter/activeiter/internal/core"
+	"github.com/activeiter/activeiter/internal/datagen"
+	"github.com/activeiter/activeiter/internal/eval"
+	"github.com/activeiter/activeiter/internal/oracle"
+)
+
+// oracleScenario is one labeler-pool configuration of the noise matrix;
+// cfg materializes it at a given flip probability.
+type oracleScenario struct {
+	name string
+	cfg  func(p float64, seed int64) oracle.Config
+}
+
+// oracleNoiseScenarios spans the pool shapes the matrix compares: a
+// lone noisy labeler (the old ablation, now through the panel), pure
+// replication at R=3 and R=5, and R=5 pools carrying an always-lying
+// adversary or a two-member colluding bloc alongside the flippers.
+func oracleNoiseScenarios() []oracleScenario {
+	return []oracleScenario{
+		{"single noisy R=1", func(p float64, seed int64) oracle.Config {
+			return oracle.Config{Noisy: 1, FlipProb: p, Seed: seed}
+		}},
+		{"panel 3 noisy R=3", func(p float64, seed int64) oracle.Config {
+			return oracle.Config{Noisy: 3, FlipProb: p, Seed: seed}
+		}},
+		{"panel 5 noisy R=5", func(p float64, seed int64) oracle.Config {
+			return oracle.Config{Noisy: 5, FlipProb: p, Seed: seed}
+		}},
+		{"4 noisy + adversary R=5", func(p float64, seed int64) oracle.Config {
+			return oracle.Config{Noisy: 4, Adversarial: 1, FlipProb: p, Seed: seed}
+		}},
+		{"3 noisy + 2 colluders R=5", func(p float64, seed int64) oracle.Config {
+			return oracle.Config{Noisy: 3, Colluding: 2, FlipProb: p, Seed: seed}
+		}},
+	}
+}
+
+// oracleNoiseRates is the flip-probability axis of the matrix. The p=0
+// rows are the property hook: with nothing to flip, every scenario's
+// majority verdict equals ground truth, so their F1 must match the
+// clean-oracle baseline exactly (CI asserts this).
+var oracleNoiseRates = []float64{0, 0.1, 0.2, 0.3}
+
+// RunOracleNoiseMatrix generalizes the oracle-noise ablation into the
+// full unreliable-labeler matrix: for each labeler-pool scenario
+// (replication factor, adversaries, colluders) and each flip
+// probability p, train ActiveIter against a fresh labeler panel and
+// report F1/TPR/FPR on the untouched test links plus the panel's
+// ledger totals (one-to-one contradictions flagged, labelers
+// distrusted) summed across folds.
+func RunOracleNoiseMatrix(pre Preset) (*Table, error) {
+	pair, err := datagen.Generate(pre.Data)
+	if err != nil {
+		return nil, err
+	}
+	base, err := newBaseCounter(pair)
+	if err != nil {
+		return nil, err
+	}
+	ctx := newCellContext(base, pre.Seed)
+	budget := 50
+	if len(pre.Budgets) > 0 {
+		budget = pre.Budgets[len(pre.Budgets)-1]
+	}
+	rng := newRunRNG(pre.Seed, pre.FixedTheta, 1100)
+	neg, err := eval.SampleNegatives(pair, pre.FixedTheta*len(pair.Anchors), rng)
+	if err != nil {
+		return nil, err
+	}
+	splits, err := eval.KFoldSplits(pair.Anchors, neg, pre.Folds, pre.FixedGamma, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Fold preparation is scenario-independent; do it once. Each
+	// prepareFold call returns fresh matrices, so the slices stay valid
+	// after the context moves to the next fold.
+	folds := make([]*foldData, len(splits))
+	for i, split := range splits {
+		if folds[i], err = ctx.prepareFold(split); err != nil {
+			return nil, err
+		}
+	}
+	truth := active.NewTruthOracle(pair)
+	train := func(fd *foldData, o active.Oracle) (eval.Confusion, error) {
+		res, err := core.Train(core.Problem{
+			Links: fd.pool, X: fd.xFull, LabeledPos: fd.labeledPos, Oracle: o,
+		}, core.Config{Budget: budget, Strategy: active.Conflict{}, Seed: pre.Seed})
+		if err != nil {
+			return eval.Confusion{}, err
+		}
+		var conf eval.Confusion
+		for k, idx := range fd.testIdx {
+			l := fd.pool[idx]
+			if res.WasQueried(l.I, l.J) {
+				continue // queried labels are oracle-given: excluded
+			}
+			conf.Add(res.Y[idx], fd.testTruth[k])
+		}
+		return conf, nil
+	}
+	cells := func(confs []eval.Confusion) []string {
+		f1 := make([]float64, len(confs))
+		tpr := make([]float64, len(confs))
+		fpr := make([]float64, len(confs))
+		for i, c := range confs {
+			f1[i], tpr[i], fpr[i] = c.F1(), c.TPR(), c.FPR()
+		}
+		return []string{
+			eval.Summarize(f1).String(),
+			eval.Summarize(tpr).String(),
+			eval.Summarize(fpr).String(),
+		}
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Oracle-noise matrix — ActiveIter-%d vs labeler pools with flip probability p (θ=%d, γ=%.0f%%, preset %q)",
+			budget, pre.FixedTheta, pre.FixedGamma*100, pre.Name),
+		ColHeader: "flip prob",
+		Cols:      []string{"F1", "TPR", "FPR", "contr", "distr"},
+	}
+
+	// Baseline: the perfect oracle the paper assumes, no panel in between.
+	baseline := Section{Name: "clean oracle"}
+	var cleanConfs []eval.Confusion
+	for _, fd := range folds {
+		conf, err := train(fd, truth)
+		if err != nil {
+			return nil, err
+		}
+		cleanConfs = append(cleanConfs, conf)
+	}
+	baseline.Rows = append(baseline.Rows, TableRow{
+		Label: "clean", Cells: append(cells(cleanConfs), "-", "-"),
+	})
+	t.Sections = append(t.Sections, baseline)
+
+	for _, sc := range oracleNoiseScenarios() {
+		sec := Section{Name: sc.name}
+		for _, p := range oracleNoiseRates {
+			var confs []eval.Confusion
+			contradictions, distrusted := 0, 0
+			for _, fd := range folds {
+				// A fresh panel per fold: ledgers audit one training run.
+				panel, err := sc.cfg(p, pre.Seed).Build(truth)
+				if err != nil {
+					return nil, err
+				}
+				conf, err := train(fd, panel)
+				if err != nil {
+					return nil, err
+				}
+				confs = append(confs, conf)
+				rep := panel.Report()
+				contradictions += rep.Contradictions
+				distrusted += len(rep.Distrusted)
+			}
+			sec.Rows = append(sec.Rows, TableRow{
+				Label: fmt.Sprintf("p=%.1f", p),
+				Cells: append(cells(confs), fmt.Sprint(contradictions), fmt.Sprint(distrusted)),
+			})
+		}
+		t.Sections = append(t.Sections, sec)
+	}
+	return t, nil
+}

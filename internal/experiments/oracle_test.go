@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The oracle-noise matrix's property hook: with p=0 nothing flips, so
+// every labeler-pool scenario's majority verdict equals ground truth
+// and its F1 (and TPR/FPR) must match the clean-oracle baseline
+// exactly — replication must not perturb results. CI asserts the same
+// on the small preset via the rendered table.
+func TestOracleNoiseMatrixZeroNoiseMatchesClean(t *testing.T) {
+	tab, err := RunOracleNoiseMatrix(TinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Sections) != 6 {
+		t.Fatalf("%d sections, want clean + 5 scenarios", len(tab.Sections))
+	}
+	baseline := tab.Sections[0]
+	if baseline.Name != "clean oracle" || len(baseline.Rows) != 1 {
+		t.Fatalf("unexpected baseline section %q with %d rows", baseline.Name, len(baseline.Rows))
+	}
+	clean := baseline.Rows[0].Cells
+	for _, sec := range tab.Sections[1:] {
+		if len(sec.Rows) != len(oracleNoiseRates) {
+			t.Fatalf("section %q has %d rows for %d noise rates", sec.Name, len(sec.Rows), len(oracleNoiseRates))
+		}
+		zero := sec.Rows[0]
+		if zero.Label != "p=0.0" {
+			t.Fatalf("section %q first row is %q, want p=0.0", sec.Name, zero.Label)
+		}
+		// F1, TPR, FPR — the metric cells — must be bit-identical to the
+		// clean baseline at p=0.
+		for c := 0; c < 3; c++ {
+			if zero.Cells[c] != clean[c] {
+				t.Errorf("section %q p=0 %s = %s, clean oracle %s",
+					sec.Name, tab.Cols[c], zero.Cells[c], clean[c])
+			}
+		}
+	}
+}
+
+// The matrix's adversary scenario must surface its always-lying member
+// through the distrust column, and noisy pools must feed the
+// contradiction ledger at high p.
+func TestOracleNoiseMatrixLedgerColumns(t *testing.T) {
+	tab, err := RunOracleNoiseMatrix(TinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adversarySec *Section
+	for i := range tab.Sections {
+		if tab.Sections[i].Name == "4 noisy + adversary R=5" {
+			adversarySec = &tab.Sections[i]
+		}
+	}
+	if adversarySec == nil {
+		t.Fatal("adversary scenario missing from the matrix")
+	}
+	for _, row := range adversarySec.Rows {
+		if row.Cells[4] == "0" {
+			t.Errorf("adversary scenario %s row reports no distrusted labelers", row.Label)
+		}
+	}
+}

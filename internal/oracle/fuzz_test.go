@@ -1,0 +1,85 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+)
+
+// FuzzTrust drives the trust-score update and vote aggregation with
+// hostile vote sequences: an arbitrary pool of bit-scripted labelers
+// answering an arbitrary query stream over a tiny ID space (maximal
+// endpoint collisions, so the contradiction ledger and its trust
+// penalties fire constantly). Whatever the votes, the panel must keep
+// every derived number finite and in range: verdicts binary, trust in
+// (0,1), confidence and Value in [0,1], ledger counts consistent.
+func FuzzTrust(f *testing.F) {
+	f.Add([]byte{0x00}, []byte{0x01, 0x02})
+	f.Add([]byte{0xff, 0x00, 0xaa}, []byte{0x00, 0x11, 0x12, 0x21, 0x22})
+	f.Add([]byte{0x5a, 0x5a, 0x5a, 0x5a, 0x5a}, []byte{0x77, 0x77, 0x13, 0x31, 0x13})
+	f.Fuzz(func(t *testing.T, script, queries []byte) {
+		if len(script) == 0 || len(script) > 16 || len(queries) > 256 {
+			t.Skip()
+		}
+		// One labeler per script byte; labeler k answers query (i,j)
+		// from bit (i*7+j) of its byte — adversarial, colluding and
+		// self-contradictory patterns all reachable.
+		pool := make([]Labeler, len(script))
+		for k := range script {
+			b := script[k]
+			pool[k] = &scripted{
+				name: string(rune('a' + k)),
+				f: func(a hetnet.Anchor) float64 {
+					return float64((b >> ((uint(a.I)*7 + uint(a.J)) % 8)) & 1)
+				},
+			}
+		}
+		r := 0
+		if len(queries) > 0 {
+			r = int(queries[0]) % (len(pool) + 1)
+		}
+		p, err := NewPanel(pool, PanelOptions{Replicas: r, Seed: int64(len(queries))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			// 4-bit endpoints: collisions on both sides are the norm.
+			a := hetnet.Anchor{I: int(q >> 4), J: int(q & 0x0f)}
+			v := p.Label(a)
+			if v != 0 && v != 1 {
+				t.Fatalf("non-binary verdict %v", v)
+			}
+			if got := p.Label(a); got != v {
+				t.Fatalf("repeat query flipped verdict %v -> %v", v, got)
+			}
+		}
+		for _, lt := range p.TrustScores() {
+			if math.IsNaN(lt.Trust) || math.IsInf(lt.Trust, 0) || lt.Trust <= 0 || lt.Trust >= 1 {
+				t.Fatalf("trust %v outside (0,1) for %s", lt.Trust, lt.ID)
+			}
+			if lt.Votes < 0 || lt.Contradictions < 0 {
+				t.Fatalf("negative ledger counts %+v", lt)
+			}
+		}
+		wls := p.WeightedLabels()
+		if len(wls) != p.Queries() {
+			t.Fatalf("%d weighted labels for %d distinct queries", len(wls), p.Queries())
+		}
+		for _, wl := range wls {
+			if math.IsNaN(wl.Confidence) || wl.Confidence < 0 || wl.Confidence > 1 {
+				t.Fatalf("confidence %v outside [0,1] at %v", wl.Confidence, wl.Link)
+			}
+			if v := wl.Value(); math.IsNaN(v) || v < 0 || v > 1 {
+				t.Fatalf("Value() %v outside [0,1] at %v", v, wl.Link)
+			}
+			if wl.Label != 0 && wl.Label != 1 {
+				t.Fatalf("non-binary stored label %v", wl.Label)
+			}
+		}
+		rep := p.Report()
+		if rep.Contradictions < 0 || rep.PanelViolation < 0 || rep.Contradictions < rep.PanelViolation {
+			t.Fatalf("inconsistent report %+v", rep)
+		}
+	})
+}

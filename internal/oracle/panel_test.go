@@ -1,0 +1,330 @@
+package oracle
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+)
+
+// scripted answers from a fixed per-link bit function — a hostile
+// labeler whose vote pattern the test controls exactly.
+type scripted struct {
+	name string
+	f    func(hetnet.Anchor) float64
+}
+
+func (s *scripted) ID() string                     { return s.name }
+func (s *scripted) Label(a hetnet.Anchor) float64  { return s.f(a) }
+func always(v float64) func(hetnet.Anchor) float64 { return func(hetnet.Anchor) float64 { return v } }
+func mustPanel(t *testing.T, pool []Labeler, opts PanelOptions) *Panel {
+	t.Helper()
+	p, err := NewPanel(pool, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPanelHonestMatchesTruth(t *testing.T) {
+	truth := constTruth(1)
+	p, err := Config{Honest: 5, Replicas: 3, Seed: 2}.Build(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		a := hetnet.Anchor{I: i, J: i + 1}
+		if p.Label(a) != truth.Label(a) {
+			t.Fatalf("honest panel diverged from truth at %v", a)
+		}
+	}
+}
+
+func TestPanelMajorityAbsorbsMinorityLiars(t *testing.T) {
+	p, err := Config{Honest: 3, Adversarial: 2, Seed: 4}.Build(constTruth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if p.Label(hetnet.Anchor{I: i, J: i + 1}) != 1 {
+			t.Fatal("3 honest voices must outvote 2 adversaries")
+		}
+	}
+}
+
+func TestPanelTieResolvesToZero(t *testing.T) {
+	p := mustPanel(t, []Labeler{
+		&scripted{name: "yes", f: always(1)},
+		&scripted{name: "no", f: always(0)},
+	}, PanelOptions{})
+	if got := p.Label(hetnet.Anchor{I: 1, J: 2}); got != 0 {
+		t.Fatalf("1–1 tie resolved to %v, want the conservative 0", got)
+	}
+}
+
+func TestPanelCachesRepeatQueries(t *testing.T) {
+	p, err := Config{Honest: 2, Noisy: 1, FlipProb: 0.4, Seed: 6}.Build(constTruth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := hetnet.Anchor{I: 5, J: 9}
+	first := p.Label(a)
+	for i := 0; i < 10; i++ {
+		if p.Label(a) != first {
+			t.Fatal("repeat query flipped the cached verdict")
+		}
+	}
+	if p.Queries() != 1 {
+		t.Fatalf("Queries() = %d after one distinct link", p.Queries())
+	}
+	// The ledger must not double-count evidence on retries: total votes
+	// stay at one consultation of the whole pool.
+	votes := 0
+	for _, lt := range p.TrustScores() {
+		votes += lt.Votes
+	}
+	if votes != 3 {
+		t.Fatalf("ledger recorded %d votes for 1 query over 3 labelers", votes)
+	}
+}
+
+func TestPanelReplicaSubsetSize(t *testing.T) {
+	p, err := Config{Honest: 5, Replicas: 3, Seed: 8}.Build(constTruth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		p.Label(hetnet.Anchor{I: i, J: i + 1})
+	}
+	votes := 0
+	for _, lt := range p.TrustScores() {
+		votes += lt.Votes
+	}
+	if votes != 3*n {
+		t.Fatalf("%d total votes for %d queries at R=3", votes, n)
+	}
+	// R must spread across the pool, not pin the same 3 labelers.
+	idle := 0
+	for _, lt := range p.TrustScores() {
+		if lt.Votes == 0 {
+			idle++
+		}
+	}
+	if idle > 0 {
+		t.Errorf("%d labelers never consulted across %d queries", idle, n)
+	}
+}
+
+func TestPanelVoterChoiceDeterministic(t *testing.T) {
+	build := func() *Panel {
+		p, err := Config{Honest: 2, Noisy: 3, FlipProb: 0.5, Replicas: 3, Seed: 12}.Build(constTruth(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := build(), build()
+	// Query in different orders; per-link verdicts must agree exactly.
+	const n = 100
+	for i := 0; i < n; i++ {
+		a.Label(hetnet.Anchor{I: i, J: i + 1})
+	}
+	for i := n - 1; i >= 0; i-- {
+		b.Label(hetnet.Anchor{I: i, J: i + 1})
+	}
+	for i := 0; i < n; i++ {
+		l := hetnet.Anchor{I: i, J: i + 1}
+		if a.Label(l) != b.Label(l) {
+			t.Fatalf("verdict at %v depends on query order", l)
+		}
+	}
+	// Ledger totals are order-independent too.
+	at, bt := a.TrustScores(), b.TrustScores()
+	for i := range at {
+		if at[i] != bt[i] {
+			t.Errorf("trust row %d differs across query orders: %+v vs %+v", i, at[i], bt[i])
+		}
+	}
+	if ac, bc := len(a.Contradictions()), len(b.Contradictions()); ac != bc {
+		t.Errorf("contradiction count differs across query orders: %d vs %d", ac, bc)
+	}
+}
+
+func TestContradictionLedgerFlagsDoubleClaims(t *testing.T) {
+	// One labeler says yes to (1,2) and (1,3): user 1 claimed twice.
+	p := mustPanel(t, []Labeler{&scripted{name: "greedy", f: always(1)}}, PanelOptions{})
+	p.Label(hetnet.Anchor{I: 1, J: 2})
+	if len(p.Contradictions()) != 0 {
+		t.Fatal("first claim is not a contradiction")
+	}
+	p.Label(hetnet.Anchor{I: 1, J: 3})
+	got := p.Contradictions()
+	// The labeler-level and the panel-level (majority verdict) ledgers
+	// both flag the violation.
+	if len(got) != 2 {
+		t.Fatalf("contradictions = %d, want 2 (labeler + panel)", len(got))
+	}
+	if got[0].Labeler != "greedy" || got[0].Link != (hetnet.Anchor{I: 1, J: 3}) || got[0].Prior != (hetnet.Anchor{I: 1, J: 2}) {
+		t.Errorf("labeler-level record = %+v", got[0])
+	}
+	if got[1].Labeler != "panel" {
+		t.Errorf("panel-level record attributed to %q", got[1].Labeler)
+	}
+	if p.PanelViolations() != 1 {
+		t.Errorf("PanelViolations = %d, want 1", p.PanelViolations())
+	}
+	// The other side of the constraint: (4,2) claims user-2-on-B again.
+	p.Label(hetnet.Anchor{I: 4, J: 2})
+	if len(p.Contradictions()) != 4 {
+		t.Errorf("J-side double claim not flagged: %d records", len(p.Contradictions()))
+	}
+}
+
+func TestContradictionsPenalizeTrust(t *testing.T) {
+	clean := mustPanel(t, []Labeler{&scripted{name: "a", f: always(0)}}, PanelOptions{})
+	dirty := mustPanel(t, []Labeler{&scripted{name: "a", f: always(1)}}, PanelOptions{})
+	for i := 0; i < 5; i++ {
+		clean.Label(hetnet.Anchor{I: 1, J: i})
+		dirty.Label(hetnet.Anchor{I: 1, J: i}) // four one-to-one violations
+	}
+	ct, dt := clean.TrustScores()[0], dirty.TrustScores()[0]
+	if dt.Contradictions == 0 {
+		t.Fatal("violating labeler shows no contradictions")
+	}
+	if dt.Trust >= ct.Trust {
+		t.Errorf("contradicting labeler trust %.3f not below clean %.3f", dt.Trust, ct.Trust)
+	}
+}
+
+func TestWeightedLabelsHonestPanelExact(t *testing.T) {
+	truth := func(a hetnet.Anchor) float64 {
+		if a.I == a.J {
+			return 1
+		}
+		return 0
+	}
+	p, err := Config{Honest: 3, Seed: 1}.Build(&scripted{name: "truth", f: truth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := []hetnet.Anchor{{I: 2, J: 2}, {I: 0, J: 1}, {I: 1, J: 1}, {I: 0, J: 0}}
+	for _, l := range links {
+		p.Label(l)
+	}
+	wls := p.WeightedLabels()
+	if len(wls) != len(links) {
+		t.Fatalf("%d weighted labels for %d queries", len(wls), len(links))
+	}
+	for i := 1; i < len(wls); i++ {
+		a, b := wls[i-1].Link, wls[i].Link
+		if a.I > b.I || (a.I == b.I && a.J >= b.J) {
+			t.Fatalf("weighted labels not in canonical order: %v before %v", a, b)
+		}
+	}
+	for _, wl := range wls {
+		if wl.Confidence != 1 {
+			t.Errorf("unanimous honest confidence = %v at %v, want exactly 1", wl.Confidence, wl.Link)
+		}
+		if v := wl.Value(); v != truth(wl.Link) {
+			t.Errorf("Value() = %v at %v, want the exact truth %v", v, wl.Link, truth(wl.Link))
+		}
+	}
+}
+
+func TestWeightedLabelsZeroWeightDistrusted(t *testing.T) {
+	// Two always-liars outvote one honest labeler, but after enough
+	// queries their trust collapses below the cutoff and confidence must
+	// fall back to ½ — no credible support either way.
+	pool := []Labeler{
+		&scripted{name: "liar-1", f: always(1)},
+		&scripted{name: "liar-2", f: always(1)},
+		&scripted{name: "honest", f: always(0)},
+	}
+	p := mustPanel(t, []Labeler{pool[0], pool[1], pool[2]}, PanelOptions{})
+	for i := 0; i < 40; i++ {
+		p.Label(hetnet.Anchor{I: i, J: i + 1})
+	}
+	// The "liars" win every vote, so consensus brands the honest one the
+	// outlier; its weight must be zero and every verdict's confidence
+	// the full weight of the agreeing majority.
+	for _, wl := range p.WeightedLabels() {
+		if wl.Confidence < 0 || wl.Confidence > 1 || math.IsNaN(wl.Confidence) {
+			t.Fatalf("confidence %v out of [0,1]", wl.Confidence)
+		}
+	}
+	ts := p.TrustScores()
+	if !ts[2].Distrusted {
+		t.Errorf("perpetual outlier not distrusted: trust %.3f", ts[2].Trust)
+	}
+	if ts[0].Distrusted || ts[1].Distrusted {
+		t.Error("consensus winners marked distrusted")
+	}
+}
+
+// Run under -race: concurrent queries from shard pipelines must neither
+// corrupt the ledger nor perturb verdicts relative to a serial run.
+func TestPanelConcurrentMatchesSerial(t *testing.T) {
+	build := func() *Panel {
+		p, err := Config{Honest: 2, Noisy: 2, FlipProb: 0.3, Adversarial: 1, Replicas: 3, Seed: 77}.Build(constTruth(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	serial, concurrent := build(), build()
+	const n = 400
+	for i := 0; i < n; i++ {
+		serial.Label(hetnet.Anchor{I: i, J: i + 1})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 8 {
+				concurrent.Label(hetnet.Anchor{I: i, J: i + 1})
+			}
+			for i := 0; i < n; i += 7 { // overlapping re-queries
+				concurrent.Label(hetnet.Anchor{I: i, J: i + 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		l := hetnet.Anchor{I: i, J: i + 1}
+		if serial.Label(l) != concurrent.Label(l) {
+			t.Fatalf("concurrent verdict at %v diverged from serial", l)
+		}
+	}
+	if serial.Queries() != concurrent.Queries() {
+		t.Fatalf("distinct-query counts diverged: %d vs %d", serial.Queries(), concurrent.Queries())
+	}
+	st, ct := serial.TrustScores(), concurrent.TrustScores()
+	for i := range st {
+		if st[i] != ct[i] {
+			t.Errorf("trust row %d diverged: serial %+v concurrent %+v", i, st[i], ct[i])
+		}
+	}
+	if a, b := len(serial.Contradictions()), len(concurrent.Contradictions()); a != b {
+		t.Errorf("contradiction counts diverged: %d vs %d", a, b)
+	}
+}
+
+func TestReportSummarizesLedger(t *testing.T) {
+	p, err := Config{Honest: 3, Adversarial: 1, Replicas: 3, Seed: 5}.Build(constTruth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		p.Label(hetnet.Anchor{I: i, J: i + 1})
+	}
+	rep := p.Report()
+	if rep.Labelers != 4 || rep.Replicas != 3 || rep.Queries != 60 {
+		t.Errorf("report header = %+v", rep)
+	}
+	if len(rep.Trust) != 4 {
+		t.Fatalf("%d trust rows", len(rep.Trust))
+	}
+}

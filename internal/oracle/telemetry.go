@@ -1,0 +1,15 @@
+// Telemetry bridge: the labeler-pool subsystem's process-wide counters.
+// The per-panel Report stays the API for one run's exact numbers; these
+// are the scrapeable lifetime totals a fleet monitor reads off
+// /metricsz.
+package oracle
+
+import (
+	"github.com/activeiter/activeiter/internal/telemetry"
+)
+
+var (
+	mReplicas       = telemetry.Default.Counter("activeiter_oracle_replicas_total", "Labeler answers collected across all panel queries (R per fresh query).")
+	mContradictions = telemetry.Default.Counter("activeiter_oracle_contradictions_total", "One-to-one constraint violations flagged by the contradiction ledger.")
+	mDistrusted     = telemetry.Default.Counter("activeiter_oracle_distrusted_total", "Labelers whose trust score first dropped below the distrust cutoff.")
+)

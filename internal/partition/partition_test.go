@@ -311,11 +311,11 @@ func TestAlignMultiPartitionOneToOne(t *testing.T) {
 			t.Errorf("candidate (%d,%d) unlabeled", c.I, c.J)
 		}
 	}
-	if oracle.Queries > budget {
-		t.Errorf("spent %d queries over budget %d", oracle.Queries, budget)
+	if oracle.Queries() > budget {
+		t.Errorf("spent %d queries over budget %d", oracle.Queries(), budget)
 	}
-	if got := res.QueryCount(); got != oracle.Queries {
-		t.Errorf("QueryCount %d ≠ oracle count %d", got, oracle.Queries)
+	if got := res.QueryCount(); got != oracle.Queries() {
+		t.Errorf("QueryCount %d ≠ oracle count %d", got, oracle.Queries())
 	}
 	if len(res.Reports) != len(plan.Parts) {
 		t.Errorf("%d reports for %d parts", len(res.Reports), len(plan.Parts))

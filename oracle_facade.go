@@ -1,0 +1,109 @@
+package activeiter
+
+import (
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/oracle"
+)
+
+// Unreliable-oracle facade: Options.OracleConfig interposes a simulated
+// labeler panel (internal/oracle) between the training loop and the
+// caller's ground-truth oracle. See docs/ORACLES.md for the labeler
+// models, the vote and trust math, and the knob reference.
+
+// OracleConfig describes a simulated labeler pool: how many honest,
+// noisy, adversarial and colluding labelers back the panel, the
+// replication factor R, and the trust cutoff.
+type OracleConfig = oracle.Config
+
+// OraclePanel replicates oracle queries across R labelers, resolves by
+// majority vote, tracks one-to-one contradictions, and scores
+// per-labeler trust. It implements Oracle.
+type OraclePanel = oracle.Panel
+
+// PanelReport is a panel run's audit summary.
+type PanelReport = oracle.Report
+
+// LabelerTrust is one labeler's Beta-posterior trust row.
+type LabelerTrust = oracle.LabelerTrust
+
+// WeightedLabel is one panel-resolved link with its trust-weighted
+// confidence, as emitted by OraclePanel.WeightedLabels and consumed by
+// AlignPrelabeled.
+type WeightedLabel = oracle.WeightedLabel
+
+// NewOraclePanel builds a standalone labeler panel around a
+// ground-truth oracle — the same construction Options.OracleConfig
+// performs per Align call, exposed for callers that drive the panel
+// directly (e.g. to harvest WeightedLabels for AlignPrelabeled).
+func NewOraclePanel(cfg OracleConfig, truth Oracle) (*OraclePanel, error) {
+	return cfg.Build(truth)
+}
+
+// wrapOracle interposes the configured labeler panel, if any, between
+// the training loop and the caller's oracle. Each Align call gets a
+// fresh panel (its ledger audits exactly one run); a nil oracle passes
+// through untouched so Budget-0 runs stay valid.
+func (o Options) wrapOracle(truth Oracle) (Oracle, *OraclePanel, error) {
+	if o.OracleConfig == nil || truth == nil {
+		return truth, nil, nil
+	}
+	p, err := o.OracleConfig.Build(truth)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, p, nil
+}
+
+// mapPrelabels maps weighted labels onto pool indices for
+// core.Problem.Prelabeled. Links also present in trainPos (the first
+// nTrain pool entries) are skipped — they are already fixed ground
+// truth — as are duplicate claims on one link (first wins).
+func mapPrelabels(links []Anchor, nTrain int, pre []WeightedLabel) ([]int, []float64) {
+	if len(pre) == 0 {
+		return nil, nil
+	}
+	index := make(map[int64]int, len(links))
+	for idx, l := range links {
+		if _, ok := index[hetnet.Key(l.I, l.J)]; !ok {
+			index[hetnet.Key(l.I, l.J)] = idx
+		}
+	}
+	taken := make(map[int]bool, len(pre))
+	var preIdx []int
+	var preY []float64
+	for _, wl := range pre {
+		idx, ok := index[hetnet.Key(wl.Link.I, wl.Link.J)]
+		if !ok || idx < nTrain || taken[idx] {
+			continue
+		}
+		taken[idx] = true
+		preIdx = append(preIdx, idx)
+		preY = append(preY, wl.Value())
+	}
+	return preIdx, preY
+}
+
+// AlignPrelabeled is Align with confidence-weighted labels from an
+// earlier panel run fixed into the pool before training: each weighted
+// label enters the problem the way an in-run oracle answer would
+// (fixed for the whole run, excluded from query selection and from
+// this run's budget), carrying WeightedLabel.Value() — the
+// trust-weighted soft label — as its target. Links absent from
+// candidates are added to the pool; links already in trainPos keep
+// their ground-truth status.
+func (a *Aligner) AlignPrelabeled(trainPos, candidates []Anchor, oracle Oracle, pre []WeightedLabel) (*Result, error) {
+	return a.align(trainPos, candidates, oracle, pre)
+}
+
+// Panel returns the labeler panel of the last Align call — its trust
+// scores, contradiction ledger and weighted labels. Nil when
+// Options.OracleConfig is unset or Align has not run.
+func (a *Aligner) Panel() *OraclePanel { return a.panel }
+
+// Panel returns the labeler panel of the last Align call (nil when
+// Options.OracleConfig is unset or Align has not run).
+func (pa *PartitionedAligner) Panel() *OraclePanel { return pa.panel }
+
+// Panel returns the labeler panel of the last Align call (nil when
+// Options.OracleConfig is unset or Align has not run).
+func (da *DistributedAligner) Panel() *OraclePanel { return da.panel }

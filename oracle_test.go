@@ -1,0 +1,220 @@
+package activeiter
+
+import (
+	"testing"
+)
+
+// The honest-panel property, mirroring TestTracingDoesNotPerturbResults:
+// an OracleConfig whose pool is entirely honest labelers must be
+// invisible — every facade produces a bit-identical alignment to the
+// same run querying the truth oracle directly. Majority votes over
+// unanimous honest answers are the truth, trust weights stay at their
+// prior, and the panel's bookkeeping must never leak into training.
+
+// honestConfig is the panel under test: 5 honest labelers, R=3.
+func honestConfig() *OracleConfig {
+	return &OracleConfig{Honest: 5, Replicas: 3, Seed: 42}
+}
+
+func TestHonestPanelBitIdenticalAligner(t *testing.T) {
+	pair, trainPos, testPos, neg := testFixture(t)
+	cands := append(append([]Anchor{}, testPos...), neg...)
+	opts := Options{Budget: 20, Seed: 1}
+
+	clean, err := New(pair, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clean.Align(trainPos, cands, NewTruthOracle(pair))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Panel() != nil {
+		t.Fatal("Panel() must be nil without OracleConfig")
+	}
+
+	opts.OracleConfig = honestConfig()
+	panelAl, err := New(pair, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := panelAl.Align(trainPos, cands, NewTruthOracle(pair))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.QueryCount() != want.QueryCount() {
+		t.Fatalf("QueryCount %d with panel vs %d clean", got.QueryCount(), want.QueryCount())
+	}
+	gw, ww := got.Raw(), want.Raw()
+	if len(gw.Y) != len(ww.Y) {
+		t.Fatalf("pool sizes differ: %d vs %d", len(gw.Y), len(ww.Y))
+	}
+	for idx := range ww.Y {
+		if gw.Y[idx] != ww.Y[idx] {
+			t.Fatalf("label %d: %v with panel vs %v clean", idx, gw.Y[idx], ww.Y[idx])
+		}
+		if gw.Scores[idx] != ww.Scores[idx] {
+			t.Fatalf("score %d: %v with panel vs %v clean", idx, gw.Scores[idx], ww.Scores[idx])
+		}
+	}
+
+	panel := panelAl.Panel()
+	if panel == nil {
+		t.Fatal("Panel() must expose the run's panel")
+	}
+	if panel.Queries() != got.QueryCount() {
+		t.Fatalf("panel saw %d queries, result reports %d", panel.Queries(), got.QueryCount())
+	}
+	for _, tr := range panel.TrustScores() {
+		if tr.Distrusted || tr.Contradictions != 0 {
+			t.Fatalf("honest labeler %s: distrusted=%v contradictions=%d", tr.ID, tr.Distrusted, tr.Contradictions)
+		}
+	}
+}
+
+// assertSamePartitioned bit-compares two partitioned/distributed results
+// over the full pool, the distrib suite's assertSameAlignment contract
+// at the facade level.
+func assertSamePartitioned(t *testing.T, got, want *PartitionedResult, links []Anchor) {
+	t.Helper()
+	ga, wa := got.PredictedAnchors(), want.PredictedAnchors()
+	if len(ga) != len(wa) {
+		t.Fatalf("%d predicted anchors with panel vs %d clean", len(ga), len(wa))
+	}
+	if got.QueryCount() != want.QueryCount() {
+		t.Fatalf("QueryCount %d with panel vs %d clean", got.QueryCount(), want.QueryCount())
+	}
+	for _, l := range links {
+		gl, gok := got.Label(l.I, l.J)
+		wl, wok := want.Label(l.I, l.J)
+		if gok != wok || gl != wl {
+			t.Fatalf("label (%d,%d): %v/%v with panel vs %v/%v clean", l.I, l.J, gl, gok, wl, wok)
+		}
+		gs, _ := got.Score(l.I, l.J)
+		ws, _ := want.Score(l.I, l.J)
+		if gs != ws {
+			t.Fatalf("score (%d,%d): %v with panel vs %v clean", l.I, l.J, gs, ws)
+		}
+		if got.WasQueried(l.I, l.J) != want.WasQueried(l.I, l.J) {
+			t.Fatalf("queried flag (%d,%d) diverges", l.I, l.J)
+		}
+	}
+}
+
+func TestHonestPanelBitIdenticalPartitioned(t *testing.T) {
+	pair, trainPos, testPos, neg := testFixture(t)
+	cands := append(append([]Anchor{}, testPos...), neg...)
+	links := append(append([]Anchor{}, trainPos...), cands...)
+	opts := Options{Budget: 20, Seed: 1, Partitions: 2, Workers: 2}
+
+	clean, err := NewPartitioned(pair, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clean.Align(trainPos, cands, NewTruthOracle(pair))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.OracleConfig = honestConfig()
+	panelAl, err := NewPartitioned(pair, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := panelAl.Align(trainPos, cands, NewTruthOracle(pair))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePartitioned(t, got, want, links)
+	if panelAl.Panel() == nil {
+		t.Fatal("partitioned Panel() must expose the run's panel")
+	}
+	// Overlapping partitions may re-query shared links; the panel caches
+	// per link, so it sees at most QueryCount distinct queries.
+	if q := panelAl.Panel().Queries(); q == 0 || q > got.QueryCount() {
+		t.Fatalf("panel saw %d distinct queries, result spent %d", q, got.QueryCount())
+	}
+}
+
+func TestHonestPanelBitIdenticalDistributed(t *testing.T) {
+	pair, trainPos, testPos, neg := testFixture(t)
+	cands := append(append([]Anchor{}, testPos...), neg...)
+	links := append(append([]Anchor{}, trainPos...), cands...)
+	// Rounds: 2 covers the session path — the panel's answers travel as
+	// label deltas to warm workers between rounds.
+	opts := Options{Budget: 20, Seed: 1, Partitions: 2, Workers: 2, Rounds: 2}
+
+	clean, err := NewDistributed(pair, opts, NewLoopbackTransport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clean.Align(trainPos, cands, NewTruthOracle(pair))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.OracleConfig = honestConfig()
+	panelAl, err := NewDistributed(pair, opts, NewLoopbackTransport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := panelAl.Align(trainPos, cands, NewTruthOracle(pair))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePartitioned(t, got, want, links)
+	if panelAl.Panel() == nil {
+		t.Fatal("distributed Panel() must expose the run's panel")
+	}
+	// As in the partitioned case, shard overlap dedups through the
+	// panel's answer cache.
+	if q := panelAl.Panel().Queries(); q == 0 || q > got.QueryCount() {
+		t.Fatalf("panel saw %d distinct queries, result spent %d", q, got.QueryCount())
+	}
+}
+
+// AlignPrelabeled fixes an earlier panel's weighted labels into the
+// pool: the links carry their panel labels, count as queried, and spend
+// none of this run's budget.
+func TestAlignPrelabeledFixesPanelLabels(t *testing.T) {
+	pair, trainPos, testPos, neg := testFixture(t)
+	cands := append(append([]Anchor{}, testPos...), neg...)
+
+	// Harvest weighted labels from a standalone honest panel over a few
+	// candidate links.
+	panel, err := NewOraclePanel(*honestConfig(), NewTruthOracle(pair))
+	if err != nil {
+		t.Fatal(err)
+	}
+	asked := cands[:6]
+	truth := NewTruthOracle(pair)
+	for _, l := range asked {
+		panel.Label(l)
+	}
+	pre := panel.WeightedLabels()
+	if len(pre) != len(asked) {
+		t.Fatalf("%d weighted labels for %d queries", len(pre), len(asked))
+	}
+
+	al, err := New(pair, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := al.AlignPrelabeled(trainPos, cands, nil, pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueryCount() != 0 {
+		t.Fatalf("prelabeled links consumed budget: QueryCount = %d", res.QueryCount())
+	}
+	for _, wl := range pre {
+		if !res.WasQueried(wl.Link.I, wl.Link.J) {
+			t.Fatalf("prelabeled link (%d,%d) not flagged as queried", wl.Link.I, wl.Link.J)
+		}
+		got, ok := res.Label(wl.Link.I, wl.Link.J)
+		if !ok || got != truth.Label(wl.Link) {
+			t.Fatalf("prelabeled link (%d,%d): label %v, want ground truth %v", wl.Link.I, wl.Link.J, got, truth.Label(wl.Link))
+		}
+	}
+}

@@ -35,6 +35,7 @@ type PartitionedAligner struct {
 	base    *metadiag.Counter
 	opts    Options
 	planner *partition.Planner // lazy; only needed when Partitions > 1
+	panel   *OraclePanel
 }
 
 // NewPartitioned builds a partitioned aligner over the pair. The number
@@ -69,6 +70,13 @@ func (pa *PartitionedAligner) Align(trainPos []Anchor, candidates []Anchor, orac
 	if len(trainPos) == 0 {
 		return nil, core.ErrNoPositives
 	}
+	// A panel answers as a pure lock-guarded function of the link, so it
+	// satisfies the concurrent-pipeline oracle contract below.
+	oracle, panel, err := pa.opts.wrapOracle(oracle)
+	if err != nil {
+		return nil, err
+	}
+	pa.panel = panel
 	plan, err := planShards(pa.base, &pa.planner, pa.opts, trainPos, candidates)
 	if err != nil {
 		return nil, err
