@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"github.com/activeiter/activeiter/internal/serve"
+	"github.com/activeiter/activeiter/internal/setsync"
 	"github.com/activeiter/activeiter/internal/snapshot"
 	"github.com/activeiter/activeiter/internal/telemetry"
 )
@@ -55,6 +56,11 @@ type config struct {
 	readTimeout     time.Duration
 	writeTimeout    time.Duration
 	idleTimeout     time.Duration
+	hupReload       bool
+	syncListen      string
+	syncFrom        string
+	syncOnly        bool
+	syncCutover     float64
 }
 
 // parseFlags validates the command line into a config. Errors are
@@ -72,6 +78,11 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.DurationVar(&cfg.readTimeout, "read-timeout", 10*time.Second, "HTTP read timeout per request (headers + body); a slow-loris client cannot pin a connection past it (0 disables)")
 	fs.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "HTTP write timeout per response (0 disables)")
 	fs.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout (0 disables)")
+	fs.BoolVar(&cfg.hupReload, "hup-reload", true, "re-open -snapshot in place on SIGHUP (the file-swap idiom: rename the new artifact over the old path, signal the process)")
+	fs.StringVar(&cfg.syncListen, "sync-listen", "", "serve the current snapshot to reconciling peers over IBLT delta sync on this TCP address (off by default)")
+	fs.StringVar(&cfg.syncFrom, "sync-from", "", "before serving, reconcile -snapshot against this peer's sync listener and persist the result (a near-identical local artifact costs O(diff) bytes, not a re-download)")
+	fs.BoolVar(&cfg.syncOnly, "sync-only", false, "with -sync-from: exit after the artifact is synced instead of serving")
+	fs.Float64Var(&cfg.syncCutover, "sync-cutover", 0, "delta-sync give-up fraction: ship the full artifact once the sketch would cost more than this fraction of it (0 means the 0.25 default)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -80,6 +91,12 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	}
 	if cfg.snapshotPath == "" {
 		return nil, errors.New("missing -snapshot: alignd serves a trained artifact (write one with experiments -save-snapshot or activeiter.WriteSnapshot)")
+	}
+	if cfg.syncOnly && cfg.syncFrom == "" {
+		return nil, errors.New("-sync-only needs -sync-from: there is nothing to sync")
+	}
+	if cfg.syncCutover < 0 || cfg.syncCutover >= 1 {
+		return nil, fmt.Errorf("-sync-cutover %v outside [0,1)", cfg.syncCutover)
 	}
 	if cfg.defaultK < 0 {
 		return nil, fmt.Errorf("negative -k %d", cfg.defaultK)
@@ -99,6 +116,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg, err := parseFlags(args, stderr)
 	if err != nil {
 		return err
+	}
+
+	if cfg.syncFrom != "" {
+		if err := syncFromPeer(cfg, stdout); err != nil {
+			return err
+		}
+		if cfg.syncOnly {
+			return nil
+		}
 	}
 
 	snap, err := snapshot.OpenFile(cfg.snapshotPath)
@@ -152,8 +178,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		IdleTimeout:  cfg.idleTimeout,
 	}
 
+	if cfg.syncListen != "" {
+		syncLn, err := net.Listen("tcp", cfg.syncListen)
+		if err != nil {
+			return fmt.Errorf("sync listener %s: %w", cfg.syncListen, err)
+		}
+		defer syncLn.Close()
+		go serveSync(syncLn, store, stderr)
+		fmt.Fprintf(stdout, "alignd: delta sync on %s\n", syncLn.Addr())
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if cfg.hupReload {
+		hupCh := make(chan os.Signal, 1)
+		signal.Notify(hupCh, syscall.SIGHUP)
+		defer signal.Stop(hupCh)
+		go hupLoop(hupCh, handler, stdout)
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(stdout, "alignd: serving on %s\n", ln.Addr())
@@ -171,4 +213,64 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	return nil
+}
+
+// syncFromPeer reconciles the configured artifact against a peer's
+// sync listener and persists the result. A missing or unreadable local
+// artifact degrades to a full pull — first boot and corrupt-disk
+// recovery are the same code path.
+func syncFromPeer(cfg *config, stdout io.Writer) error {
+	have, err := snapshot.OpenFile(cfg.snapshotPath)
+	if err != nil {
+		have = nil
+	}
+	dial := func() (net.Conn, error) { return net.DialTimeout("tcp", cfg.syncFrom, 10*time.Second) }
+	snap, stats, err := setsync.Pull(dial, have, setsync.Options{Cutover: cfg.syncCutover})
+	if err != nil {
+		return fmt.Errorf("sync from %s: %w", cfg.syncFrom, err)
+	}
+	if stats.Mode != "none" {
+		if err := snap.WriteFile(cfg.snapshotPath); err != nil {
+			return fmt.Errorf("persist synced artifact: %w", err)
+		}
+	}
+	fmt.Fprintf(stdout, "alignd: setsync mode=%s attempts=%d tx_bytes=%d rx_bytes=%d full_bytes=%d added=%d removed=%d fallback=%q\n",
+		stats.Mode, stats.Attempts, stats.TxBytes, stats.RxBytes, stats.FullBytes, stats.Added, stats.Removed, stats.Fallback)
+	return nil
+}
+
+// serveSync answers reconciling peers: each connection gets the
+// snapshot generation current at accept time. Serve errors are a
+// peer's problem, not ours — log and keep accepting.
+func serveSync(ln net.Listener, store *serve.Store, stderr io.Writer) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			ix := store.Current()
+			if ix == nil {
+				return
+			}
+			if err := setsync.Serve(c, ix.Snapshot(), setsync.Options{}); err != nil {
+				fmt.Fprintf(stderr, "alignd: sync peer %s: %v\n", c.RemoteAddr(), err)
+			}
+		}(conn)
+	}
+}
+
+// hupLoop re-opens the configured artifact on each SIGHUP and swaps it
+// in atomically; a bad artifact is reported and the old generation
+// keeps serving. Exits when the channel closes.
+func hupLoop(ch <-chan os.Signal, h *serve.Handler, stdout io.Writer) {
+	for range ch {
+		gen, err := h.ReloadConfigured()
+		if err != nil {
+			fmt.Fprintf(stdout, "alignd: SIGHUP reload failed: %v\n", err)
+			continue
+		}
+		fmt.Fprintf(stdout, "alignd: SIGHUP reloaded to generation %d\n", gen)
+	}
 }

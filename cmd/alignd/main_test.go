@@ -4,13 +4,17 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
 	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/serve"
+	"github.com/activeiter/activeiter/internal/setsync"
 	"github.com/activeiter/activeiter/internal/snapshot"
 )
 
@@ -147,5 +151,139 @@ func TestCheckMode(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("check summary %q missing %q", out, want)
 		}
+	}
+}
+
+// TestSyncFlagValidation covers the delta-sync flag contract.
+func TestSyncFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"sync-only without sync-from", []string{"-snapshot", "x.snap", "-sync-only"}, "-sync-only needs -sync-from"},
+		{"cutover too big", []string{"-snapshot", "x.snap", "-sync-cutover", "1.5"}, "outside [0,1)"},
+		{"cutover negative", []string{"-snapshot", "x.snap", "-sync-cutover", "-0.1"}, "outside [0,1)"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args, new(bytes.Buffer))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("args %q: error %v does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSyncOnly runs the -sync-from/-sync-only path end to end against
+// a live sync listener: no local artifact (full pull), then a second
+// pull that is already current.
+func TestSyncOnly(t *testing.T) {
+	dir := t.TempDir()
+	srcPath := writeFixture(t, dir)
+	src, err := snapshot.OpenFile(srcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				_ = setsync.Serve(c, src, setsync.Options{})
+			}(conn)
+		}
+	}()
+
+	dst := filepath.Join(dir, "pulled.snap")
+	var stdout bytes.Buffer
+	if err := run([]string{"-snapshot", dst, "-sync-from", ln.Addr().String(), "-sync-only"}, &stdout, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "setsync mode=full") {
+		t.Errorf("first pull not full: %s", stdout.String())
+	}
+	pulled, err := snapshot.OpenFile(dst)
+	if err != nil {
+		t.Fatalf("pulled artifact does not load: %v", err)
+	}
+	sfp, _ := src.Fingerprint()
+	pfp, _ := pulled.Fingerprint()
+	if sfp != pfp {
+		t.Errorf("pulled fingerprint %016x, source %016x", pfp, sfp)
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-snapshot", dst, "-sync-from", ln.Addr().String(), "-sync-only"}, &stdout, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "setsync mode=none") {
+		t.Errorf("repeat pull not a no-op: %s", stdout.String())
+	}
+}
+
+// TestSyncFromUnreachable: a dead peer is a clean startup error, not a
+// hang or a served stale artifact.
+func TestSyncFromUnreachable(t *testing.T) {
+	dst := filepath.Join(t.TempDir(), "x.snap")
+	err := run([]string{"-snapshot", dst, "-sync-from", "127.0.0.1:1", "-sync-only"}, new(bytes.Buffer), new(bytes.Buffer))
+	if err == nil || !strings.Contains(err.Error(), "sync from") {
+		t.Errorf("unreachable peer error = %v", err)
+	}
+}
+
+// TestHupLoop drives the SIGHUP handler directly through its channel:
+// a signal reloads the configured artifact in place (generation 2), a
+// second signal over a corrupted file keeps the old generation.
+func TestHupLoop(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFixture(t, dir)
+	snap, err := snapshot.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &serve.Store{}
+	ix, err := serve.NewIndex(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Swap(ix)
+	handler := serve.NewHandler(store, nil, serve.HandlerOptions{
+		SnapshotPath: path,
+		Load:         snapshot.OpenFile,
+	})
+
+	ch := make(chan os.Signal, 2)
+	ch <- syscall.SIGHUP
+	close(ch)
+	var stdout bytes.Buffer
+	hupLoop(ch, handler, &stdout) // synchronous: drains the closed channel
+	if !strings.Contains(stdout.String(), "generation 2") {
+		t.Errorf("hup reload output: %s", stdout.String())
+	}
+	if store.Current().Generation != 2 {
+		t.Errorf("generation after SIGHUP = %d, want 2", store.Current().Generation)
+	}
+
+	if err := os.WriteFile(path, []byte("scribbled over"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ch2 := make(chan os.Signal, 1)
+	ch2 <- syscall.SIGHUP
+	close(ch2)
+	stdout.Reset()
+	hupLoop(ch2, handler, &stdout)
+	if !strings.Contains(stdout.String(), "reload failed") {
+		t.Errorf("corrupt hup reload output: %s", stdout.String())
+	}
+	if store.Current().Generation != 2 {
+		t.Errorf("generation disturbed by failed SIGHUP reload: %d", store.Current().Generation)
 	}
 }

@@ -1,0 +1,921 @@
+// Package fleet is the alignr routing tier: one process that fronts a
+// fleet of alignd replicas, each serving one user-range shard of a
+// split snapshot (internal/snapshot.Split), and presents the exact
+// monolithic serving surface to clients. The contract is
+// bit-identity: any request answered through the router returns the
+// same status, headers and body bytes a single alignd holding the
+// whole artifact would return — owner-routed requests are proxied
+// verbatim, fan-out merges reconstruct the monolithic answer exactly
+// (the global top-k is a subset of the union of per-shard top-k lists
+// at equal k, under the same score-desc/index-asc order), and error
+// paths are delegated to a real backend so even error bodies stay
+// canonical.
+//
+// The router is configured with backend URLs only. The range table is
+// DISCOVERED from each backend's /statusz shard block (a backend with
+// no shard block owns the full range), so resharding is a redeploy of
+// alignd processes, not a router config change. Per-request resilience
+// follows the distrib tier's discipline: bounded retries with
+// capped-jitter backoff across same-range replicas, optional hedged
+// reads, and health-gated candidate selection fed by a /readyz probe
+// loop.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/serve"
+	"github.com/activeiter/activeiter/internal/telemetry"
+)
+
+// Options configure a Router.
+type Options struct {
+	// Timeout bounds each backend request (default 5s).
+	Timeout time.Duration
+	// Retries is the attempt budget per proxied request across a
+	// range's replicas (default 3).
+	Retries int
+	// HedgeAfter, when > 0, launches a second attempt against another
+	// replica of the same range if the first has not answered within
+	// this delay; the first response wins.
+	HedgeAfter time.Duration
+	// HealthInterval is the /readyz probe + /statusz rediscovery
+	// period (default 2s). Probing starts with Start.
+	HealthInterval time.Duration
+	// Metrics receives per-endpoint counters; nil creates a registry.
+	Metrics *serve.Metrics
+	// Registry receives router counters (retries, hedges, fan-outs);
+	// nil uses telemetry.Default.
+	Registry *telemetry.Registry
+}
+
+const (
+	defaultTimeout        = 5 * time.Second
+	defaultRetries        = 3
+	defaultHealthInterval = 2 * time.Second
+	retryBackoffBase      = 25 * time.Millisecond
+	retryBackoffCap       = 2 * time.Second
+	// resolveCacheMax bounds the token→index cache; eviction is whole-
+	// sale (the cache exists to absorb hot keys, not to be complete).
+	resolveCacheMax = 1 << 16
+)
+
+// shardStat mirrors the statusz shard block alignd exposes.
+type shardStat struct {
+	Lo       int32  `json:"lo"`
+	Hi       int32  `json:"hi"`
+	Index    int    `json:"index"`
+	Count    int    `json:"count"`
+	Epoch    int64  `json:"epoch"`
+	ParentFP string `json:"parent_fp"`
+}
+
+// backendStatus is the slice of alignd's statusz the router reads.
+type backendStatus struct {
+	Generation uint64 `json:"generation"`
+	Snapshot   *struct {
+		Users1 int        `json:"users1"`
+		TopK   int        `json:"top_k"`
+		Shard  *shardStat `json:"shard"`
+	} `json:"snapshot"`
+}
+
+// Backend is one alignd replica the router fronts.
+type Backend struct {
+	URL string
+
+	mu         sync.Mutex
+	ready      bool
+	lastErr    string
+	generation uint64
+	users1     int
+	topK       int
+	shard      *shardStat // nil: serves the full range
+}
+
+func (b *Backend) snapshotState() (ready bool, gen uint64, users1, topK int, shard *shardStat, lastErr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ready, b.generation, b.users1, b.topK, b.shard, b.lastErr
+}
+
+// ownedRange returns the net-1 user range the backend owns.
+func (b *Backend) ownedRange() (lo, hi int32, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.shard != nil {
+		return b.shard.Lo, b.shard.Hi, true
+	}
+	if b.users1 > 0 {
+		return 0, int32(b.users1), true
+	}
+	return 0, 0, false
+}
+
+// Router is the alignr HTTP handler.
+type Router struct {
+	backends []*Backend
+	client   *http.Client
+	opts     Options
+	metrics  *serve.Metrics
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	resolveMu    sync.Mutex
+	resolveCache map[string]int32
+
+	stopOnce sync.Once
+	stop     chan struct{}
+
+	cRetry, cHedge, cFanout, cRollout *telemetry.Counter
+}
+
+// NewRouter builds a router over the backend base URLs. A bare
+// host:port gets an http:// scheme; a trailing slash is trimmed. Call
+// Refresh (or Start) before serving so the range table exists.
+func NewRouter(backendURLs []string, opts Options) (*Router, error) {
+	if len(backendURLs) == 0 {
+		return nil, fmt.Errorf("fleet: no backends")
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = defaultTimeout
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = defaultRetries
+	}
+	if opts.HealthInterval <= 0 {
+		opts.HealthInterval = defaultHealthInterval
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = serve.NewMetrics()
+	}
+	if opts.Registry == nil {
+		// Share the Metrics registry so the fleet counters ride the
+		// same /metricsz exposition as the per-endpoint stats.
+		opts.Registry = opts.Metrics.Registry()
+	}
+	r := &Router{
+		client:       &http.Client{Timeout: opts.Timeout},
+		opts:         opts,
+		metrics:      opts.Metrics,
+		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
+		resolveCache: make(map[string]int32),
+		stop:         make(chan struct{}),
+		cRetry:       opts.Registry.Counter("fleet_retries_total", "proxy attempts beyond the first"),
+		cHedge:       opts.Registry.Counter("fleet_hedges_total", "hedged second requests launched"),
+		cFanout:      opts.Registry.Counter("fleet_fanout_total", "reverse-direction fan-out requests"),
+		cRollout:     opts.Registry.Counter("fleet_rollouts_total", "rolling reloads executed"),
+	}
+	for _, u := range backendURLs {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("fleet: empty backend URL")
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		r.backends = append(r.backends, &Backend{URL: u})
+	}
+	return r, nil
+}
+
+// Metrics exposes the per-endpoint registry.
+func (rt *Router) Metrics() *serve.Metrics { return rt.metrics }
+
+// Start launches the health/discovery loop; Stop ends it.
+func (rt *Router) Start() {
+	go func() {
+		t := time.NewTicker(rt.opts.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rt.stop:
+				return
+			case <-t.C:
+				rt.Refresh()
+			}
+		}
+	}()
+}
+
+// Stop ends the health loop.
+func (rt *Router) Stop() { rt.stopOnce.Do(func() { close(rt.stop) }) }
+
+// Refresh probes every backend's /readyz and /statusz once,
+// concurrently, updating health and the discovered range table.
+func (rt *Router) Refresh() {
+	var wg sync.WaitGroup
+	for _, b := range rt.backends {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			rt.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+func (rt *Router) probe(b *Backend) {
+	setErr := func(err error) {
+		b.mu.Lock()
+		b.ready = false
+		b.lastErr = err.Error()
+		b.mu.Unlock()
+	}
+	resp, err := rt.client.Get(b.URL + "/readyz")
+	if err != nil {
+		setErr(err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		setErr(fmt.Errorf("readyz answered %d", resp.StatusCode))
+		return
+	}
+	resp, err = rt.client.Get(b.URL + "/statusz")
+	if err != nil {
+		setErr(err)
+		return
+	}
+	var st backendStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		setErr(fmt.Errorf("statusz: %w", err))
+		return
+	}
+	if st.Snapshot == nil {
+		setErr(fmt.Errorf("statusz has no snapshot block"))
+		return
+	}
+	b.mu.Lock()
+	b.ready = true
+	b.lastErr = ""
+	b.generation = st.Generation
+	b.users1 = st.Snapshot.Users1
+	b.topK = st.Snapshot.TopK
+	b.shard = st.Snapshot.Shard
+	b.mu.Unlock()
+}
+
+// tableEntry is one discovered range and the backends owning it.
+type tableEntry struct {
+	lo, hi   int32
+	backends []*Backend
+}
+
+// table assembles the current range table from ready backends, plus
+// whether it tiles [0, users1) completely (the readiness condition).
+func (rt *Router) table() (entries []tableEntry, users1 int, complete bool) {
+	byRange := map[[2]int32][]*Backend{}
+	for _, b := range rt.backends {
+		ready, _, u1, _, _, _ := b.snapshotState()
+		if !ready {
+			continue
+		}
+		lo, hi, ok := b.ownedRange()
+		if !ok {
+			continue
+		}
+		byRange[[2]int32{lo, hi}] = append(byRange[[2]int32{lo, hi}], b)
+		if u1 > users1 {
+			users1 = u1
+		}
+	}
+	for k, bs := range byRange {
+		entries = append(entries, tableEntry{lo: k[0], hi: k[1], backends: bs})
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].lo != entries[b].lo {
+			return entries[a].lo < entries[b].lo
+		}
+		return entries[a].hi < entries[b].hi
+	})
+	if users1 == 0 || len(entries) == 0 {
+		return entries, users1, false
+	}
+	want := int32(0)
+	for _, e := range entries {
+		if e.lo != want {
+			return entries, users1, false
+		}
+		want = e.hi
+	}
+	return entries, users1, want == int32(users1)
+}
+
+// ownersOf returns the ready backends owning net-1 index i.
+func (rt *Router) ownersOf(i int32) []*Backend {
+	entries, _, _ := rt.table()
+	for _, e := range entries {
+		if i >= e.lo && i < e.hi {
+			return e.backends
+		}
+	}
+	return nil
+}
+
+// readyBackends returns every ready backend (for any-backend routing
+// and fan-out), in configured order.
+func (rt *Router) readyBackends() []*Backend {
+	var out []*Backend
+	for _, b := range rt.backends {
+		if ready, _, _, _, _, _ := b.snapshotState(); ready {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (rt *Router) backoff(attempt int) time.Duration {
+	rt.rngMu.Lock()
+	f := rt.rng.Float64()
+	rt.rngMu.Unlock()
+	d := retryBackoffBase << uint(attempt-1)
+	if d > retryBackoffCap || d <= 0 {
+		d = retryBackoffCap
+	}
+	return time.Duration(float64(d) * (0.5 + f))
+}
+
+// proxied is a captured backend response, replayable verbatim.
+type proxied struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+func (p *proxied) write(w http.ResponseWriter) error {
+	if p.contentType != "" {
+		w.Header().Set("Content-Type", p.contentType)
+	}
+	w.WriteHeader(p.status)
+	w.Write(p.body)
+	if p.status >= 500 {
+		// Counted as a router error in metrics, but the response is
+		// already on the wire — ServeHTTP must not write a second body.
+		return errAlreadyWritten{status: p.status}
+	}
+	return nil
+}
+
+// errAlreadyWritten marks a failure whose response bytes have already
+// been sent (a proxied 5xx): metrics should count it, the handler must
+// not write again.
+type errAlreadyWritten struct{ status int }
+
+func (e errAlreadyWritten) Error() string { return fmt.Sprintf("backend answered %d", e.status) }
+
+// fetch performs one backend request and captures the response.
+func (rt *Router) fetch(b *Backend, method, pathAndQuery string, body []byte) (*proxied, error) {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, b.URL+pathAndQuery, rdr)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &proxied{status: resp.StatusCode, contentType: resp.Header.Get("Content-Type"), body: raw}, nil
+}
+
+// retryable reports whether another replica may answer differently: a
+// transport failure or a 5xx that signals replica (not request)
+// trouble.
+func retryable(p *proxied, err error) bool {
+	if err != nil {
+		return true
+	}
+	return p.status == http.StatusBadGateway || p.status == http.StatusServiceUnavailable
+}
+
+// tryBackends proxies the request across candidates with retries,
+// capped-jitter backoff and (when configured and possible) a hedged
+// second attempt. The first acceptable response wins; the last
+// response of any kind is returned when every attempt fails.
+func (rt *Router) tryBackends(cands []*Backend, method, pathAndQuery string, body []byte) (*proxied, error) {
+	if len(cands) == 0 {
+		return nil, errf(http.StatusServiceUnavailable, "no ready backend for %s", pathAndQuery)
+	}
+	var last *proxied
+	var lastErr error
+	for attempt := 1; attempt <= rt.opts.Retries; attempt++ {
+		b := cands[(attempt-1)%len(cands)]
+		p, err := rt.fetchHedged(b, cands, method, pathAndQuery, body)
+		if !retryable(p, err) {
+			return p, nil
+		}
+		last, lastErr = p, err
+		if attempt < rt.opts.Retries {
+			rt.cRetry.Inc()
+			time.Sleep(rt.backoff(attempt))
+		}
+	}
+	if last != nil {
+		return last, nil
+	}
+	return nil, errf(http.StatusBadGateway, "every backend failed for %s: %v", pathAndQuery, lastErr)
+}
+
+// fetchHedged races the primary against one delayed hedge on another
+// replica when hedging is configured.
+func (rt *Router) fetchHedged(primary *Backend, cands []*Backend, method, pathAndQuery string, body []byte) (*proxied, error) {
+	if rt.opts.HedgeAfter <= 0 || len(cands) < 2 {
+		return rt.fetch(primary, method, pathAndQuery, body)
+	}
+	type result struct {
+		p   *proxied
+		err error
+	}
+	ch := make(chan result, 2)
+	go func() {
+		p, err := rt.fetch(primary, method, pathAndQuery, body)
+		ch <- result{p, err}
+	}()
+	timer := time.NewTimer(rt.opts.HedgeAfter)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.p, r.err
+	case <-timer.C:
+	}
+	var hedge *Backend
+	for _, b := range cands {
+		if b != primary {
+			hedge = b
+			break
+		}
+	}
+	rt.cHedge.Inc()
+	go func() {
+		p, err := rt.fetch(hedge, method, pathAndQuery, body)
+		ch <- result{p, err}
+	}()
+	// First non-retryable answer wins; if the first arrival is bad,
+	// wait for the other.
+	r := <-ch
+	if !retryable(r.p, r.err) {
+		return r.p, r.err
+	}
+	r2 := <-ch
+	if !retryable(r2.p, r2.err) {
+		return r2.p, r2.err
+	}
+	return r.p, r.err
+}
+
+// errf mirrors the alignd error shape so router-origin errors read
+// like backend ones.
+func errf(status int, format string, args ...any) *routeError {
+	return &routeError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+type routeError struct {
+	status int
+	msg    string
+}
+
+func (e *routeError) Error() string { return e.msg }
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	endpoint, err := rt.route(w, r)
+	if err != nil {
+		if _, written := err.(errAlreadyWritten); !written {
+			re, ok := err.(*routeError)
+			if !ok {
+				re = errf(http.StatusInternalServerError, "%v", err)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(re.status)
+			json.NewEncoder(w).Encode(map[string]string{"error": re.msg})
+		}
+	}
+	rt.metrics.Observe(endpoint, time.Since(start), err != nil)
+}
+
+func (rt *Router) route(w http.ResponseWriter, r *http.Request) (string, error) {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		return "healthz", nil
+	case path == "/readyz":
+		return "readyz", rt.handleReady(w)
+	case path == "/statusz":
+		return "statusz", rt.handleStatus(w)
+	case path == "/metricsz":
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		return "metricsz", rt.metrics.WriteProm(w)
+	case path == "/v1/rollout" || path == "/v1/reload":
+		return "rollout", rt.handleRollout(w, r)
+	case path == "/v1/score":
+		return "score", rt.handleScore(w, r)
+	case strings.HasPrefix(path, "/v1/match/"):
+		return "match", rt.handleLookup(w, r, strings.TrimPrefix(path, "/v1/match/"), false)
+	case strings.HasPrefix(path, "/v1/candidates/"):
+		return "candidates", rt.handleLookup(w, r, strings.TrimPrefix(path, "/v1/candidates/"), true)
+	case strings.HasPrefix(path, "/v1/resolve/"):
+		return "resolve", rt.proxyAny(w, r, nil)
+	default:
+		return "unknown", errf(http.StatusNotFound, "no such endpoint %q", path)
+	}
+}
+
+// handleReady: the router is ready when the discovered table tiles the
+// whole net-1 user space with at least one ready backend per range.
+func (rt *Router) handleReady(w http.ResponseWriter) error {
+	entries, users1, complete := rt.table()
+	if !complete {
+		return errf(http.StatusServiceUnavailable, "range table incomplete: %d ranges over %d users", len(entries), users1)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+	return nil
+}
+
+// routerStatus is the alignr /statusz shape.
+type routerStatus struct {
+	Ready     bool                   `json:"ready"`
+	Users1    int                    `json:"users1"`
+	Ranges    []routerRange          `json:"ranges"`
+	Backends  []routerBackend        `json:"backends"`
+	Endpoints []serve.EndpointReport `json:"endpoints"`
+}
+
+type routerRange struct {
+	Lo       int32    `json:"lo"`
+	Hi       int32    `json:"hi"`
+	Backends []string `json:"backends"`
+}
+
+type routerBackend struct {
+	URL        string `json:"url"`
+	Ready      bool   `json:"ready"`
+	Error      string `json:"error,omitempty"`
+	Generation uint64 `json:"generation"`
+	Epoch      int64  `json:"epoch,omitempty"`
+	Range      string `json:"range,omitempty"`
+}
+
+func (rt *Router) handleStatus(w http.ResponseWriter) error {
+	entries, users1, complete := rt.table()
+	st := routerStatus{Ready: complete, Users1: users1, Endpoints: rt.metrics.Report()}
+	for _, e := range entries {
+		rr := routerRange{Lo: e.lo, Hi: e.hi}
+		for _, b := range e.backends {
+			rr.Backends = append(rr.Backends, b.URL)
+		}
+		st.Ranges = append(st.Ranges, rr)
+	}
+	for _, b := range rt.backends {
+		ready, gen, _, _, shard, lastErr := b.snapshotState()
+		rb := routerBackend{URL: b.URL, Ready: ready, Error: lastErr, Generation: gen}
+		if shard != nil {
+			rb.Epoch = shard.Epoch
+			rb.Range = fmt.Sprintf("[%d,%d)", shard.Lo, shard.Hi)
+		}
+		st.Backends = append(st.Backends, rb)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(st)
+}
+
+// proxyAny sends the original request to any ready backend — the path
+// for requests every backend answers identically (resolve, malformed
+// inputs, full-table questions).
+func (rt *Router) proxyAny(w http.ResponseWriter, r *http.Request, body []byte) error {
+	if body == nil && r.Body != nil {
+		body, _ = io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	}
+	if r.Method == http.MethodGet {
+		body = nil
+	}
+	p, err := rt.tryBackends(rt.readyBackends(), r.Method, r.URL.RequestURI(), body)
+	if err != nil {
+		return err
+	}
+	return p.write(w)
+}
+
+// resolveNet1 maps a net-1 user token to its index via a backend's
+// /v1/resolve, through a bounded cache. The proxied error response is
+// returned for non-200 outcomes so the caller can decide to replay the
+// original request instead.
+func (rt *Router) resolveNet1(token string) (int32, bool) {
+	rt.resolveMu.Lock()
+	idx, ok := rt.resolveCache[token]
+	rt.resolveMu.Unlock()
+	if ok {
+		return idx, true
+	}
+	p, err := rt.tryBackends(rt.readyBackends(), http.MethodGet, "/v1/resolve/1/"+token, nil)
+	if err != nil || p.status != http.StatusOK {
+		return 0, false
+	}
+	var res struct {
+		Index int32 `json:"index"`
+	}
+	if json.Unmarshal(p.body, &res) != nil {
+		return 0, false
+	}
+	rt.resolveMu.Lock()
+	if len(rt.resolveCache) >= resolveCacheMax {
+		rt.resolveCache = make(map[string]int32)
+	}
+	rt.resolveCache[token] = res.Index
+	rt.resolveMu.Unlock()
+	return res.Index, true
+}
+
+// clearResolveCache drops the token cache (called after rollouts: a
+// new artifact may renumber users).
+func (rt *Router) clearResolveCache() {
+	rt.resolveMu.Lock()
+	rt.resolveCache = make(map[string]int32)
+	rt.resolveMu.Unlock()
+}
+
+// handleLookup routes /v1/match and /v1/candidates. Net-1 requests are
+// owner-routed and proxied verbatim; net-2 requests fan out (the
+// owning shard is unknowable from the request). Anything that does not
+// parse cleanly is replayed against any backend so the error body is
+// the canonical alignd one.
+func (rt *Router) handleLookup(w http.ResponseWriter, r *http.Request, tail string, candidates bool) error {
+	parts := strings.SplitN(tail, "/", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return rt.proxyAny(w, r, nil)
+	}
+	net, err := strconv.Atoi(parts[0])
+	if err != nil || (net != 1 && net != 2) {
+		return rt.proxyAny(w, r, nil)
+	}
+	if net == 1 {
+		idx, ok := rt.resolveNet1(parts[1])
+		if !ok {
+			// Unknown user or resolution trouble: the canonical answer
+			// (404 body, or whatever alignd says) comes from a replay.
+			return rt.proxyAny(w, r, nil)
+		}
+		p, err := rt.tryBackends(rt.ownersOf(idx), r.Method, r.URL.RequestURI(), nil)
+		if err != nil {
+			return err
+		}
+		return p.write(w)
+	}
+	if candidates {
+		return rt.fanoutCandidates(w, r)
+	}
+	return rt.fanoutMatch(w, r)
+}
+
+// fanout sends the request to one ready backend per range,
+// concurrently, and returns the responses (nil entries for transport
+// failures).
+func (rt *Router) fanout(r *http.Request) []*proxied {
+	entries, _, _ := rt.table()
+	rt.cFanout.Inc()
+	out := make([]*proxied, len(entries))
+	var wg sync.WaitGroup
+	for i, e := range entries {
+		wg.Add(1)
+		go func(i int, cands []*Backend) {
+			defer wg.Done()
+			p, err := rt.tryBackends(cands, r.Method, r.URL.RequestURI(), nil)
+			if err == nil {
+				out[i] = p
+			}
+		}(i, e.backends)
+	}
+	wg.Wait()
+	return out
+}
+
+// fanoutMatch answers a net-2 match. Several shards may each hold a
+// match ending at the same net-2 user; the monolithic index resolves
+// that collision last-write-wins over the I-sorted match list, i.e.
+// the HIGHEST net-1 index. Fan-out results arrive in range order, so
+// the highest-range 200 is the monolithic answer, verbatim. If none
+// answers 200, any shard's miss is the canonical monolithic miss
+// (same status, same body) and is proxied through.
+func (rt *Router) fanoutMatch(w http.ResponseWriter, r *http.Request) error {
+	results := rt.fanout(r)
+	var miss *proxied
+	for i := len(results) - 1; i >= 0; i-- {
+		p := results[i]
+		if p == nil {
+			continue
+		}
+		if p.status == http.StatusOK {
+			return p.write(w)
+		}
+		if miss == nil || p.status == http.StatusNotFound {
+			miss = p
+		}
+	}
+	if miss == nil {
+		return errf(http.StatusBadGateway, "every shard failed the fan-out")
+	}
+	return miss.write(w)
+}
+
+// candidatesBody mirrors alignd's candidatesResponse byte-for-byte
+// (same field order, same tags, same trailing-newline encoder).
+type candidatesBody struct {
+	Generation uint64            `json:"generation"`
+	Net        int               `json:"net"`
+	User       string            `json:"user"`
+	Index      int32             `json:"index"`
+	K          int               `json:"k"`
+	Candidates []serve.Candidate `json:"candidates"`
+}
+
+// fanoutCandidates merges per-shard net-2 candidate lists into the
+// monolithic answer. Each net-1 candidate lives in exactly one shard,
+// so the union has no duplicates; sorting score-desc/index-asc (the
+// serving order) and capping at the request's k (or the snapshot's
+// precomputed depth) reproduces the monolithic list exactly, because
+// the global top-k is a subset of the union of per-shard top-k lists
+// at equal k.
+func (rt *Router) fanoutCandidates(w http.ResponseWriter, r *http.Request) error {
+	results := rt.fanout(r)
+	var merged *candidatesBody
+	var all []serve.Candidate
+	maxGen := uint64(0)
+	for _, p := range results {
+		if p == nil {
+			continue
+		}
+		if p.status != http.StatusOK {
+			// Bad k, unknown user, not ready: every shard rejects the
+			// same way; replay the canonical body.
+			return p.write(w)
+		}
+		var body candidatesBody
+		if err := json.Unmarshal(p.body, &body); err != nil {
+			return errf(http.StatusBadGateway, "shard answered unparseable candidates: %v", err)
+		}
+		if merged == nil {
+			merged = &body
+		}
+		if body.Generation > maxGen {
+			maxGen = body.Generation
+		}
+		all = append(all, body.Candidates...)
+	}
+	if merged == nil {
+		return errf(http.StatusBadGateway, "every shard failed the fan-out")
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Score != all[b].Score {
+			return all[a].Score > all[b].Score
+		}
+		return all[a].Index < all[b].Index
+	})
+	// The monolithic list is always capped at the snapshot's stored
+	// top-k depth, even when the request asks for more (k only
+	// truncates further). Every global top-k candidate ranks within
+	// top-k of its own shard, so the sorted union's head IS the
+	// monolithic list.
+	limit := 0
+	for _, b := range rt.readyBackends() {
+		if _, _, _, topK, _, _ := b.snapshotState(); topK > 0 {
+			limit = topK
+			break
+		}
+	}
+	if merged.K > 0 && (limit == 0 || merged.K < limit) {
+		limit = merged.K
+	}
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	if all == nil {
+		all = []serve.Candidate{}
+	}
+	merged.Generation = maxGen
+	merged.Candidates = all
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(merged)
+}
+
+// scoreBody is the slice of the /v1/score request the router needs for
+// routing; the full body is replayed to the chosen backend untouched.
+type scoreBody struct {
+	I        *int32          `json:"i"`
+	J        *int32          `json:"j"`
+	Features json.RawMessage `json:"features"`
+}
+
+// handleScore owner-routes pool lookups by their net-1 index and sends
+// everything else (rescores, malformed bodies) to any backend.
+func (rt *Router) handleScore(w http.ResponseWriter, r *http.Request) error {
+	body, _ := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	var req scoreBody
+	if err := json.Unmarshal(body, &req); err == nil && req.I != nil && req.J != nil && req.Features == nil {
+		if owners := rt.ownersOf(*req.I); len(owners) > 0 {
+			p, err := rt.tryBackends(owners, r.Method, r.URL.RequestURI(), body)
+			if err != nil {
+				return err
+			}
+			return p.write(w)
+		}
+		// An index outside every range is outside the pool everywhere;
+		// any backend answers the canonical 404.
+	}
+	return rt.proxyAny(w, r, body)
+}
+
+// rolloutResponse reports a rolling reload.
+type rolloutResponse struct {
+	Reloaded []string `json:"reloaded"`
+	Failed   []string `json:"failed,omitempty"`
+}
+
+// handleRollout reloads every backend sequentially, health-ordered:
+// not-ready backends first (they serve no traffic, so a bad artifact
+// is discovered before any healthy replica is touched), then ready
+// ones one at a time, each polled back to readiness before the next —
+// a rolling restart that never takes two healthy replicas of a range
+// down at once.
+func (rt *Router) handleRollout(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodPost {
+		return errf(http.StatusMethodNotAllowed, "rollout is POST")
+	}
+	rt.cRollout.Inc()
+	ordered := make([]*Backend, 0, len(rt.backends))
+	var healthy []*Backend
+	for _, b := range rt.backends {
+		if ready, _, _, _, _, _ := b.snapshotState(); ready {
+			healthy = append(healthy, b)
+		} else {
+			ordered = append(ordered, b)
+		}
+	}
+	ordered = append(ordered, healthy...)
+	var resp rolloutResponse
+	for _, b := range ordered {
+		if err := rt.reloadBackend(b); err != nil {
+			resp.Failed = append(resp.Failed, fmt.Sprintf("%s: %v", b.URL, err))
+			continue
+		}
+		resp.Reloaded = append(resp.Reloaded, b.URL)
+	}
+	rt.clearResolveCache()
+	rt.Refresh()
+	if len(resp.Failed) > 0 {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		return json.NewEncoder(w).Encode(resp)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(resp)
+}
+
+func (rt *Router) reloadBackend(b *Backend) error {
+	p, err := rt.fetch(b, http.MethodPost, "/v1/reload", []byte("{}"))
+	if err != nil {
+		return err
+	}
+	if p.status != http.StatusOK {
+		return fmt.Errorf("reload answered %d: %s", p.status, strings.TrimSpace(string(p.body)))
+	}
+	// Poll the replica back to readiness before touching the next one.
+	deadline := time.Now().Add(rt.opts.Timeout)
+	for {
+		rp, err := rt.fetch(b, http.MethodGet, "/readyz", nil)
+		if err == nil && rp.status == http.StatusOK {
+			rt.probe(b)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("did not return to readiness after reload")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

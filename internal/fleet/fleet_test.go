@@ -1,0 +1,442 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/activeiter/activeiter/internal/hetnet"
+	"github.com/activeiter/activeiter/internal/serve"
+	"github.com/activeiter/activeiter/internal/snapshot"
+)
+
+// randomSnapshot builds an arbitrary-but-valid whole alignment: random
+// pool degrees, scores quantized to eighths so cross-shard ties are
+// common (the merge order must win on the index tie-break, not luck),
+// matches and labels drawn from the pool.
+func randomSnapshot(t testing.TB, rng *rand.Rand, n1, n2, topK int) *snapshot.Snapshot {
+	t.Helper()
+	build := func(name string, n int) *hetnet.Network {
+		g := hetnet.NewSocialNetwork(name)
+		for u := 0; u < n; u++ {
+			g.AddNode(hetnet.User, fmt.Sprintf("%s-u%d", name, u))
+		}
+		return g
+	}
+	pair := hetnet.NewAlignedPair(build("left", n1), build("right", n2))
+	var pool []snapshot.PoolLink
+	seen := map[[2]int32]bool{}
+	for i := 0; i < n1; i++ {
+		deg := 1 + rng.Intn(6)
+		for d := 0; d < deg; d++ {
+			j := int32(rng.Intn(n2))
+			if seen[[2]int32{int32(i), j}] {
+				continue
+			}
+			seen[[2]int32{int32(i), j}] = true
+			link := snapshot.PoolLink{
+				I:        int32(i),
+				J:        j,
+				Label:    float64(rng.Intn(2)),
+				Score:    float64(rng.Intn(8)) / 8,
+				HasScore: rng.Intn(10) > 0, // a few scoreless links
+			}
+			pool = append(pool, link)
+		}
+	}
+	var matches []snapshot.Match
+	var labels []snapshot.QueriedLabel
+	for _, p := range pool {
+		if len(matches) == 0 || matches[len(matches)-1].I != p.I {
+			if rng.Intn(10) < 7 {
+				matches = append(matches, snapshot.Match{I: p.I, J: p.J, Score: p.Score, HasScore: p.HasScore})
+			}
+		}
+		if rng.Intn(12) == 0 {
+			labels = append(labels, snapshot.QueriedLabel{I: p.I, J: p.J, Label: p.Label})
+		}
+	}
+	meta := snapshot.Meta{
+		CreatedUnix: 1700000000,
+		Facade:      "fleet-prop",
+		Notation:    []string{"f0", "f1", "bias"},
+		Threshold:   0.5,
+	}
+	model := snapshot.Model{W: []float64{0.5, -0.25, 0.125}}
+	s, err := snapshot.Build(pair, meta, model, pool, matches, labels, topK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// randomRanges tiles [0, n1) with 1–4 random cut points.
+func randomRanges(rng *rand.Rand, n1 int) []snapshot.UserRange {
+	parts := 1 + rng.Intn(4)
+	if parts > n1 {
+		parts = n1
+	}
+	cutSet := map[int32]bool{}
+	for len(cutSet) < parts-1 {
+		cutSet[int32(1+rng.Intn(n1-1))] = true
+	}
+	cuts := make([]int32, 0, parts+1)
+	cuts = append(cuts, 0)
+	for c := range cutSet {
+		cuts = append(cuts, c)
+	}
+	cuts = append(cuts, int32(n1))
+	sort.Slice(cuts, func(a, b int) bool { return cuts[a] < cuts[b] })
+	var out []snapshot.UserRange
+	for i := 0; i+1 < len(cuts); i++ {
+		out = append(out, snapshot.UserRange{Lo: cuts[i], Hi: cuts[i+1]})
+	}
+	return out
+}
+
+// backendServer serves one artifact the way cmd/alignd does, with
+// reload wired to an on-disk path so rollout tests work end to end.
+func backendServer(t testing.TB, s *snapshot.Snapshot, dir string, name string) *httptest.Server {
+	t.Helper()
+	path := filepath.Join(dir, name+".snap")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	st := &serve.Store{}
+	ix, err := serve.NewIndex(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Swap(ix)
+	h := serve.NewHandler(st, serve.NewMetrics(), serve.HandlerOptions{
+		SnapshotPath: path,
+		Load:         snapshot.OpenFile,
+	})
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// newFleet splits parent by ranges, serves every shard, and fronts
+// them with a started router. Returns the router server and the
+// router itself.
+func newFleet(t testing.TB, parent *snapshot.Snapshot, ranges []snapshot.UserRange, opts Options) (*httptest.Server, *Router) {
+	t.Helper()
+	shards, err := snapshot.Split(parent, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var urls []string
+	for i, sh := range shards {
+		srv := backendServer(t, sh, dir, fmt.Sprintf("shard%d", i))
+		urls = append(urls, srv.URL)
+	}
+	rt, err := NewRouter(urls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Refresh()
+	srv := httptest.NewServer(rt)
+	t.Cleanup(func() { rt.Stop(); srv.Close() })
+	return srv, rt
+}
+
+// response captures everything bit-identity compares.
+type response struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+func do(t testing.TB, base, method, pathAndQuery string, body string) response {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, base+pathAndQuery, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return response{status: resp.StatusCode, contentType: resp.Header.Get("Content-Type"), body: raw}
+}
+
+// TestRouterBitIdentical is the fleet acceptance property: for random
+// alignments and random range splits, every request answered through
+// the router is byte-identical — status, Content-Type and body — to a
+// monolithic alignd holding the whole artifact, across /v1/match,
+// /v1/candidates (including cross-range net-2 reverse lookups and the
+// malformed-k error paths), /v1/score and /v1/resolve.
+func TestRouterBitIdentical(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(7907 + trial*131)))
+			n1, n2 := 12+rng.Intn(20), 10+rng.Intn(20)
+			parent := randomSnapshot(t, rng, n1, n2, 4)
+			ranges := randomRanges(rng, n1)
+
+			mono := backendServer(t, parent, t.TempDir(), "mono")
+			fleetSrv, _ := newFleet(t, parent, ranges, Options{})
+
+			if r := do(t, fleetSrv.URL, http.MethodGet, "/readyz", ""); r.status != http.StatusOK {
+				t.Fatalf("router not ready over %d ranges: %d %s", len(ranges), r.status, r.body)
+			}
+
+			var reqs []struct{ method, path, body string }
+			addGet := func(path string) {
+				reqs = append(reqs, struct{ method, path, body string }{http.MethodGet, path, ""})
+			}
+			addPost := func(path, body string) {
+				reqs = append(reqs, struct{ method, path, body string }{http.MethodPost, path, body})
+			}
+			// Every user on both nets, by token and by numeric index:
+			// match, candidates at several depths, resolve. The net-2
+			// side is the cross-range reverse-lookup path.
+			for i := 0; i < n1; i++ {
+				addGet(fmt.Sprintf("/v1/match/1/left-u%d", i))
+				addGet(fmt.Sprintf("/v1/candidates/1/%d", i))
+				addGet(fmt.Sprintf("/v1/candidates/1/left-u%d?k=2", i))
+				addGet(fmt.Sprintf("/v1/resolve/1/left-u%d", i))
+			}
+			for j := 0; j < n2; j++ {
+				addGet(fmt.Sprintf("/v1/match/2/right-u%d", j))
+				addGet(fmt.Sprintf("/v1/candidates/2/%d", j))
+				addGet(fmt.Sprintf("/v1/candidates/2/right-u%d?k=1", j))
+				addGet(fmt.Sprintf("/v1/candidates/2/right-u%d?k=100", j))
+				addGet(fmt.Sprintf("/v1/resolve/2/right-u%d", j))
+			}
+			// Error shapes must match bytewise too.
+			addGet("/v1/match/1/ghost")
+			addGet("/v1/match/2/ghost")
+			addGet("/v1/match/9/left-u0")
+			addGet("/v1/match/1")
+			addGet("/v1/candidates/1/left-u0?k=-1")
+			addGet("/v1/candidates/2/right-u0?k=abc")
+			addGet("/v1/resolve/1/nope")
+			// Score: pool hits across every range, misses, out-of-range
+			// indices, rescores, malformed bodies.
+			for _, p := range parent.Pool {
+				if rng.Intn(4) == 0 {
+					addPost("/v1/score", fmt.Sprintf(`{"i":%d,"j":%d}`, p.I, p.J))
+				}
+			}
+			addPost("/v1/score", fmt.Sprintf(`{"i":0,"j":%d}`, n2+5))
+			addPost("/v1/score", fmt.Sprintf(`{"i":%d,"j":0}`, n1+5))
+			addPost("/v1/score", `{"i":-3,"j":0}`)
+			addPost("/v1/score", `{"features":[1,0,0]}`)
+			addPost("/v1/score", `{"features":[1,0]}`)
+			addPost("/v1/score", `{"i":1}`)
+			addPost("/v1/score", `not json`)
+
+			for _, rq := range reqs {
+				want := do(t, mono.URL, rq.method, rq.path, rq.body)
+				got := do(t, fleetSrv.URL, rq.method, rq.path, rq.body)
+				if got.status != want.status || got.contentType != want.contentType || !bytes.Equal(got.body, want.body) {
+					t.Errorf("%s %s (body %q):\n router: %d %s %s\n mono:   %d %s %s",
+						rq.method, rq.path, rq.body, got.status, got.contentType, got.body, want.status, want.contentType, want.body)
+				}
+			}
+		})
+	}
+}
+
+// TestRouterFailover: with two replicas of the full range and one of
+// them dead, the router retries onto the live replica and still
+// answers correctly.
+func TestRouterFailover(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	parent := randomSnapshot(t, rng, 10, 10, 4)
+	dir := t.TempDir()
+	live := backendServer(t, parent, dir, "live")
+	dead := backendServer(t, parent, dir, "dead")
+
+	rt, err := NewRouter([]string{dead.URL, live.URL}, Options{Retries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Refresh()
+	dead.Close() // dies after discovery: the router still believes in it
+	srv := httptest.NewServer(rt)
+	defer srv.Close()
+
+	r := do(t, srv.URL, http.MethodGet, "/v1/match/1/left-u0", "")
+	mono := do(t, live.URL, http.MethodGet, "/v1/match/1/left-u0", "")
+	if r.status != mono.status || !bytes.Equal(r.body, mono.body) {
+		t.Errorf("failover answer diverged: %d %s vs %d %s", r.status, r.body, mono.status, mono.body)
+	}
+}
+
+// TestRouterHedgedRead: a slow primary plus a fast replica and a tiny
+// hedge delay answer well before the slow replica would.
+func TestRouterHedgedRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	parent := randomSnapshot(t, rng, 10, 10, 4)
+	dir := t.TempDir()
+	fast := backendServer(t, parent, dir, "fast")
+
+	ix, err := serve.NewIndex(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &serve.Store{}
+	st.Swap(ix)
+	inner := serve.NewHandler(st, serve.NewMetrics(), serve.HandlerOptions{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/match/1/left-u0" {
+			time.Sleep(2 * time.Second)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer slow.Close()
+
+	rt, err := NewRouter([]string{slow.URL, fast.URL}, Options{HedgeAfter: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Refresh()
+	srv := httptest.NewServer(rt)
+	defer srv.Close()
+
+	start := time.Now()
+	r := do(t, srv.URL, http.MethodGet, "/v1/match/1/left-u0", "")
+	if r.status != http.StatusOK {
+		t.Fatalf("hedged read failed: %d %s", r.status, r.body)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("hedged read took %v; the hedge should have won long before the slow primary", elapsed)
+	}
+}
+
+// TestRouterRollout: POST /v1/reload on the router rolls every backend
+// to the next generation, one at a time, and reports them all.
+func TestRouterRollout(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	parent := randomSnapshot(t, rng, 12, 12, 4)
+	ranges := []snapshot.UserRange{{Lo: 0, Hi: 6}, {Lo: 6, Hi: 12}}
+	fleetSrv, rt := newFleet(t, parent, ranges, Options{})
+
+	r := do(t, fleetSrv.URL, http.MethodPost, "/v1/reload", "{}")
+	if r.status != http.StatusOK {
+		t.Fatalf("rollout = %d %s", r.status, r.body)
+	}
+	var resp rolloutResponse
+	if err := json.Unmarshal(r.body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Reloaded) != 2 || len(resp.Failed) != 0 {
+		t.Errorf("rollout = %+v", resp)
+	}
+	for _, b := range rt.backends {
+		if _, gen, _, _, _, _ := b.snapshotState(); gen != 2 {
+			t.Errorf("backend %s at generation %d after rollout, want 2", b.URL, gen)
+		}
+	}
+
+	// A match through the router now reports the new generation.
+	var match struct {
+		Generation uint64 `json:"generation"`
+	}
+	mr := do(t, fleetSrv.URL, http.MethodGet, "/v1/match/2/right-u3", "")
+	if mr.status == http.StatusOK {
+		if err := json.Unmarshal(mr.body, &match); err != nil {
+			t.Fatal(err)
+		}
+		if match.Generation != 2 {
+			t.Errorf("post-rollout generation = %d, want 2", match.Generation)
+		}
+	}
+}
+
+// TestRouterStatusz sanity-checks the router's own status page: ready,
+// the discovered ranges in order, every backend listed.
+func TestRouterStatusz(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	parent := randomSnapshot(t, rng, 12, 12, 4)
+	ranges := []snapshot.UserRange{{Lo: 0, Hi: 4}, {Lo: 4, Hi: 12}}
+	fleetSrv, _ := newFleet(t, parent, ranges, Options{})
+
+	r := do(t, fleetSrv.URL, http.MethodGet, "/statusz", "")
+	if r.status != http.StatusOK {
+		t.Fatalf("statusz = %d", r.status)
+	}
+	var st routerStatus
+	if err := json.Unmarshal(r.body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ready || st.Users1 != 12 || len(st.Ranges) != 2 || len(st.Backends) != 2 {
+		t.Errorf("statusz = %+v", st)
+	}
+	if st.Ranges[0].Lo != 0 || st.Ranges[0].Hi != 4 || st.Ranges[1].Lo != 4 || st.Ranges[1].Hi != 12 {
+		t.Errorf("ranges out of order: %+v", st.Ranges)
+	}
+
+	m := do(t, fleetSrv.URL, http.MethodGet, "/metricsz", "")
+	if m.status != http.StatusOK || !bytes.Contains(m.body, []byte("activeiter_serve_requests_total")) {
+		t.Errorf("metricsz = %d %.120s", m.status, m.body)
+	}
+}
+
+// TestRouterNotReadyWithGap: a router whose discovered ranges do not
+// tile the user space reports not-ready rather than serving holes.
+func TestRouterNotReadyWithGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	parent := randomSnapshot(t, rng, 12, 12, 4)
+	shards, err := snapshot.Split(parent, []snapshot.UserRange{{Lo: 0, Hi: 6}, {Lo: 6, Hi: 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only shard 0 gets a server: range [6,12) is dark.
+	srv0 := backendServer(t, shards[0], t.TempDir(), "s0")
+	rt, err := NewRouter([]string{srv0.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Refresh()
+	srv := httptest.NewServer(rt)
+	defer srv.Close()
+	if r := do(t, srv.URL, http.MethodGet, "/readyz", ""); r.status != http.StatusServiceUnavailable {
+		t.Errorf("readyz with a dark range = %d, want 503", r.status)
+	}
+}
+
+var _ = os.Getenv // keep os imported for future fixtures
+
+// Scheme-less -backends entries (host:port) are how operators name a
+// local fleet; the router must default them to http:// rather than
+// letting url parsing read the port as a path segment.
+func TestNewRouterSchemelessBackends(t *testing.T) {
+	r, err := NewRouter([]string{"127.0.0.1:7601", "http://127.0.0.1:7602/", " 127.0.0.1:7603 "}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://127.0.0.1:7601", "http://127.0.0.1:7602", "http://127.0.0.1:7603"}
+	for i, b := range r.backends {
+		if b.URL != want[i] {
+			t.Errorf("backend %d URL = %q, want %q", i, b.URL, want[i])
+		}
+	}
+}

@@ -107,6 +107,27 @@ func AppendUint32s(b []byte, vs []uint32) []byte {
 	return b
 }
 
+// AppendUint32 appends one uint32 as 4 little-endian bytes.
+func AppendUint32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+// AppendUint64 appends one uint64 as 8 little-endian bytes — the
+// column form for hashes and fingerprints, which don't varint-compress.
+func AppendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// AppendUint64s appends a uvarint element count followed by the packed
+// column: 8 little-endian bytes per element.
+func AppendUint64s(b []byte, vs []uint64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	return b
+}
+
 // AppendFloat64s appends a uvarint element count followed by the packed
 // column: 8 little-endian IEEE-754 bytes per element.
 func AppendFloat64s(b []byte, vs []float64) []byte {
@@ -374,6 +395,52 @@ func (d *Dec) Uint32s() []uint32 {
 		out[i] = binary.LittleEndian.Uint32(d.b[i*4:])
 	}
 	d.b = d.b[n*4:]
+	return out
+}
+
+// Uint32 reads one packed uint32 (4 little-endian bytes).
+func (d *Dec) Uint32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 4 {
+		d.fail("uint32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+// Uint64 reads one packed uint64 (8 little-endian bytes).
+func (d *Dec) Uint64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("uint64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+// Uint64s reads a packed uint64 column (8 bytes per element).
+func (d *Dec) Uint64s() []uint64 {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b))/8 {
+		d.fail("uint64s count")
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(d.b[i*8:])
+	}
+	d.b = d.b[n*8:]
 	return out
 }
 

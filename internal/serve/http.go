@@ -122,6 +122,8 @@ func (h *Handler) route(w http.ResponseWriter, r *http.Request) (string, error) 
 		return "match", h.handleLookup(w, r, strings.TrimPrefix(path, "/v1/match/"), false)
 	case strings.HasPrefix(path, "/v1/candidates/"):
 		return "candidates", h.handleLookup(w, r, strings.TrimPrefix(path, "/v1/candidates/"), true)
+	case strings.HasPrefix(path, "/v1/resolve/"):
+		return "resolve", h.handleResolve(w, r, strings.TrimPrefix(path, "/v1/resolve/"))
 	default:
 		return "unknown", errf(http.StatusNotFound, "no such endpoint %q", path)
 	}
@@ -200,19 +202,32 @@ type statusResponse struct {
 }
 
 type statusSnapshot struct {
-	Facade      string `json:"facade"`
-	CreatedUnix int64  `json:"created_unix"`
-	Net1        string `json:"net1"`
-	Net2        string `json:"net2"`
-	FP1         string `json:"fp1"`
-	FP2         string `json:"fp2"`
-	Users1      int    `json:"users1"`
-	Users2      int    `json:"users2"`
-	Matches     int    `json:"matches"`
-	Pool        int    `json:"pool"`
-	TopK        int    `json:"top_k"`
-	Shards      []int  `json:"shards,omitempty"`
-	Primary     bool   `json:"primary_model"`
+	Facade      string       `json:"facade"`
+	CreatedUnix int64        `json:"created_unix"`
+	Net1        string       `json:"net1"`
+	Net2        string       `json:"net2"`
+	FP1         string       `json:"fp1"`
+	FP2         string       `json:"fp2"`
+	Users1      int          `json:"users1"`
+	Users2      int          `json:"users2"`
+	Matches     int          `json:"matches"`
+	Pool        int          `json:"pool"`
+	TopK        int          `json:"top_k"`
+	Shards      []int        `json:"shards,omitempty"`
+	Primary     bool         `json:"primary_model"`
+	Shard       *statusShard `json:"shard,omitempty"`
+}
+
+// statusShard is the split provenance block a shard artifact exposes:
+// the alignr router discovers the fleet's range table from it instead
+// of being configured with one.
+type statusShard struct {
+	Lo       int32  `json:"lo"`
+	Hi       int32  `json:"hi"`
+	Index    int    `json:"index"`
+	Count    int    `json:"count"`
+	Epoch    int64  `json:"epoch"`
+	ParentFP string `json:"parent_fp"`
 }
 
 // handleMetrics serves the Prometheus text exposition: this server's
@@ -252,6 +267,16 @@ func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) error {
 			TopK:        ix.TopK(),
 			Shards:      ix.Shards(),
 			Primary:     len(ix.snap.Model.W) > 0,
+		}
+		if si := meta.Shard; si != nil {
+			resp.Snapshot.Shard = &statusShard{
+				Lo:       si.Range.Lo,
+				Hi:       si.Range.Hi,
+				Index:    si.Index,
+				Count:    si.Count,
+				Epoch:    si.Epoch,
+				ParentFP: fmt.Sprintf("%016x", si.ParentFP),
+			}
 		}
 	}
 	return h.writeJSON(w, resp)
@@ -315,7 +340,10 @@ func (h *Handler) handleLookup(w http.ResponseWriter, r *http.Request, tail stri
 		if kq := r.URL.Query().Get("k"); kq != "" {
 			k, err = strconv.Atoi(kq)
 			if err != nil || k < 0 {
-				return errf(http.StatusBadRequest, "bad k %q", kq)
+				// Explicit rejection, not a silent fall back to the default
+				// depth: a client that sent k=-3 or k=1e3 would otherwise
+				// read a differently sized answer with no hint why.
+				return errf(http.StatusBadRequest, "bad k %q: must be a non-negative integer", kq)
 			}
 		}
 		items := ix.CandidatesFor(net, user, k)
@@ -340,6 +368,44 @@ func (h *Handler) handleLookup(w http.ResponseWriter, r *http.Request, tail stri
 		HasScore bool    `json:"has_score"`
 	}{m.Index, m.ID, m.Score, m.HasScore}
 	return h.writeJSON(w, resp)
+}
+
+// resolveResponse answers /v1/resolve: the index a user token maps to,
+// without the cost of a full lookup. The alignr router leans on it —
+// shard ownership is decided by net-1 index, and any replica can
+// resolve because every shard carries the full user tables.
+type resolveResponse struct {
+	Generation uint64 `json:"generation"`
+	Net        int    `json:"net"`
+	User       string `json:"user"`
+	Index      int32  `json:"index"`
+	Users      int    `json:"users"`
+}
+
+func (h *Handler) handleResolve(w http.ResponseWriter, r *http.Request, tail string) error {
+	if r.Method != http.MethodGet {
+		return errf(http.StatusMethodNotAllowed, "resolve is GET")
+	}
+	ix, err := h.current()
+	if err != nil {
+		return err
+	}
+	net, user, err := parseNetUser(ix, tail)
+	if err != nil {
+		return err
+	}
+	users1, users2, _, _ := ix.Counts()
+	users := users1
+	if net == 2 {
+		users = users2
+	}
+	return h.writeJSON(w, resolveResponse{
+		Generation: ix.Generation,
+		Net:        net,
+		User:       ix.UserID(net, user),
+		Index:      user,
+		Users:      users,
+	})
 }
 
 // scoreRequest is the /v1/score body: a pool-link lookup when I/J are
@@ -441,23 +507,50 @@ func (h *Handler) handleReload(w http.ResponseWriter, r *http.Request) error {
 	if path != h.opts.SnapshotPath && !h.opts.AllowPathOverride {
 		return errf(http.StatusForbidden, "reload path override is disabled (serve with -allow-reload-path to enable)")
 	}
+	ix, err := h.reloadPath(path)
+	if err != nil {
+		return errf(http.StatusUnprocessableEntity, "%v", err)
+	}
+	_, _, matches, pool := ix.Counts()
+	return h.writeJSON(w, reloadResponse{Generation: ix.Generation, Path: path, Matches: matches, Pool: pool})
+}
+
+// reloadPath is the reload mechanism shared by the HTTP endpoint and
+// SIGHUP: decode and index off to the side, record the outcome for
+// readyz/statusz, and only swap on success — a corrupt or unindexable
+// artifact never reaches the store, so the old generation keeps
+// serving while the failure is visible until a reload succeeds.
+func (h *Handler) reloadPath(path string) (*Index, error) {
+	if h.opts.Load == nil {
+		return nil, fmt.Errorf("reload is not configured")
+	}
 	snap, err := h.opts.Load(path)
 	if err != nil {
-		he := errf(http.StatusUnprocessableEntity, "reload %s: %v", path, err)
-		h.recordReload(he)
-		return he
+		err = fmt.Errorf("reload %s: %w", path, err)
+		h.recordReload(err)
+		return nil, err
 	}
 	ix, err := NewIndex(snap)
 	if err != nil {
-		// A corrupt or unindexable artifact never reaches the store: the
-		// old generation keeps serving, and the failure is visible on
-		// /readyz and /statusz until a reload succeeds.
-		he := errf(http.StatusUnprocessableEntity, "reload %s: %v", path, err)
-		h.recordReload(he)
-		return he
+		err = fmt.Errorf("reload %s: %w", path, err)
+		h.recordReload(err)
+		return nil, err
 	}
 	h.recordReload(nil)
-	gen := h.store.Swap(ix)
-	_, _, matches, pool := ix.Counts()
-	return h.writeJSON(w, reloadResponse{Generation: gen, Path: path, Matches: matches, Pool: pool})
+	h.store.Swap(ix)
+	return ix, nil
+}
+
+// ReloadConfigured re-opens the handler's configured snapshot path and
+// swaps it in — the SIGHUP path, equivalent to a parameterless
+// POST /v1/reload. It returns the freshly served generation.
+func (h *Handler) ReloadConfigured() (uint64, error) {
+	if h.opts.SnapshotPath == "" {
+		return 0, fmt.Errorf("no snapshot path configured")
+	}
+	ix, err := h.reloadPath(h.opts.SnapshotPath)
+	if err != nil {
+		return 0, err
+	}
+	return ix.Generation, nil
 }

@@ -134,6 +134,11 @@ func NewIndex(s *snapshot.Snapshot) (*Index, error) {
 // Meta exposes the snapshot's provenance header.
 func (ix *Index) Meta() snapshot.Meta { return ix.snap.Meta }
 
+// Snapshot exposes the decoded artifact the index was built from. The
+// snapshot is immutable by the same contract as the index; the setsync
+// listener serves it to reconciling fleet members.
+func (ix *Index) Snapshot() *snapshot.Snapshot { return ix.snap }
+
 // TopK returns the snapshot's precomputed candidate-list depth.
 func (ix *Index) TopK() int { return ix.snap.TopK }
 

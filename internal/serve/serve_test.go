@@ -433,6 +433,140 @@ func TestHTTPEmptyStore(t *testing.T) {
 	}
 }
 
+// Regression: a malformed ?k= must be rejected with a 400 and the
+// uniform {"error": ...} body naming the bad value — not silently
+// served at the default depth.
+func TestHTTPCandidatesBadK(t *testing.T) {
+	srv, _, _, _ := newTestServer(t)
+	for _, kq := range []string{"-1", "abc", "1.5", "", "0x10"} {
+		url := srv.URL + "/v1/candidates/1/left-u0?k=" + kq
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := map[string]string{}
+		code := resp.StatusCode
+		decodeErr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if kq == "" {
+			// An empty k is the no-k case: default depth, not an error.
+			if code != http.StatusOK {
+				t.Errorf("k=<empty> = %d, want 200", code)
+			}
+			continue
+		}
+		if code != http.StatusBadRequest {
+			t.Errorf("k=%q = %d, want 400", kq, code)
+		}
+		if decodeErr != nil {
+			t.Fatalf("k=%q: error body is not JSON: %v", kq, decodeErr)
+		}
+		if msg := body["error"]; !strings.Contains(msg, fmt.Sprintf("bad k %q", kq)) || !strings.Contains(msg, "non-negative integer") {
+			t.Errorf("k=%q error body = %q, want the value and the constraint named", kq, msg)
+		}
+	}
+	// Valid edges stay valid: k=0 means the full precomputed list.
+	if code := getJSON(t, srv.URL+"/v1/candidates/1/left-u0?k=0", nil); code != http.StatusOK {
+		t.Errorf("k=0 = %d, want 200", code)
+	}
+}
+
+func TestHTTPResolve(t *testing.T) {
+	srv, _, _, _ := newTestServer(t)
+	var res resolveResponse
+	if code := getJSON(t, srv.URL+"/v1/resolve/1/left-u5", &res); code != http.StatusOK {
+		t.Fatalf("resolve = %d", code)
+	}
+	if res.Net != 1 || res.Index != 5 || res.User != "left-u5" || res.Users != fixtureUsers {
+		t.Errorf("resolve body = %+v", res)
+	}
+	// Numeric tokens resolve positionally, like the lookup endpoints.
+	if code := getJSON(t, srv.URL+"/v1/resolve/2/3", &res); code != http.StatusOK || res.Index != 3 || res.User != "right-u3" {
+		t.Errorf("numeric resolve = %+v", res)
+	}
+	if code := getJSON(t, srv.URL+"/v1/resolve/1/ghost", nil); code != http.StatusNotFound {
+		t.Errorf("unknown user resolve = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/resolve/9/left-u0", nil); code != http.StatusBadRequest {
+		t.Errorf("bad net resolve = %d", code)
+	}
+}
+
+// A shard artifact's statusz must expose its split provenance — the
+// block the alignr router discovers the fleet range table from.
+func TestHTTPStatusShardBlock(t *testing.T) {
+	parent := fixtureSnapshot(t, 1.0, 0)
+	shards, err := snapshot.Split(parent, snapshot.EvenRanges(fixtureUsers, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Store{}
+	ix, err := NewIndex(shards[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Swap(ix)
+	srv := httptest.NewServer(NewHandler(st, nil, HandlerOptions{}))
+	defer srv.Close()
+
+	var status statusResponse
+	if code := getJSON(t, srv.URL+"/statusz", &status); code != http.StatusOK {
+		t.Fatalf("statusz = %d", code)
+	}
+	sh := status.Snapshot.Shard
+	if sh == nil {
+		t.Fatal("statusz has no shard block for a shard artifact")
+	}
+	want := shards[1].Meta.Shard
+	if sh.Lo != want.Range.Lo || sh.Hi != want.Range.Hi || sh.Index != 1 || sh.Count != 2 || sh.Epoch != want.Epoch {
+		t.Errorf("shard block = %+v, want %+v", sh, want)
+	}
+	if sh.ParentFP != fmt.Sprintf("%016x", want.ParentFP) {
+		t.Errorf("shard parent_fp = %q", sh.ParentFP)
+	}
+	// A whole-alignment artifact keeps the block absent. Decode into a
+	// fresh struct: omitempty would leave the stale pointer in place.
+	srvWhole, _, _, _ := newTestServer(t)
+	status = statusResponse{}
+	if code := getJSON(t, srvWhole.URL+"/statusz", &status); code != http.StatusOK {
+		t.Fatal("statusz on whole artifact")
+	}
+	if status.Snapshot.Shard != nil {
+		t.Error("whole-alignment statusz grew a shard block")
+	}
+}
+
+func TestReloadConfigured(t *testing.T) {
+	srv, _, pathA, _ := newTestServer(t)
+	_ = srv
+	// Build a second handler around the same path to exercise the
+	// non-HTTP reload path directly.
+	st := &Store{}
+	ix, err := NewIndex(fixtureSnapshot(t, 1.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Swap(ix)
+	h := NewHandler(st, nil, HandlerOptions{SnapshotPath: pathA, Load: snapshot.OpenFile})
+	gen, err := h.ReloadConfigured()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Errorf("reload generation = %d, want 2", gen)
+	}
+	// A corrupt artifact keeps the old generation and reports the error.
+	if err := os.WriteFile(pathA, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReloadConfigured(); err == nil {
+		t.Error("corrupt ReloadConfigured succeeded")
+	}
+	if st.Current().Generation != 2 {
+		t.Error("corrupt ReloadConfigured disturbed the served generation")
+	}
+}
+
 func TestMetricsPercentiles(t *testing.T) {
 	m := NewMetrics()
 	for i := 0; i < 98; i++ {

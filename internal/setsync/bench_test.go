@@ -1,0 +1,36 @@
+package setsync
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPullChurn measures the reconciliation wire cost against
+// churn rate: for each fraction of mutated pool links, how many bytes
+// a delta pull moves versus the full artifact. wire_frac is the
+// headline number (delta bytes / full bytes) at each churn level.
+func BenchmarkPullChurn(b *testing.B) {
+	for _, frac := range []float64{0.001, 0.01, 0.1} {
+		b.Run(fmt.Sprintf("churn=%g", frac), func(b *testing.B) {
+			f := newFixture(b, 99, 400)
+			have := f.snapshot(b)
+			target := f.churn(b, frac)
+			var wire, full int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dial := serveDialer(b, target, Options{})
+				got, stats, err := Pull(dial, have, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got == nil {
+					b.Fatal("nil snapshot")
+				}
+				wire = stats.WireBytes()
+				full = stats.FullBytes
+			}
+			b.ReportMetric(float64(wire), "wire_bytes/op")
+			b.ReportMetric(float64(wire)/float64(full), "wire_frac")
+		})
+	}
+}

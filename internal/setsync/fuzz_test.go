@@ -1,0 +1,44 @@
+package setsync
+
+import "testing"
+
+// FuzzIBLT feeds hostile bytes to the table decoder and peeler. The
+// invariants: no panic, no allocation beyond the declared (and
+// bounded) cell count, and a peel that never emits more keys than the
+// table has cells (+1 for the in-flight pop) no matter what the cells
+// claim.
+func FuzzIBLT(f *testing.F) {
+	// A valid small table as a seed so the fuzzer starts near the
+	// interesting surface.
+	valid := NewTable(16, numHashes, 99)
+	for fp := uint64(1); fp < 20; fp++ {
+		valid.Insert(splitmix64(fp))
+	}
+	f.Add(valid.appendTo(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		tab, err := decodeTable(body)
+		if err != nil {
+			return
+		}
+		if len(tab.Cells) > maxCells {
+			t.Fatalf("decoder accepted %d cells", len(tab.Cells))
+		}
+		plus, minus, _ := tab.Decode()
+		if len(plus)+len(minus) > len(tab.Cells)+1 {
+			t.Fatalf("peeled %d keys out of %d cells", len(plus)+len(minus), len(tab.Cells))
+		}
+	})
+}
+
+// FuzzPatch drives the patch applier with hostile frame bodies over a
+// real local entry set: it must error or produce a verified snapshot,
+// never panic or over-allocate on lying counts.
+func FuzzPatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x05})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		applyPatch(nil, body, 1)
+	})
+}

@@ -1,0 +1,203 @@
+// Invertible Bloom lookup table over entry fingerprints. An IBLT is a
+// fixed-size sketch of a set supporting SUBTRACTION: encode set A into
+// a table, subtract set B's same-shaped table, and — when the
+// symmetric difference is small relative to the cell count — peel the
+// difference back out exactly, split by side. That is precisely the
+// delta-sync primitive: the sketch's size is chosen by the expected
+// diff, not by the set, so a fleet member reconciles a near-identical
+// artifact in O(diff) bytes.
+package setsync
+
+import (
+	"fmt"
+
+	"github.com/activeiter/activeiter/internal/framing"
+)
+
+// Cell is one IBLT bucket: a signed count of keys hashed here, the XOR
+// of those keys, and the XOR of their check hashes. A cell holding
+// exactly one key (count ±1) is recognizable because its KeySum's
+// check hash matches its Check — that recognizability is what makes
+// the table invertible. The check hash is 32 bits, not 64: it exists
+// only to reject impure cells during peeling, a 2⁻³² false-pure rate
+// is caught downstream by the artifact fingerprint verification, and
+// halving it cuts every sketch's wire cost by ~20%.
+type Cell struct {
+	Count  int64
+	KeySum uint64
+	Check  uint32
+}
+
+const (
+	// maxCells caps a table's cell count, both for the level ladder and
+	// for hostile decoded input (1M cells ≈ 24 MiB — far above any diff
+	// the cutover threshold would let reach the wire).
+	maxCells = 1 << 20
+	// maxHashes bounds the per-key position count accepted off the wire.
+	maxHashes = 8
+	// numHashes is the position count this side writes. 4 gives the
+	// standard ~1.3×diff cell requirement for reliable peeling.
+	numHashes = 4
+	// checkSalt separates the check-hash domain from the position
+	// domain.
+	checkSalt = 0x6a09e667f3bcc909
+)
+
+func checkOf(fp uint64) uint32 { return uint32(splitmix64(fp ^ checkSalt)) }
+
+// Table is an IBLT. Both sides of a subtraction must agree on the cell
+// count, hash count and seed; the wire encoding carries all three.
+type Table struct {
+	Seed  uint64
+	K     int
+	Cells []Cell
+}
+
+// NewTable returns an empty m-cell table with k hash positions.
+func NewTable(m, k int, seed uint64) *Table {
+	return &Table{Seed: seed, K: k, Cells: make([]Cell, m)}
+}
+
+// positions appends the k cell indices for fp to buf. Positions may
+// collide; peeling handles a key XOR-ing into the same cell twice the
+// same way classic IBLT treatments do (the double-insert cancels in
+// KeySum/Check while Count moves by 2 — the cell just is not pure).
+func (t *Table) positions(fp uint64, buf []int) []int {
+	m := uint64(len(t.Cells))
+	for i := 0; i < t.K; i++ {
+		h := splitmix64(fp ^ t.Seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15))
+		buf = append(buf, int(h%m))
+	}
+	return buf
+}
+
+// Insert adds fp to the table.
+func (t *Table) Insert(fp uint64) { t.apply(fp, 1) }
+
+func (t *Table) apply(fp uint64, sign int64) {
+	var posBuf [maxHashes]int
+	for _, p := range t.positions(fp, posBuf[:0]) {
+		c := &t.Cells[p]
+		c.Count += sign
+		c.KeySum ^= fp
+		c.Check ^= checkOf(fp)
+	}
+}
+
+// Subtract returns t − o cellwise. The shapes must agree exactly —
+// different geometry means the two sketches hash keys to different
+// cells and the subtraction is meaningless.
+func (t *Table) Subtract(o *Table) (*Table, error) {
+	if len(t.Cells) != len(o.Cells) || t.K != o.K || t.Seed != o.Seed {
+		return nil, fmt.Errorf("setsync: subtracting mismatched tables (%d/%d cells, k %d/%d)", len(t.Cells), len(o.Cells), t.K, o.K)
+	}
+	out := NewTable(len(t.Cells), t.K, t.Seed)
+	for i := range t.Cells {
+		out.Cells[i] = Cell{
+			Count:  t.Cells[i].Count - o.Cells[i].Count,
+			KeySum: t.Cells[i].KeySum ^ o.Cells[i].KeySum,
+			Check:  t.Cells[i].Check ^ o.Cells[i].Check,
+		}
+	}
+	return out, nil
+}
+
+// Decode peels a subtracted table into the two sides of the symmetric
+// difference: plus holds keys present only in the minuend (the table
+// Subtract was called on), minus the keys present only in the
+// subtrahend. ok reports a complete decode — every cell returned to
+// zero. The work and output are bounded by the cell count regardless
+// of what the cells claim, so a hostile table cannot make the decoder
+// spin or over-allocate; it just fails.
+func (t *Table) Decode() (plus, minus []uint64, ok bool) {
+	work := NewTable(len(t.Cells), t.K, t.Seed)
+	copy(work.Cells, t.Cells)
+	queue := make([]int, 0, len(work.Cells))
+	for i := range work.Cells {
+		if work.pure(i) {
+			queue = append(queue, i)
+		}
+	}
+	var posBuf [maxHashes]int
+	// Each successful peel removes one key; more peels than cells means
+	// the cell contents are lying (hostile input), so stop there.
+	for len(queue) > 0 && len(plus)+len(minus) <= len(work.Cells) {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !work.pure(i) {
+			continue // a later peel already consumed this cell
+		}
+		c := work.Cells[i]
+		fp, sign := c.KeySum, c.Count
+		if sign > 0 {
+			plus = append(plus, fp)
+		} else {
+			minus = append(minus, fp)
+		}
+		for _, p := range work.positions(fp, posBuf[:0]) {
+			w := &work.Cells[p]
+			w.Count -= sign
+			w.KeySum ^= fp
+			w.Check ^= checkOf(fp)
+			if work.pure(p) {
+				queue = append(queue, p)
+			}
+		}
+	}
+	for i := range work.Cells {
+		if work.Cells[i] != (Cell{}) {
+			return plus, minus, false
+		}
+	}
+	return plus, minus, true
+}
+
+func (t *Table) pure(i int) bool {
+	c := t.Cells[i]
+	return (c.Count == 1 || c.Count == -1) && c.Check == checkOf(c.KeySum)
+}
+
+// appendTo encodes the table as a columnar frame body: geometry, then
+// the packed cells.
+func (t *Table) appendTo(b []byte) []byte {
+	b = framing.AppendUvarint(b, uint64(len(t.Cells)))
+	b = framing.AppendUvarint(b, uint64(t.K))
+	b = framing.AppendUint64(b, t.Seed)
+	for _, c := range t.Cells {
+		b = framing.AppendVarint(b, c.Count)
+		b = framing.AppendUint64(b, c.KeySum)
+		b = framing.AppendUint32(b, c.Check)
+	}
+	return b
+}
+
+// decodeTable reads a table off the wire with hostile-input bounds:
+// the declared cell count is checked against both maxCells and the
+// bytes actually present (a cell costs ≥ 13 bytes) before allocation,
+// and the hash count against maxHashes.
+func decodeTable(body []byte) (*Table, error) {
+	d := framing.NewDec(body)
+	m := d.Uvarint()
+	k := d.Uvarint()
+	seed := d.Uint64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if m == 0 || m > maxCells {
+		return nil, fmt.Errorf("setsync: table cell count %d outside [1,%d]", m, maxCells)
+	}
+	if k == 0 || k > maxHashes {
+		return nil, fmt.Errorf("setsync: table hash count %d outside [1,%d]", k, maxHashes)
+	}
+	if m > uint64(d.Remaining())/13 {
+		return nil, fmt.Errorf("setsync: table claims %d cells, body holds %d bytes", m, d.Remaining())
+	}
+	t := NewTable(int(m), int(k), seed)
+	for i := range t.Cells {
+		t.Cells[i] = Cell{Count: d.Varint(), KeySum: d.Uint64(), Check: d.Uint32()}
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

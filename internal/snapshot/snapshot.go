@@ -56,7 +56,11 @@ import (
 // Version history:
 //
 //	1 — PR 5: meta/model/matches/candidates/pool/labels/end.
-const Version = 1
+//	2 — PR 10: Meta gains Shard (user-range split provenance); a v1
+//	    reader would decode a shard artifact and silently serve it as
+//	    the whole alignment, so the change is a version bump even
+//	    though gob tolerates the new field.
+const Version = 2
 
 // maxSectionSize bounds a section's declared length. The pool section
 // scales with the candidate pool (tens of bytes per link); 1 GiB is far
@@ -116,6 +120,10 @@ type Meta struct {
 	BatchSize  int
 	Partitions int
 	Rounds     int
+	// Shard is nil for a whole-alignment artifact; a split shard (see
+	// Split) carries its net-1 user range, split position, epoch and
+	// parent fingerprint here.
+	Shard *ShardInfo
 }
 
 // ShardModel is one partition's trained weight vector (parallel to

@@ -155,13 +155,13 @@ func TestFileRoundTrip(t *testing.T) {
 }
 
 // TestGolden pins artifact compatibility: the golden file holds bytes a
-// Version-1 writer actually wrote, and the current reader must still
+// Version-2 writer actually wrote, and the current reader must still
 // decode it into the expected snapshot. Any change that breaks decoding
 // forces a deliberate Version bump — regenerate with -update after
 // bumping (see docs/SNAPSHOT.md).
 func TestGolden(t *testing.T) {
 	s := fixtureSnapshot(t)
-	path := filepath.Join("testdata", "snapshot_v1.golden")
+	path := filepath.Join("testdata", "snapshot_v2.golden")
 	if *update {
 		var buf bytes.Buffer
 		if err := s.Write(&buf); err != nil {

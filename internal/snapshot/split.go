@@ -1,0 +1,270 @@
+// User-range splitting: the serving-side counterpart of the training
+// tier's candidate-space partitioning. A monolithic artifact caps the
+// serve tier at what one machine holds; Split cuts it into per-range
+// shard artifacts a fleet of alignd replicas serves behind the alignr
+// router, and Merge proves the cut lossless by reassembling the exact
+// parent.
+//
+// The partition key is the net-1 user index: every match, pool link and
+// queried label hangs off exactly one net-1 user, so a half-open range
+// [Lo, Hi) owns an exact, disjoint slice of each section. Reverse-
+// direction (net-2) candidate lists are NOT owned by one shard — a
+// net-2 user's counterpart candidates cross ranges — so each shard
+// keeps the top-k list derivable from its own pool slice, and the
+// router merges per-shard lists on reads (the global top-k is always a
+// subset of the union of per-shard top-k lists at equal k, so the
+// merge is exact).
+//
+// Every shard keeps the full Meta user tables and the full Model
+// section: tables so any replica can resolve external IDs (and answer
+// fan-out legs without a second hop), models because weight vectors
+// are tiny next to the per-user sections. What marks a shard as a
+// shard is Meta.Shard — its range, its position in the split, the
+// split epoch, and the parent artifact's content fingerprint — which
+// the serving layer surfaces on /statusz so the router can discover
+// the fleet's range table instead of being configured with one.
+package snapshot
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// UserRange is a half-open interval [Lo, Hi) of net-1 user indices.
+type UserRange struct {
+	Lo, Hi int32
+}
+
+// Contains reports whether net-1 user index i falls in the range.
+func (r UserRange) Contains(i int32) bool { return i >= r.Lo && i < r.Hi }
+
+// String renders the range in the [lo,hi) form used in logs, statusz
+// and the split tool's output.
+func (r UserRange) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// ShardInfo marks an artifact as one shard of a split. It lives in
+// Meta so provenance travels with the shard: which slice it owns,
+// where it sits in the split, and which parent artifact it came from.
+type ShardInfo struct {
+	// Range is the net-1 user index slice this shard owns.
+	Range UserRange
+	// Index/Count position the shard in its split (0 ≤ Index < Count).
+	Index, Count int
+	// Epoch groups the shards of one split: every shard cut from one
+	// parent in one Split call carries the same epoch (the parent's
+	// CreatedUnix), so a router can tell a coherent fleet from one
+	// mid-rollout with mixed artifact generations.
+	Epoch int64
+	// ParentFP is the parent artifact's content fingerprint (see
+	// Snapshot.Fingerprint): the exact identity of the artifact the
+	// shard was cut from.
+	ParentFP uint64
+}
+
+// Fingerprint hashes the artifact's full serialized content with
+// FNV-64a. Write is deterministic for equal snapshots, so equal
+// snapshots fingerprint equally across processes — the identity Split
+// stamps into each shard and the setsync protocol uses to decide
+// whether two artifacts differ at all.
+func (s *Snapshot) Fingerprint() (uint64, error) {
+	h := fnv.New64a()
+	if err := s.Write(h); err != nil {
+		return 0, err
+	}
+	return h.Sum64(), nil
+}
+
+// Validate runs the artifact's internal consistency checks — index
+// bounds against the user tables, notation/weight dimension agreement
+// — the same checks Write enforces before serializing. Exported for
+// the layers that reassemble snapshots from parts (setsync) rather
+// than decode them from a trusted stream.
+func (s *Snapshot) Validate() error { return s.validate() }
+
+// EvenRanges cuts [0, n) into k near-equal contiguous user ranges (the
+// first n%k ranges get the extra user). k > n yields n singleton
+// ranges.
+func EvenRanges(n, k int) []UserRange {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if k == 0 {
+		return []UserRange{{0, 0}}
+	}
+	out := make([]UserRange, 0, k)
+	base, extra := n/k, n%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + base
+		if i < extra {
+			hi++
+		}
+		out = append(out, UserRange{Lo: int32(lo), Hi: int32(hi)})
+		lo = hi
+	}
+	return out
+}
+
+// checkRanges validates that ranges tile [0, n1) exactly: sorted,
+// non-empty, contiguous, covering. A partial or overlapping tiling
+// would make Split silently lossy, so it is an error instead.
+func checkRanges(ranges []UserRange, n1 int32) error {
+	if len(ranges) == 0 {
+		return fmt.Errorf("snapshot: split needs at least one range")
+	}
+	want := int32(0)
+	for i, r := range ranges {
+		if r.Lo != want {
+			return fmt.Errorf("snapshot: range %d is %s, want Lo=%d (ranges must tile [0,%d) in order)", i, r, want, n1)
+		}
+		if r.Hi <= r.Lo {
+			return fmt.Errorf("snapshot: range %d is %s: empty or inverted", i, r)
+		}
+		want = r.Hi
+	}
+	if want != n1 {
+		return fmt.Errorf("snapshot: ranges end at %d, want %d (the full net-1 user table)", want, n1)
+	}
+	return nil
+}
+
+// Split partitions the artifact by net-1 user range into one shard
+// artifact per range. Ranges must tile [0, len(Users1)) exactly. Each
+// shard carries its slice of the matches, pool links and queried
+// labels, the top-k candidate lists derivable from that slice (both
+// directions — net-2 lists are partial by construction and merged at
+// read time), and the full user tables and model section, plus a
+// Meta.Shard stamp naming the range, the split epoch and the parent
+// fingerprint. Merge of the result reproduces the parent exactly; the
+// parent itself must not already be a shard.
+func Split(s *Snapshot, ranges []UserRange) ([]*Snapshot, error) {
+	if s == nil {
+		return nil, fmt.Errorf("snapshot: split of nil snapshot")
+	}
+	if s.Meta.Shard != nil {
+		return nil, fmt.Errorf("snapshot: artifact is already shard %d/%d of epoch %d; split the parent instead",
+			s.Meta.Shard.Index, s.Meta.Shard.Count, s.Meta.Shard.Epoch)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkRanges(ranges, int32(len(s.Meta.Users1))); err != nil {
+		return nil, err
+	}
+	parentFP, err := s.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+
+	shards := make([]*Snapshot, len(ranges))
+	for si, r := range ranges {
+		shard := &Snapshot{
+			Meta:  s.Meta,
+			Model: s.Model,
+			TopK:  s.TopK,
+		}
+		shard.Meta.Shard = &ShardInfo{
+			Range:    r,
+			Index:    si,
+			Count:    len(ranges),
+			Epoch:    s.Meta.CreatedUnix,
+			ParentFP: parentFP,
+		}
+		// The parent's sections are sorted by net-1 index, so each
+		// range's slice is a contiguous run; filtering preserves order.
+		for _, m := range s.Matches {
+			if r.Contains(m.I) {
+				shard.Matches = append(shard.Matches, m)
+			}
+		}
+		for _, p := range s.Pool {
+			if r.Contains(p.I) {
+				shard.Pool = append(shard.Pool, p)
+			}
+		}
+		for _, l := range s.Labels {
+			if r.Contains(l.I) {
+				shard.Labels = append(shard.Labels, l)
+			}
+		}
+		// Re-derive both-direction top-k from the shard's pool slice: the
+		// net-1 lists come out identical to the parent's (a net-1 user's
+		// scored links all live in its shard), the net-2 lists are the
+		// shard's partial view the router merges.
+		shard.Cands = buildTopK(shard.Pool, shard.TopK)
+		if err := shard.Validate(); err != nil {
+			return nil, fmt.Errorf("snapshot: shard %d %s: %w", si, r, err)
+		}
+		shards[si] = shard
+	}
+	return shards, nil
+}
+
+// Merge reassembles a full split back into the parent artifact. The
+// shards must form one complete split: same epoch, same parent
+// fingerprint, same count, ranges tiling the user table, supplied in
+// any order. The result is validated against the recorded parent
+// fingerprint, so a wrong or stale shard set fails loudly instead of
+// producing a silently different artifact.
+func Merge(shards []*Snapshot) (*Snapshot, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("snapshot: merge of no shards")
+	}
+	// Order by shard index without mutating the caller's slice.
+	ordered := make([]*Snapshot, len(shards))
+	for _, sh := range shards {
+		if sh == nil || sh.Meta.Shard == nil {
+			return nil, fmt.Errorf("snapshot: merge input is not a shard artifact")
+		}
+		info := sh.Meta.Shard
+		if info.Count != len(shards) {
+			return nil, fmt.Errorf("snapshot: shard %d says the split has %d shards, got %d", info.Index, info.Count, len(shards))
+		}
+		if info.Index < 0 || info.Index >= len(shards) {
+			return nil, fmt.Errorf("snapshot: shard index %d outside [0,%d)", info.Index, len(shards))
+		}
+		if ordered[info.Index] != nil {
+			return nil, fmt.Errorf("snapshot: duplicate shard index %d", info.Index)
+		}
+		ordered[info.Index] = sh
+	}
+	first := ordered[0].Meta.Shard
+	parent := &Snapshot{
+		Meta:  ordered[0].Meta,
+		Model: ordered[0].Model,
+		TopK:  ordered[0].TopK,
+	}
+	parent.Meta.Shard = nil
+	ranges := make([]UserRange, 0, len(ordered))
+	for i, sh := range ordered {
+		info := sh.Meta.Shard
+		if info.Epoch != first.Epoch || info.ParentFP != first.ParentFP {
+			return nil, fmt.Errorf("snapshot: shard %d is from epoch %d fp %016x, shard 0 from epoch %d fp %016x — mixed splits",
+				i, info.Epoch, info.ParentFP, first.Epoch, first.ParentFP)
+		}
+		ranges = append(ranges, info.Range)
+		// Shards are per-range slices of globally sorted sections, so
+		// concatenation in range order restores the canonical sort.
+		parent.Matches = append(parent.Matches, sh.Matches...)
+		parent.Pool = append(parent.Pool, sh.Pool...)
+		parent.Labels = append(parent.Labels, sh.Labels...)
+	}
+	if err := checkRanges(ranges, int32(len(parent.Meta.Users1))); err != nil {
+		return nil, err
+	}
+	parent.Cands = buildTopK(parent.Pool, parent.TopK)
+	if err := parent.Validate(); err != nil {
+		return nil, err
+	}
+	fp, err := parent.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	if fp != first.ParentFP {
+		return nil, fmt.Errorf("snapshot: merged artifact fingerprints %016x, shards claim parent %016x — the shard set is not one lossless split", fp, first.ParentFP)
+	}
+	return parent, nil
+}
