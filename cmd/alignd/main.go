@@ -215,6 +215,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// syncConnTimeout is the absolute deadline on every sync connection,
+// both sides: a peer that connects and then stalls must not pin a
+// goroutine — and, on the serving side, a reference to that
+// generation's full snapshot — indefinitely.
+const syncConnTimeout = 2 * time.Minute
+
 // syncFromPeer reconciles the configured artifact against a peer's
 // sync listener and persists the result. A missing or unreadable local
 // artifact degrades to a full pull — first boot and corrupt-disk
@@ -225,7 +231,7 @@ func syncFromPeer(cfg *config, stdout io.Writer) error {
 		have = nil
 	}
 	dial := func() (net.Conn, error) { return net.DialTimeout("tcp", cfg.syncFrom, 10*time.Second) }
-	snap, stats, err := setsync.Pull(dial, have, setsync.Options{Cutover: cfg.syncCutover})
+	snap, stats, err := setsync.Pull(dial, have, setsync.Options{Cutover: cfg.syncCutover, Timeout: syncConnTimeout})
 	if err != nil {
 		return fmt.Errorf("sync from %s: %w", cfg.syncFrom, err)
 	}
@@ -250,6 +256,7 @@ func serveSync(ln net.Listener, store *serve.Store, stderr io.Writer) {
 		}
 		go func(c net.Conn) {
 			defer c.Close()
+			c.SetDeadline(time.Now().Add(syncConnTimeout))
 			ix := store.Current()
 			if ix == nil {
 				return

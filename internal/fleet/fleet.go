@@ -95,6 +95,7 @@ type Backend struct {
 	URL string
 
 	mu         sync.Mutex
+	seen       bool // probed successfully at least once
 	ready      bool
 	lastErr    string
 	generation uint64
@@ -261,6 +262,8 @@ func (rt *Router) probe(b *Backend) {
 		return
 	}
 	b.mu.Lock()
+	reloaded := b.seen && (b.generation != st.Generation || !sameShard(b.shard, st.Snapshot.Shard))
+	b.seen = true
 	b.ready = true
 	b.lastErr = ""
 	b.generation = st.Generation
@@ -268,6 +271,26 @@ func (rt *Router) probe(b *Backend) {
 	b.topK = st.Snapshot.TopK
 	b.shard = st.Snapshot.Shard
 	b.mu.Unlock()
+	if reloaded {
+		// The backend swapped artifacts behind the router's back (SIGHUP,
+		// direct POST /v1/reload): a new artifact may renumber users, and
+		// a stale token→index entry would owner-route net-1 lookups to the
+		// wrong shard with no error. The router's own rollout clears the
+		// cache too; this catches every out-of-band path the probe can see.
+		rt.clearResolveCache()
+	}
+}
+
+// sameShard reports whether two statusz shard blocks describe the same
+// slice of the same parent artifact.
+func sameShard(a, b *shardStat) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.Lo == b.Lo && a.Hi == b.Hi && a.Epoch == b.Epoch && a.ParentFP == b.ParentFP
 }
 
 // tableEntry is one discovered range and the backends owning it.
@@ -416,51 +439,55 @@ func retryable(p *proxied, err error) bool {
 // tryBackends proxies the request across candidates with retries,
 // capped-jitter backoff and (when configured and possible) a hedged
 // second attempt. The first acceptable response wins; the last
-// response of any kind is returned when every attempt fails.
-func (rt *Router) tryBackends(cands []*Backend, method, pathAndQuery string, body []byte) (*proxied, error) {
+// response of any kind is returned when every attempt fails. The
+// second return value names the backend whose response was used.
+func (rt *Router) tryBackends(cands []*Backend, method, pathAndQuery string, body []byte) (*proxied, *Backend, error) {
 	if len(cands) == 0 {
-		return nil, errf(http.StatusServiceUnavailable, "no ready backend for %s", pathAndQuery)
+		return nil, nil, errf(http.StatusServiceUnavailable, "no ready backend for %s", pathAndQuery)
 	}
 	var last *proxied
+	var lastFrom *Backend
 	var lastErr error
 	for attempt := 1; attempt <= rt.opts.Retries; attempt++ {
 		b := cands[(attempt-1)%len(cands)]
-		p, err := rt.fetchHedged(b, cands, method, pathAndQuery, body)
+		p, from, err := rt.fetchHedged(b, cands, method, pathAndQuery, body)
 		if !retryable(p, err) {
-			return p, nil
+			return p, from, nil
 		}
-		last, lastErr = p, err
+		last, lastFrom, lastErr = p, from, err
 		if attempt < rt.opts.Retries {
 			rt.cRetry.Inc()
 			time.Sleep(rt.backoff(attempt))
 		}
 	}
 	if last != nil {
-		return last, nil
+		return last, lastFrom, nil
 	}
-	return nil, errf(http.StatusBadGateway, "every backend failed for %s: %v", pathAndQuery, lastErr)
+	return nil, nil, errf(http.StatusBadGateway, "every backend failed for %s: %v", pathAndQuery, lastErr)
 }
 
 // fetchHedged races the primary against one delayed hedge on another
 // replica when hedging is configured.
-func (rt *Router) fetchHedged(primary *Backend, cands []*Backend, method, pathAndQuery string, body []byte) (*proxied, error) {
+func (rt *Router) fetchHedged(primary *Backend, cands []*Backend, method, pathAndQuery string, body []byte) (*proxied, *Backend, error) {
 	if rt.opts.HedgeAfter <= 0 || len(cands) < 2 {
-		return rt.fetch(primary, method, pathAndQuery, body)
+		p, err := rt.fetch(primary, method, pathAndQuery, body)
+		return p, primary, err
 	}
 	type result struct {
-		p   *proxied
-		err error
+		p    *proxied
+		from *Backend
+		err  error
 	}
 	ch := make(chan result, 2)
 	go func() {
 		p, err := rt.fetch(primary, method, pathAndQuery, body)
-		ch <- result{p, err}
+		ch <- result{p, primary, err}
 	}()
 	timer := time.NewTimer(rt.opts.HedgeAfter)
 	defer timer.Stop()
 	select {
 	case r := <-ch:
-		return r.p, r.err
+		return r.p, r.from, r.err
 	case <-timer.C:
 	}
 	var hedge *Backend
@@ -473,19 +500,19 @@ func (rt *Router) fetchHedged(primary *Backend, cands []*Backend, method, pathAn
 	rt.cHedge.Inc()
 	go func() {
 		p, err := rt.fetch(hedge, method, pathAndQuery, body)
-		ch <- result{p, err}
+		ch <- result{p, hedge, err}
 	}()
 	// First non-retryable answer wins; if the first arrival is bad,
 	// wait for the other.
 	r := <-ch
 	if !retryable(r.p, r.err) {
-		return r.p, r.err
+		return r.p, r.from, r.err
 	}
 	r2 := <-ch
 	if !retryable(r2.p, r2.err) {
-		return r2.p, r2.err
+		return r2.p, r2.from, r2.err
 	}
-	return r.p, r.err
+	return r.p, r.from, r.err
 }
 
 // errf mirrors the alignd error shape so router-origin errors read
@@ -616,7 +643,7 @@ func (rt *Router) proxyAny(w http.ResponseWriter, r *http.Request, body []byte) 
 	if r.Method == http.MethodGet {
 		body = nil
 	}
-	p, err := rt.tryBackends(rt.readyBackends(), r.Method, r.URL.RequestURI(), body)
+	p, _, err := rt.tryBackends(rt.readyBackends(), r.Method, r.URL.RequestURI(), body)
 	if err != nil {
 		return err
 	}
@@ -634,7 +661,7 @@ func (rt *Router) resolveNet1(token string) (int32, bool) {
 	if ok {
 		return idx, true
 	}
-	p, err := rt.tryBackends(rt.readyBackends(), http.MethodGet, "/v1/resolve/1/"+token, nil)
+	p, _, err := rt.tryBackends(rt.readyBackends(), http.MethodGet, "/v1/resolve/1/"+token, nil)
 	if err != nil || p.status != http.StatusOK {
 		return 0, false
 	}
@@ -682,7 +709,7 @@ func (rt *Router) handleLookup(w http.ResponseWriter, r *http.Request, tail stri
 			// (404 body, or whatever alignd says) comes from a replay.
 			return rt.proxyAny(w, r, nil)
 		}
-		p, err := rt.tryBackends(rt.ownersOf(idx), r.Method, r.URL.RequestURI(), nil)
+		p, _, err := rt.tryBackends(rt.ownersOf(idx), r.Method, r.URL.RequestURI(), nil)
 		if err != nil {
 			return err
 		}
@@ -694,48 +721,71 @@ func (rt *Router) handleLookup(w http.ResponseWriter, r *http.Request, tail stri
 	return rt.fanoutMatch(w, r)
 }
 
+// fanLeg is one range's fan-out response plus the backend it came from.
+type fanLeg struct {
+	p    *proxied
+	from *Backend
+}
+
 // fanout sends the request to one ready backend per range,
-// concurrently, and returns the responses (nil entries for transport
-// failures).
-func (rt *Router) fanout(r *http.Request) []*proxied {
-	entries, _, _ := rt.table()
+// concurrently. complete reports whether the discovered table tiles
+// the whole user space AND every leg answered — a merged read must
+// fail otherwise, because an answer synthesized from the surviving
+// shards can be confidently wrong (a missing candidate list, a 404
+// for a match the dark shard owns).
+func (rt *Router) fanout(r *http.Request) (legs []fanLeg, complete bool) {
+	entries, _, tiled := rt.table()
 	rt.cFanout.Inc()
-	out := make([]*proxied, len(entries))
+	legs = make([]fanLeg, len(entries))
 	var wg sync.WaitGroup
 	for i, e := range entries {
 		wg.Add(1)
 		go func(i int, cands []*Backend) {
 			defer wg.Done()
-			p, err := rt.tryBackends(cands, r.Method, r.URL.RequestURI(), nil)
+			p, from, err := rt.tryBackends(cands, r.Method, r.URL.RequestURI(), nil)
 			if err == nil {
-				out[i] = p
+				legs[i] = fanLeg{p: p, from: from}
 			}
 		}(i, e.backends)
 	}
 	wg.Wait()
-	return out
+	complete = tiled
+	for _, l := range legs {
+		if l.p == nil {
+			complete = false
+		}
+	}
+	return legs, complete
 }
 
 // fanoutMatch answers a net-2 match. Several shards may each hold a
 // match ending at the same net-2 user; the monolithic index resolves
 // that collision last-write-wins over the I-sorted match list, i.e.
 // the HIGHEST net-1 index. Fan-out results arrive in range order, so
-// the highest-range 200 is the monolithic answer, verbatim. If none
-// answers 200, any shard's miss is the canonical monolithic miss
-// (same status, same body) and is proxied through.
+// the highest-range 200 is the monolithic answer, verbatim. A miss is
+// canonical only when EVERY shard was heard from and said 404: any
+// failed or unreachable leg could own the match, so partial failure
+// is a 502, never a confident wrong answer.
 func (rt *Router) fanoutMatch(w http.ResponseWriter, r *http.Request) error {
-	results := rt.fanout(r)
+	legs, complete := rt.fanout(r)
+	if !complete {
+		return errf(http.StatusBadGateway, "fan-out incomplete: a range leg failed and could own the answer")
+	}
 	var miss *proxied
-	for i := len(results) - 1; i >= 0; i-- {
-		p := results[i]
-		if p == nil {
-			continue
-		}
-		if p.status == http.StatusOK {
+	for i := len(legs) - 1; i >= 0; i-- {
+		p := legs[i].p
+		switch {
+		case p.status == http.StatusOK:
 			return p.write(w)
-		}
-		if miss == nil || p.status == http.StatusNotFound {
-			miss = p
+		case p.status == http.StatusNotFound:
+			if miss == nil {
+				miss = p
+			}
+		default:
+			// A shard that answered something other than hit/miss (e.g. a
+			// 503 that survived the retry budget) has not answered the
+			// question; merging around it could mis-answer.
+			return errf(http.StatusBadGateway, "shard answered %d during fan-out", p.status)
 		}
 	}
 	if miss == nil {
@@ -763,14 +813,16 @@ type candidatesBody struct {
 // the global top-k is a subset of the union of per-shard top-k lists
 // at equal k.
 func (rt *Router) fanoutCandidates(w http.ResponseWriter, r *http.Request) error {
-	results := rt.fanout(r)
+	legs, complete := rt.fanout(r)
+	if !complete {
+		return errf(http.StatusBadGateway, "fan-out incomplete: a range leg failed and its candidates would be dropped")
+	}
 	var merged *candidatesBody
 	var all []serve.Candidate
 	maxGen := uint64(0)
-	for _, p := range results {
-		if p == nil {
-			continue
-		}
+	storedK, storedKSet := 0, false
+	for _, l := range legs {
+		p := l.p
 		if p.status != http.StatusOK {
 			// Bad k, unknown user, not ready: every shard rejects the
 			// same way; replay the canonical body.
@@ -779,6 +831,16 @@ func (rt *Router) fanoutCandidates(w http.ResponseWriter, r *http.Request) error
 		var body candidatesBody
 		if err := json.Unmarshal(p.body, &body); err != nil {
 			return errf(http.StatusBadGateway, "shard answered unparseable candidates: %v", err)
+		}
+		// The stored-top-k cap must come from the shards that answered
+		// THIS fan-out; mid-rollout the fleet can hold mixed artifacts,
+		// and a cap borrowed from a bystander backend would give the
+		// merged list a depth no single backend would serve.
+		_, _, _, k, _, _ := l.from.snapshotState()
+		if !storedKSet {
+			storedK, storedKSet = k, true
+		} else if k != storedK {
+			return errf(http.StatusBadGateway, "shards disagree on stored top-k (%d vs %d): mixed-generation fleet, retry after the rollout settles", storedK, k)
 		}
 		if merged == nil {
 			merged = &body
@@ -802,13 +864,7 @@ func (rt *Router) fanoutCandidates(w http.ResponseWriter, r *http.Request) error
 	// truncates further). Every global top-k candidate ranks within
 	// top-k of its own shard, so the sorted union's head IS the
 	// monolithic list.
-	limit := 0
-	for _, b := range rt.readyBackends() {
-		if _, _, _, topK, _, _ := b.snapshotState(); topK > 0 {
-			limit = topK
-			break
-		}
-	}
+	limit := storedK
 	if merged.K > 0 && (limit == 0 || merged.K < limit) {
 		limit = merged.K
 	}
@@ -839,7 +895,7 @@ func (rt *Router) handleScore(w http.ResponseWriter, r *http.Request) error {
 	var req scoreBody
 	if err := json.Unmarshal(body, &req); err == nil && req.I != nil && req.J != nil && req.Features == nil {
 		if owners := rt.ownersOf(*req.I); len(owners) > 0 {
-			p, err := rt.tryBackends(owners, r.Method, r.URL.RequestURI(), body)
+			p, _, err := rt.tryBackends(owners, r.Method, r.URL.RequestURI(), body)
 			if err != nil {
 				return err
 			}

@@ -423,6 +423,125 @@ func TestRouterNotReadyWithGap(t *testing.T) {
 	}
 }
 
+// TestRouterFanoutPartialFailureIs502: when a range's every backend is
+// unreachable, merged net-2 reads must refuse rather than answer from
+// the surviving shards — the dark range could own the match, and its
+// candidates would silently vanish from a merged list.
+func TestRouterFanoutPartialFailureIs502(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	parent := randomSnapshot(t, rng, 12, 12, 4)
+	shards, err := snapshot.Split(parent, []snapshot.UserRange{{Lo: 0, Hi: 6}, {Lo: 6, Hi: 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	srv0 := backendServer(t, shards[0], dir, "s0")
+	srv1 := backendServer(t, shards[1], dir, "s1")
+	rt, err := NewRouter([]string{srv0.URL, srv1.URL}, Options{Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Refresh()
+	srv1.Close() // range [6,12) goes dark AFTER discovery
+	routerSrv := httptest.NewServer(rt)
+	defer routerSrv.Close()
+
+	for _, path := range []string{"/v1/match/2/right-u0", "/v1/candidates/2/right-u0"} {
+		if r := do(t, routerSrv.URL, http.MethodGet, path, ""); r.status != http.StatusBadGateway {
+			t.Errorf("%s with a dark range = %d %s, want 502", path, r.status, r.body)
+		}
+	}
+}
+
+// TestRouterProbeInvalidatesResolveCache: a backend reloaded behind the
+// router's back (SIGHUP, direct POST /v1/reload) may renumber users;
+// the probe loop must drop the token→index cache when it observes the
+// generation change, or stale indices owner-route to the wrong shard.
+func TestRouterProbeInvalidatesResolveCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	parent := randomSnapshot(t, rng, 12, 12, 4)
+	shards, err := snapshot.Split(parent, []snapshot.UserRange{{Lo: 0, Hi: 6}, {Lo: 6, Hi: 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	srv0 := backendServer(t, shards[0], dir, "s0")
+	srv1 := backendServer(t, shards[1], dir, "s1")
+	rt, err := NewRouter([]string{srv0.URL, srv1.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Refresh()
+	routerSrv := httptest.NewServer(rt)
+	defer routerSrv.Close()
+
+	if r := do(t, routerSrv.URL, http.MethodGet, "/v1/match/1/left-u0", ""); r.status >= 500 {
+		t.Fatalf("seed lookup = %d %s", r.status, r.body)
+	}
+	rt.resolveMu.Lock()
+	populated := len(rt.resolveCache)
+	rt.resolveMu.Unlock()
+	if populated == 0 {
+		t.Fatal("net-1 token lookup did not populate the resolve cache")
+	}
+
+	// Out-of-band reload: straight at the backend, not via the router.
+	if r := do(t, srv0.URL, http.MethodPost, "/v1/reload", "{}"); r.status != http.StatusOK {
+		t.Fatalf("direct backend reload = %d %s", r.status, r.body)
+	}
+	rt.Refresh()
+	rt.resolveMu.Lock()
+	left := len(rt.resolveCache)
+	rt.resolveMu.Unlock()
+	if left != 0 {
+		t.Errorf("resolve cache holds %d entries after an out-of-band backend reload, want 0", left)
+	}
+
+	// A steady-state probe (no generation change) must NOT thrash it.
+	if r := do(t, routerSrv.URL, http.MethodGet, "/v1/match/1/left-u0", ""); r.status >= 500 {
+		t.Fatalf("post-reload lookup = %d %s", r.status, r.body)
+	}
+	rt.Refresh()
+	rt.resolveMu.Lock()
+	kept := len(rt.resolveCache)
+	rt.resolveMu.Unlock()
+	if kept == 0 {
+		t.Error("steady-state probe cleared the resolve cache with no generation change")
+	}
+}
+
+// TestRouterFanoutTopKDisagreementIs502: mid-rollout, shards can hold
+// artifacts with different stored top-k depths; a merged candidate
+// list capped by a depth no single backend serves is not monolithic,
+// so the router must refuse instead.
+func TestRouterFanoutTopKDisagreementIs502(t *testing.T) {
+	parentDeep := randomSnapshot(t, rand.New(rand.NewSource(49)), 12, 12, 4)
+	parentShallow := randomSnapshot(t, rand.New(rand.NewSource(49)), 12, 12, 2)
+	ranges := []snapshot.UserRange{{Lo: 0, Hi: 6}, {Lo: 6, Hi: 12}}
+	deep, err := snapshot.Split(parentDeep, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := snapshot.Split(parentShallow, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	srv0 := backendServer(t, shallow[0], dir, "s0") // top-k 2
+	srv1 := backendServer(t, deep[1], dir, "s1")    // top-k 4
+	rt, err := NewRouter([]string{srv0.URL, srv1.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Refresh()
+	routerSrv := httptest.NewServer(rt)
+	defer routerSrv.Close()
+
+	if r := do(t, routerSrv.URL, http.MethodGet, "/v1/candidates/2/right-u0", ""); r.status != http.StatusBadGateway {
+		t.Errorf("mixed top-k fan-out = %d %s, want 502", r.status, r.body)
+	}
+}
+
 var _ = os.Getenv // keep os imported for future fixtures
 
 // Scheme-less -backends entries (host:port) are how operators name a

@@ -369,3 +369,31 @@ func TestPullDialFailure(t *testing.T) {
 		t.Errorf("err %v stats %+v", err, stats)
 	}
 }
+
+// growTarget must never ask a client to grow to a size it already has:
+// once the ladder hits maxCells, replying Grow would only re-buy an
+// identically sized (~14 MiB) sketch each round until the attempt
+// budget ran out, so the ladder reports exhaustion (0) instead.
+func TestGrowTargetExhaustsAtMaxCells(t *testing.T) {
+	cases := []struct{ clientCells, want int }{
+		{0, 128},
+		{127, 128},
+		{128, 256},
+		{129, 256},
+		{maxCells/2 - 1, maxCells / 2},
+		{maxCells / 2, maxCells},
+		{maxCells - 1, maxCells},
+		{maxCells, 0},     // plateau: no strictly larger level exists
+		{maxCells + 7, 0}, // defensive: hostile table sizes decode-reject earlier
+	}
+	for _, c := range cases {
+		if got := growTarget(c.clientCells); got != c.want {
+			t.Errorf("growTarget(%d) = %d, want %d", c.clientCells, got, c.want)
+		}
+	}
+	for _, c := range cases {
+		if c.want != 0 && c.want <= c.clientCells {
+			t.Errorf("growTarget(%d) = %d does not strictly grow", c.clientCells, c.want)
+		}
+	}
+}

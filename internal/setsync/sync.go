@@ -100,6 +100,21 @@ func cellsForLevel(level int) int {
 // decisions (count varint ≈ 1 byte + packed uint64 + uint32).
 func cellBytesEstimate(m int) int { return m * 14 }
 
+// growTarget is the server side of the ladder: the smallest ladder
+// size STRICTLY larger than the client's current table, or 0 when the
+// ladder is exhausted (the client is already at maxCells, so a Grow
+// could only elicit the same sketch again).
+func growTarget(clientCells int) int {
+	next := cellsForLevel(0)
+	for next <= clientCells && next < maxCells {
+		next *= 2
+	}
+	if next <= clientCells {
+		return 0
+	}
+	return next
+}
+
 // Stats describes how a Pull went, for logs and metrics.
 type Stats struct {
 	// Mode is "none" (already current), "delta", or "full".
@@ -205,14 +220,14 @@ func Serve(conn io.ReadWriter, snap *snapshot.Snapshot, opts Options) error {
 		if ok && len(patch) <= int(opts.Cutover*float64(len(full))) {
 			return codec.WriteFrame(conn, tPatch, patch)
 		}
-		// Peeling failed or the patch is not worth it. Grow while the
-		// next level is still cheaper than the cutover allows; otherwise
-		// ship the artifact.
-		next := cellsForLevel(0)
-		for next <= len(clientTable.Cells) && next < maxCells {
-			next *= 2
-		}
-		if ok || attempts > opts.MaxLevel || next > maxCells ||
+		// Peeling failed or the patch is not worth it. Grow while a
+		// strictly larger sketch exists and is still cheaper than the
+		// cutover allows; otherwise ship the artifact. Asking a client
+		// already at the ladder's maxCells cap to grow would just re-buy
+		// an identically sized sketch every round until the attempt
+		// budget ran out.
+		next := growTarget(len(clientTable.Cells))
+		if ok || attempts > opts.MaxLevel || next == 0 ||
 			cellBytesEstimate(next) > int(opts.Cutover*float64(len(full))) {
 			return codec.WriteFrame(conn, tFull, full)
 		}
